@@ -1,0 +1,90 @@
+// E10 — §3.3 approximate probabilistic counters (Lemma 3.6).
+//
+// Measures, for the paper's counter vs Morris vs Steele vs exact:
+//   * update frequency (every update means a copy broadcast — communication),
+//   * relative drift over a Delta_V = 2*beta*V window (accuracy).
+// Shape: the paper's variant pays slightly more updates than Steele but keeps
+// o(Delta_V) drift (whp in n), which is what alpha-balance detection needs;
+// Morris is far too coarse; exact counters update every single time.
+#include "bench_util.hpp"
+
+#include "core/approx_counter.hpp"
+
+using namespace pimkd;
+using namespace pimkd::bench;
+using namespace pimkd::core;
+
+int main() {
+  banner("E10 bench_counters", "§3.3 Lemma 3.6 counter accuracy/frequency",
+         "paper counter: rare updates AND small drift; Steele: rarer but "
+         "larger drift; Morris: order-of-magnitude only; exact: 100% updates");
+  const double n = 1 << 20;
+  const double beta = 0.5;
+  Table t({"V (counter value)", "design", "updates per 10k incs",
+           "mean |drift| / window"});
+  for (const double v0 : {1e3, 1e4, 1e5}) {
+    const int window = static_cast<int>(2 * beta * v0);
+    const int trials = 16;
+
+    double paper_updates = 0;
+    double paper_drift = 0;
+    double steele_updates = 0;
+    double steele_drift = 0;
+    double morris_drift = 0;
+    for (int trial = 0; trial < trials; ++trial) {
+      Rng rng(1000 + static_cast<std::uint64_t>(trial));
+      double v = v0;
+      int ups = 0;
+      for (int i = 0; i < window; ++i) {
+        const auto step = counter_increment(v, beta, n, rng);
+        if (step.updated) {
+          v += step.delta;
+          ++ups;
+        }
+      }
+      paper_updates += double(ups) / double(window) * 10000.0;
+      paper_drift += std::abs((v - v0) - window) / double(window);
+
+      SteeleCounter steele;
+      while (steele.estimate() < v0) (void)steele.increment(rng);
+      const double s0 = steele.estimate();
+      ups = 0;
+      for (int i = 0; i < window; ++i) ups += steele.increment(rng);
+      steele_updates += double(ups) / double(window) * 10000.0;
+      steele_drift += std::abs((steele.estimate() - s0) - window) /
+                      double(window);
+
+      MorrisCounter morris;
+      for (int i = 0; i < static_cast<int>(v0); ++i) (void)morris.increment(rng);
+      morris_drift += std::abs(morris.estimate() - v0) / v0;
+    }
+    t.row({num(v0), "paper (log n / beta*V)", num(paper_updates / trials),
+           num(paper_drift / trials)});
+    t.row({num(v0), "Steele-Tristan", num(steele_updates / trials),
+           num(steele_drift / trials)});
+    t.row({num(v0), "Morris (rel err of value)", "~10000/V",
+           num(morris_drift / trials)});
+    t.row({num(v0), "exact", "10000", "0"});
+  }
+  t.print();
+
+  std::printf(
+      "\nEffect on the tree (Lemma 3.7): height with approximate vs exact "
+      "counters after heavy updates:\n");
+  Table t2({"counters", "height", "log2(n/leaf)"});
+  for (const bool approx : {true, false}) {
+    auto cfg = default_cfg(64);
+    cfg.use_approx_counters = approx;
+    core::PimKdTree tree(cfg);
+    for (int b = 0; b < 16; ++b) {
+      const auto pts = gen_uniform(
+          {.n = 2048, .dim = 2, .seed = 2000 + static_cast<std::uint64_t>(b)});
+      (void)tree.insert(pts);
+    }
+    t2.row({approx ? "approximate (beta=0.5)" : "exact",
+            num(double(tree.height())),
+            num(std::log2(double(tree.size()) / 8.0))});
+  }
+  t2.print();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// E8 — Figure 2 (replication strategies).
+//
+// Builds the same tree under the four strategies (none / top-down /
+// bottom-up / dual) and measures what each is good for:
+//   * top-down caching makes root-to-leaf searches local inside a group,
+//   * bottom-up chains make leaf-to-root walks (kNN backtracking) local,
+//   * dual-way gets both, at roughly the summed space.
+// The bottom-up walk is driven through the Cursor directly: anchor at a
+// leaf's module, then visit successive ancestors.
+#include "bench_util.hpp"
+
+using namespace pimkd;
+using namespace pimkd::bench;
+
+namespace {
+
+// Communication of walking from `leaf` to the root through the cursor.
+std::uint64_t bottom_up_walk(core::PimKdTree& tree, core::NodeId leaf,
+                             std::size_t start_module) {
+  pim::RoundGuard round(tree.metrics());
+  const auto before = tree.metrics().snapshot().communication;
+  core::Cursor cur(tree.config(), tree.pool(), tree.store(), tree.metrics(),
+                   start_module);
+  core::NodeId cursor_node = leaf;
+  cur.visit(cursor_node);
+  while (tree.pool().at(cursor_node).parent != core::kNoNode) {
+    cursor_node = tree.pool().at(cursor_node).parent;
+    cur.visit(cursor_node);
+  }
+  return tree.metrics().snapshot().communication - before;
+}
+
+}  // namespace
+
+int main() {
+  banner("E8 bench_fig2_caching", "Figure 2 replication strategies",
+         "top-down helps top-down search, bottom-up helps upward walks, "
+         "dual helps both; space ~ sum");
+  const std::size_t n = 1u << 16;
+  const std::size_t P = 64;
+  const std::size_t S = 2048;
+  const auto pts = gen_uniform({.n = n, .dim = 2, .seed = 5});
+  const auto qs = gen_uniform_queries(pts, 2, S, 6);
+
+  struct ModeRow {
+    const char* name;
+    core::CachingMode mode;
+  };
+  const ModeRow modes[] = {
+      {"(a) no intra-group caching", core::CachingMode::kNone},
+      {"(c) top-down only", core::CachingMode::kTopDown},
+      {"(d) bottom-up only", core::CachingMode::kBottomUp},
+      {"(b) dual-way (PIM-kd-tree)", core::CachingMode::kDual},
+  };
+
+  Table t({"strategy", "storage words", "space vs none",
+           "leafsearch comm/q", "bottom-up walk comm/q", "knn comm/q"});
+  std::uint64_t none_words = 0;
+  for (const auto& [name, mode] : modes) {
+    auto cfg = default_cfg(P);
+    cfg.caching = mode;
+    core::PimKdTree tree(cfg, pts);
+    if (mode == core::CachingMode::kNone) none_words = tree.storage_words();
+
+    const auto b1 = tree.metrics().snapshot();
+    const auto leaves = tree.leaf_search(qs);
+    const auto d1 = tree.metrics().snapshot() - b1;
+
+    std::uint64_t up_comm = 0;
+    for (std::size_t i = 0; i < leaves.size(); ++i)
+      up_comm += bottom_up_walk(tree, leaves[i], i % P);
+
+    const auto b2 = tree.metrics().snapshot();
+    (void)tree.knn(qs, 8);
+    const auto d2 = tree.metrics().snapshot() - b2;
+
+    t.row({name, num(double(tree.storage_words())),
+           num(double(tree.storage_words()) / double(std::max<std::uint64_t>(
+                                                  none_words, 1))),
+           num(double(d1.communication) / double(S)),
+           num(double(up_comm) / double(S)),
+           num(double(d2.communication) / double(S))});
+  }
+  t.print();
+  std::printf(
+      "\nReference scales: log2(n)=%.1f (hops without caching), "
+      "log*P=%d (hops with caching)\n",
+      std::log2(double(n)), log_star2(double(P)));
+  return 0;
+}

@@ -1,0 +1,110 @@
+// E15 — Lemma 4.7: orthogonal range queries cost worst-case
+// O(k + 2^{(D-1)/D * h}) work/communication, where k is the output size and
+// h the tree height; the structural 2^{(D-1)/D * h} = (n/leaf)^{(D-1)/D}
+// term is the classic kd-tree range bound and cannot be improved by PIM
+// (§4.3 notes the shared-memory bound is already tight) — what PIM adds is
+// load balance across the touched nodes.
+#include "bench_util.hpp"
+
+using namespace pimkd;
+using namespace pimkd::bench;
+
+int main() {
+  banner("E15 bench_range", "Lemma 4.7 orthogonal range cost",
+         "pim work/q ~ k + n^((D-1)/D); comm tracks output + structure; "
+         "PIM-balanced when many nodes are touched");
+  const std::size_t P = 64;
+  const std::size_t S = 256;
+
+  std::printf("\nSelectivity sweep (D=2, n=2^16): cost = structure + output\n");
+  Table t({"box side", "avg k (output)", "pim work/q", "pim comm/q",
+           "sqrt(n/leaf)", "work/q - k"});
+  const std::size_t n = 1u << 16;
+  const auto pts = gen_uniform({.n = n, .dim = 2, .seed = 3});
+  core::PimKdTree tree(default_cfg(P), pts);
+  for (const double side : {0.01, 0.05, 0.2, 0.5}) {
+    Rng rng(7);
+    std::vector<Box> boxes;
+    for (std::size_t i = 0; i < S; ++i) {
+      Box b = Box::empty(2);
+      Point a;
+      a[0] = rng.next_double() * (1 - side);
+      a[1] = rng.next_double() * (1 - side);
+      Point c = a;
+      c[0] += side;
+      c[1] += side;
+      b.extend(a, 2);
+      b.extend(c, 2);
+      boxes.push_back(b);
+    }
+    const auto before = tree.metrics().snapshot();
+    const auto res = tree.range(boxes);
+    const auto d = tree.metrics().snapshot() - before;
+    double k = 0;
+    for (const auto& r : res) k += double(r.size());
+    k /= double(S);
+    const double work = double(d.pim_work) / double(S);
+    t.row({num(side), num(k), num(work),
+           num(double(d.communication) / double(S)),
+           num(std::sqrt(double(n) / 8.0)), num(work - k)});
+  }
+  t.print();
+
+  std::printf("\nDimension sweep (fixed ~1%% selectivity, n=2^15): the\n"
+              "structural term grows as n^((D-1)/D).\n");
+  Table t2({"D", "avg k", "pim work/q", "(n/leaf)^((D-1)/D)"});
+  for (const int dim : {1, 2, 3, 4}) {
+    const std::size_t n2 = 1u << 15;
+    const auto data = gen_uniform({.n = n2, .dim = dim, .seed = 10});
+    core::PimKdTree tr(default_cfg(P, dim), data);
+    const double side = std::pow(0.01, 1.0 / dim);
+    Rng rng(11);
+    std::vector<Box> boxes;
+    for (std::size_t i = 0; i < S; ++i) {
+      Box b = Box::empty(dim);
+      Point a;
+      Point c;
+      for (int dd = 0; dd < dim; ++dd) {
+        a[dd] = rng.next_double() * (1 - side);
+        c[dd] = a[dd] + side;
+      }
+      b.extend(a, dim);
+      b.extend(c, dim);
+      boxes.push_back(b);
+    }
+    const auto before = tr.metrics().snapshot();
+    const auto res = tr.range(boxes);
+    const auto d = tr.metrics().snapshot() - before;
+    double k = 0;
+    for (const auto& r : res) k += double(r.size());
+    k /= double(S);
+    const double leaves = double(n2) / 8.0;
+    t2.row({num(double(dim)), num(k), num(double(d.pim_work) / double(S)),
+            num(std::pow(leaves, (double(dim) - 1.0) / double(dim)))});
+  }
+  t2.print();
+
+  std::printf("\nLoad balance on large ranges (each touches >> P nodes):\n");
+  {
+    core::PimKdTree tr(default_cfg(P), pts);
+    Rng rng(12);
+    std::vector<Box> boxes;
+    for (std::size_t i = 0; i < 64; ++i) {
+      Box b = Box::empty(2);
+      Point a;
+      a[0] = rng.next_double() * 0.3;
+      a[1] = rng.next_double() * 0.3;
+      Point c = a;
+      c[0] += 0.6;
+      c[1] += 0.6;
+      b.extend(a, 2);
+      b.extend(c, 2);
+      boxes.push_back(b);
+    }
+    tr.metrics().reset_loads();
+    (void)tr.range(boxes);
+    std::printf("  work imbalance (max/mean): %.2f\n",
+                tr.metrics().work_balance().imbalance);
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// E13 — §7 round complexity: Theta(c/M + s) bulk-synchronous rounds.
+//
+// Two sweeps: (i) shrink the CPU cache M so the c/M term dominates — rounds
+// for a fixed operation grow ~1/M; (ii) fixed M, growing batch — rounds grow
+// with total words moved, not with the number of queries.
+#include "bench_util.hpp"
+
+using namespace pimkd;
+using namespace pimkd::bench;
+
+int main() {
+  banner("E13 bench_rounds", "§7 round complexity Theta(c/M + s)",
+         "rounds ~ max(comm/M, #phases); flat once M exceeds the batch's "
+         "total words");
+  const std::size_t n = 1u << 15;
+  const std::size_t P = 64;
+  const std::size_t S = 8192;
+  const auto pts = gen_uniform({.n = n, .dim = 2, .seed = 6});
+  const auto qs = gen_uniform_queries(pts, 2, S, 7);
+
+  Table t({"cache words M", "leafsearch comm (c)", "rounds", "c / M"});
+  for (const std::size_t m : {1u << 10, 1u << 12, 1u << 14, 1u << 20}) {
+    auto cfg = default_cfg(P);
+    cfg.system.cache_words = m;
+    core::PimKdTree tree(cfg, pts);
+    const auto before = tree.metrics().snapshot();
+    (void)tree.leaf_search(qs);
+    const auto d = tree.metrics().snapshot() - before;
+    t.row({num(double(m)), num(double(d.communication)),
+           num(double(d.rounds)), num(double(d.communication) / double(m))});
+  }
+  t.print();
+
+  std::printf("\nBatch-size sweep at M=2^12:\n");
+  Table t2({"S (batch)", "comm", "rounds", "rounds per query"});
+  for (const std::size_t s : {512u, 2048u, 8192u, 32768u}) {
+    auto cfg = default_cfg(P);
+    cfg.system.cache_words = 1u << 12;
+    core::PimKdTree tree(cfg, pts);
+    const auto queries = gen_uniform_queries(pts, 2, s, 8);
+    const auto before = tree.metrics().snapshot();
+    (void)tree.leaf_search(queries);
+    const auto d = tree.metrics().snapshot() - before;
+    t2.row({num(double(s)), num(double(d.communication)),
+            num(double(d.rounds)), num(double(d.rounds) / double(s))});
+  }
+  t2.print();
+  return 0;
+}

@@ -1,0 +1,37 @@
+// E9 — Theorem 3.3: total space O(n log* P), balanced across modules.
+//
+// Sweeps n and P, reporting total stored words, the ratio to raw data words
+// (n * (dim+1)), and per-module balance. The ratio should track log* P + a
+// constant, independent of n.
+#include "bench_util.hpp"
+
+using namespace pimkd;
+using namespace pimkd::bench;
+
+int main() {
+  banner("E9 bench_space", "Theorem 3.3 space bound",
+         "storage / raw-data-words ~ c * log* P, flat in n; per-module "
+         "balance ~1");
+  Table t({"n", "P", "log* P", "storage words", "ratio to raw",
+           "per-group0 share", "module imbalance"});
+  for (const std::size_t P : {16u, 64u, 256u, 1024u}) {
+    for (const std::size_t n : {1u << 14, 1u << 16, 1u << 18}) {
+      const auto pts = gen_uniform({.n = n, .dim = 2, .seed = n + P});
+      core::PimKdTree tree(default_cfg(P), pts);
+      const double raw = double(n) * double(core::point_words(2));
+      // Words held by Group-0 replicas (P copies each).
+      std::uint64_t g0_words = 0;
+      tree.pool().for_each([&](const core::NodeRec& rec) {
+        if (rec.group == 0) g0_words += tree.store().node_storage_words(rec.id);
+      });
+      t.row({num(double(n)), num(double(P)),
+             num(double(log_star2(double(P)))),
+             num(double(tree.storage_words())),
+             num(double(tree.storage_words()) / raw),
+             num(double(g0_words) / double(tree.storage_words())),
+             num(tree.metrics().storage_balance().imbalance)});
+    }
+  }
+  t.print();
+  return 0;
+}

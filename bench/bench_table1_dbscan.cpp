@@ -1,0 +1,66 @@
+// E6 — Table 1, "2d-DBSCAN" rows.
+//
+//   ParGeo baseline : O(n (k + log n)) work, O(n log_M n) communication
+//   PIM clustering  : O(n log P) CPU work, O(n (k + log(n/P))) PIM time*P,
+//                     O(n) communication, O(n) space.
+//
+// Shape: per-point PIM communication is a constant (no log n factor) while
+// the baseline's pair checks grow with density k; clusterings are identical.
+#include "bench_util.hpp"
+
+#include <cmath>
+
+#include "clustering/dbscan.hpp"
+
+using namespace pimkd;
+using namespace pimkd::bench;
+
+int main() {
+  banner("E6 bench_table1_dbscan", "Table 1 2d-DBSCAN rows",
+         "pim comm/pt constant in n; baseline pair checks ~k per point; "
+         "identical clusterings");
+  const std::size_t P = 64;
+  Table t({"n", "clusters", "baseline pairs/pt", "pim comm/pt", "pim work/pt",
+           "pim comm_time*P/comm", "rounds"});
+  for (const std::size_t n : {1u << 12, 1u << 14, 1u << 16}) {
+    const auto pts =
+        gen_blobs_with_noise({.n = n, .dim = 2, .seed = n}, 6, 0.03, 0.2);
+    // eps scaled so the expected eps-neighborhood stays ~constant in n.
+    const DbscanParams p{.eps = 2.0 / std::sqrt(double(n)), .minpts = 6};
+    const auto grid = dbscan_grid(pts, p);
+    pim::Snapshot cost;
+    const auto pim_res = dbscan_pim(
+        pts, p, {.num_modules = P, .cache_words = 1 << 22, .seed = 3}, &cost);
+    if (pim_res.label != grid.label)
+      std::printf("WARNING: PIM and grid DBSCAN labels diverge!\n");
+    t.row({num(double(n)), num(double(grid.num_clusters)),
+           num(double(grid.point_pairs_checked) / double(n)),
+           num(double(cost.communication) / double(n)),
+           num(double(cost.pim_work) / double(n)),
+           num(double(cost.comm_time) * double(P) /
+               std::max<double>(1, double(cost.communication))),
+           num(double(cost.rounds))});
+  }
+  t.print();
+
+  std::printf("\n(eps, minpts) sweep at n=2^14:\n");
+  Table t2({"eps", "minpts", "clusters", "noise pts", "pim comm/pt"});
+  const auto pts =
+      gen_blobs_with_noise({.n = 1u << 14, .dim = 2, .seed = 9}, 6, 0.03, 0.2);
+  for (const double eps : {0.01, 0.02, 0.05}) {
+    for (const std::size_t minpts : {4u, 16u}) {
+      const DbscanParams p{.eps = eps, .minpts = minpts};
+      pim::Snapshot cost;
+      const auto res = dbscan_pim(
+          pts, p, {.num_modules = P, .cache_words = 1 << 22, .seed = 3},
+          &cost);
+      std::size_t noise = 0;
+      for (const auto l : res.label) noise += l == DbscanResult::kNoise;
+      t2.row({num(eps), num(double(minpts)), num(double(res.num_clusters)),
+              num(double(noise)),
+              num(double(cost.communication) / double(pts.size()))});
+    }
+  }
+  t2.print();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// E5 — Table 1, "DPC" rows.
+//
+//   ParGeo baseline : O(n (1 + rho) log n) work & communication (expected)
+//   PIM clustering  : O(n (log P + loglog n + rho log* P)) CPU work,
+//                     O(n (1 + rho) log n) total work,
+//                     O(n (1 + rho) log* P) communication.
+//
+// Shape: per-point PIM communication scales with (1 + rho) * log* P — flat in
+// n — while the shared baseline's node visits carry the log n factor.
+#include "bench_util.hpp"
+
+#include <cmath>
+
+#include "clustering/dpc.hpp"
+
+using namespace pimkd;
+using namespace pimkd::bench;
+
+int main() {
+  banner("E5 bench_table1_dpc", "Table 1 DPC rows",
+         "baseline nodes/pt ~ (1+rho) log n; pim comm/pt ~ (1+rho) log* P "
+         "(flat in n); identical clusterings");
+  const std::size_t P = 64;
+  Table t({"n", "rho(avg density)", "clusters", "baseline nodes/pt",
+           "pim comm/pt", "pim work/pt", "pim cpu/pt", "(1+rho)log2n",
+           "(1+rho)log*P"});
+  for (const std::size_t n : {1u << 12, 1u << 14, 1u << 16}) {
+    const auto pts =
+        gen_gaussian_blobs({.n = n, .dim = 2, .seed = n}, 5, 0.04);
+    // dcut scaled so the expected neighborhood stays ~constant across n.
+    const Coord dcut = 0.6 / std::sqrt(double(n));
+    const DpcParams params{.dim = 2, .dcut = dcut, .delta = 0.4, .leaf_cap = 8};
+
+    const auto shared = dpc_shared(pts, params);
+    double rho = 0;
+    for (const auto d : shared.density) rho += double(d);
+    rho /= double(n);
+
+    pim::Snapshot cost;
+    const auto pim_res = dpc_pim(pts, params, default_cfg(P), &cost);
+    if (pim_res.cluster != shared.cluster)
+      std::printf("WARNING: PIM and shared DPC clusterings diverge!\n");
+
+    t.row({num(double(n)), num(rho), num(double(shared.num_clusters)),
+           num(double(shared.nodes_visited) / double(n)),
+           num(double(cost.communication) / double(n)),
+           num(double(cost.pim_work) / double(n)),
+           num(double(cost.cpu_work) / double(n)),
+           num((1 + rho) * std::log2(double(n))),
+           num((1 + rho) * log_star2(double(P)))});
+  }
+  t.print();
+
+  std::printf("\nrho sweep at n=2^14 (cost tracks the density parameter):\n");
+  Table t2({"dcut", "rho", "pim comm/pt", "pim work/pt"});
+  const auto pts = gen_gaussian_blobs({.n = 1u << 14, .dim = 2, .seed = 9}, 5,
+                                      0.04);
+  for (const double dcut : {0.02, 0.05, 0.1, 0.2}) {
+    const DpcParams params{.dim = 2, .dcut = dcut, .delta = 0.4, .leaf_cap = 8};
+    pim::Snapshot cost;
+    const auto res = dpc_pim(pts, params, default_cfg(P), &cost);
+    double rho = 0;
+    for (const auto d : res.density) rho += double(d);
+    rho /= double(pts.size());
+    t2.row({num(dcut), num(rho),
+            num(double(cost.communication) / double(pts.size())),
+            num(double(cost.pim_work) / double(pts.size()))});
+  }
+  t2.print();
+  return 0;
+}

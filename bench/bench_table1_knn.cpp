@@ -1,0 +1,99 @@
+// E4 — Table 1, "kNN" and "(1+eps)-ANN" rows.
+//
+//   PKD-tree    : O(S k log n) work & communication (expected)
+//   PIM-kd-tree : O(S k log* P) CPU work & communication,
+//                 O(S k log n) total work (expected, kNN-friendly data).
+//
+// Shape: per-(query*k) communication flat ~log* P for the PIM tree while the
+// baseline's node visits grow with log n; ANN reduces both by the eps^-D
+// pruning factor.
+#include "bench_util.hpp"
+
+#include "kdtree/pkdtree.hpp"
+#include "util/knn_friendly.hpp"
+
+using namespace pimkd;
+using namespace pimkd::bench;
+
+int main() {
+  banner("E4 bench_table1_knn", "Table 1 kNN / (1+eps)-ANN rows",
+         "pkd nodes/query grows with log n; pim comm/(q*k) flat ~log* P");
+  const std::size_t P = 64;
+  const std::size_t S = 1024;
+  Table t({"n", "k", "pkd nodes/q", "pim comm/q", "pim comm/(q*k)",
+           "pim work/q", "k*log2 n", "k*log*P"});
+  for (const std::size_t n : {1u << 13, 1u << 15, 1u << 17}) {
+    const auto pts = gen_uniform({.n = n, .dim = 2, .seed = n});
+    const auto qs = gen_uniform_queries(pts, 2, S, n ^ 9);
+    PkdTree pkd({.dim = 2, .alpha = 1.0, .leaf_cap = 8, .sigma = 64, .seed = 3},
+                pts);
+    core::PimKdTree pim(default_cfg(P), pts);
+    for (const std::size_t k : {1u, 8u, 64u}) {
+      pkd.counters.reset();
+      for (const auto& q : qs) (void)pkd.knn(q, k);
+      const double pkd_nodes =
+          double(pkd.counters.nodes_visited) / double(S);
+      const auto before = pim.metrics().snapshot();
+      (void)pim.knn(qs, k);
+      const auto d = pim.metrics().snapshot() - before;
+      t.row({num(double(n)), num(double(k)), num(pkd_nodes),
+             num(double(d.communication) / double(S)),
+             num(double(d.communication) / double(S * k)),
+             num(double(d.pim_work) / double(S)),
+             num(double(k) * std::log2(double(n))),
+             num(double(k) * log_star2(double(P)))});
+    }
+  }
+  t.print();
+
+  std::printf("\n(1+eps)-ANN at n=2^16, k=8 (pruning reduces both sides):\n");
+  Table t2({"eps", "pkd nodes/q", "pim comm/q", "pim work/q"});
+  const auto pts = gen_uniform({.n = 1u << 16, .dim = 2, .seed = 11});
+  const auto qs = gen_uniform_queries(pts, 2, S, 12);
+  PkdTree pkd({.dim = 2, .alpha = 1.0, .leaf_cap = 8, .sigma = 64, .seed = 3},
+              pts);
+  core::PimKdTree pim(default_cfg(P), pts);
+  for (const double eps : {0.0, 0.5, 1.0, 2.0}) {
+    pkd.counters.reset();
+    for (const auto& q : qs) (void)pkd.ann(q, 8, eps);
+    const auto before = pim.metrics().snapshot();
+    (void)pim.knn(qs, 8, eps);
+    const auto d = pim.metrics().snapshot() - before;
+    t2.row({num(eps), num(double(pkd.counters.nodes_visited) / double(S)),
+            num(double(d.communication) / double(S)),
+            num(double(d.pim_work) / double(S))});
+  }
+  t2.print();
+
+  std::printf("\nClustered (kNN-friendly blobs) vs uniform at n=2^15, k=8,\n"
+              "with the Definition 2 (Appendix A) friendliness analysis:\n");
+  Table t3({"dataset", "pim comm/q", "pim work/q", "work imbalance",
+            "cell aspect", "expansion", "uniformity cv"});
+  for (const bool blobs : {false, true}) {
+    const auto data =
+        blobs ? gen_gaussian_blobs({.n = 1u << 15, .dim = 2, .seed = 13}, 6,
+                                   0.03)
+              : gen_uniform({.n = 1u << 15, .dim = 2, .seed = 13});
+    const auto queries = gen_zipf_queries(data, 2, S, 1.0, 14);
+    core::PimKdTree tree(default_cfg(P), data);
+    tree.metrics().reset_loads();
+    const auto before = tree.metrics().snapshot();
+    (void)tree.knn(queries, 8);
+    const auto d = tree.metrics().snapshot() - before;
+    const auto f = analyze_knn_friendliness(data, 2, 8);
+    t3.row({blobs ? "gaussian blobs" : "uniform",
+            num(double(d.communication) / double(S)),
+            num(double(d.pim_work) / double(S)),
+            num(tree.metrics().work_balance().imbalance),
+            num(f.max_small_cell_aspect), num(f.max_expansion_ratio),
+            num(f.local_uniformity_cv)});
+  }
+  t3.print();
+  std::printf("(an UNfriendly low-dimensional manifold for contrast:)\n");
+  const auto line = gen_line({.n = 1u << 15, .dim = 2, .seed = 15}, 1e-7);
+  const auto lf = analyze_knn_friendliness(line, 2, 8);
+  std::printf("  line manifold: cell aspect %.1f, expansion %.2f, cv %.2f\n",
+              lf.max_small_cell_aspect, lf.max_expansion_ratio,
+              lf.local_uniformity_cv);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// E2 — Table 1, "LeafSearch" rows.
+//
+//   Log-tree    : O(S log^2 (n/S)) work & communication
+//   PKD-tree    : O(S log (n/S))   work & communication
+//   PIM-kd-tree : O(S min(log* P, log(n/S))) CPU work & communication,
+//                 O(S log(n/S)) total work (PIM-offloaded), load-balanced
+//                 even under adversarial skew.
+//
+// We sweep n with S fixed and print per-query cost. The baselines' per-query
+// cost grows with log n; the PIM-kd-tree's communication stays flat at a few
+// words (log* P <= 5 for any physical P).
+#include "bench_util.hpp"
+
+#include "kdtree/logtree.hpp"
+#include "kdtree/pkdtree.hpp"
+
+using namespace pimkd;
+using namespace pimkd::bench;
+
+int main() {
+  banner("E2 bench_table1_leafsearch", "Table 1 LeafSearch rows",
+         "baseline cost/query grows ~log n (log-tree ~log^2 n); "
+         "PIM comm/query flat ~log* P");
+  const std::size_t S = 4096;
+  const std::size_t P = 64;
+  Table t({"n", "logtree nodes/q", "pkd nodes/q", "pim comm/q (words)",
+           "pim work/q", "pim cpu/q", "log2(n)", "log*P"});
+  for (const std::size_t n : {1u << 12, 1u << 14, 1u << 16, 1u << 18}) {
+    const auto pts = gen_uniform({.n = n, .dim = 2, .seed = n});
+    const auto qs = gen_uniform_queries(pts, 2, S, n ^ 1);
+
+    LogTree lt({.dim = 2, .leaf_cap = 8});
+    for (std::size_t i = 0; i < n; i += 4096)
+      (void)lt.insert(std::span(pts).subspan(i, std::min<std::size_t>(4096, n - i)));
+    std::uint64_t lt_cost = 0;
+    for (const auto& q : qs) lt_cost += lt.leaf_search_cost(q);
+
+    PkdTree pkd({.dim = 2, .alpha = 1.0, .leaf_cap = 8, .sigma = 64, .seed = 7},
+                pts);
+    std::uint64_t pkd_cost = 0;
+    for (const auto& q : qs) pkd_cost += pkd.leaf_search_cost(q);
+
+    core::PimKdTree pim(default_cfg(P), pts);
+    const auto before = pim.metrics().snapshot();
+    (void)pim.leaf_search(qs);
+    const auto d = pim.metrics().snapshot() - before;
+
+    const double s = static_cast<double>(S);
+    t.row({num(double(n)), num(double(lt_cost) / s), num(double(pkd_cost) / s),
+           num(double(d.communication) / s), num(double(d.pim_work) / s),
+           num(double(d.cpu_work) / s), num(std::log2(double(n))),
+           num(double(log_star2(double(P))))});
+  }
+  t.print();
+
+  std::printf("\nSkew resistance (same batch aimed at one leaf), n=2^16:\n");
+  Table t2({"design", "comm/q", "max-module / mean (comm)"});
+  const auto pts = gen_uniform({.n = 1u << 16, .dim = 2, .seed = 3});
+  const auto adv = gen_adversarial_queries(pts, 2, S, 4);
+  for (const bool push_pull : {true, false}) {
+    auto cfg = default_cfg(P);
+    cfg.use_push_pull = push_pull;
+    core::PimKdTree pim(cfg, pts);
+    pim.metrics().reset_loads();
+    const auto before = pim.metrics().snapshot();
+    (void)pim.leaf_search(adv);
+    const auto d = pim.metrics().snapshot() - before;
+    t2.row({push_pull ? "PIM-kd-tree (push-pull)" : "PIM-kd-tree (push only)",
+            num(double(d.communication) / double(S)),
+            num(pim.metrics().comm_balance().imbalance)});
+  }
+  t2.print();
+  return 0;
+}

@@ -1,0 +1,44 @@
+// E12 — §5 / Theorem 5.1: the communication-space trade-off frontier.
+//
+// Caching only the first G groups costs O(nG) space and
+// O(G + log^(G) P) communication per search. Sweeping G traces the Pareto
+// frontier whose optimality Theorem 5.1 proves (via the dynamic succinct
+// dictionary lower bound of [65]).
+#include "bench_util.hpp"
+
+using namespace pimkd;
+using namespace pimkd::bench;
+
+int main() {
+  banner("E12 bench_tradeoff", "Theorem 5.1 communication/space trade-off",
+         "space grows ~linearly in G while search communication falls as "
+         "G + log^(G) P; the G = log* P point is the paper's design");
+  const std::size_t n = 1u << 17;
+  const std::size_t S = 4096;
+  const auto pts = gen_uniform({.n = n, .dim = 2, .seed = 4});
+
+  for (const std::size_t P : {64u, 1024u}) {
+    const int logstar = log_star2(double(P));
+    std::printf("\nP=%zu (log* P = %d):\n", P, logstar);
+    Table t({"G (cached groups)", "space words", "space / raw",
+             "leafsearch comm/q", "predicted G + log^(G) P"});
+    const double raw = double(n) * double(core::point_words(2));
+    const auto qs = gen_uniform_queries(pts, 2, S, 5);
+    for (int G = 1; G <= logstar + 1; ++G) {
+      auto cfg = default_cfg(P);
+      cfg.cached_groups = G > logstar ? -1 : G;
+      core::PimKdTree tree(cfg, pts);
+      const auto before = tree.metrics().snapshot();
+      (void)tree.leaf_search(qs);
+      const auto d = tree.metrics().snapshot() - before;
+      const std::string label =
+          cfg.cached_groups < 0 ? "all (log* P)" : num(double(G));
+      t.row({label, num(double(tree.storage_words())),
+             num(double(tree.storage_words()) / raw),
+             num(double(d.communication) / double(S)),
+             num(double(G) + ilog2(double(P), G))});
+    }
+    t.print();
+  }
+  return 0;
+}

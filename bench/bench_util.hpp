@@ -1,0 +1,78 @@
+// Shared helpers for the experiment harness. Every bench binary regenerates
+// one paper artifact (a Table 1 block, Figure 1/2, or a §3-§5 property): it
+// prints the measured PIM-Model cost counters next to the closed-form bound
+// so the *shape* (who wins, growth rate, crossover) is visible at a glance.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/pim_kdtree.hpp"
+#include "util/generators.hpp"
+#include "util/stats.hpp"
+
+namespace pimkd::bench {
+
+inline core::PimKdConfig default_cfg(std::size_t P, int dim = 2,
+                                     std::uint64_t seed = 1) {
+  core::PimKdConfig cfg;
+  cfg.dim = dim;
+  cfg.leaf_cap = 8;
+  cfg.sigma = 64;
+  cfg.system.num_modules = P;
+  cfg.system.cache_words = 1 << 22;
+  cfg.system.seed = seed;
+  return cfg;
+}
+
+// Minimal fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      width[c] = headers_[c].size();
+    for (const auto& r : rows_)
+      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c)
+        width[c] = std::max(width[c], r[c].size());
+    auto print_row = [&](const std::vector<std::string>& r) {
+      std::printf("|");
+      for (std::size_t c = 0; c < width.size(); ++c) {
+        const std::string& cell = c < r.size() ? r[c] : std::string();
+        std::printf(" %-*s |", static_cast<int>(width[c]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::printf("|");
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      for (std::size_t i = 0; i < width[c] + 2; ++i) std::printf("-");
+      std::printf("|");
+    }
+    std::printf("\n");
+    for (const auto& r : rows_) print_row(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline void banner(const char* experiment, const char* artifact,
+                   const char* expectation) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — regenerates %s\n", experiment, artifact);
+  std::printf("expected shape: %s\n", expectation);
+  std::printf("================================================================\n");
+}
+
+inline std::string num(double v) { return fmt_num(v); }
+
+}  // namespace pimkd::bench

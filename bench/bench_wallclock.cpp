@@ -1,0 +1,123 @@
+// Wall-clock micro-benchmarks (google-benchmark) for the host-side engines.
+//
+// The paper's claims are cost-model claims (see the other bench binaries);
+// this binary tracks the raw throughput of the shared-memory data structures
+// and of the simulator itself, so regressions in the implementation are
+// visible independently of the model counters.
+#include <benchmark/benchmark.h>
+
+#include "clustering/dbscan.hpp"
+#include "clustering/dpc.hpp"
+#include "core/pim_kdtree.hpp"
+#include "kdtree/logtree.hpp"
+#include "kdtree/pkdtree.hpp"
+#include "kdtree/static_kdtree.hpp"
+#include "util/generators.hpp"
+
+namespace {
+
+using namespace pimkd;
+
+std::vector<Point> data(std::size_t n, int dim = 2) {
+  return gen_uniform({.n = n, .dim = dim, .seed = 42});
+}
+
+void BM_StaticBuild(benchmark::State& state) {
+  const auto pts = data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    StaticKdTree tree({.dim = 2, .leaf_cap = 16}, pts);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StaticBuild)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_StaticKnn(benchmark::State& state) {
+  const auto pts = data(1 << 15);
+  StaticKdTree tree({.dim = 2, .leaf_cap = 16}, pts);
+  const auto qs = gen_uniform_queries(pts, 2, 1024, 1);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.knn(qs[i++ % qs.size()],
+                                      static_cast<std::size_t>(state.range(0))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StaticKnn)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_PkdBatchInsert(benchmark::State& state) {
+  const auto base = data(1 << 15);
+  const auto batch = gen_uniform({.n = 1024, .dim = 2, .seed = 7});
+  for (auto _ : state) {
+    state.PauseTiming();
+    PkdTree tree({.dim = 2, .alpha = 1.0, .leaf_cap = 16, .sigma = 64,
+                  .seed = 3},
+                 base);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(tree.insert(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_PkdBatchInsert);
+
+void BM_LogTreeKnn(benchmark::State& state) {
+  LogTree tree({.dim = 2, .leaf_cap = 16});
+  const auto pts = data(1 << 14);
+  for (std::size_t i = 0; i < pts.size(); i += 512)
+    (void)tree.insert(std::span(pts).subspan(i, 512));
+  const auto qs = gen_uniform_queries(pts, 2, 512, 2);
+  std::size_t i = 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(tree.knn(qs[i++ % qs.size()], 8));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LogTreeKnn);
+
+void BM_PimKdBuild(benchmark::State& state) {
+  const auto pts = data(static_cast<std::size_t>(state.range(0)));
+  core::PimKdConfig cfg;
+  cfg.dim = 2;
+  cfg.system.num_modules = 64;
+  for (auto _ : state) {
+    core::PimKdTree tree(cfg, pts);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PimKdBuild)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_PimKdLeafSearch(benchmark::State& state) {
+  const auto pts = data(1 << 14);
+  core::PimKdConfig cfg;
+  cfg.dim = 2;
+  cfg.system.num_modules = 64;
+  core::PimKdTree tree(cfg, pts);
+  const auto qs = gen_uniform_queries(pts, 2, 1024, 3);
+  for (auto _ : state) benchmark::DoNotOptimize(tree.leaf_search(qs));
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_PimKdLeafSearch);
+
+void BM_DbscanGrid(benchmark::State& state) {
+  const auto pts = gen_blobs_with_noise(
+      {.n = static_cast<std::size_t>(state.range(0)), .dim = 2, .seed = 4}, 5,
+      0.03, 0.2);
+  const DbscanParams p{.eps = 0.02, .minpts = 6};
+  for (auto _ : state) benchmark::DoNotOptimize(dbscan_grid(pts, p));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DbscanGrid)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_DpcShared(benchmark::State& state) {
+  const auto pts = gen_gaussian_blobs(
+      {.n = static_cast<std::size_t>(state.range(0)), .dim = 2, .seed = 5}, 5,
+      0.04);
+  const DpcParams p{.dim = 2, .dcut = 0.05, .delta = 0.4, .leaf_cap = 16};
+  for (auto _ : state) benchmark::DoNotOptimize(dpc_shared(pts, p));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DpcShared)->Arg(1 << 12)->Arg(1 << 14);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Builds the library, runs the full test suite, and regenerates every paper
+# artifact (Table 1 blocks, Figures 1-2, §3-§7 properties). Outputs land in
+# test_output.txt and bench_output.txt at the repository root.
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
+echo "Examples:"
+for e in build/examples/*; do echo "--- $e"; "$e"; done

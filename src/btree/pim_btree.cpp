@@ -1,0 +1,893 @@
+#include "btree/pim_btree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/decomposition.hpp"
+#include "parallel/primitives.hpp"
+
+namespace pimkd::btree {
+
+namespace {
+double logc(double x, double base) {
+  return std::log2(std::max(x, 1.0)) / std::log2(std::max(base, 2.0));
+}
+}  // namespace
+
+std::vector<double> chunked_thresholds(std::size_t P, std::size_t fanout) {
+  std::vector<double> h;
+  double v = static_cast<double>(P < 2 ? 2 : P);
+  const double base = static_cast<double>(std::max<std::size_t>(fanout, 2));
+  h.push_back(v);
+  while (v > 1.0) {
+    v = logc(v, base);
+    if (v < 1.0) v = 1.0;
+    h.push_back(v);
+  }
+  return h;
+}
+
+PimBTree::PimBTree(const BTreeConfig& cfg)
+    : cfg_(cfg),
+      sys_(cfg.system),
+      rng_(cfg.system.seed ^ 0xb7ee),
+      thresholds_(chunked_thresholds(cfg.system.num_modules, cfg.fanout)) {
+  assert(cfg_.fanout >= 4);
+}
+
+PimBTree::PimBTree(const BTreeConfig& cfg,
+                   std::span<const std::pair<Key, Value>> kv)
+    : PimBTree(cfg) {
+  if (!kv.empty()) bulk_build({kv.begin(), kv.end()});
+}
+
+// --- Storage ------------------------------------------------------------------
+
+std::uint64_t PimBTree::node_copy_words(const BNode& n) const {
+  return 4 + n.keys.size() + (n.leaf ? n.values.size() : n.children.size());
+}
+
+void PimBTree::add_copy(NodeId id, std::size_t module) {
+  assert(sys_.metrics().in_round());
+  const BNode& n = at(id);
+  const auto words = static_cast<std::uint32_t>(node_copy_words(n));
+  ++sys_.module(module).refs[id];
+  sys_.metrics().add_comm(module, words);
+  sys_.metrics().add_storage(module, static_cast<std::int64_t>(words));
+  registry_[id].push_back(
+      CopyEntry{static_cast<std::uint32_t>(module), words});
+}
+
+void PimBTree::remove_all_copies(NodeId id) {
+  const auto it = registry_.find(id);
+  if (it == registry_.end()) return;
+  for (const CopyEntry& e : it->second) {
+    auto& refs = sys_.module(e.module).refs;
+    const auto rit = refs.find(id);
+    assert(rit != refs.end() && rit->second > 0);
+    if (--rit->second == 0) refs.erase(rit);
+    sys_.metrics().add_storage(e.module, -static_cast<std::int64_t>(e.words));
+  }
+  registry_.erase(it);
+}
+
+void PimBTree::refresh_copies(NodeId id) {
+  const auto it = registry_.find(id);
+  if (it == registry_.end()) return;
+  assert(sys_.metrics().in_round());
+  const auto words = static_cast<std::uint32_t>(node_copy_words(at(id)));
+  for (CopyEntry& e : it->second) {
+    const auto delta = static_cast<std::int64_t>(words) -
+                       static_cast<std::int64_t>(e.words);
+    sys_.metrics().add_storage(e.module, delta);
+    sys_.metrics().add_comm(
+        e.module,
+        static_cast<std::uint64_t>(delta < 0 ? -delta : delta) + 1);
+    sys_.metrics().add_module_work(e.module, 1);
+    e.words = words;
+  }
+}
+
+bool PimBTree::module_has(std::size_t module, NodeId id) const {
+  return sys_.module(module).refs.count(id) != 0;
+}
+
+// --- Mirror helpers --------------------------------------------------------------
+
+NodeId PimBTree::create_node() {
+  const NodeId id = next_id_++;
+  nodes_[id].id = id;
+  return id;
+}
+
+std::size_t PimBTree::child_index(const BNode& n, Key k) const {
+  assert(!n.leaf);
+  const auto it = std::upper_bound(n.keys.begin(), n.keys.end(), k);
+  return static_cast<std::size_t>(it - n.keys.begin());
+}
+
+NodeId PimBTree::leaf_for(Key k) const {
+  NodeId cur = root_;
+  while (cur != kNoNode && !at(cur).leaf)
+    cur = at(cur).children[child_index(at(cur), k)];
+  return cur;
+}
+
+void PimBTree::set_subtree_depth(NodeId id, std::uint32_t depth) {
+  BNode& n = at(id);
+  n.depth = depth;
+  if (!n.leaf)
+    for (const NodeId c : n.children) set_subtree_depth(c, depth + 1);
+}
+
+void PimBTree::bump_sizes(NodeId from, std::int64_t delta) {
+  for (NodeId cur = from; cur != kNoNode; cur = at(cur).parent) {
+    BNode& n = at(cur);
+    n.size = static_cast<std::uint64_t>(static_cast<std::int64_t>(n.size) +
+                                        delta);
+  }
+}
+
+// --- Build -------------------------------------------------------------------------
+
+void PimBTree::bulk_build(std::vector<std::pair<Key, Value>> kv) {
+  parallel_sort(kv, [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  });
+  // Last write wins on duplicate keys.
+  std::vector<std::pair<Key, Value>> uniq;
+  uniq.reserve(kv.size());
+  for (std::size_t i = 0; i < kv.size(); ++i) {
+    if (i + 1 < kv.size() && kv[i + 1].first == kv[i].first) continue;
+    uniq.push_back(kv[i]);
+  }
+  live_ = uniq.size();
+
+  sys_.metrics().begin_round();
+  const std::size_t P = sys_.P();
+  sys_.metrics().add_cpu_work(static_cast<std::uint64_t>(
+      static_cast<double>(uniq.size()) * logc(double(P), double(cfg_.fanout))));
+
+  const std::size_t fill = std::max<std::size_t>(2, 2 * cfg_.fanout / 3);
+  struct Built {
+    NodeId id;
+    Key min_key;
+    std::uint64_t size;
+  };
+  std::vector<Built> level;
+  for (std::size_t i = 0; i < uniq.size(); i += fill) {
+    const std::size_t hi = std::min(i + fill, uniq.size());
+    const NodeId id = create_node();
+    BNode& n = at(id);
+    n.leaf = true;
+    for (std::size_t j = i; j < hi; ++j) {
+      n.keys.push_back(uniq[j].first);
+      n.values.push_back(uniq[j].second);
+    }
+    n.size = n.keys.size();
+    sys_.metrics().add_module_work(master_of(id), n.keys.size());
+    level.push_back(Built{id, n.keys.front(), n.size});
+  }
+  while (level.size() > 1) {
+    std::vector<Built> next;
+    std::size_t i = 0;
+    while (i < level.size()) {
+      // Absorb a would-be single-child tail into the current parent
+      // (fill + 1 <= fanout because fill = 2*fanout/3 and fanout >= 4).
+      std::size_t chunk = std::min(fill, level.size() - i);
+      if (level.size() - i == fill + 1) chunk = fill + 1;
+      const std::size_t hi = i + chunk;
+      const NodeId id = create_node();
+      BNode& n = at(id);
+      n.leaf = false;
+      std::uint64_t size = 0;
+      for (std::size_t j = i; j < hi; ++j) {
+        n.children.push_back(level[j].id);
+        at(level[j].id).parent = id;
+        if (j > i) n.keys.push_back(level[j].min_key);
+        size += level[j].size;
+      }
+      n.size = size;
+      sys_.metrics().add_module_work(master_of(id), n.children.size());
+      next.push_back(Built{id, level[i].min_key, size});
+      i = hi;
+    }
+    level = std::move(next);
+  }
+  if (!level.empty()) {
+    root_ = level.front().id;
+    at(root_).parent = kNoNode;
+    set_subtree_depth(root_, 0);
+  }
+  sys_.metrics().end_round();
+
+  sys_.metrics().begin_round();
+  assign_groups_and_components_all();
+  std::vector<NodeId> roots;
+  for (const auto& [id, n] : nodes_)
+    if (n.comp_root == id) roots.push_back(id);
+  for (const NodeId cr : roots) materialize_component(cr);
+  sys_.metrics().end_round();
+}
+
+// --- Decomposition / replication ----------------------------------------------------
+
+PimBTree::CacheFlags PimBTree::cache_flags(int group) const {
+  const bool cached = group_cached(group);
+  CacheFlags f;
+  f.topdown = cached && (cfg_.caching == core::CachingMode::kTopDown ||
+                         cfg_.caching == core::CachingMode::kDual);
+  f.bottomup = cached && (cfg_.caching == core::CachingMode::kBottomUp ||
+                          cfg_.caching == core::CachingMode::kDual);
+  return f;
+}
+
+void PimBTree::assign_groups_and_components_all() {
+  if (root_ == kNoNode) return;
+  auto walk = [&](auto&& self, NodeId id) -> void {
+    BNode& n = at(id);
+    n.group = core::group_of(std::max<double>(double(n.size), 1.0),
+                             thresholds_);
+    if (n.parent != kNoNode && at(n.parent).group == n.group) {
+      n.comp_root = at(n.parent).comp_root;
+    } else {
+      n.comp_root = id;
+    }
+    if (!n.leaf)
+      for (const NodeId c : n.children) self(self, c);
+  };
+  walk(walk, root_);
+}
+
+std::vector<NodeId> PimBTree::component_members(NodeId comp_root) const {
+  std::vector<NodeId> members;
+  auto walk = [&](auto&& self, NodeId id) -> void {
+    members.push_back(id);
+    const BNode& n = at(id);
+    if (n.leaf) return;
+    for (const NodeId c : n.children)
+      if (at(c).comp_root == comp_root) self(self, c);
+  };
+  walk(walk, comp_root);
+  return members;
+}
+
+void PimBTree::materialize_component(NodeId comp_root) {
+  const int group = at(comp_root).group;
+  const std::size_t P = sys_.P();
+  if (group == 0 && group0_replicated()) {
+    for (const NodeId m : component_members(comp_root))
+      for (std::size_t mod = 0; mod < P; ++mod) add_copy(m, mod);
+    return;
+  }
+  const auto [topdown, bottomup] = cache_flags(group);
+  std::vector<NodeId> anc;
+  auto walk = [&](auto&& self, NodeId id) -> void {
+    add_copy(id, master_of(id));
+    for (const NodeId a : anc) {
+      if (topdown) add_copy(id, master_of(a));
+      if (bottomup) add_copy(a, master_of(id));
+    }
+    const BNode& n = at(id);
+    if (n.leaf) return;
+    anc.push_back(id);
+    for (const NodeId c : n.children)
+      if (at(c).comp_root == comp_root) self(self, c);
+    anc.pop_back();
+  };
+  walk(walk, comp_root);
+}
+
+void PimBTree::demolish_component(NodeId comp_root) {
+  for (const NodeId m : component_members(comp_root)) remove_all_copies(m);
+}
+
+void PimBTree::repair_after_update(const std::vector<NodeId>& touched) {
+  if (root_ == kNoNode) return;
+  // Path nodes above every touched position (new nodes carry comp_root ==
+  // kNoNode until this repair assigns them).
+  std::unordered_set<NodeId> visited;
+  std::vector<NodeId> pn;
+  for (const NodeId t : touched) {
+    if (!nodes_.count(t)) continue;  // destroyed by a merge meanwhile
+    for (NodeId cur = t; cur != kNoNode; cur = at(cur).parent) {
+      if (!visited.insert(cur).second) break;
+      pn.push_back(cur);
+    }
+  }
+  const bool g0rep = group0_replicated();
+  auto is_g0_comp = [&](NodeId cr) {
+    return g0rep && nodes_.count(cr) && at(cr).group == 0;
+  };
+
+  // Dirty components (whole-component repair; the kd-tree core implements
+  // the finer incremental variant — see DESIGN.md).
+  std::unordered_set<NodeId> dirty;
+  auto mark = [&](NodeId cr) {
+    if (cr != kNoNode && nodes_.count(cr) && !is_g0_comp(cr))
+      dirty.insert(cr);
+  };
+  for (const NodeId u : pn) {
+    const BNode& n = at(u);
+    mark(n.comp_root);
+    // A group change at u can merge u with a child's component: dirty those.
+    const int newg = core::group_of(
+        std::max<double>(double(n.size), 1.0), thresholds_);
+    if (newg != n.group && !n.leaf) {
+      for (const NodeId c : n.children)
+        if (at(c).group == newg) mark(at(c).comp_root);
+    }
+  }
+  std::vector<NodeId> region;
+  for (const NodeId cr : dirty) {
+    const auto members = component_members(cr);
+    region.insert(region.end(), members.begin(), members.end());
+  }
+  region.insert(region.end(), pn.begin(), pn.end());
+  std::sort(region.begin(), region.end());
+  region.erase(std::unique(region.begin(), region.end()), region.end());
+
+  // Nodes leaving Group 0 drop their P replicas (group derived from size).
+  for (const NodeId u : pn) {
+    BNode& n = at(u);
+    const int g = core::group_of(std::max<double>(double(n.size), 1.0),
+                                 thresholds_);
+    if (g0rep && n.group == 0 && g != 0 && n.comp_root != kNoNode)
+      remove_all_copies(u);
+  }
+  for (const NodeId cr : dirty) demolish_component(cr);
+  for (const NodeId u : region)
+    at(u).group = core::group_of(
+        std::max<double>(double(at(u).size), 1.0), thresholds_);
+
+  std::sort(region.begin(), region.end(), [&](NodeId a, NodeId b) {
+    return at(a).depth < at(b).depth;
+  });
+  for (const NodeId u : region) {
+    BNode& n = at(u);
+    if (n.parent != kNoNode && at(n.parent).group == n.group) {
+      n.comp_root = at(n.parent).comp_root;
+    } else {
+      n.comp_root = u;
+    }
+  }
+  // Group-0 adjacency fixups: children components already in Group 0 follow
+  // the parent's comp_root (replicas are position-independent).
+  for (const NodeId u : region) {
+    BNode& n = at(u);
+    if (!g0rep || n.leaf) continue;
+    for (const NodeId c : n.children) {
+      BNode& cn = at(c);
+      if (cn.group != 0) continue;
+      const NodeId want = n.group == 0 ? n.comp_root : c;
+      if (cn.comp_root == want) continue;
+      const NodeId old_root = cn.comp_root;
+      auto reroot = [&](auto&& self, NodeId x) -> void {
+        BNode& xn = at(x);
+        xn.comp_root = want;
+        if (xn.leaf) return;
+        for (const NodeId cc : xn.children)
+          if (at(cc).comp_root == old_root) self(self, cc);
+      };
+      reroot(reroot, c);
+    }
+  }
+
+  std::unordered_set<NodeId> roots;
+  for (const NodeId u : region) roots.insert(at(u).comp_root);
+  for (const NodeId cr : roots) {
+    if (is_g0_comp(cr)) {
+      for (const NodeId u : region) {
+        if (at(u).comp_root != cr) continue;
+        if (registry_.count(u)) continue;  // still replicated
+        for (std::size_t mod = 0; mod < sys_.P(); ++mod) add_copy(u, mod);
+      }
+    } else {
+      materialize_component(cr);
+    }
+  }
+}
+
+// --- Batched descent -----------------------------------------------------------------
+
+std::uint64_t PimBTree::push_pull_threshold() const {
+  const double h =
+      logc(double(sys_.P()), double(cfg_.fanout)) + 1.0;
+  return std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(cfg_.push_pull_c * double(cfg_.fanout) *
+                                    h));
+}
+
+std::vector<NodeId> PimBTree::route(std::span<const Key> keys) {
+  std::vector<NodeId> out(keys.size(), kNoNode);
+  if (root_ == kNoNode || keys.empty()) return out;
+  const std::uint64_t tau = push_pull_threshold();
+  const std::size_t P = sys_.P();
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    sys_.metrics().add_comm(i % P, core::kQueryWords);
+
+  auto is_desc = [&](NodeId u, NodeId anchor) {
+    const std::uint32_t ad = at(anchor).depth;
+    NodeId cur = u;
+    for (std::uint32_t d = at(u).depth; d > ad; --d) cur = at(cur).parent;
+    return cur == anchor;
+  };
+
+  auto solve = [&](auto&& self, NodeId nid, std::vector<std::uint32_t> qs,
+                   NodeId push_anchor) -> void {
+    const BNode& n = at(nid);
+    const bool g0 = n.group == 0 && group0_replicated();
+    if (g0) {
+      for (const std::uint32_t qi : qs)
+        sys_.metrics().add_module_work(qi % P, 1);
+      push_anchor = kNoNode;
+    } else {
+      bool local = false;
+      if (push_anchor != kNoNode) {
+        local = n.comp_root == at(push_anchor).comp_root &&
+                cache_flags(n.group).topdown && is_desc(nid, push_anchor);
+      }
+      if (local) {
+        const std::size_t m = master_of(push_anchor);
+        assert(module_has(m, nid));
+        sys_.metrics().add_module_work(m, qs.size());
+      } else if (cfg_.use_push_pull && qs.size() > tau) {
+        sys_.metrics().add_comm(master_of(nid), node_copy_words(n));
+        sys_.metrics().add_cpu_work(qs.size());
+        push_anchor = kNoNode;
+      } else {
+        const std::size_t m = master_of(nid);
+        assert(module_has(m, nid));
+        sys_.metrics().add_comm(m, qs.size() * core::kQueryWords);
+        sys_.metrics().add_module_work(m, qs.size());
+        push_anchor = nid;
+      }
+    }
+    if (n.leaf) {
+      for (const std::uint32_t qi : qs) out[qi] = nid;
+      return;
+    }
+    std::vector<std::vector<std::uint32_t>> buckets(n.children.size());
+    for (const std::uint32_t qi : qs)
+      buckets[child_index(n, keys[qi])].push_back(qi);
+    for (std::size_t c = 0; c < buckets.size(); ++c)
+      if (!buckets[c].empty())
+        self(self, n.children[c], std::move(buckets[c]), push_anchor);
+  };
+  std::vector<std::uint32_t> all(keys.size());
+  for (std::size_t i = 0; i < all.size(); ++i)
+    all[i] = static_cast<std::uint32_t>(i);
+  solve(solve, root_, std::move(all), kNoNode);
+  return out;
+}
+
+// --- Operations ------------------------------------------------------------------------
+
+std::vector<std::optional<Value>> PimBTree::lookup(std::span<const Key> keys) {
+  pim::RoundGuard round(sys_.metrics());
+  std::vector<std::optional<Value>> out(keys.size());
+  const auto leaves = route(keys);
+  parallel_for(0, keys.size(), [&](std::size_t i) {
+    if (leaves[i] == kNoNode) return;
+    const BNode& leaf = at(leaves[i]);
+    const auto it =
+        std::lower_bound(leaf.keys.begin(), leaf.keys.end(), keys[i]);
+    if (it != leaf.keys.end() && *it == keys[i])
+      out[i] = leaf.values[static_cast<std::size_t>(it - leaf.keys.begin())];
+    // The answer travels back with the search's return message.
+    sys_.metrics().add_comm(i % sys_.P(), 1);
+  });
+  return out;
+}
+
+void PimBTree::upsert(std::span<const std::pair<Key, Value>> kv) {
+  if (kv.empty()) return;
+  if (root_ == kNoNode) {
+    bulk_build({kv.begin(), kv.end()});
+    return;
+  }
+  pim::RoundGuard round(sys_.metrics());
+  std::vector<Key> keys(kv.size());
+  for (std::size_t i = 0; i < kv.size(); ++i) keys[i] = kv[i].first;
+  const auto leaves = route(keys);
+
+  std::unordered_map<NodeId, std::vector<std::uint32_t>> by_leaf;
+  for (std::size_t i = 0; i < kv.size(); ++i)
+    by_leaf[leaves[i]].push_back(static_cast<std::uint32_t>(i));
+
+  std::vector<NodeId> touched;
+  for (auto& [leaf_id, qis] : by_leaf) {
+    BNode& leaf = at(leaf_id);
+    std::int64_t delta = 0;
+    for (const std::uint32_t qi : qis) {
+      const Key k = kv[qi].first;
+      const auto it = std::lower_bound(leaf.keys.begin(), leaf.keys.end(), k);
+      const auto pos = static_cast<std::size_t>(it - leaf.keys.begin());
+      if (it != leaf.keys.end() && *it == k) {
+        leaf.values[pos] = kv[qi].second;  // overwrite
+      } else {
+        leaf.keys.insert(it, k);
+        leaf.values.insert(leaf.values.begin() +
+                               static_cast<std::ptrdiff_t>(pos),
+                           kv[qi].second);
+        ++delta;
+        ++live_;
+      }
+    }
+    leaf.size = leaf.keys.size();
+    bump_sizes(leaf.parent, delta);
+    refresh_copies(leaf_id);
+    touched.push_back(leaf_id);
+    if (leaf.keys.size() > cfg_.fanout) split_upward(leaf_id, touched);
+  }
+  repair_after_update(touched);
+}
+
+void PimBTree::split_upward(NodeId id, std::vector<NodeId>& touched) {
+  NodeId cur = id;
+  for (;;) {
+    {
+      const BNode& probe = at(cur);
+      const std::size_t count =
+          probe.leaf ? probe.keys.size() : probe.children.size();
+      if (count <= cfg_.fanout) break;
+    }
+    // A split re-wires the tree around `cur`: the fresh sibling becomes a
+    // *sibling* of cur, so descendants moved under it leave the membership
+    // walk of cur's component entirely. Demolish that component up front and
+    // fold its members into `touched`; repair_after_update reassigns and
+    // re-materializes them from the post-split structure.
+    {
+      const NodeId croot = at(cur).comp_root;
+      if (croot != kNoNode && nodes_.count(croot)) {
+        for (const NodeId m : component_members(croot)) {
+          remove_all_copies(m);
+          touched.push_back(m);
+        }
+      }
+    }
+    // Split the right half into a fresh sibling. (References are taken after
+    // create_node: the node map may rehash.)
+    const NodeId sid = create_node();
+    BNode& s = at(sid);
+    BNode& n = at(cur);
+    const NodeId snapshot_cur = cur;
+    s.leaf = n.leaf;
+    s.depth = n.depth;
+    // Provisionally inherit the component root: the children moved under the
+    // sibling keep their comp_root, and the membership walks that drive
+    // demolition in repair_after_update must still reach them *through* the
+    // sibling. The repair reassigns everything properly afterwards.
+    s.comp_root = n.comp_root;
+    Key sep;
+    if (n.leaf) {
+      const std::size_t half = n.keys.size() / 2;
+      s.keys.assign(n.keys.begin() + static_cast<std::ptrdiff_t>(half),
+                    n.keys.end());
+      s.values.assign(n.values.begin() + static_cast<std::ptrdiff_t>(half),
+                      n.values.end());
+      n.keys.resize(half);
+      n.values.resize(half);
+      s.size = s.keys.size();
+      n.size = n.keys.size();
+      sep = s.keys.front();
+    } else {
+      const std::size_t half = n.children.size() / 2;
+      s.children.assign(n.children.begin() + static_cast<std::ptrdiff_t>(half),
+                        n.children.end());
+      s.keys.assign(n.keys.begin() + static_cast<std::ptrdiff_t>(half),
+                    n.keys.end());
+      sep = n.keys[half - 1];
+      n.children.resize(half);
+      n.keys.resize(half - 1);
+      std::uint64_t moved = 0;
+      for (const NodeId c : s.children) {
+        at(c).parent = sid;
+        moved += at(c).size;
+      }
+      s.size = moved;
+      n.size -= moved;
+    }
+    sys_.metrics().add_module_work(master_of(snapshot_cur),
+                                   node_copy_words(at(snapshot_cur)));
+    refresh_copies(snapshot_cur);
+    touched.push_back(snapshot_cur);
+    touched.push_back(sid);
+
+    const NodeId parent = at(snapshot_cur).parent;
+    if (parent == kNoNode) {
+      const NodeId rid = create_node();
+      BNode& r = at(rid);
+      r.leaf = false;
+      r.children = {snapshot_cur, sid};
+      r.keys = {sep};
+      r.size = at(snapshot_cur).size + at(sid).size;
+      r.comp_root = kNoNode;
+      at(snapshot_cur).parent = rid;
+      at(sid).parent = rid;
+      root_ = rid;
+      set_subtree_depth(root_, 0);
+      touched.push_back(rid);
+      break;
+    }
+    BNode& p = at(parent);
+    const auto pos = static_cast<std::size_t>(
+        std::find(p.children.begin(), p.children.end(), snapshot_cur) -
+        p.children.begin());
+    p.children.insert(p.children.begin() + static_cast<std::ptrdiff_t>(pos) + 1,
+                      sid);
+    p.keys.insert(p.keys.begin() + static_cast<std::ptrdiff_t>(pos), sep);
+    at(sid).parent = parent;
+    refresh_copies(parent);
+    touched.push_back(parent);
+    cur = parent;
+  }
+}
+
+void PimBTree::erase(std::span<const Key> keys) {
+  if (keys.empty() || root_ == kNoNode) return;
+  pim::RoundGuard round(sys_.metrics());
+  const auto leaves = route(keys);
+  std::unordered_map<NodeId, std::vector<std::uint32_t>> by_leaf;
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    by_leaf[leaves[i]].push_back(static_cast<std::uint32_t>(i));
+
+  std::vector<NodeId> touched;
+  for (auto& [leaf_id, qis] : by_leaf) {
+    BNode& leaf = at(leaf_id);
+    std::int64_t removed = 0;
+    for (const std::uint32_t qi : qis) {
+      const auto it =
+          std::lower_bound(leaf.keys.begin(), leaf.keys.end(), keys[qi]);
+      if (it == leaf.keys.end() || *it != keys[qi]) continue;
+      const auto pos = static_cast<std::size_t>(it - leaf.keys.begin());
+      leaf.keys.erase(it);
+      leaf.values.erase(leaf.values.begin() +
+                        static_cast<std::ptrdiff_t>(pos));
+      ++removed;
+      --live_;
+    }
+    if (removed == 0) continue;
+    leaf.size = leaf.keys.size();
+    bump_sizes(leaf.parent, -removed);
+    refresh_copies(leaf_id);
+    touched.push_back(leaf_id);
+    if (leaf.keys.empty()) collapse_upward(leaf_id, touched);
+  }
+  repair_after_update(touched);
+}
+
+void PimBTree::collapse_upward(NodeId id, std::vector<NodeId>& touched) {
+  // Removes the (now empty) node `id` and cascades single-child collapses.
+  NodeId victim = id;
+  for (;;) {
+    const NodeId parent = at(victim).parent;
+    if (parent == kNoNode) {
+      // Tree emptied entirely.
+      remove_all_copies(victim);
+      nodes_.erase(victim);
+      root_ = kNoNode;
+      return;
+    }
+    // The victim's component evaporates with it; fold the survivors into the
+    // touched set so repair reassigns them.
+    const NodeId vroot = at(victim).comp_root;
+    if (vroot != kNoNode && nodes_.count(vroot)) {
+      for (const NodeId m : component_members(vroot)) {
+        remove_all_copies(m);
+        if (m != victim) touched.push_back(m);
+      }
+    } else {
+      remove_all_copies(victim);
+    }
+    BNode& p = at(parent);
+    const auto pos = static_cast<std::size_t>(
+        std::find(p.children.begin(), p.children.end(), victim) -
+        p.children.begin());
+    p.children.erase(p.children.begin() + static_cast<std::ptrdiff_t>(pos));
+    if (!p.keys.empty())
+      p.keys.erase(p.keys.begin() +
+                   static_cast<std::ptrdiff_t>(pos == 0 ? 0 : pos - 1));
+    nodes_.erase(victim);
+    refresh_copies(parent);
+    touched.push_back(parent);
+
+    if (p.children.size() > 1) return;
+    if (p.children.size() == 1) {
+      // Single-child interior node: splice the child into the grandparent.
+      const NodeId child = p.children.front();
+      const NodeId gp = p.parent;
+      // p's component also evaporates.
+      const NodeId proot = at(parent).comp_root;
+      if (proot != kNoNode && nodes_.count(proot)) {
+        for (const NodeId m : component_members(proot)) {
+          remove_all_copies(m);
+          if (m != parent) touched.push_back(m);
+        }
+      } else {
+        remove_all_copies(parent);
+      }
+      at(child).parent = gp;
+      if (gp == kNoNode) {
+        root_ = child;
+      } else {
+        BNode& g = at(gp);
+        *std::find(g.children.begin(), g.children.end(), parent) = child;
+        refresh_copies(gp);
+        touched.push_back(gp);
+      }
+      nodes_.erase(parent);
+      set_subtree_depth(child, gp == kNoNode ? 0 : at(gp).depth + 1);
+      touched.push_back(child);
+      return;
+    }
+    // p lost its last child: remove it too.
+    victim = parent;
+  }
+}
+
+std::vector<std::vector<std::pair<Key, Value>>> PimBTree::scan(
+    std::span<const std::pair<Key, Key>> ranges) {
+  pim::RoundGuard round(sys_.metrics());
+  std::vector<std::vector<std::pair<Key, Value>>> out(ranges.size());
+  if (root_ == kNoNode) return out;
+  const std::size_t P = sys_.P();
+  parallel_for(0, ranges.size(), [&](std::size_t i) {
+    const auto [lo, hi] = ranges[i];
+    sys_.metrics().add_comm(i % P, core::kQueryWords);
+    // Anchor-based descent (one off-chip hop per component boundary).
+    NodeId anchor = kNoNode;
+    auto visit = [&](NodeId nid) {
+      const BNode& n = at(nid);
+      if (n.group == 0 && group0_replicated()) {
+        sys_.metrics().add_module_work(i % P, 1);
+        return;
+      }
+      bool local = false;
+      if (anchor != kNoNode && at(anchor).comp_root == n.comp_root &&
+          cache_flags(n.group).topdown) {
+        NodeId cur = nid;
+        for (std::uint32_t d = n.depth; d > at(anchor).depth; --d)
+          cur = at(cur).parent;
+        local = cur == anchor;
+      }
+      if (local) {
+        sys_.metrics().add_module_work(master_of(anchor), 1);
+      } else {
+        sys_.metrics().add_comm(master_of(nid), core::kHopWords);
+        sys_.metrics().add_module_work(master_of(nid), 1);
+        anchor = nid;
+      }
+    };
+    auto walk = [&](auto&& self, NodeId nid) -> void {
+      const NodeId saved_anchor = anchor;
+      visit(nid);
+      const BNode& n = at(nid);
+      if (n.leaf) {
+        const auto b = std::lower_bound(n.keys.begin(), n.keys.end(), lo);
+        for (auto it = b; it != n.keys.end() && *it <= hi; ++it) {
+          const auto pos = static_cast<std::size_t>(it - n.keys.begin());
+          out[i].emplace_back(*it, n.values[pos]);
+        }
+        anchor = saved_anchor;
+        return;
+      }
+      const std::size_t first = child_index(n, lo);
+      const std::size_t last = child_index(n, hi);
+      for (std::size_t c = first; c <= last; ++c) self(self, n.children[c]);
+      anchor = saved_anchor;
+    };
+    walk(walk, root_);
+    sys_.metrics().add_comm(i % P, out[i].size() * 2);  // results ship back
+  }, /*grain=*/8);
+  return out;
+}
+
+// --- Introspection -----------------------------------------------------------------------
+
+std::size_t PimBTree::height() const {
+  std::size_t h = 0;
+  for (NodeId cur = root_; cur != kNoNode;
+       cur = at(cur).leaf ? kNoNode : at(cur).children.front())
+    ++h;
+  return h;
+}
+
+bool PimBTree::check_invariants() const {
+  if (root_ == kNoNode) return live_ == 0;
+  bool ok = true;
+  auto fail = [&](const char* what, NodeId nid) {
+    std::fprintf(stderr, "btree invariant violated: %s (node %llu)\n", what,
+                 static_cast<unsigned long long>(nid));
+    ok = false;
+  };
+  std::uint64_t total = 0;
+  auto walk = [&](auto&& self, NodeId nid, Key lo, bool has_lo, Key hi,
+                  bool has_hi) -> std::uint64_t {
+    const BNode& n = at(nid);
+    // Group / component / depth bookkeeping.
+    if (n.group != core::group_of(std::max<double>(double(n.size), 1.0),
+                                  thresholds_))
+      fail("group", nid);
+    if (n.parent != kNoNode && at(n.parent).group == n.group) {
+      if (n.comp_root != at(n.parent).comp_root) fail("comp_root parent", nid);
+    } else if (n.comp_root != nid) {
+      fail("comp_root self", nid);
+    }
+    if (n.parent != kNoNode && n.depth != at(n.parent).depth + 1)
+      fail("depth", nid);
+    // Key ordering within bounds.
+    if (!std::is_sorted(n.keys.begin(), n.keys.end())) fail("sorted", nid);
+    for (const Key k : n.keys) {
+      if (has_lo && k < lo) fail("key below lo", nid);
+      if (has_hi && k >= hi) fail("key above hi", nid);
+    }
+    // Replica placement.
+    const bool g0 = n.group == 0 && group0_replicated();
+    std::size_t expected = 1;
+    if (g0) {
+      expected = sys_.P();
+    } else {
+      const auto [topdown, bottomup] = cache_flags(n.group);
+      std::size_t anc = 0;
+      for (NodeId cur = nid; cur != n.comp_root; cur = at(cur).parent) ++anc;
+      std::size_t desc = 0;
+      auto count = [&](auto&& cself, NodeId u) -> void {
+        const BNode& un = at(u);
+        if (un.leaf) return;
+        for (const NodeId c : un.children) {
+          if (at(c).comp_root == n.comp_root) {
+            ++desc;
+            cself(cself, c);
+          }
+        }
+      };
+      count(count, nid);
+      if (topdown) expected += anc;
+      if (bottomup) expected += desc;
+    }
+    const auto rit = registry_.find(nid);
+    const std::size_t actual = rit == registry_.end() ? 0 : rit->second.size();
+    if (actual != expected) {
+      std::fprintf(stderr,
+                   "btree invariant violated: copies=%zu expected=%zu "
+                   "(node %llu group %d comp %llu)\n",
+                   actual, expected, (unsigned long long)nid, n.group,
+                   (unsigned long long)n.comp_root);
+      ok = false;
+    }
+    // Copy word accounting must match current contents.
+    if (rit != registry_.end()) {
+      for (const CopyEntry& e : rit->second)
+        if (e.words != node_copy_words(n)) fail("copy words stale", nid);
+    }
+
+    if (n.leaf) {
+      if (n.size != n.keys.size() || n.keys.size() != n.values.size())
+        fail("leaf size", nid);
+      return n.keys.size();
+    }
+    if (n.children.size() < 2 && nid != root_) fail("single child", nid);
+    if (n.keys.size() + 1 != n.children.size()) fail("separator count", nid);
+    std::uint64_t sum = 0;
+    for (std::size_t c = 0; c < n.children.size(); ++c) {
+      if (at(n.children[c]).parent != nid) fail("child parent", nid);
+      const bool c_has_lo = c > 0 || has_lo;
+      const Key c_lo = c > 0 ? n.keys[c - 1] : lo;
+      const bool c_has_hi = c < n.keys.size() || has_hi;
+      const Key c_hi = c < n.keys.size() ? n.keys[c] : hi;
+      sum += self(self, n.children[c], c_lo, c_has_lo, c_hi, c_has_hi);
+    }
+    if (n.size != sum) fail("interior size", nid);
+    return sum;
+  };
+  total = walk(walk, root_, 0, false, 0, false);
+  if (total != live_) fail("total != live", root_);
+  return ok;
+}
+
+}  // namespace pimkd::btree

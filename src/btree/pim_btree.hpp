@@ -1,0 +1,173 @@
+// PIM B+-tree — the §7 generalization of the PIM-kd-tree design to other
+// (semi-)balanced search trees, and at the same time the §5 *chunked* tree:
+// a fanout-C node is exactly the "chunk" of up to C binary nodes stored on a
+// single module, so search communication becomes O(G + log^(G)_C P) per
+// query against O(nG) space (Theorem 5.1's generalized frontier).
+//
+// The same machinery as the kd-tree applies unchanged:
+//   * log-star decomposition by subtree size, with iterated logs base C,
+//   * Group 0 replicated on all P modules; dual-way intra-group caching
+//     (top-down chunk-subtree replicas + bottom-up ancestor chains),
+//   * randomized master placement + push-pull batched descent for
+//     skew-resistant load balance.
+// Supported operations (all batched): bulk build, lookup, range scan
+// (key-ordered), upsert, erase. Splits/merges repair the decomposition and
+// the replica placement; every data movement is charged to the Metrics
+// ledger.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hpp"
+#include "pim/system.hpp"
+#include "util/random.hpp"
+
+namespace pimkd::btree {
+
+using Key = std::uint64_t;
+using Value = std::uint64_t;
+using NodeId = std::uint64_t;
+inline constexpr NodeId kNoNode = 0;
+
+struct BTreeConfig {
+  std::size_t fanout = 16;  // C: max children / leaf entries (>= 4)
+  core::CachingMode caching = core::CachingMode::kDual;
+  bool replicate_group0 = true;
+  int cached_groups = -1;  // §5 G knob; -1 = all groups
+  double push_pull_c = 2.0;
+  bool use_push_pull = true;
+  pim::SystemConfig system;
+};
+
+struct BNode {
+  NodeId id = kNoNode;
+  NodeId parent = kNoNode;
+  std::uint32_t depth = 0;
+  bool leaf = true;
+  // Leaf: sorted keys with parallel values. Internal: children with
+  // children.size()-1 separator keys; child i spans [keys[i-1], keys[i]).
+  std::vector<Key> keys;
+  std::vector<Value> values;
+  std::vector<NodeId> children;
+  std::uint64_t size = 0;  // keys stored in this subtree
+  int group = 0;
+  NodeId comp_root = kNoNode;
+};
+
+// Per-module replica storage with word-accurate accounting (a node's copy
+// size changes as keys move in and out, so each copy remembers the words it
+// was charged at).
+struct BModuleState {
+  std::unordered_map<NodeId, std::uint32_t> refs;
+};
+
+class PimBTree {
+ public:
+  explicit PimBTree(const BTreeConfig& cfg);
+  PimBTree(const BTreeConfig& cfg, std::span<const std::pair<Key, Value>> kv);
+
+  PimBTree(const PimBTree&) = delete;
+  PimBTree& operator=(const PimBTree&) = delete;
+
+  const BTreeConfig& config() const { return cfg_; }
+  std::size_t size() const { return live_; }
+  std::size_t P() const { return sys_.P(); }
+  pim::Metrics& metrics() { return sys_.metrics(); }
+  const pim::Metrics& metrics() const { return sys_.metrics(); }
+
+  // --- Batched operations ------------------------------------------------------
+  // Point lookups; nullopt where the key is absent.
+  std::vector<std::optional<Value>> lookup(std::span<const Key> keys);
+  // Upserts (insert or overwrite) a batch of key/value pairs.
+  void upsert(std::span<const std::pair<Key, Value>> kv);
+  // Erases a batch of keys; absent keys are ignored.
+  void erase(std::span<const Key> keys);
+  // Key-ordered scan of [lo, hi] per query.
+  std::vector<std::vector<std::pair<Key, Value>>> scan(
+      std::span<const std::pair<Key, Key>> ranges);
+
+  // --- Introspection -------------------------------------------------------------
+  NodeId root() const { return root_; }
+  std::size_t height() const;
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::span<const double> thresholds() const { return thresholds_; }
+  std::uint64_t storage_words() const { return sys_.metrics().total_storage(); }
+  const BNode& node(NodeId id) const { return nodes_.at(id); }
+  // Structure + replica-placement validation (see PimKdTree::check_invariants).
+  bool check_invariants() const;
+
+ private:
+  // --- Storage (replica registry) ------------------------------------------------
+  struct CopyEntry {
+    std::uint32_t module;
+    std::uint32_t words;
+  };
+  std::uint64_t node_copy_words(const BNode& n) const;
+  std::size_t master_of(NodeId id) const { return sys_.module_of(id); }
+  void add_copy(NodeId id, std::size_t module);
+  void remove_all_copies(NodeId id);
+  void refresh_copies(NodeId id);  // node contents changed: resync all copies
+  bool module_has(std::size_t module, NodeId id) const;
+
+  // --- Mirror helpers --------------------------------------------------------------
+  BNode& at(NodeId id) { return nodes_.at(id); }
+  const BNode& at(NodeId id) const { return nodes_.at(id); }
+  NodeId create_node();
+  std::size_t child_index(const BNode& n, Key k) const;
+  NodeId leaf_for(Key k) const;
+
+  // --- Build -------------------------------------------------------------------------
+  void bulk_build(std::vector<std::pair<Key, Value>> kv);
+
+  // --- Decomposition / replication ----------------------------------------------------
+  bool group0_replicated() const {
+    return cfg_.replicate_group0 && cfg_.cached_groups != 0;
+  }
+  bool group_cached(int g) const {
+    return cfg_.cached_groups < 0 || g < cfg_.cached_groups;
+  }
+  struct CacheFlags {
+    bool topdown = false;
+    bool bottomup = false;
+  };
+  CacheFlags cache_flags(int group) const;
+  std::vector<NodeId> component_members(NodeId comp_root) const;
+  void materialize_component(NodeId comp_root);
+  void demolish_component(NodeId comp_root);
+  void assign_groups_and_components_all();
+  // Repairs groups/components/storage around the touched nodes after a
+  // structural change (splits, merges, size drift). Wholesale per affected
+  // component, with the replicated Group 0 handled per node.
+  void repair_after_update(const std::vector<NodeId>& touched);
+
+  // --- Batched descent -----------------------------------------------------------------
+  std::uint64_t push_pull_threshold() const;
+  // Routes queries to leaves with push-pull cost charging; `out_leaf[i]` is
+  // the leaf responsible for keys[i].
+  std::vector<NodeId> route(std::span<const Key> keys);
+
+  // --- Structural maintenance ------------------------------------------------------------
+  void split_upward(NodeId id, std::vector<NodeId>& touched);
+  void collapse_upward(NodeId id, std::vector<NodeId>& touched);
+  void bump_sizes(NodeId from, std::int64_t delta);
+  void set_subtree_depth(NodeId id, std::uint32_t depth);
+
+  BTreeConfig cfg_;
+  pim::PimSystem<BModuleState> sys_;
+  Rng rng_;
+  std::vector<double> thresholds_;
+  std::unordered_map<NodeId, BNode> nodes_;
+  std::unordered_map<NodeId, std::vector<CopyEntry>> registry_;
+  NodeId root_ = kNoNode;
+  NodeId next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+// Iterated-log thresholds base C: H_0 = P, H_{j+1} = log_C H_j (clamped at 1).
+std::vector<double> chunked_thresholds(std::size_t P, std::size_t fanout);
+
+}  // namespace pimkd::btree

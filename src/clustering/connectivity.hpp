@@ -1,0 +1,32 @@
+// Connected components over an explicit edge list.
+//
+// connected_components: parallel (atomic union-find, the practical stand-in
+// for the linear-work CC of [92]) with normalized labels 0..k-1.
+//
+// pim_connected_components additionally charges a PIM Metrics ledger per the
+// clustering theorems (§6): each vertex/edge is hashed to a module, giving
+// O((n+m)/P) communication time and PIM-balanced linear work whp.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "pim/metrics.hpp"
+
+namespace pimkd {
+
+struct Components {
+  std::vector<std::uint32_t> label;  // normalized: 0..count-1
+  std::size_t count = 0;
+};
+
+using Edge = std::pair<std::uint32_t, std::uint32_t>;
+
+Components connected_components(std::size_t n, std::span<const Edge> edges);
+
+Components pim_connected_components(std::size_t n, std::span<const Edge> edges,
+                                    pim::Metrics& metrics);
+
+}  // namespace pimkd

@@ -1,0 +1,181 @@
+#include "clustering/dbscan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "clustering/dbscan_impl.hpp"
+
+namespace pimkd {
+namespace detail {
+
+namespace {
+// Pack a 2-d cell coordinate into a key (bias keeps negatives ordered).
+std::uint64_t cell_key(std::int64_t cx, std::int64_t cy) {
+  const auto ux = static_cast<std::uint64_t>(cx + (1LL << 30));
+  const auto uy = static_cast<std::uint64_t>(cy + (1LL << 30));
+  return (ux << 32) | (uy & 0xffffffffULL);
+}
+}  // namespace
+
+DbscanResult dbscan_impl(std::span<const Point> pts, const DbscanParams& p,
+                         const CostHooks& hooks) {
+  const std::size_t n = pts.size();
+  DbscanResult out;
+  out.label.assign(n, DbscanResult::kNoise);
+  out.core.assign(n, 0);
+  if (n == 0) return out;
+  const Coord side = p.eps / std::sqrt(2.0);
+  const Coord eps2 = p.eps * p.eps;
+
+  // --- (i) grid computation ---------------------------------------------------
+  auto cell_of = [&](const Point& q) {
+    return cell_key(static_cast<std::int64_t>(std::floor(q[0] / side)),
+                    static_cast<std::int64_t>(std::floor(q[1] / side)));
+  };
+  // std::map keeps deterministic cell iteration order.
+  std::map<std::uint64_t, std::vector<std::uint32_t>> cells;
+  for (std::uint32_t i = 0; i < n; ++i) cells[cell_of(pts[i])].push_back(i);
+  if (hooks.on_cell)
+    for (const auto& [key, members] : cells) hooks.on_cell(key, members.size());
+
+  // --- (ii) core marking --------------------------------------------------------
+  auto unpack = [&](std::uint64_t key) {
+    return std::pair<std::int64_t, std::int64_t>(
+        static_cast<std::int64_t>(key >> 32) - (1LL << 30),
+        static_cast<std::int64_t>(key & 0xffffffffULL) - (1LL << 30));
+  };
+  auto neighbors_of = [&](std::uint64_t key) {
+    std::vector<const std::pair<const std::uint64_t,
+                                std::vector<std::uint32_t>>*> out_cells;
+    const auto [cx, cy] = unpack(key);
+    for (std::int64_t dx = -2; dx <= 2; ++dx) {
+      for (std::int64_t dy = -2; dy <= 2; ++dy) {
+        if (dx == 0 && dy == 0) continue;
+        const auto it = cells.find(cell_key(cx + dx, cy + dy));
+        if (it != cells.end()) out_cells.push_back(&*it);
+      }
+    }
+    return out_cells;
+  };
+
+  for (const auto& [key, members] : cells) {
+    if (members.size() >= p.minpts) {
+      // The cell's diameter is <= eps: everyone sees everyone.
+      for (const std::uint32_t i : members) out.core[i] = 1;
+      continue;
+    }
+    const auto neigh = neighbors_of(key);
+    for (const std::uint32_t i : members) {
+      std::size_t count = members.size();  // own cell (includes the point)
+      for (const auto* nc : neigh) {
+        if (hooks.on_pair)
+          hooks.on_pair(key, nc->first, members.size(), nc->second.size());
+        for (const std::uint32_t j : nc->second) {
+          ++out.point_pairs_checked;
+          if (sq_dist(pts[i], pts[j], 2) <= eps2) ++count;
+        }
+        if (count >= p.minpts) break;
+      }
+      if (count >= p.minpts) out.core[i] = 1;
+    }
+  }
+
+  // --- (iii) cell graph -----------------------------------------------------------
+  std::unordered_map<std::uint64_t, std::uint32_t> cell_index;
+  std::vector<std::uint64_t> core_cells;
+  for (const auto& [key, members] : cells) {
+    const bool has_core =
+        std::any_of(members.begin(), members.end(),
+                    [&](std::uint32_t i) { return out.core[i] != 0; });
+    if (has_core) {
+      cell_index.emplace(key, static_cast<std::uint32_t>(core_cells.size()));
+      core_cells.push_back(key);
+    }
+  }
+  std::vector<Edge> edges;
+  for (const std::uint64_t key : core_cells) {
+    const auto& members = cells[key];
+    // USEC-style per-cell prepass: the paper sorts each cell's points along
+    // one axis before the wavefront check (Lemma 6.2's sorting cost).
+    if (hooks.on_local)
+      hooks.on_local(
+          key, members.size() * static_cast<std::size_t>(std::max(
+                   1.0, std::log2(static_cast<double>(members.size() + 1)))));
+    for (const auto* nc : neighbors_of(key)) {
+      const auto nit = cell_index.find(nc->first);
+      if (nit == cell_index.end() || nc->first <= key) continue;  // dedupe
+      if (hooks.on_pair)
+        hooks.on_pair(key, nc->first, members.size(), nc->second.size());
+      bool connected = false;
+      for (const std::uint32_t i : members) {
+        if (!out.core[i]) continue;
+        for (const std::uint32_t j : nc->second) {
+          if (!out.core[j]) continue;
+          ++out.point_pairs_checked;
+          if (sq_dist(pts[i], pts[j], 2) <= eps2) {
+            connected = true;
+            break;
+          }
+        }
+        if (connected) break;
+      }
+      if (connected)
+        edges.emplace_back(cell_index[key], nit->second);
+    }
+  }
+
+  // --- (iv) cluster construction ------------------------------------------------
+  const Components comps = hooks.cc
+                               ? hooks.cc(core_cells.size(), edges)
+                               : connected_components(core_cells.size(), edges);
+  // Core labels come from their cell's component.
+  std::vector<std::int32_t> cell_cluster(core_cells.size());
+  for (std::size_t c = 0; c < core_cells.size(); ++c)
+    cell_cluster[c] = static_cast<std::int32_t>(comps.label[c]);
+  for (const std::uint64_t key : core_cells) {
+    const std::int32_t cl = cell_cluster[cell_index[key]];
+    for (const std::uint32_t i : cells[key])
+      if (out.core[i]) out.label[i] = cl;
+  }
+  // Border points: smallest adjacent cluster id among eps-close cores.
+  for (const auto& [key, members] : cells) {
+    const auto neigh = neighbors_of(key);
+    for (const std::uint32_t i : members) {
+      if (out.core[i]) continue;
+      std::int32_t best = DbscanResult::kNoise;
+      auto consider = [&](std::uint32_t j) {
+        if (!out.core[j]) return;
+        ++out.point_pairs_checked;
+        if (sq_dist(pts[i], pts[j], 2) > eps2) return;
+        const std::int32_t cl = out.label[j];
+        if (best == DbscanResult::kNoise || cl < best) best = cl;
+      };
+      for (const std::uint32_t j : members) consider(j);
+      for (const auto* nc : neigh)
+        for (const std::uint32_t j : nc->second) consider(j);
+      out.label[i] = best;
+    }
+  }
+
+  // Normalize cluster ids by first appearance in point order.
+  std::unordered_map<std::int32_t, std::int32_t> remap;
+  std::int32_t next = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (out.label[i] == DbscanResult::kNoise) continue;
+    const auto [it, fresh] = remap.emplace(out.label[i], next);
+    if (fresh) ++next;
+    out.label[i] = it->second;
+  }
+  out.num_clusters = static_cast<std::size_t>(next);
+  return out;
+}
+
+}  // namespace detail
+
+DbscanResult dbscan_grid(std::span<const Point> pts, const DbscanParams& p) {
+  return detail::dbscan_impl(pts, p, detail::CostHooks{});
+}
+
+}  // namespace pimkd

@@ -1,0 +1,42 @@
+// Exact 2-d DBSCAN (Ester et al.; §6.2) via the grid method of [29, 41, 101]:
+// cells of side eps/sqrt(2) (so any two points in a cell are eps-close),
+// core marking against the 5x5 cell neighbourhood, a cell graph connecting
+// neighbouring cells holding eps-close core pairs, connected components over
+// it, and border assignment.
+//
+// dbscan_grid is the shared-memory baseline (Table 1 row "ParGeo/2d-DBSCAN");
+// dbscan_pim (dbscan_pim.cpp) runs the same deterministic pipeline with cells
+// hashed to PIM modules and every data movement charged per Theorem 6.3.
+// Outputs of the two are identical partitions — tests rely on that.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pim/system.hpp"
+#include "util/geometry.hpp"
+
+namespace pimkd {
+
+struct DbscanParams {
+  Coord eps = 0.1;
+  std::size_t minpts = 4;  // the paper's k: |B(x, eps)| >= k makes x core
+};
+
+struct DbscanResult {
+  static constexpr std::int32_t kNoise = -1;
+  std::vector<std::int32_t> label;  // cluster id or kNoise (border points get
+                                    // the smallest adjacent cluster id)
+  std::vector<char> core;
+  std::size_t num_clusters = 0;
+  std::uint64_t point_pairs_checked = 0;  // work proxy for the baseline
+};
+
+DbscanResult dbscan_grid(std::span<const Point> pts, const DbscanParams& p);
+
+DbscanResult dbscan_pim(std::span<const Point> pts, const DbscanParams& p,
+                        const pim::SystemConfig& sys_cfg,
+                        pim::Snapshot* cost_out = nullptr);
+
+}  // namespace pimkd

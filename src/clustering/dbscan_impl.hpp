@@ -1,0 +1,33 @@
+// Shared deterministic DBSCAN pipeline used by both the shared-memory
+// baseline and the PIM-charged variant. The algorithm is written once; the
+// execution-cost model is injected through CostHooks so the two entry points
+// cannot diverge in their outputs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "clustering/connectivity.hpp"
+#include "clustering/dbscan.hpp"
+
+namespace pimkd::detail {
+
+struct CostHooks {
+  // A point lands in its (hashed) cell during grid computation.
+  std::function<void(std::uint64_t cell_key, std::size_t pts)> on_cell;
+  // Core marking / cell-graph check collocates two cells' points.
+  std::function<void(std::uint64_t key_a, std::uint64_t key_b, std::size_t na,
+                     std::size_t nb)>
+      on_pair;
+  // Per-cell local work (scans, USEC sort of m elements; Lemma 6.2).
+  std::function<void(std::uint64_t cell_key, std::size_t work)> on_local;
+  // Connected components implementation.
+  std::function<Components(std::size_t, std::span<const Edge>)> cc;
+};
+
+DbscanResult dbscan_impl(std::span<const Point> pts, const DbscanParams& p,
+                         const CostHooks& hooks);
+
+}  // namespace pimkd::detail

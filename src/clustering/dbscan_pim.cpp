@@ -1,0 +1,56 @@
+// PIM 2-d DBSCAN (§6.2, Theorem 6.3): the deterministic grid pipeline of
+// dbscan_impl with every data movement charged to a PIM Metrics ledger.
+// Cells are hashed to modules (skew-resistant placement); core marking and
+// the cell-graph USEC checks collocate the *smaller* cell with the larger
+// (push-pull, §3.4), so communication is O(n) total and PIM-balanced whp.
+#include "clustering/dbscan.hpp"
+
+#include <algorithm>
+
+#include "clustering/dbscan_impl.hpp"
+#include "util/random.hpp"
+
+namespace pimkd {
+
+DbscanResult dbscan_pim(std::span<const Point> pts, const DbscanParams& p,
+                        const pim::SystemConfig& sys_cfg,
+                        pim::Snapshot* cost_out) {
+  pim::Metrics metrics(sys_cfg.num_modules, sys_cfg.cache_words);
+  const std::size_t P = sys_cfg.num_modules;
+  const std::uint64_t salt = Rng(sys_cfg.seed).next_u64();
+  auto module_of = [&](std::uint64_t cell) {
+    return static_cast<std::size_t>(hash64(cell ^ salt) % P);
+  };
+  constexpr std::uint64_t kPointWords = 3;  // x, y, id
+
+  detail::CostHooks hooks;
+  hooks.on_cell = [&](std::uint64_t key, std::size_t n_pts) {
+    // Grid computation: every point crosses off-chip once into its cell.
+    const std::size_t m = module_of(key);
+    metrics.add_comm(m, n_pts * kPointWords);
+    metrics.add_module_work(m, n_pts);
+  };
+  hooks.on_pair = [&](std::uint64_t a, std::uint64_t b, std::size_t na,
+                      std::size_t nb) {
+    // Push-pull collocation: ship the smaller cell to the larger cell's
+    // module, then compare locally there.
+    const bool a_larger = na >= nb;
+    const std::size_t dst = module_of(a_larger ? a : b);
+    metrics.add_comm(dst, std::min(na, nb) * kPointWords);
+    metrics.add_module_work(dst, na + nb);
+  };
+  hooks.on_local = [&](std::uint64_t key, std::size_t work) {
+    metrics.add_module_work(module_of(key), work);
+  };
+  hooks.cc = [&](std::size_t n_cells, std::span<const Edge> edges) {
+    return pim_connected_components(n_cells, edges, metrics);
+  };
+
+  metrics.begin_round();
+  DbscanResult out = detail::dbscan_impl(pts, p, hooks);
+  metrics.end_round();
+  if (cost_out) *cost_out = metrics.snapshot();
+  return out;
+}
+
+}  // namespace pimkd

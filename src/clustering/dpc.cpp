@@ -1,0 +1,54 @@
+#include "clustering/dpc.hpp"
+
+#include <cmath>
+
+#include "clustering/connectivity.hpp"
+#include "clustering/priority_kdtree.hpp"
+#include "kdtree/static_kdtree.hpp"
+
+namespace pimkd {
+
+DpcResult dpc_shared(std::span<const Point> pts, const DpcParams& params) {
+  const std::size_t n = pts.size();
+  DpcResult out;
+  out.density.resize(n);
+  out.dependent.assign(n, kInvalidPoint);
+  out.dependent_dist.assign(n, 0);
+  if (n == 0) return out;
+
+  // (i) densities via radius counts on a kd-tree.
+  StaticKdTree tree({.dim = params.dim, .leaf_cap = params.leaf_cap}, pts);
+  for (std::size_t i = 0; i < n; ++i)
+    out.density[i] = tree.radius_count(pts[i], params.dcut);
+  out.nodes_visited += tree.counters.nodes_visited;
+
+  // (ii) dependent points via a priority-search kd-tree on (density, id).
+  std::vector<double> prio(n);
+  for (std::size_t i = 0; i < n; ++i)
+    prio[i] = static_cast<double>(out.density[i]);
+  PriorityKdTree ptree({.dim = params.dim, .leaf_cap = params.leaf_cap}, pts,
+                       prio);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Neighbor dep =
+        ptree.dependent_point(pts[i], prio[i], static_cast<PointId>(i));
+    out.dependent[i] = dep.id;
+    out.dependent_dist[i] =
+        dep.id == kInvalidPoint ? 0 : std::sqrt(dep.sq_dist);
+  }
+  out.nodes_visited += ptree.nodes_visited;
+
+  // (iii) drop long dependency edges; components of the rest are clusters.
+  std::vector<Edge> edges;
+  edges.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (out.dependent[i] != kInvalidPoint &&
+        out.dependent_dist[i] <= params.delta)
+      edges.emplace_back(static_cast<std::uint32_t>(i), out.dependent[i]);
+  }
+  Components comps = connected_components(n, edges);
+  out.cluster = std::move(comps.label);
+  out.num_clusters = comps.count;
+  return out;
+}
+
+}  // namespace pimkd

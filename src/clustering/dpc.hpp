@@ -1,0 +1,50 @@
+// Density peak clustering (Rodriguez & Laio; §6.1).
+//
+// Steps: (i) density(x) = |B(x, d_cut)|; (ii) dependent(x) = nearest point
+// with strictly higher (density, id); (iii) cut dependent edges longer than
+// `delta` and take the resulting forest's trees as clusters (roots are the
+// density peaks).
+//
+// dpc_shared is the ParGeo-style shared-memory baseline (Table 1 row
+// "ParGeo/DPC"): kd-tree radius counts + a priority-search kd-tree.
+// dpc_pim (dpc_pim.cpp) runs the same pipeline on the PIM-kd-tree and charges
+// the Metrics ledger per Theorem 6.1. Both use identical tie-breaking, so
+// their outputs are bit-identical — tests rely on that.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "pim/metrics.hpp"
+#include "util/geometry.hpp"
+
+namespace pimkd {
+
+struct DpcParams {
+  int dim = 2;
+  Coord dcut = 0.1;    // density ball radius
+  Coord delta = 0.5;   // dependency distance cut (the paper's epsilon)
+  std::size_t leaf_cap = 16;
+};
+
+struct DpcResult {
+  std::vector<std::size_t> density;       // |B(x, dcut)| including x
+  std::vector<PointId> dependent;         // kInvalidPoint for global peaks
+  std::vector<Coord> dependent_dist;      // euclidean
+  std::vector<std::uint32_t> cluster;     // normalized labels
+  std::size_t num_clusters = 0;
+  std::uint64_t nodes_visited = 0;        // work proxy for the baseline
+};
+
+DpcResult dpc_shared(std::span<const Point> pts, const DpcParams& params);
+
+// PIM version; charges `out_metrics`-visible costs on the tree's own ledger.
+// The returned snapshot diff facilities live on the tree; callers snapshot
+// around the call. cfg supplies P/M/seed and kd-tree knobs; cfg.dim is
+// overridden by params.dim.
+DpcResult dpc_pim(std::span<const Point> pts, const DpcParams& params,
+                  core::PimKdConfig cfg, pim::Snapshot* cost_out = nullptr);
+
+}  // namespace pimkd

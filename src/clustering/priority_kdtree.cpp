@@ -1,0 +1,100 @@
+#include "clustering/priority_kdtree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace pimkd {
+
+namespace {
+// Lexicographic (priority, id) order: is (pa, ia) strictly above (pb, ib)?
+bool higher(double pa, PointId ia, double pb, PointId ib) {
+  return pa > pb || (pa == pb && ia > ib);
+}
+}  // namespace
+
+PriorityKdTree::PriorityKdTree(const Config& cfg, std::span<const Point> pts,
+                               std::span<const double> priority)
+    : cfg_(cfg),
+      pts_(pts.begin(), pts.end()),
+      priority_(priority.begin(), priority.end()) {
+  assert(pts_.size() == priority_.size());
+  perm_.resize(pts_.size());
+  for (std::size_t i = 0; i < perm_.size(); ++i)
+    perm_[i] = static_cast<std::uint32_t>(i);
+  if (pts_.empty()) {
+    Node leaf;
+    leaf.box = Box::empty(cfg_.dim);
+    nodes_.push_back(leaf);
+    root_ = 0;
+  } else {
+    root_ = build(perm_.data(), perm_.data() + perm_.size());
+  }
+}
+
+std::uint32_t PriorityKdTree::build(std::uint32_t* first, std::uint32_t* last) {
+  const auto count = static_cast<std::size_t>(last - first);
+  Node node;
+  node.box = Box::empty(cfg_.dim);
+  node.max_priority_id = kInvalidPoint;
+  for (auto* it = first; it != last; ++it) {
+    node.box.extend(pts_[*it], cfg_.dim);
+    if (node.max_priority_id == kInvalidPoint ||
+        higher(priority_[*it], *it, node.max_priority, node.max_priority_id)) {
+      node.max_priority = priority_[*it];
+      node.max_priority_id = *it;
+    }
+  }
+  if (count <= cfg_.leaf_cap) {
+    node.begin = static_cast<std::uint32_t>(first - perm_.data());
+    node.count = static_cast<std::uint32_t>(count);
+    nodes_.push_back(node);
+    return static_cast<std::uint32_t>(nodes_.size() - 1);
+  }
+  const int d = node.box.widest_dim(cfg_.dim);
+  auto* mid = first + count / 2;
+  std::nth_element(first, mid, last, [&](std::uint32_t a, std::uint32_t b) {
+    return pts_[a][d] < pts_[b][d];
+  });
+  node.split_dim = static_cast<std::int16_t>(d);
+  node.split_val = pts_[*mid][d];
+  const std::uint32_t left = build(first, mid);
+  const std::uint32_t right = build(mid, last);
+  node.left = left;
+  node.right = right;
+  nodes_.push_back(node);
+  return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+void PriorityKdTree::query_rec(std::uint32_t nid, const Point& q,
+                               double q_priority, PointId self,
+                               Neighbor& best) const {
+  const Node& n = nodes_[nid];
+  ++nodes_visited;
+  if (n.max_priority_id == kInvalidPoint ||
+      !higher(n.max_priority, n.max_priority_id, q_priority, self) ||
+      n.box.sq_dist_to(q, cfg_.dim) >= best.sq_dist)
+    return;
+  if (n.is_leaf()) {
+    for (std::uint32_t i = 0; i < n.count; ++i) {
+      const std::uint32_t pi = perm_[n.begin + i];
+      if (!higher(priority_[pi], pi, q_priority, self)) continue;
+      const Coord d2 = sq_dist(pts_[pi], q, cfg_.dim);
+      if (d2 < best.sq_dist || (d2 == best.sq_dist && pi < best.id))
+        best = Neighbor{pi, d2};
+    }
+    return;
+  }
+  const bool left_first = q[n.split_dim] < n.split_val;
+  query_rec(left_first ? n.left : n.right, q, q_priority, self, best);
+  query_rec(left_first ? n.right : n.left, q, q_priority, self, best);
+}
+
+Neighbor PriorityKdTree::dependent_point(const Point& q, double q_priority,
+                                         PointId self) const {
+  Neighbor best{kInvalidPoint, std::numeric_limits<Coord>::infinity()};
+  if (!pts_.empty()) query_rec(root_, q, q_priority, self, best);
+  return best;
+}
+
+}  // namespace pimkd

@@ -1,0 +1,64 @@
+// Priority-search kd-tree (DPC step (ii), §6.1; [39, 46]).
+//
+// A static kd-tree whose interior nodes are augmented with the maximum
+// (priority, id) pair of their subtree. dependent_point(q) returns the
+// nearest point whose (priority, id) strictly exceeds the query's — exactly
+// the DPC "dependent point" when priorities are densities. Shared-memory
+// baseline; the PIM version lives inside PimKdTree (set_priorities /
+// dependent_points).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kdtree/bruteforce.hpp"
+#include "util/geometry.hpp"
+
+namespace pimkd {
+
+class PriorityKdTree {
+ public:
+  struct Config {
+    int dim = 2;
+    std::size_t leaf_cap = 16;
+  };
+
+  PriorityKdTree(const Config& cfg, std::span<const Point> pts,
+                 std::span<const double> priority);
+
+  // Nearest point p with (priority[p], p) > (q_priority, self), or
+  // kInvalidPoint if none exists.
+  Neighbor dependent_point(const Point& q, double q_priority,
+                           PointId self) const;
+
+  std::size_t size() const { return pts_.size(); }
+  mutable std::uint64_t nodes_visited = 0;
+
+ private:
+  struct Node {
+    Box box;
+    Coord split_val = 0;
+    std::uint32_t left = 0;
+    std::uint32_t right = 0;
+    std::uint32_t begin = 0;
+    std::uint32_t count = 0;
+    double max_priority = 0;
+    PointId max_priority_id = kInvalidPoint;
+    std::int16_t split_dim = -1;
+    bool is_leaf() const { return split_dim < 0; }
+  };
+
+  std::uint32_t build(std::uint32_t* first, std::uint32_t* last);
+  void query_rec(std::uint32_t nid, const Point& q, double q_priority,
+                 PointId self, Neighbor& best) const;
+
+  Config cfg_;
+  std::vector<Point> pts_;
+  std::vector<double> priority_;
+  std::vector<std::uint32_t> perm_;
+  std::vector<Node> nodes_;
+  std::uint32_t root_ = 0;
+};
+
+}  // namespace pimkd

@@ -1,0 +1,3 @@
+#include "clustering/union_find.hpp"
+
+// Header-only; this TU anchors the header under the project warning set.

@@ -1,0 +1,86 @@
+// Union-find (disjoint sets) in two flavours:
+//   * UnionFind — sequential, path halving + union by size,
+//   * AtomicUnionFind — lock-free (CAS on parents), usable from parallel_for,
+//     the building block of the linear-work parallel connectivity of [92].
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace pimkd {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  // Returns true if the sets were previously distinct.
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return true;
+  }
+
+  bool same(std::size_t a, std::size_t b) { return find(a) == find(b); }
+  std::size_t count() const { return parent_.size(); }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+};
+
+// Wait-free find / lock-free unite on atomics. unite() uses the standard
+// "hook the larger root under the smaller index" rule, which is linearizable
+// without ABA issues because parents only ever decrease.
+class AtomicUnionFind {
+ public:
+  explicit AtomicUnionFind(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i)
+      parent_[i].store(static_cast<std::uint64_t>(i),
+                       std::memory_order_relaxed);
+  }
+
+  std::size_t find(std::size_t x) const {
+    std::uint64_t p = parent_[x].load(std::memory_order_acquire);
+    while (p != x) {
+      x = static_cast<std::size_t>(p);
+      p = parent_[x].load(std::memory_order_acquire);
+    }
+    return x;
+  }
+
+  void unite(std::size_t a, std::size_t b) {
+    for (;;) {
+      a = find(a);
+      b = find(b);
+      if (a == b) return;
+      if (a < b) std::swap(a, b);  // hook larger index under smaller
+      std::uint64_t expect = static_cast<std::uint64_t>(a);
+      if (parent_[a].compare_exchange_weak(expect,
+                                           static_cast<std::uint64_t>(b),
+                                           std::memory_order_acq_rel))
+        return;
+    }
+  }
+
+  std::size_t size() const { return parent_.size(); }
+
+ private:
+  std::vector<std::atomic<std::uint64_t>> parent_;
+};
+
+}  // namespace pimkd

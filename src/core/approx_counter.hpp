@@ -1,0 +1,90 @@
+// Approximate probabilistic counters (§3.3, Algorithm 3).
+//
+// An increment on a counter with value V succeeds with probability
+// p = log2(n) / (beta * V); on success the counter gains 1/p. The estimate is
+// unbiased, and by Lemma 3.6 the drift over a window of Delta_V increments is
+// o(Delta_V) whp in n whenever Delta_V = Omega(beta * V). Small counters
+// (V <= log n / beta, i.e. p >= 1) update deterministically and exactly.
+//
+// Morris and Steele-Tristan counters are included for the §3.3 comparison
+// bench: Morris optimizes register bits (too coarse here); Steele counters
+// update with probability 2^-floor(log2 V) (accurate but update-frequent);
+// the paper's variant couples p to the tree size n to get both infrequent
+// updates and whp-in-n accuracy.
+#pragma once
+
+#include <cmath>
+
+#include "util/random.hpp"
+
+namespace pimkd::core {
+
+struct CounterStep {
+  bool updated = false;  // did the coin land heads (copies must be written)?
+  double delta = 0.0;    // signed change applied on success
+};
+
+// Success probability for current value v (clamped to [0, 1]).
+inline double counter_probability(double v, double beta, double n) {
+  if (v <= 0) return 1.0;
+  const double p = std::log2(std::max(n, 2.0)) / (beta * v);
+  return p >= 1.0 ? 1.0 : p;
+}
+
+// One increment attempt (Algorithm 3).
+inline CounterStep counter_increment(double v, double beta, double n,
+                                     Rng& rng) {
+  const double p = counter_probability(v, beta, n);
+  if (p >= 1.0) return {true, 1.0};
+  if (rng.next_bernoulli(p)) return {true, 1.0 / p};
+  return {false, 0.0};
+}
+
+// One decrement attempt (the symmetric case discussed after Lemma 3.6).
+inline CounterStep counter_decrement(double v, double beta, double n,
+                                     Rng& rng) {
+  const double p = counter_probability(v, beta, n);
+  if (p >= 1.0) return {true, -1.0};
+  if (rng.next_bernoulli(p)) return {true, -1.0 / p};
+  return {false, 0.0};
+}
+
+// --- Comparison counters for the §3.3 bench --------------------------------
+
+// Morris 1978: stores an exponent c, estimates 2^c - 1; increments with
+// probability 2^-c.
+class MorrisCounter {
+ public:
+  double estimate() const { return std::pow(2.0, c_) - 1.0; }
+  bool increment(Rng& rng) {
+    if (rng.next_bernoulli(std::pow(2.0, -c_))) {
+      c_ += 1.0;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  double c_ = 0.0;
+};
+
+// Steele-Tristan style: value V increments by 2^floor(log2(V+1)) with the
+// reciprocal probability — constant relative accuracy, update probability
+// ~1/V (more frequent writes than the paper's log(n)/(beta V) for V < n).
+class SteeleCounter {
+ public:
+  double estimate() const { return v_; }
+  bool increment(Rng& rng) {
+    const double step = std::pow(2.0, std::floor(std::log2(v_ + 1.0)));
+    if (rng.next_bernoulli(1.0 / step)) {
+      v_ += step;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  double v_ = 0.0;
+};
+
+}  // namespace pimkd::core

@@ -1,0 +1,28 @@
+#include "core/decomposition.hpp"
+
+#include <cmath>
+
+namespace pimkd::core {
+
+std::vector<double> group_thresholds(std::size_t P) {
+  std::vector<double> h;
+  double v = static_cast<double>(P < 2 ? 2 : P);
+  h.push_back(v);
+  while (v > 1.0) {
+    v = std::log2(v);
+    if (v < 1.0) v = 1.0;
+    h.push_back(v);
+  }
+  return h;
+}
+
+int group_of(double t, std::span<const double> thresholds) {
+  if (t < 1.0) t = 1.0;
+  // Group 0: t >= H_0 (= P).
+  if (t >= thresholds[0]) return 0;
+  for (std::size_t j = 1; j < thresholds.size(); ++j)
+    if (t >= thresholds[j]) return static_cast<int>(j);
+  return static_cast<int>(thresholds.size()) - 1;  // t in [1, H_last]
+}
+
+}  // namespace pimkd::core

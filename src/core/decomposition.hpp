@@ -1,0 +1,32 @@
+// Log-star tree decomposition (§3.1, Figure 1).
+//
+// With H_0 = P and H_j = log2(H_{j-1}), a node with subtree size T belongs to
+// Group 0 if T >= P, and otherwise to the unique Group j >= 1 with
+// H_j <= T < H_{j-1}. The decomposition depends only on subtree sizes (not
+// heights), which is what makes it robust to the semi-balanced (alpha = O(1))
+// shape of kd-trees.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pimkd::core {
+
+// H_0 = P, H_1 = log2 P, ..., down to the first value <= 1 (set to 1).
+// Result size = number of groups (Group 0 .. Group L where L = log* P).
+std::vector<double> group_thresholds(std::size_t P);
+
+// Group index of a node whose (approximate) subtree size is t, t >= 1.
+int group_of(double t, std::span<const double> thresholds);
+
+// Per-group structural statistics, used by the Figure 1 bench and the
+// Lemma 3.1/3.2 property tests.
+struct GroupStats {
+  std::size_t nodes = 0;            // members of this group
+  std::size_t components = 0;       // intra-group subtrees
+  std::size_t max_component_size = 0;
+  std::size_t max_component_height = 0;
+};
+
+}  // namespace pimkd::core

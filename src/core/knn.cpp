@@ -1,0 +1,182 @@
+// kNN / (1+eps)-ANN (§4.3) and the DPC dependent-point priority search
+// (§6.1), all driven through the dual-way-caching Cursor: descending into a
+// component costs one off-chip hop, traversal inside it is on-chip, and
+// backtracking returns through the anchor stack for free (the return message
+// is part of the hop that entered).
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "core/pim_kdtree.hpp"
+#include "parallel/primitives.hpp"
+
+namespace pimkd::core {
+
+namespace {
+struct HeapCmp {
+  bool operator()(const Neighbor& a, const Neighbor& b) const {
+    return a.sq_dist != b.sq_dist ? a.sq_dist < b.sq_dist : a.id < b.id;
+  }
+};
+}  // namespace
+
+void PimKdTree::knn_rec(Cursor& cur, NodeId nid, const Point& q,
+                        std::vector<Neighbor>& heap, std::size_t k,
+                        double prune) const {
+  const std::size_t mark = cur.mark();
+  cur.visit(nid);
+  const NodeRec& n = pool_.at(nid);
+  const Coord worst_in = heap.size() < k
+                             ? std::numeric_limits<Coord>::infinity()
+                             : heap.front().sq_dist;
+  if (n.box.sq_dist_to(q, cfg_.dim) * prune >= worst_in) {
+    cur.release(mark);
+    return;
+  }
+  if (n.is_leaf()) {
+    cur.charge_work(n.leaf_pts.size());
+    for (const PointId id : n.leaf_pts) {
+      const Neighbor cand{id, sq_dist(all_points_[id], q, cfg_.dim)};
+      if (heap.size() < k) {
+        heap.push_back(cand);
+        std::push_heap(heap.begin(), heap.end(), HeapCmp{});
+      } else if (HeapCmp{}(cand, heap.front())) {
+        std::pop_heap(heap.begin(), heap.end(), HeapCmp{});
+        heap.back() = cand;
+        std::push_heap(heap.begin(), heap.end(), HeapCmp{});
+      }
+    }
+    cur.release(mark);
+    return;
+  }
+  const bool left_first = q[n.split_dim] < n.split_val;
+  const NodeId first = left_first ? n.left : n.right;
+  const NodeId second = left_first ? n.right : n.left;
+  knn_rec(cur, first, q, heap, k, prune);
+  const Coord worst = heap.size() < k ? std::numeric_limits<Coord>::infinity()
+                                      : heap.front().sq_dist;
+  if (pool_.at(second).box.sq_dist_to(q, cfg_.dim) * prune < worst)
+    knn_rec(cur, second, q, heap, k, prune);
+  cur.release(mark);
+}
+
+std::vector<std::vector<Neighbor>> PimKdTree::knn(
+    std::span<const Point> queries, std::size_t k, double eps) {
+  pim::RoundGuard round(sys_.metrics());
+  std::vector<std::vector<Neighbor>> out(queries.size());
+  if (root_ == kNoNode) return out;
+  const double prune = (1.0 + eps) * (1.0 + eps);
+  // Queries of a batch are independent: they run across the host's cores and
+  // charge the (thread-safe) ledger concurrently.
+  parallel_for(0, queries.size(), [&](std::size_t i) {
+    const std::size_t start = i % sys_.P();
+    sys_.metrics().add_comm(start, kQueryWords);
+    Cursor cur(cfg_, pool_, store_, sys_.metrics(), start);
+    std::vector<Neighbor> heap;
+    heap.reserve(k);
+    knn_rec(cur, root_, queries[i], heap, k, prune);
+    std::sort_heap(heap.begin(), heap.end(), HeapCmp{});
+    out[i] = std::move(heap);
+  }, /*grain=*/16);
+  return out;
+}
+
+// --- DPC dependent point (priority 1NN, §6.1) ---------------------------------
+
+namespace {
+// Strictly-higher-priority order: (prio, id) lexicographic.
+bool higher(double prio, PointId id, double q_prio, PointId self) {
+  return prio > q_prio || (prio == q_prio && id > self);
+}
+}  // namespace
+
+void PimKdTree::dep_rec(Cursor& cur, NodeId nid, const Point& q, double q_prio,
+                        PointId self, Neighbor& best) const {
+  const std::size_t mark = cur.mark();
+  cur.visit(nid);
+  const NodeRec& n = pool_.at(nid);
+  // Priority pruning: skip subtrees with no higher-priority point.
+  if (n.max_priority_id == kInvalidPoint ||
+      !higher(n.max_priority, n.max_priority_id, q_prio, self) ||
+      n.box.sq_dist_to(q, cfg_.dim) >= best.sq_dist) {
+    cur.release(mark);
+    return;
+  }
+  if (n.is_leaf()) {
+    cur.charge_work(n.leaf_pts.size());
+    for (const PointId id : n.leaf_pts) {
+      if (!alive_[id] || !higher(priorities_[id], id, q_prio, self)) continue;
+      const Coord d2 = sq_dist(all_points_[id], q, cfg_.dim);
+      if (d2 < best.sq_dist || (d2 == best.sq_dist && id < best.id))
+        best = Neighbor{id, d2};
+    }
+    cur.release(mark);
+    return;
+  }
+  const bool left_first = q[n.split_dim] < n.split_val;
+  const NodeId first = left_first ? n.left : n.right;
+  const NodeId second = left_first ? n.right : n.left;
+  dep_rec(cur, first, q, q_prio, self, best);
+  if (pool_.at(second).box.sq_dist_to(q, cfg_.dim) < best.sq_dist)
+    dep_rec(cur, second, q, q_prio, self, best);
+  cur.release(mark);
+}
+
+std::vector<Neighbor> PimKdTree::dependent_points(
+    std::span<const Point> queries, std::span<const double> query_priority,
+    std::span<const PointId> self_id) {
+  assert(queries.size() == query_priority.size() &&
+         queries.size() == self_id.size());
+  assert(!priorities_.empty() && "call set_priorities first");
+  pim::RoundGuard round(sys_.metrics());
+  std::vector<Neighbor> out(
+      queries.size(),
+      Neighbor{kInvalidPoint, std::numeric_limits<Coord>::infinity()});
+  if (root_ == kNoNode) return out;
+  parallel_for(0, queries.size(), [&](std::size_t i) {
+    const std::size_t start = i % sys_.P();
+    sys_.metrics().add_comm(start, kQueryWords);
+    Cursor cur(cfg_, pool_, store_, sys_.metrics(), start);
+    dep_rec(cur, root_, queries[i], query_priority[i], self_id[i], out[i]);
+  }, /*grain=*/16);
+  return out;
+}
+
+void PimKdTree::set_priorities(std::span<const double> priority_by_id) {
+  assert(priority_by_id.size() >= all_points_.size());
+  priorities_.assign(priority_by_id.begin(), priority_by_id.end());
+  pim::RoundGuard round(sys_.metrics());
+  // Recompute per-node (max-priority, id) aggregates bottom-up and refresh
+  // every copy — two words per copy, charged like a counter broadcast.
+  auto rec = [&](auto&& self, NodeId nid) -> void {
+    NodeRec& n = pool_.at(nid);
+    n.max_priority = 0;
+    n.max_priority_id = kInvalidPoint;
+    auto fold = [&](double prio, PointId id) {
+      if (id == kInvalidPoint) return;
+      if (n.max_priority_id == kInvalidPoint || prio > n.max_priority ||
+          (prio == n.max_priority && id > n.max_priority_id)) {
+        n.max_priority = prio;
+        n.max_priority_id = id;
+      }
+    };
+    if (n.is_leaf()) {
+      for (const PointId id : n.leaf_pts)
+        if (alive_[id]) fold(priorities_[id], id);
+    } else {
+      self(self, n.left);
+      self(self, n.right);
+      const NodeRec& l = pool_.at(n.left);
+      const NodeRec& r = pool_.at(n.right);
+      fold(l.max_priority, l.max_priority_id);
+      fold(r.max_priority, r.max_priority_id);
+    }
+    for (const std::uint32_t m : store_.copy_modules(nid)) {
+      sys_.metrics().add_comm(m, 2);
+      sys_.metrics().add_module_work(m, 1);
+    }
+  };
+  if (root_ != kNoNode) rec(rec, root_);
+}
+
+}  // namespace pimkd::core

@@ -1,0 +1,220 @@
+// PIM-kd-tree — the paper's primary contribution (§3, §4).
+//
+// A batch-dynamic, alpha-balanced kd-tree distributed over P simulated PIM
+// modules with:
+//   * log-star decomposition by subtree size (§3.1, Figure 1),
+//   * dual-way intra-group caching (top-down subtree replicas + bottom-up
+//     ancestor chains) with Group 0 replicated on all modules (Figure 2),
+//   * approximate probabilistic counters as subtree-size metadata (§3.3),
+//   * push-pull batched search for skew-resistant load balance (§3.4),
+//   * optional delayed construction of oversized Group-1 components (§3.4),
+//   * batch construction (Algorithm 2), LeafSearch (Algorithm 4), Insert /
+//     Delete with partial reconstruction (§4.2), kNN / (1+eps)-ANN, and
+//     orthogonal range / radius queries (§4.3).
+// All operations charge the Metrics ledger; benches compare those counters
+// against the Table 1 bounds.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/cursor.hpp"
+#include "core/decomposition.hpp"
+#include "core/storage.hpp"
+#include "core/tree.hpp"
+#include "kdtree/bruteforce.hpp"
+#include "pim/system.hpp"
+#include "util/random.hpp"
+
+namespace pimkd::core {
+
+class PimKdTree {
+ public:
+  explicit PimKdTree(const PimKdConfig& cfg);
+  PimKdTree(const PimKdConfig& cfg, std::span<const Point> pts);
+
+  PimKdTree(const PimKdTree&) = delete;
+  PimKdTree& operator=(const PimKdTree&) = delete;
+
+  // --- Basic accessors -------------------------------------------------------
+  const PimKdConfig& config() const { return cfg_; }
+  std::size_t size() const { return live_; }
+  std::size_t P() const { return sys_.P(); }
+  pim::Metrics& metrics() { return sys_.metrics(); }
+  const pim::Metrics& metrics() const { return sys_.metrics(); }
+  const Point& point(PointId id) const { return all_points_[id]; }
+  bool is_live(PointId id) const { return id < alive_.size() && alive_[id]; }
+
+  // --- Batch-dynamic updates (§4.2) -----------------------------------------
+  // Inserts a batch; returns the stable PointIds assigned.
+  std::vector<PointId> insert(std::span<const Point> pts);
+  // Deletes a batch by id; ids not live are ignored.
+  void erase(std::span<const PointId> ids);
+
+  // --- Batched queries (§4.1, §4.3) ------------------------------------------
+  // Algorithm 4: the leaf node each query point would reside in.
+  std::vector<NodeId> leaf_search(std::span<const Point> queries);
+  // Batched k nearest neighbors; eps > 0 gives (1+eps)-approximate kNN.
+  std::vector<std::vector<Neighbor>> knn(std::span<const Point> queries,
+                                         std::size_t k, double eps = 0.0);
+  // Batched orthogonal range query; each result sorted ascending.
+  std::vector<std::vector<PointId>> range(std::span<const Box> boxes);
+  // Batched radius report / count (used by DPC density computation).
+  std::vector<std::vector<PointId>> radius(std::span<const Point> centers,
+                                           Coord r);
+  std::vector<std::size_t> radius_count(std::span<const Point> centers,
+                                        Coord r);
+
+  // --- Priority search (DPC §6.1) --------------------------------------------
+  // Attaches a priority to every live point and rebuilds the per-node
+  // (max-priority) aggregates bottom-up; must be called before
+  // dependent_points. Priorities are indexed by PointId.
+  void set_priorities(std::span<const double> priority_by_id);
+  // For each query i: the nearest live point whose (priority, id) pair
+  // strictly exceeds (query_priority[i], self_id[i]) — the DPC "dependent
+  // point". Returns kInvalidPoint when no higher-priority point exists.
+  std::vector<Neighbor> dependent_points(std::span<const Point> queries,
+                                         std::span<const double> query_priority,
+                                         std::span<const PointId> self_id);
+
+  // --- Delayed construction (§3.4) -------------------------------------------
+  std::size_t unfinished_components() const { return unfinished_.size(); }
+  void finish_delayed_components();
+
+  // --- Introspection (tests and benches) -------------------------------------
+  // Cumulative update-path event counters (cleared with reset_op_stats).
+  struct OpStats {
+    std::uint64_t rebuilds = 0;          // partial reconstructions
+    std::uint64_t rebuild_points = 0;    // points folded into reconstructions
+    std::uint64_t group_changes = 0;     // promotions/demotions applied
+    std::uint64_t comps_rematerialized = 0;
+    std::uint64_t counter_updates = 0;   // successful Algorithm-3 attempts
+    // Communication words by cause (diagnostic; sums to ~total comm).
+    std::uint64_t words_materialize = 0;
+    std::uint64_t words_rebuild_collect = 0;
+    std::uint64_t words_counters = 0;
+    std::uint64_t words_route = 0;
+    std::uint64_t words_payload = 0;
+  };
+  const OpStats& op_stats() const { return op_stats_; }
+  void reset_op_stats() { op_stats_ = OpStats{}; }
+
+  NodeId root() const { return root_; }
+  const NodePool& pool() const { return pool_; }
+  const DistStore& store() const { return store_; }
+  std::size_t height() const;
+  std::size_t num_nodes() const { return pool_.size(); }
+  std::span<const double> thresholds() const { return thresholds_; }
+  // Per-group structure (Figure 1 / Lemmas 3.1-3.2).
+  std::vector<GroupStats> decomposition_stats() const;
+  // Total words stored across modules (Theorem 3.3).
+  std::uint64_t storage_words() const { return sys_.metrics().total_storage(); }
+  // Validates: exact sizes, counter accuracy vs alpha-balance, group ids
+  // derived from counters, component structure, copy placement (masters +
+  // caches present exactly where the strategy says), counter replica sync,
+  // and leaf payload replication. Aborts via assert/returns false on damage.
+  bool check_invariants() const;
+
+ private:
+  // Work-charging targets for build_subtree.
+  static constexpr std::size_t kWorkCpu = static_cast<std::size_t>(-1);
+  static constexpr std::size_t kWorkByHash = static_cast<std::size_t>(-2);
+
+  // --- Construction machinery (build.cpp) ------------------------------------
+  NodeId build_subtree(std::vector<PointId> ids, NodeId parent,
+                       std::uint32_t depth, Rng rng, std::size_t work_module);
+  bool choose_split(const std::vector<PointId>& ids, const Box& box, Rng& rng,
+                    int& out_dim, Coord& out_val) const;
+  void full_build(std::vector<PointId> ids);
+  NodeId rebuild_subtree(NodeId old_subtree, std::vector<PointId> extra,
+                         bool drop_dead);
+  // Group / component maintenance.
+  void assign_groups_subtree(NodeId subtree);
+  void assign_components_subtree(NodeId subtree);
+  std::vector<NodeId> component_members(NodeId comp_root) const;
+  void materialize_component(NodeId comp_root);
+  void materialize_pair_caches(NodeId comp_root);
+  void demolish_component(NodeId comp_root);
+  // Which caching directions apply to a component in this group (respects
+  // CachingMode and the §5 cached_groups knob).
+  struct CacheFlags {
+    bool topdown = false;
+    bool bottomup = false;
+  };
+  CacheFlags cache_flags(int group) const;
+  // Incremental component maintenance: v joins / leaves a component as a
+  // member without same-group descendants. Only the pair copies incident to
+  // v move; the rest of the component is untouched. Far cheaper than
+  // demolish + rematerialize for the common one-node promotions.
+  void fast_join_member(NodeId v);   // v.comp_root must already be set
+  void fast_leave_member(NodeId v);  // call before changing v's fields
+  // Bottom-up chain copies that members of the enclosing component inside
+  // `subtree` hold for ancestors outside it — removed before the subtree is
+  // destroyed (the rest of their copies die with the registry entries).
+  void detach_subtree_from_parent_comp(NodeId subtree_root);
+  // Masters + pair copies for fresh-subtree nodes that joined the enclosing
+  // component (their comp_root points above the subtree).
+  void attach_subtree_to_parent_comp(NodeId subtree_root);
+  void demolish_subtree_storage(NodeId subtree);
+  void destroy_subtree_mirror(NodeId subtree);
+  void collect_subtree_points(NodeId subtree, std::vector<PointId>& out,
+                              bool charge) ;
+  void splice(NodeId parent, NodeId old_child, NodeId new_child);
+  // Re-derives groups on the root paths above all touched nodes and repairs
+  // every component whose membership changed (promotions / demotions, §4.2
+  // stage 2). Batched so that a component — in particular the P-way
+  // replicated Group 0 — is re-materialized at most once per update batch.
+  void repair_groups_batch(const std::vector<NodeId>& touched);
+  std::uint64_t push_pull_threshold() const;
+
+  // --- Counters (update.cpp) --------------------------------------------------
+  // One Algorithm-3 attempt at `lowest` (the lowest search-path node of its
+  // group); on success applies the delta to it and its in-group ancestors and
+  // broadcasts to all copies. `sign` is +1 (insert) or -1 (delete).
+  void counter_attempt(NodeId lowest, int sign);
+  void set_counter(NodeId id, double value, bool broadcast);
+
+  // --- Batched routing (leafsearch.cpp / update.cpp) ---------------------------
+  struct RouteStop {
+    NodeId node = kNoNode;    // leaf reached, or imbalanced node (updates)
+    bool imbalanced = false;
+  };
+  // Shared group-by-group push-pull descent. `update_sign`: 0 = pure search,
+  // +1/-1 = insert/delete helper (counter updates + imbalance detection).
+  std::vector<RouteStop> route_batch(std::span<const Point> queries,
+                                     int update_sign);
+  bool counters_violated(NodeId interior) const;
+
+  // --- Query recursion (knn.cpp / range.cpp) -----------------------------------
+  void knn_rec(Cursor& cur, NodeId nid, const Point& q,
+               std::vector<Neighbor>& heap, std::size_t k, double prune) const;
+  void dep_rec(Cursor& cur, NodeId nid, const Point& q, double q_prio,
+               PointId self, Neighbor& best) const;
+  void range_rec(Cursor& cur, NodeId nid, const Box& box,
+                 std::vector<PointId>& out) const;
+  void radius_rec(Cursor& cur, NodeId nid, const Point& q, Coord r2,
+                  std::vector<PointId>* out, std::size_t& cnt) const;
+
+  std::size_t height_rec(NodeId nid) const;
+  bool check_node_invariants(NodeId nid, std::uint64_t& size_out) const;
+
+  PimKdConfig cfg_;
+  pim::PimSystem<ModuleState> sys_;
+  NodePool pool_;
+  DistStore store_;
+  Rng rng_;
+  std::vector<double> thresholds_;
+
+  NodeId root_ = kNoNode;
+  std::vector<Point> all_points_;
+  std::vector<char> alive_;
+  std::vector<double> priorities_;  // empty unless set_priorities was called
+  std::size_t live_ = 0;
+  std::size_t peak_live_ = 0;  // high-water mark since the last full rebuild
+  std::vector<NodeId> unfinished_;  // delayed-construction component roots
+  OpStats op_stats_;
+};
+
+}  // namespace pimkd::core

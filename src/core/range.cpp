@@ -1,0 +1,104 @@
+// Orthogonal range and radius queries (§4.3, Lemma 4.7) through the Cursor.
+#include <algorithm>
+
+#include "core/pim_kdtree.hpp"
+#include "parallel/primitives.hpp"
+
+namespace pimkd::core {
+
+void PimKdTree::range_rec(Cursor& cur, NodeId nid, const Box& box,
+                          std::vector<PointId>& out) const {
+  const std::size_t mark = cur.mark();
+  cur.visit(nid);
+  const NodeRec& n = pool_.at(nid);
+  if (!box.intersects(n.box, cfg_.dim)) {
+    cur.release(mark);
+    return;
+  }
+  if (n.is_leaf()) {
+    cur.charge_work(n.leaf_pts.size());
+    for (const PointId id : n.leaf_pts)
+      if (box.contains(all_points_[id], cfg_.dim)) out.push_back(id);
+    cur.release(mark);
+    return;
+  }
+  range_rec(cur, n.left, box, out);
+  range_rec(cur, n.right, box, out);
+  cur.release(mark);
+}
+
+std::vector<std::vector<PointId>> PimKdTree::range(
+    std::span<const Box> boxes) {
+  pim::RoundGuard round(sys_.metrics());
+  std::vector<std::vector<PointId>> out(boxes.size());
+  if (root_ == kNoNode) return out;
+  parallel_for(0, boxes.size(), [&](std::size_t i) {
+    const std::size_t start = i % sys_.P();
+    sys_.metrics().add_comm(start, kQueryWords);
+    Cursor cur(cfg_, pool_, store_, sys_.metrics(), start);
+    range_rec(cur, root_, boxes[i], out[i]);
+    // Each reported point crosses off-chip once (result collection).
+    sys_.metrics().add_comm(start, out[i].size());
+    std::sort(out[i].begin(), out[i].end());
+  }, /*grain=*/8);
+  return out;
+}
+
+void PimKdTree::radius_rec(Cursor& cur, NodeId nid, const Point& q, Coord r2,
+                           std::vector<PointId>* out, std::size_t& cnt) const {
+  const std::size_t mark = cur.mark();
+  cur.visit(nid);
+  const NodeRec& n = pool_.at(nid);
+  if (!n.box.intersects_ball(q, r2, cfg_.dim)) {
+    cur.release(mark);
+    return;
+  }
+  if (n.is_leaf()) {
+    cur.charge_work(n.leaf_pts.size());
+    for (const PointId id : n.leaf_pts) {
+      if (sq_dist(all_points_[id], q, cfg_.dim) <= r2) {
+        ++cnt;
+        if (out) out->push_back(id);
+      }
+    }
+    cur.release(mark);
+    return;
+  }
+  radius_rec(cur, n.left, q, r2, out, cnt);
+  radius_rec(cur, n.right, q, r2, out, cnt);
+  cur.release(mark);
+}
+
+std::vector<std::vector<PointId>> PimKdTree::radius(
+    std::span<const Point> centers, Coord r) {
+  pim::RoundGuard round(sys_.metrics());
+  std::vector<std::vector<PointId>> out(centers.size());
+  if (root_ == kNoNode) return out;
+  parallel_for(0, centers.size(), [&](std::size_t i) {
+    const std::size_t start = i % sys_.P();
+    sys_.metrics().add_comm(start, kQueryWords);
+    Cursor cur(cfg_, pool_, store_, sys_.metrics(), start);
+    std::size_t cnt = 0;
+    radius_rec(cur, root_, centers[i], r * r, &out[i], cnt);
+    sys_.metrics().add_comm(start, out[i].size());
+    std::sort(out[i].begin(), out[i].end());
+  }, /*grain=*/8);
+  return out;
+}
+
+std::vector<std::size_t> PimKdTree::radius_count(
+    std::span<const Point> centers, Coord r) {
+  pim::RoundGuard round(sys_.metrics());
+  std::vector<std::size_t> out(centers.size(), 0);
+  if (root_ == kNoNode) return out;
+  parallel_for(0, centers.size(), [&](std::size_t i) {
+    const std::size_t start = i % sys_.P();
+    sys_.metrics().add_comm(start, kQueryWords);
+    Cursor cur(cfg_, pool_, store_, sys_.metrics(), start);
+    radius_rec(cur, root_, centers[i], r * r, nullptr, out[i]);
+    sys_.metrics().add_comm(start, 1);  // count travels back
+  }, /*grain=*/8);
+  return out;
+}
+
+}  // namespace pimkd::core

@@ -1,0 +1,163 @@
+#include "core/storage.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pimkd::core {
+
+std::uint64_t DistStore::copy_words(const NodeRec& rec) const {
+  (void)rec;
+  return node_words(cfg_.dim);
+}
+
+void DistStore::add_copy(NodeId id, std::size_t module) {
+  assert(sys_.metrics().in_round());
+  const NodeRec& rec = pool_.at(id);
+  ModuleState& st = sys_.module(module);
+  Copy& copy = st.nodes[id];
+  ++copy.refs;
+  copy.counter = rec.counter;
+  std::uint64_t words = copy_words(rec);
+  if (rec.is_leaf() && copy.refs == 1) {
+    st.leaf_points[id] = rec.leaf_pts;
+    words += static_cast<std::uint64_t>(rec.leaf_pts.size()) *
+             point_words(cfg_.dim);
+  }
+  sys_.metrics().add_comm(module, words);
+  sys_.metrics().add_storage(module, static_cast<std::int64_t>(words));
+  registry_[id].push_back(static_cast<std::uint32_t>(module));
+}
+
+void DistStore::remove_all_copies(NodeId id) {
+  const auto it = registry_.find(id);
+  if (it == registry_.end()) return;
+  const NodeRec& rec = pool_.at(id);
+  for (const std::uint32_t module : it->second) {
+    ModuleState& st = sys_.module(module);
+    const auto cit = st.nodes.find(id);
+    assert(cit != st.nodes.end() && cit->second.refs > 0);
+    std::uint64_t words = copy_words(rec);
+    if (--cit->second.refs == 0) {
+      if (rec.is_leaf()) {
+        const auto lit = st.leaf_points.find(id);
+        if (lit != st.leaf_points.end()) {
+          words += static_cast<std::uint64_t>(lit->second.size()) *
+                   point_words(cfg_.dim);
+          st.leaf_points.erase(lit);
+        }
+      }
+      st.nodes.erase(cit);
+    }
+    sys_.metrics().add_storage(module, -static_cast<std::int64_t>(words));
+  }
+  registry_.erase(it);
+}
+
+void DistStore::remove_one_copy(NodeId id, std::size_t module) {
+  const auto rit = registry_.find(id);
+  if (rit == registry_.end()) {
+    std::fprintf(stderr,
+                 "DistStore::remove_one_copy: node %llu has no copies\n",
+                 static_cast<unsigned long long>(id));
+    std::abort();
+  }
+  auto& mods = rit->second;
+  const auto pos =
+      std::find(mods.begin(), mods.end(), static_cast<std::uint32_t>(module));
+  if (pos == mods.end()) {
+    std::fprintf(stderr,
+                 "DistStore::remove_one_copy: node %llu absent on module %zu "
+                 "(%zu copies elsewhere)\n",
+                 static_cast<unsigned long long>(id), module, mods.size());
+    std::abort();
+  }
+  mods.erase(pos);
+  const NodeRec& rec = pool_.at(id);
+  ModuleState& st = sys_.module(module);
+  const auto cit = st.nodes.find(id);
+  assert(cit != st.nodes.end() && cit->second.refs > 0);
+  std::uint64_t words = copy_words(rec);
+  if (--cit->second.refs == 0) {
+    if (rec.is_leaf()) {
+      const auto lit = st.leaf_points.find(id);
+      if (lit != st.leaf_points.end()) {
+        words += static_cast<std::uint64_t>(lit->second.size()) *
+                 point_words(cfg_.dim);
+        st.leaf_points.erase(lit);
+      }
+    }
+    st.nodes.erase(cit);
+  }
+  sys_.metrics().add_storage(module, -static_cast<std::int64_t>(words));
+  if (mods.empty()) registry_.erase(rit);
+}
+
+bool DistStore::module_has(std::size_t module, NodeId id) const {
+  const ModuleState& st = sys_.module(module);
+  return st.nodes.count(id) != 0;
+}
+
+const std::vector<std::uint32_t>& DistStore::copy_modules(NodeId id) const {
+  const auto it = registry_.find(id);
+  return it == registry_.end() ? empty_ : it->second;
+}
+
+std::size_t DistStore::copy_count(NodeId id) const {
+  return copy_modules(id).size();
+}
+
+void DistStore::write_counter_copies(NodeId id, bool charge_comm) {
+  assert(sys_.metrics().in_round());
+  const NodeRec& rec = pool_.at(id);
+  for (const std::uint32_t module : copy_modules(id)) {
+    ModuleState& st = sys_.module(module);
+    const auto it = st.nodes.find(id);
+    assert(it != st.nodes.end());
+    it->second.counter = rec.counter;
+    if (charge_comm) sys_.metrics().add_comm(module, kCounterWords);
+    sys_.metrics().add_module_work(module, 1);
+  }
+}
+
+void DistStore::refresh_leaf_payload(NodeId leaf, std::uint64_t words_changed) {
+  assert(sys_.metrics().in_round());
+  const NodeRec& rec = pool_.at(leaf);
+  assert(rec.is_leaf());
+  const auto& mods = copy_modules(leaf);
+  // Deduplicate modules: the payload is stored once per module.
+  std::vector<std::uint32_t> uniq(mods.begin(), mods.end());
+  std::sort(uniq.begin(), uniq.end());
+  uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+  for (const std::uint32_t module : uniq) {
+    ModuleState& st = sys_.module(module);
+    auto& stored = st.leaf_points[leaf];
+    const auto old_words = static_cast<std::int64_t>(stored.size()) *
+                           static_cast<std::int64_t>(point_words(cfg_.dim));
+    stored = rec.leaf_pts;
+    const auto new_words = static_cast<std::int64_t>(stored.size()) *
+                           static_cast<std::int64_t>(point_words(cfg_.dim));
+    sys_.metrics().add_comm(module, words_changed);
+    sys_.metrics().add_module_work(module, 1 + words_changed);
+    sys_.metrics().add_storage(module, new_words - old_words);
+  }
+}
+
+std::uint64_t DistStore::node_storage_words(NodeId id) const {
+  const auto it = registry_.find(id);
+  if (it == registry_.end()) return 0;
+  const NodeRec& rec = pool_.at(id);
+  std::uint64_t words =
+      static_cast<std::uint64_t>(it->second.size()) * node_words(cfg_.dim);
+  if (rec.is_leaf()) {
+    std::vector<std::uint32_t> uniq(it->second.begin(), it->second.end());
+    std::sort(uniq.begin(), uniq.end());
+    uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+    words += static_cast<std::uint64_t>(uniq.size()) * rec.leaf_pts.size() *
+             point_words(cfg_.dim);
+  }
+  return words;
+}
+
+}  // namespace pimkd::core

@@ -1,0 +1,96 @@
+// Distributed storage of the PIM-kd-tree (§3.1's replication strategies).
+//
+// Every tree node has one *master* copy on module h(id) plus cache copies:
+//   * Group 0 nodes are replicated on all P modules,
+//   * a Group j>=1 node d is copied onto h(a) for every ancestor a of d in
+//     the same intra-group component (a's top-down cache), and
+//   * a node a is copied onto h(d) for every component descendant d (d's
+//     bottom-up ancestor chain),
+// per the active CachingMode. Leaf payloads travel with leaf-node copies.
+//
+// DistStore physically stores copies in per-module maps (so per-module space
+// and load are measurable and traversals can assert a node is really present
+// where the algorithm claims), keeps a host-side registry of copy locations
+// (so demolition and counter broadcast are exact), and charges Metrics for
+// every word it ships.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/tree.hpp"
+#include "pim/system.hpp"
+#include "util/geometry.hpp"
+
+namespace pimkd::core {
+
+struct Copy {
+  double counter = 0;     // this copy's replica of the approximate counter
+  std::uint32_t refs = 0; // same node cached on this module via several owners
+};
+
+struct ModuleState {
+  std::unordered_map<NodeId, Copy> nodes;
+  std::unordered_map<NodeId, std::vector<PointId>> leaf_points;
+};
+
+class DistStore {
+ public:
+  DistStore(const PimKdConfig& cfg, pim::PimSystem<ModuleState>& sys,
+            NodePool& pool)
+      : cfg_(cfg), sys_(sys), pool_(pool) {}
+
+  std::size_t master_of(NodeId id) const { return sys_.module_of(id); }
+
+  // Adds one copy of `id` on `module`, shipping the node record (and the
+  // leaf payload if `id` is a leaf) from the CPU: charges communication and
+  // storage. Must be called inside a round.
+  void add_copy(NodeId id, std::size_t module);
+
+  // Removes every copy of `id` everywhere (node destroyed or component being
+  // re-materialized). Frees storage; dropping data charges nothing.
+  void remove_all_copies(NodeId id);
+
+  // Removes exactly one copy of `id` from `module` (incremental component
+  // maintenance when a node leaves a component). The copy must exist.
+  void remove_one_copy(NodeId id, std::size_t module);
+
+  // Is a copy of `id` present on `module`? (Traversal assertion hook.)
+  bool module_has(std::size_t module, NodeId id) const;
+
+  // All modules currently holding a copy (with multiplicity; master first if
+  // present). Used for counter broadcast cost accounting.
+  const std::vector<std::uint32_t>& copy_modules(NodeId id) const;
+  std::size_t copy_count(NodeId id) const;
+
+  // Broadcasts the node's canonical counter value to every copy; charges one
+  // word of communication and one unit of PIM work per copy written.
+  void broadcast_counter(NodeId id) { write_counter_copies(id, true); }
+  // Same write, but charged as module-local work only. Used for the in-group
+  // ancestor chain updates of §3.3/Lemma 4.2: the message that reaches a
+  // module carrying a copy of the lowest node lets its PIM core walk the
+  // locally cached ancestor chain, so those updates cost PIM work, not
+  // off-chip words.
+  void sync_counter_local(NodeId id) { write_counter_copies(id, false); }
+
+  // Re-ships the leaf payload of `leaf` (already updated in the mirror) to
+  // every module holding a copy; charges `words_changed` words per module.
+  void refresh_leaf_payload(NodeId leaf, std::uint64_t words_changed);
+
+  // Words currently attributed to stored state (matches Metrics storage).
+  std::uint64_t node_storage_words(NodeId id) const;
+
+ private:
+  std::uint64_t copy_words(const NodeRec& rec) const;
+  void write_counter_copies(NodeId id, bool charge_comm);
+
+  const PimKdConfig& cfg_;
+  pim::PimSystem<ModuleState>& sys_;
+  NodePool& pool_;
+  std::unordered_map<NodeId, std::vector<std::uint32_t>> registry_;
+  std::vector<std::uint32_t> empty_;
+};
+
+}  // namespace pimkd::core

@@ -1,0 +1,81 @@
+// Host-side mirror of the PIM-kd-tree topology.
+//
+// The host CPU in the PIM Model orchestrates every operation, so it knows the
+// tree's shape (ids, children, groups). The mirror holds exactly that
+// orchestration state plus the *exact* subtree sizes used as a testing
+// oracle; the per-copy approximate counters and leaf payloads live in module
+// storage (core/storage.hpp), which is the ground the cost accounting stands
+// on. NodeIds are never reused, so stale references are detectable.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/geometry.hpp"
+
+namespace pimkd::core {
+
+using NodeId = std::uint64_t;
+inline constexpr NodeId kNoNode = 0;
+
+struct NodeRec {
+  NodeId id = kNoNode;
+  NodeId parent = kNoNode;
+  NodeId left = kNoNode;
+  NodeId right = kNoNode;
+  Box box;
+  Coord split_val = 0;
+  std::int16_t split_dim = -1;  // -1 => leaf
+  std::uint64_t exact_size = 0; // ground truth (oracle; not used by algorithms)
+  double counter = 0;           // canonical approximate-counter value
+  int group = 0;                // log-star group (recomputed from counter)
+  NodeId comp_root = kNoNode;   // root of this node's intra-group component
+  bool comp_finished = true;    // false while delayed construction is pending
+  std::uint32_t depth = 0;      // distance from the tree root (ancestry tests)
+  double max_priority = 0;      // max point priority in subtree (DPC, §6.1)
+  PointId max_priority_id = kInvalidPoint;
+  std::vector<PointId> leaf_pts;  // orchestration copy of the leaf payload
+  bool is_leaf() const { return split_dim < 0; }
+};
+
+class NodePool {
+ public:
+  NodeId create() {
+    const NodeId id = next_id_++;
+    nodes_.emplace(id, NodeRec{});
+    nodes_[id].id = id;
+    return id;
+  }
+
+  void destroy(NodeId id) {
+    const auto erased = nodes_.erase(id);
+    assert(erased == 1);
+    (void)erased;
+  }
+
+  NodeRec& at(NodeId id) {
+    const auto it = nodes_.find(id);
+    assert(it != nodes_.end());
+    return it->second;
+  }
+  const NodeRec& at(NodeId id) const {
+    const auto it = nodes_.find(id);
+    assert(it != nodes_.end());
+    return it->second;
+  }
+  bool contains(NodeId id) const { return nodes_.count(id) != 0; }
+  std::size_t size() const { return nodes_.size(); }
+
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [id, rec] : nodes_) fn(rec);
+  }
+
+ private:
+  std::unordered_map<NodeId, NodeRec> nodes_;
+  NodeId next_id_ = 1;
+};
+
+}  // namespace pimkd::core

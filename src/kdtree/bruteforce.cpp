@@ -1,0 +1,40 @@
+#include "kdtree/bruteforce.hpp"
+
+#include <algorithm>
+
+namespace pimkd {
+
+std::vector<Neighbor> brute_knn(std::span<const Point> pts, int dim,
+                                const Point& q, std::size_t k) {
+  std::vector<Neighbor> all(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    all[i] = Neighbor{static_cast<PointId>(i), sq_dist(pts[i], q, dim)};
+  const std::size_t kk = std::min(k, all.size());
+  auto cmp = [](const Neighbor& a, const Neighbor& b) {
+    return a.sq_dist != b.sq_dist ? a.sq_dist < b.sq_dist : a.id < b.id;
+  };
+  std::partial_sort(all.begin(),
+                    all.begin() + static_cast<std::ptrdiff_t>(kk), all.end(),
+                    cmp);
+  all.resize(kk);
+  return all;
+}
+
+std::vector<PointId> brute_range(std::span<const Point> pts, int dim,
+                                 const Box& box) {
+  std::vector<PointId> out;
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    if (box.contains(pts[i], dim)) out.push_back(static_cast<PointId>(i));
+  return out;
+}
+
+std::vector<PointId> brute_radius(std::span<const Point> pts, int dim,
+                                  const Point& q, Coord r) {
+  std::vector<PointId> out;
+  const Coord r2 = r * r;
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    if (sq_dist(pts[i], q, dim) <= r2) out.push_back(static_cast<PointId>(i));
+  return out;
+}
+
+}  // namespace pimkd

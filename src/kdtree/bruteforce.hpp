@@ -1,0 +1,32 @@
+// Brute-force reference implementations used as ground truth in tests and as
+// the "exact answer" oracle in benches.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/geometry.hpp"
+
+namespace pimkd {
+
+struct Neighbor {
+  PointId id = kInvalidPoint;
+  Coord sq_dist = 0;
+  friend bool operator==(const Neighbor&, const Neighbor&) = default;
+};
+
+// k nearest neighbors of q among pts (ids are indices into pts), sorted by
+// ascending distance; ties broken by id for determinism.
+std::vector<Neighbor> brute_knn(std::span<const Point> pts, int dim,
+                                const Point& q, std::size_t k);
+
+// Ids of all points inside the box, ascending.
+std::vector<PointId> brute_range(std::span<const Point> pts, int dim,
+                                 const Box& box);
+
+// Ids of all points with euclidean distance <= r from q, ascending.
+std::vector<PointId> brute_radius(std::span<const Point> pts, int dim,
+                                  const Point& q, Coord r);
+
+}  // namespace pimkd

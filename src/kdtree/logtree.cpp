@@ -1,0 +1,157 @@
+#include "kdtree/logtree.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pimkd {
+
+namespace {
+constexpr std::size_t kBase = 8;  // slot i capacity = kBase << i
+std::size_t capacity_of(std::size_t slot) { return kBase << slot; }
+}  // namespace
+
+std::size_t LogTree::num_subtrees() const {
+  std::size_t c = 0;
+  for (const auto& s : slots_)
+    if (s.tree) ++c;
+  return c;
+}
+
+std::vector<PointId> LogTree::insert(std::span<const Point> pts) {
+  std::vector<PointId> new_ids;
+  new_ids.reserve(pts.size());
+  for (const Point& p : pts) {
+    const auto id = static_cast<PointId>(all_points_.size());
+    all_points_.push_back(p);
+    alive_.push_back(1);
+    new_ids.push_back(id);
+  }
+  live_ += pts.size();
+
+  // Carry: fold slots into the batch until some slot can hold everything.
+  std::vector<PointId> collect = new_ids;
+  std::size_t j = 0;
+  for (;;) {
+    if (j >= slots_.size()) slots_.resize(j + 1);
+    if (!slots_[j].tree && capacity_of(j) >= collect.size()) break;
+    if (slots_[j].tree) {
+      for (const PointId id : slots_[j].members)
+        if (alive_[id]) collect.push_back(id);
+      slots_[j].tree.reset();
+      slots_[j].members.clear();
+    }
+    ++j;
+  }
+  if (!collect.empty()) {
+    std::vector<Point> ps;
+    ps.reserve(collect.size());
+    for (const PointId id : collect) ps.push_back(all_points_[id]);
+    slots_[j].tree = std::make_unique<StaticKdTree>(
+        StaticKdTree::Config{cfg_.dim, cfg_.leaf_cap}, ps, collect);
+    slots_[j].members = std::move(collect);
+  }
+  return new_ids;
+}
+
+void LogTree::erase(std::span<const PointId> ids) {
+  for (const PointId id : ids) {
+    if (id < alive_.size() && alive_[id]) {
+      alive_[id] = 0;
+      --live_;
+      ++dead_;
+    }
+  }
+  if (dead_ > 0 && dead_ >= live_) rebuild_all();
+}
+
+void LogTree::rebuild_all() {
+  std::vector<PointId> survivors;
+  survivors.reserve(live_);
+  for (auto& s : slots_) {
+    if (!s.tree) continue;
+    for (const PointId id : s.members)
+      if (alive_[id]) survivors.push_back(id);
+    s.tree.reset();
+    s.members.clear();
+  }
+  dead_ = 0;
+  if (survivors.empty()) return;
+  std::size_t j = 0;
+  while (capacity_of(j) < survivors.size()) ++j;
+  if (j >= slots_.size()) slots_.resize(j + 1);
+  std::vector<Point> ps;
+  ps.reserve(survivors.size());
+  for (const PointId id : survivors) ps.push_back(all_points_[id]);
+  slots_[j].tree = std::make_unique<StaticKdTree>(
+      StaticKdTree::Config{cfg_.dim, cfg_.leaf_cap}, ps, survivors);
+  slots_[j].members = std::move(survivors);
+}
+
+std::vector<Neighbor> LogTree::knn(const Point& q, std::size_t k) const {
+  std::vector<Neighbor> merged;
+  for (const auto& s : slots_) {
+    if (!s.tree) continue;
+    // Over-fetch by the number of tombstones that may pollute this tree's
+    // answer, then filter; dead_ bounds the pollution across all trees.
+    const std::size_t want = std::min(s.tree->size(), k + dead_);
+    auto local = s.tree->knn(q, want);
+    for (const Neighbor& nb : local)
+      if (alive_[nb.id]) merged.push_back(nb);
+  }
+  auto cmp = [](const Neighbor& a, const Neighbor& b) {
+    return a.sq_dist != b.sq_dist ? a.sq_dist < b.sq_dist : a.id < b.id;
+  };
+  std::sort(merged.begin(), merged.end(), cmp);
+  if (merged.size() > k) merged.resize(k);
+  return merged;
+}
+
+std::vector<PointId> LogTree::range(const Box& box) const {
+  std::vector<PointId> out;
+  for (const auto& s : slots_) {
+    if (!s.tree) continue;
+    for (const PointId id : s.tree->range(box))
+      if (alive_[id]) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<PointId> LogTree::radius(const Point& q, Coord r) const {
+  std::vector<PointId> out;
+  for (const auto& s : slots_) {
+    if (!s.tree) continue;
+    for (const PointId id : s.tree->radius(q, r))
+      if (alive_[id]) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t LogTree::leaf_search_cost(const Point& q) const {
+  std::uint64_t cost = 0;
+  for (const auto& s : slots_) {
+    if (!s.tree) continue;
+    const auto before = s.tree->counters.nodes_visited;
+    (void)s.tree->leaf_search(q);
+    cost += s.tree->counters.nodes_visited - before;
+  }
+  return cost;
+}
+
+KdQueryCounters LogTree::counters_total() const {
+  KdQueryCounters total;
+  for (const auto& s : slots_) {
+    if (!s.tree) continue;
+    total.nodes_visited += s.tree->counters.nodes_visited;
+    total.leaves_visited += s.tree->counters.leaves_visited;
+  }
+  return total;
+}
+
+void LogTree::reset_counters() {
+  for (auto& s : slots_)
+    if (s.tree) s.tree->counters.reset();
+}
+
+}  // namespace pimkd

@@ -1,0 +1,68 @@
+// The logarithmic method (Bentley-Saxe [1, 79]) — Table 1 row "Log-tree".
+//
+// Maintains O(log n) static kd-trees with power-of-two sizes. Insertion
+// merges carry-style: the new batch plus all trees up to the first empty
+// slot are rebuilt into one tree. Deletion is lazy (tombstones) with a global
+// rebuild once half the stored points are dead — the classic scheme that
+// yields O(log n) amortized update cost and O(log^2 n) search, the bounds
+// quoted in Table 1.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "kdtree/static_kdtree.hpp"
+
+namespace pimkd {
+
+class LogTree {
+ public:
+  struct Config {
+    int dim = 2;
+    std::size_t leaf_cap = 16;
+  };
+
+  explicit LogTree(const Config& cfg) : cfg_(cfg) {}
+
+  // Number of live (non-deleted) points.
+  std::size_t size() const { return live_; }
+  std::size_t num_subtrees() const;
+
+  // Inserts points; returns the PointIds assigned to them (stable handles).
+  std::vector<PointId> insert(std::span<const Point> pts);
+  // Deletes by handle; unknown / already-deleted ids are ignored.
+  void erase(std::span<const PointId> ids);
+
+  std::vector<Neighbor> knn(const Point& q, std::size_t k) const;
+  std::vector<PointId> range(const Box& box) const;
+  std::vector<PointId> radius(const Point& q, Coord r) const;
+  // Per-subtree leaf locate: the Log-tree has no single leaf for a query, so
+  // LeafSearch must probe every subtree — this is where the extra log factor
+  // in Table 1 comes from. Returns nodes visited for cost accounting.
+  std::uint64_t leaf_search_cost(const Point& q) const;
+
+  const Point& point(PointId id) const { return all_points_[id]; }
+  bool is_live(PointId id) const { return id < alive_.size() && alive_[id]; }
+
+  KdQueryCounters counters_total() const;
+  void reset_counters();
+
+ private:
+  struct Slot {
+    std::unique_ptr<StaticKdTree> tree;  // null = empty slot
+    std::vector<PointId> members;        // global ids inside this tree
+  };
+
+  void rebuild_all();
+  std::vector<Neighbor> filter_knn(const Point& q, std::size_t k) const;
+
+  Config cfg_;
+  std::vector<Slot> slots_;          // slot i holds exactly 2^i * base points
+  std::vector<Point> all_points_;    // by global id
+  std::vector<char> alive_;          // by global id
+  std::size_t live_ = 0;
+  std::size_t dead_ = 0;
+};
+
+}  // namespace pimkd

@@ -1,0 +1,466 @@
+#include "kdtree/pkdtree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace pimkd {
+
+PkdTree::PkdTree(const Config& cfg, std::span<const Point> pts)
+    : cfg_(cfg), rng_(cfg.seed) {
+  assert(cfg_.dim >= 1 && cfg_.dim <= kMaxDim);
+  assert(cfg_.alpha > 0);
+  if (!pts.empty()) (void)insert(pts);
+}
+
+std::uint32_t PkdTree::alloc_node() {
+  if (!free_list_.empty()) {
+    const std::uint32_t id = free_list_.back();
+    free_list_.pop_back();
+    nodes_[id] = Node{};
+    return id;
+  }
+  nodes_.emplace_back();
+  return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+void PkdTree::free_subtree(std::uint32_t nid) {
+  if (nid == kNone) return;
+  free_subtree(nodes_[nid].left);
+  free_subtree(nodes_[nid].right);
+  nodes_[nid] = Node{};
+  free_list_.push_back(nid);
+}
+
+// Chooses a splitting hyperplane <dim, val> from a sigma-sized sample on the
+// widest dimension. Returns false when the points cannot be split (all
+// coordinates identical in every dimension) and a leaf must be formed.
+bool PkdTree::choose_split(const std::vector<PointId>& ids, const Box& box,
+                           Rng& rng, int& out_dim, Coord& out_val) const {
+  const int d = box.widest_dim(cfg_.dim);
+  if (box.hi[d] <= box.lo[d]) return false;  // degenerate in every dim
+  auto count_left = [&](Coord v) {
+    std::size_t c = 0;
+    for (const PointId id : ids) c += all_points_[id][d] < v ? 1u : 0u;
+    return c;
+  };
+  auto exact_median = [&](Coord& v) {
+    std::vector<Coord> coords(ids.size());
+    for (std::size_t i = 0; i < ids.size(); ++i)
+      coords[i] = all_points_[ids[i]][d];
+    std::sort(coords.begin(), coords.end());
+    v = coords[coords.size() / 2];
+    if (count_left(v) == 0) {
+      // With duplicates the median can equal the minimum; cut just above it.
+      const auto it = std::upper_bound(coords.begin(), coords.end(),
+                                       coords.front());
+      if (it == coords.end()) return false;  // all equal on this dim
+      v = *it;
+    }
+    return true;
+  };
+
+  Coord val = 0;
+  if (ids.size() <= cfg_.sigma) {
+    if (!exact_median(val)) return false;
+  } else {
+    std::vector<Coord> sample(cfg_.sigma);
+    for (std::size_t i = 0; i < cfg_.sigma; ++i)
+      sample[i] = all_points_[ids[rng.next_below(ids.size())]][d];
+    std::nth_element(
+        sample.begin(),
+        sample.begin() + static_cast<std::ptrdiff_t>(cfg_.sigma / 2),
+        sample.end());
+    val = sample[cfg_.sigma / 2];
+    // An unlucky sample must not bake imbalance into the build: fall back to
+    // the exact median if the sampled cut already violates alpha-balance.
+    const std::size_t nl = count_left(val);
+    const double big = static_cast<double>(std::max(nl, ids.size() - nl));
+    const double small =
+        static_cast<double>(std::min(nl, ids.size() - nl)) + 1.0;
+    if (nl == 0 || nl == ids.size() || big / small > 1.0 + cfg_.alpha) {
+      if (!exact_median(val)) return false;
+    }
+  }
+  const std::size_t nl = count_left(val);
+  if (nl == 0 || nl == ids.size()) return false;
+  out_dim = d;
+  out_val = val;
+  return true;
+}
+
+std::uint32_t PkdTree::build_rec(std::vector<PointId>& ids, Rng rng) {
+  const std::uint32_t nid = alloc_node();
+  Node& n = nodes_[nid];
+  n.size = static_cast<std::uint32_t>(ids.size());
+  n.box = Box::empty(cfg_.dim);
+  for (const PointId id : ids) n.box.extend(all_points_[id], cfg_.dim);
+  int d = 0;
+  Coord val = 0;
+  if (ids.size() <= cfg_.leaf_cap ||
+      !choose_split(ids, n.box, rng, d, val)) {
+    n.leaf_pts = std::move(ids);
+    return nid;
+  }
+  auto mid = std::partition(ids.begin(), ids.end(), [&](PointId id) {
+    return all_points_[id][d] < val;
+  });
+  std::vector<PointId> left_ids(ids.begin(), mid);
+  std::vector<PointId> right_ids(mid, ids.end());
+  ids.clear();
+  ids.shrink_to_fit();
+  const std::uint32_t left = build_rec(left_ids, rng.split(1));
+  const std::uint32_t right = build_rec(right_ids, rng.split(2));
+  Node& n2 = nodes_[nid];  // re-reference: vector may have reallocated
+  n2.split_dim = static_cast<std::int16_t>(d);
+  n2.split_val = val;
+  n2.left = left;
+  n2.right = right;
+  return nid;
+}
+
+void PkdTree::collect_subtree(std::uint32_t nid,
+                              std::vector<PointId>& out) const {
+  if (nid == kNone) return;
+  const Node& n = nodes_[nid];
+  if (n.is_leaf()) {
+    out.insert(out.end(), n.leaf_pts.begin(), n.leaf_pts.end());
+    return;
+  }
+  collect_subtree(n.left, out);
+  collect_subtree(n.right, out);
+}
+
+bool PkdTree::violated(std::size_t l, std::size_t r, std::size_t total) const {
+  if (total <= 2 * cfg_.leaf_cap) return false;  // leaves absorb tiny skew
+  const auto big = static_cast<double>(std::max(l, r));
+  const auto small = static_cast<double>(std::min(l, r)) + 1.0;
+  return big / small > 1.0 + cfg_.alpha;
+}
+
+std::vector<PointId> PkdTree::insert(std::span<const Point> pts) {
+  std::vector<PointId> new_ids;
+  new_ids.reserve(pts.size());
+  for (const Point& p : pts) {
+    const auto id = static_cast<PointId>(all_points_.size());
+    all_points_.push_back(p);
+    alive_.push_back(1);
+    new_ids.push_back(id);
+  }
+  live_ += pts.size();
+  std::vector<PointId> batch = new_ids;
+  root_ = insert_rec(root_, std::move(batch), rng_.split(rng_.next_u64()));
+  return new_ids;
+}
+
+std::uint32_t PkdTree::insert_rec(std::uint32_t nid, std::vector<PointId> batch,
+                                  Rng rng) {
+  if (batch.empty()) return nid;
+  if (nid == kNone) {
+    ++update_counters.rebuilds;
+    update_counters.points_rebuilt += batch.size();
+    return build_rec(batch, rng);
+  }
+  ++update_counters.nodes_visited;
+  Node& n = nodes_[nid];
+  if (n.is_leaf()) {
+    n.leaf_pts.insert(n.leaf_pts.end(), batch.begin(), batch.end());
+    n.size = static_cast<std::uint32_t>(n.leaf_pts.size());
+    for (const PointId id : batch) n.box.extend(all_points_[id], cfg_.dim);
+    if (n.leaf_pts.size() > cfg_.leaf_cap) {
+      std::vector<PointId> ids = std::move(n.leaf_pts);
+      ++update_counters.rebuilds;
+      update_counters.points_rebuilt += ids.size();
+      free_subtree(nid);
+      return build_rec(ids, rng);
+    }
+    return nid;
+  }
+  const int d = n.split_dim;
+  const Coord val = n.split_val;
+  auto mid = std::partition(batch.begin(), batch.end(), [&](PointId id) {
+    return all_points_[id][d] < val;
+  });
+  const auto go_left = static_cast<std::size_t>(mid - batch.begin());
+  const std::size_t new_l = nodes_[n.left].size + go_left;
+  const std::size_t new_r = nodes_[n.right].size + (batch.size() - go_left);
+  if (violated(new_l, new_r, new_l + new_r)) {
+    // Highest imbalanced node on this path: rebuild the whole subtree with
+    // the incoming batch folded in (the paper's partial reconstruction).
+    std::vector<PointId> ids;
+    ids.reserve(new_l + new_r);
+    collect_subtree(nid, ids);
+    ids.insert(ids.end(), batch.begin(), batch.end());
+    ++update_counters.rebuilds;
+    update_counters.points_rebuilt += ids.size();
+    free_subtree(nid);
+    return build_rec(ids, rng);
+  }
+  std::vector<PointId> left_batch(batch.begin(), mid);
+  std::vector<PointId> right_batch(mid, batch.end());
+  for (const PointId id : batch) n.box.extend(all_points_[id], cfg_.dim);
+  n.size = static_cast<std::uint32_t>(new_l + new_r);
+  const std::uint32_t new_left =
+      insert_rec(n.left, std::move(left_batch), rng.split(1));
+  const std::uint32_t new_right =
+      insert_rec(n.right, std::move(right_batch), rng.split(2));
+  Node& n2 = nodes_[nid];
+  n2.left = new_left;
+  n2.right = new_right;
+  return nid;
+}
+
+void PkdTree::erase(std::span<const PointId> ids) {
+  std::vector<PointId> batch;
+  batch.reserve(ids.size());
+  for (const PointId id : ids) {
+    if (id < alive_.size() && alive_[id]) {
+      alive_[id] = 0;
+      batch.push_back(id);
+    }
+  }
+  live_ -= batch.size();
+  if (batch.empty() || root_ == kNone) return;
+  root_ = erase_rec(root_, std::move(batch), rng_.split(rng_.next_u64()));
+}
+
+std::uint32_t PkdTree::erase_rec(std::uint32_t nid, std::vector<PointId> batch,
+                                 Rng rng) {
+  if (batch.empty() || nid == kNone) return nid;
+  ++update_counters.nodes_visited;
+  Node& n = nodes_[nid];
+  if (n.is_leaf()) {
+    auto dead = [&](PointId id) {
+      return std::find(batch.begin(), batch.end(), id) != batch.end();
+    };
+    std::erase_if(n.leaf_pts, dead);
+    n.size = static_cast<std::uint32_t>(n.leaf_pts.size());
+    if (n.leaf_pts.empty()) {
+      nodes_[nid] = Node{};
+      free_list_.push_back(nid);
+      return kNone;
+    }
+    // Box is left as a (valid) superset; rebuilds re-tighten it.
+    return nid;
+  }
+  const int d = n.split_dim;
+  const Coord val = n.split_val;
+  auto mid = std::partition(batch.begin(), batch.end(), [&](PointId id) {
+    return all_points_[id][d] < val;
+  });
+  const auto go_left = static_cast<std::size_t>(mid - batch.begin());
+  const std::size_t new_l = nodes_[n.left].size - go_left;
+  const std::size_t new_r = nodes_[n.right].size - (batch.size() - go_left);
+  if (violated(new_l, new_r, new_l + new_r)) {
+    std::vector<PointId> ids;
+    ids.reserve(n.size);
+    collect_subtree(nid, ids);
+    std::erase_if(ids, [&](PointId id) { return !alive_[id]; });
+    ++update_counters.rebuilds;
+    update_counters.points_rebuilt += ids.size();
+    free_subtree(nid);
+    if (ids.empty()) return kNone;
+    return build_rec(ids, rng);
+  }
+  std::vector<PointId> left_batch(batch.begin(), mid);
+  std::vector<PointId> right_batch(mid, batch.end());
+  n.size = static_cast<std::uint32_t>(new_l + new_r);
+  const std::uint32_t new_left =
+      erase_rec(n.left, std::move(left_batch), rng.split(1));
+  const std::uint32_t new_right =
+      erase_rec(n.right, std::move(right_batch), rng.split(2));
+  Node& n2 = nodes_[nid];
+  n2.left = new_left;
+  n2.right = new_right;
+  if (n2.left == kNone) {
+    const std::uint32_t keep = n2.right;
+    nodes_[nid] = Node{};
+    free_list_.push_back(nid);
+    return keep;
+  }
+  if (n2.right == kNone) {
+    const std::uint32_t keep = n2.left;
+    nodes_[nid] = Node{};
+    free_list_.push_back(nid);
+    return keep;
+  }
+  return nid;
+}
+
+// --- Queries ---------------------------------------------------------------
+
+namespace {
+struct HeapCmp {
+  bool operator()(const Neighbor& a, const Neighbor& b) const {
+    return a.sq_dist != b.sq_dist ? a.sq_dist < b.sq_dist : a.id < b.id;
+  }
+};
+}  // namespace
+
+void PkdTree::knn_rec(std::uint32_t nid, const Point& q,
+                      std::vector<Neighbor>& heap, std::size_t k,
+                      double prune) const {
+  if (nid == kNone) return;
+  const Node& n = nodes_[nid];
+  ++counters.nodes_visited;
+  if (n.is_leaf()) {
+    ++counters.leaves_visited;
+    for (const PointId id : n.leaf_pts) {
+      const Neighbor cand{id, sq_dist(all_points_[id], q, cfg_.dim)};
+      if (heap.size() < k) {
+        heap.push_back(cand);
+        std::push_heap(heap.begin(), heap.end(), HeapCmp{});
+      } else if (HeapCmp{}(cand, heap.front())) {
+        std::pop_heap(heap.begin(), heap.end(), HeapCmp{});
+        heap.back() = cand;
+        std::push_heap(heap.begin(), heap.end(), HeapCmp{});
+      }
+    }
+    return;
+  }
+  const bool left_first = q[n.split_dim] < n.split_val;
+  const std::uint32_t first = left_first ? n.left : n.right;
+  const std::uint32_t second = left_first ? n.right : n.left;
+  knn_rec(first, q, heap, k, prune);
+  const Coord worst = heap.size() < k ? std::numeric_limits<Coord>::infinity()
+                                      : heap.front().sq_dist;
+  if (second != kNone &&
+      nodes_[second].box.sq_dist_to(q, cfg_.dim) * prune < worst)
+    knn_rec(second, q, heap, k, prune);
+}
+
+std::vector<Neighbor> PkdTree::knn(const Point& q, std::size_t k) const {
+  return ann(q, k, 0.0);
+}
+
+std::vector<Neighbor> PkdTree::ann(const Point& q, std::size_t k,
+                                   double eps) const {
+  std::vector<Neighbor> heap;
+  heap.reserve(k);
+  if (root_ != kNone) knn_rec(root_, q, heap, k, (1 + eps) * (1 + eps));
+  std::sort_heap(heap.begin(), heap.end(), HeapCmp{});
+  return heap;
+}
+
+void PkdTree::range_rec(std::uint32_t nid, const Box& box,
+                        std::vector<PointId>& out) const {
+  const Node& n = nodes_[nid];
+  ++counters.nodes_visited;
+  if (!box.intersects(n.box, cfg_.dim)) return;
+  if (n.is_leaf()) {
+    ++counters.leaves_visited;
+    for (const PointId id : n.leaf_pts)
+      if (box.contains(all_points_[id], cfg_.dim)) out.push_back(id);
+    return;
+  }
+  range_rec(n.left, box, out);
+  range_rec(n.right, box, out);
+}
+
+std::vector<PointId> PkdTree::range(const Box& box) const {
+  std::vector<PointId> out;
+  if (root_ != kNone) range_rec(root_, box, out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void PkdTree::radius_rec(std::uint32_t nid, const Point& q, Coord r2,
+                         std::vector<PointId>* out, std::size_t& cnt) const {
+  const Node& n = nodes_[nid];
+  ++counters.nodes_visited;
+  if (!n.box.intersects_ball(q, r2, cfg_.dim)) return;
+  if (n.is_leaf()) {
+    ++counters.leaves_visited;
+    for (const PointId id : n.leaf_pts) {
+      if (sq_dist(all_points_[id], q, cfg_.dim) <= r2) {
+        ++cnt;
+        if (out) out->push_back(id);
+      }
+    }
+    return;
+  }
+  radius_rec(n.left, q, r2, out, cnt);
+  radius_rec(n.right, q, r2, out, cnt);
+}
+
+std::vector<PointId> PkdTree::radius(const Point& q, Coord r) const {
+  std::vector<PointId> out;
+  std::size_t cnt = 0;
+  if (root_ != kNone) radius_rec(root_, q, r * r, &out, cnt);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t PkdTree::radius_count(const Point& q, Coord r) const {
+  std::size_t cnt = 0;
+  if (root_ != kNone) radius_rec(root_, q, r * r, nullptr, cnt);
+  return cnt;
+}
+
+std::uint64_t PkdTree::leaf_search_cost(const Point& q) const {
+  if (root_ == kNone) return 0;
+  std::uint64_t cost = 0;
+  std::uint32_t nid = root_;
+  for (;;) {
+    ++cost;
+    const Node& n = nodes_[nid];
+    if (n.is_leaf()) break;
+    nid = q[n.split_dim] < n.split_val ? n.left : n.right;
+  }
+  counters.nodes_visited += cost;
+  return cost;
+}
+
+// --- Introspection -----------------------------------------------------------
+
+std::size_t PkdTree::height() const {
+  return root_ == kNone ? 0 : height_rec(root_);
+}
+
+std::size_t PkdTree::height_rec(std::uint32_t nid) const {
+  const Node& n = nodes_[nid];
+  if (n.is_leaf()) return 1;
+  return 1 + std::max(height_rec(n.left), height_rec(n.right));
+}
+
+bool PkdTree::check_sizes() const {
+  if (root_ == kNone) return live_ == 0;
+  std::size_t computed = 0;
+  return check_sizes_rec(root_, computed) && computed == live_;
+}
+
+bool PkdTree::check_sizes_rec(std::uint32_t nid, std::size_t& computed) const {
+  const Node& n = nodes_[nid];
+  if (n.is_leaf()) {
+    computed += n.leaf_pts.size();
+    return n.size == n.leaf_pts.size();
+  }
+  std::size_t l = 0;
+  std::size_t r = 0;
+  if (!check_sizes_rec(n.left, l) || !check_sizes_rec(n.right, r)) return false;
+  computed += l + r;
+  return n.size == l + r;
+}
+
+bool PkdTree::check_balance(double ratio_limit) const {
+  return root_ == kNone || check_balance_rec(root_, ratio_limit);
+}
+
+bool PkdTree::check_balance_rec(std::uint32_t nid, double limit) const {
+  const Node& n = nodes_[nid];
+  if (n.is_leaf()) return true;
+  const std::size_t l = nodes_[n.left].size;
+  const std::size_t r = nodes_[n.right].size;
+  if (l + r > 2 * cfg_.leaf_cap) {
+    const double big = static_cast<double>(std::max(l, r));
+    const double small = static_cast<double>(std::min(l, r)) + 1.0;
+    if (big / small > limit) return false;
+  }
+  return check_balance_rec(n.left, limit) && check_balance_rec(n.right, limit);
+}
+
+std::size_t PkdTree::num_nodes() const {
+  return nodes_.size() - free_list_.size();
+}
+
+}  // namespace pimkd

@@ -1,0 +1,117 @@
+// PKD-tree (Men et al., SIGMOD'25) — Table 1 row "PKD-tree".
+//
+// An alpha-balanced kd-tree: for every interior node, the subtree sizes of
+// its two children differ by at most a (1 + alpha) factor. Construction
+// selects splitters from an over-sampled sketch (sigma samples per node)
+// rather than exact medians; batch insert/delete route points top-down,
+// detect the *highest* node whose alpha-balance would be violated and rebuild
+// that subtree (scapegoat-style partial reconstruction).
+//
+// Cost counters: `counters` accumulates query node visits (the shared-memory
+// communication proxy); `update_counters` accumulates routing visits and the
+// number of points rebuilt (the amortized O(log^2 n / alpha) work of
+// Lemma 2.2 shows up as points_rebuilt / batch size).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kdtree/bruteforce.hpp"
+#include "kdtree/static_kdtree.hpp"
+#include "util/geometry.hpp"
+#include "util/random.hpp"
+
+namespace pimkd {
+
+class PkdTree {
+ public:
+  struct Config {
+    int dim = 2;
+    double alpha = 1.0;      // balance parameter; semi-balanced = O(1)
+    std::size_t leaf_cap = 16;
+    std::size_t sigma = 64;  // over-sampling rate for splitter selection
+    std::uint64_t seed = 0x9d;
+  };
+
+  struct UpdateCounters {
+    std::uint64_t nodes_visited = 0;   // routing work
+    std::uint64_t points_rebuilt = 0;  // points touched by reconstructions
+    std::uint64_t rebuilds = 0;
+    void reset() { *this = UpdateCounters{}; }
+  };
+
+  explicit PkdTree(const Config& cfg, std::span<const Point> pts = {});
+
+  std::size_t size() const { return live_; }
+  int dim() const { return cfg_.dim; }
+  std::size_t height() const;
+
+  std::vector<PointId> insert(std::span<const Point> pts);
+  void erase(std::span<const PointId> ids);
+
+  std::vector<Neighbor> knn(const Point& q, std::size_t k) const;
+  std::vector<Neighbor> ann(const Point& q, std::size_t k, double eps) const;
+  std::vector<PointId> range(const Box& box) const;
+  std::vector<PointId> radius(const Point& q, Coord r) const;
+  std::size_t radius_count(const Point& q, Coord r) const;
+  std::uint64_t leaf_search_cost(const Point& q) const;
+
+  const Point& point(PointId id) const { return all_points_[id]; }
+  bool is_live(PointId id) const { return id < alive_.size() && alive_[id]; }
+
+  // Invariant checks for tests.
+  bool check_sizes() const;                  // stored sizes match reality
+  bool check_balance(double ratio_limit) const;  // alpha-balance holds
+  std::size_t num_nodes() const;
+
+  mutable KdQueryCounters counters;
+  UpdateCounters update_counters;
+
+ private:
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  struct Node {
+    Box box;
+    Coord split_val = 0;
+    std::uint32_t left = kNone;
+    std::uint32_t right = kNone;
+    std::uint32_t size = 0;
+    std::int16_t split_dim = -1;  // -1 => leaf
+    std::vector<PointId> leaf_pts;
+    bool is_leaf() const { return split_dim < 0; }
+  };
+
+  std::uint32_t alloc_node();
+  void free_subtree(std::uint32_t nid);
+  std::uint32_t build_rec(std::vector<PointId>& ids, Rng rng);
+  bool choose_split(const std::vector<PointId>& ids, const Box& box, Rng& rng,
+                    int& out_dim, Coord& out_val) const;
+  void collect_subtree(std::uint32_t nid, std::vector<PointId>& out) const;
+  std::uint32_t insert_rec(std::uint32_t nid, std::vector<PointId> batch,
+                           Rng rng);
+  std::uint32_t erase_rec(std::uint32_t nid, std::vector<PointId> batch,
+                          Rng rng);
+  bool violated(std::size_t l, std::size_t r, std::size_t total) const;
+
+  void knn_rec(std::uint32_t nid, const Point& q, std::vector<Neighbor>& heap,
+               std::size_t k, double prune) const;
+  void range_rec(std::uint32_t nid, const Box& box,
+                 std::vector<PointId>& out) const;
+  void radius_rec(std::uint32_t nid, const Point& q, Coord r2,
+                  std::vector<PointId>* out, std::size_t& cnt) const;
+  std::size_t height_rec(std::uint32_t nid) const;
+  bool check_sizes_rec(std::uint32_t nid, std::size_t& computed) const;
+  bool check_balance_rec(std::uint32_t nid, double limit) const;
+
+  Config cfg_;
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> free_list_;
+  std::uint32_t root_ = kNone;
+  std::vector<Point> all_points_;
+  std::vector<char> alive_;
+  std::size_t live_ = 0;
+  Rng rng_;
+};
+
+}  // namespace pimkd

@@ -1,0 +1,196 @@
+#include "kdtree/static_kdtree.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pimkd {
+
+StaticKdTree::StaticKdTree(const Config& cfg, std::span<const Point> pts,
+                           std::span<const PointId> ids)
+    : cfg_(cfg), pts_(pts.begin(), pts.end()) {
+  assert(cfg_.dim >= 1 && cfg_.dim <= kMaxDim);
+  assert(cfg_.leaf_cap >= 1);
+  if (ids.empty()) {
+    ids_.resize(pts_.size());
+    for (std::size_t i = 0; i < ids_.size(); ++i)
+      ids_[i] = static_cast<PointId>(i);
+  } else {
+    assert(ids.size() == pts.size());
+    ids_.assign(ids.begin(), ids.end());
+  }
+  perm_.resize(pts_.size());
+  for (std::size_t i = 0; i < perm_.size(); ++i)
+    perm_[i] = static_cast<std::uint32_t>(i);
+  nodes_.reserve(pts_.empty() ? 1 : 2 * pts_.size() / cfg_.leaf_cap + 2);
+  if (pts_.empty()) {
+    Node leaf;
+    leaf.box = Box::empty(cfg_.dim);
+    nodes_.push_back(leaf);
+    root_ = 0;
+  } else {
+    root_ = build(perm_.data(), perm_.data() + perm_.size());
+  }
+}
+
+std::uint32_t StaticKdTree::build(std::uint32_t* first, std::uint32_t* last) {
+  const auto count = static_cast<std::size_t>(last - first);
+  Node node;
+  node.box = Box::empty(cfg_.dim);
+  for (auto* it = first; it != last; ++it) node.box.extend(pts_[*it], cfg_.dim);
+  if (count <= cfg_.leaf_cap) {
+    node.begin = static_cast<std::uint32_t>(first - perm_.data());
+    node.count = static_cast<std::uint32_t>(count);
+    nodes_.push_back(node);
+    return static_cast<std::uint32_t>(nodes_.size() - 1);
+  }
+  const int d = node.box.widest_dim(cfg_.dim);
+  auto* mid = first + count / 2;
+  std::nth_element(first, mid, last, [&](std::uint32_t a, std::uint32_t b) {
+    return pts_[a][d] < pts_[b][d];
+  });
+  node.split_dim = static_cast<std::int16_t>(d);
+  node.split_val = pts_[*mid][d];
+  const std::uint32_t left = build(first, mid);
+  const std::uint32_t right = build(mid, last);
+  node.left = left;
+  node.right = right;
+  nodes_.push_back(node);
+  return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+std::size_t StaticKdTree::height() const { return height_rec(root_); }
+
+std::size_t StaticKdTree::height_rec(std::uint32_t nid) const {
+  const Node& n = nodes_[nid];
+  if (n.is_leaf()) return 1;
+  return 1 + std::max(height_rec(n.left), height_rec(n.right));
+}
+
+namespace {
+// Max-heap ordering on candidate distance (worst candidate at front).
+struct HeapCmp {
+  bool operator()(const Neighbor& a, const Neighbor& b) const {
+    return a.sq_dist != b.sq_dist ? a.sq_dist < b.sq_dist : a.id < b.id;
+  }
+};
+}  // namespace
+
+void StaticKdTree::knn_rec(std::uint32_t nid, const Point& q,
+                           std::vector<Neighbor>& heap, std::size_t k,
+                           double prune_factor) const {
+  const Node& n = nodes_[nid];
+  ++counters.nodes_visited;
+  if (n.is_leaf()) {
+    ++counters.leaves_visited;
+    for (std::uint32_t i = 0; i < n.count; ++i) {
+      const std::uint32_t pi = perm_[n.begin + i];
+      const Neighbor cand{ids_[pi], sq_dist(pts_[pi], q, cfg_.dim)};
+      if (heap.size() < k) {
+        heap.push_back(cand);
+        std::push_heap(heap.begin(), heap.end(), HeapCmp{});
+      } else if (HeapCmp{}(cand, heap.front())) {
+        std::pop_heap(heap.begin(), heap.end(), HeapCmp{});
+        heap.back() = cand;
+        std::push_heap(heap.begin(), heap.end(), HeapCmp{});
+      }
+    }
+    return;
+  }
+  const int d = n.split_dim;
+  const bool go_left_first = q[d] < n.split_val;
+  const std::uint32_t first = go_left_first ? n.left : n.right;
+  const std::uint32_t second = go_left_first ? n.right : n.left;
+  knn_rec(first, q, heap, k, prune_factor);
+  const Coord worst = heap.size() < k
+                          ? std::numeric_limits<Coord>::infinity()
+                          : heap.front().sq_dist;
+  if (nodes_[second].box.sq_dist_to(q, cfg_.dim) * prune_factor < worst)
+    knn_rec(second, q, heap, k, prune_factor);
+}
+
+std::vector<Neighbor> StaticKdTree::knn(const Point& q, std::size_t k) const {
+  return ann(q, k, 0.0);
+}
+
+std::vector<Neighbor> StaticKdTree::ann(const Point& q, std::size_t k,
+                                        double eps) const {
+  std::vector<Neighbor> heap;
+  heap.reserve(k);
+  if (size() > 0) {
+    const double f = (1.0 + eps) * (1.0 + eps);
+    knn_rec(root_, q, heap, k, f);
+  }
+  std::sort_heap(heap.begin(), heap.end(), HeapCmp{});
+  return heap;
+}
+
+void StaticKdTree::range_rec(std::uint32_t nid, const Box& box,
+                             std::vector<PointId>& out) const {
+  const Node& n = nodes_[nid];
+  ++counters.nodes_visited;
+  if (!box.intersects(n.box, cfg_.dim)) return;
+  if (n.is_leaf()) {
+    ++counters.leaves_visited;
+    for (std::uint32_t i = 0; i < n.count; ++i) {
+      const std::uint32_t pi = perm_[n.begin + i];
+      if (box.contains(pts_[pi], cfg_.dim)) out.push_back(ids_[pi]);
+    }
+    return;
+  }
+  range_rec(n.left, box, out);
+  range_rec(n.right, box, out);
+}
+
+std::vector<PointId> StaticKdTree::range(const Box& box) const {
+  std::vector<PointId> out;
+  if (size() > 0) range_rec(root_, box, out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void StaticKdTree::radius_rec(std::uint32_t nid, const Point& q, Coord r2,
+                              std::vector<PointId>* out,
+                              std::size_t& cnt) const {
+  const Node& n = nodes_[nid];
+  ++counters.nodes_visited;
+  if (!n.box.intersects_ball(q, r2, cfg_.dim)) return;
+  if (n.is_leaf()) {
+    ++counters.leaves_visited;
+    for (std::uint32_t i = 0; i < n.count; ++i) {
+      const std::uint32_t pi = perm_[n.begin + i];
+      if (sq_dist(pts_[pi], q, cfg_.dim) <= r2) {
+        ++cnt;
+        if (out) out->push_back(ids_[pi]);
+      }
+    }
+    return;
+  }
+  radius_rec(n.left, q, r2, out, cnt);
+  radius_rec(n.right, q, r2, out, cnt);
+}
+
+std::vector<PointId> StaticKdTree::radius(const Point& q, Coord r) const {
+  std::vector<PointId> out;
+  std::size_t cnt = 0;
+  if (size() > 0) radius_rec(root_, q, r * r, &out, cnt);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t StaticKdTree::radius_count(const Point& q, Coord r) const {
+  std::size_t cnt = 0;
+  if (size() > 0) radius_rec(root_, q, r * r, nullptr, cnt);
+  return cnt;
+}
+
+std::uint32_t StaticKdTree::leaf_search(const Point& q) const {
+  std::uint32_t nid = root_;
+  for (;;) {
+    const Node& n = nodes_[nid];
+    ++counters.nodes_visited;
+    if (n.is_leaf()) return nid;
+    nid = q[n.split_dim] < n.split_val ? n.left : n.right;
+  }
+}
+
+}  // namespace pimkd

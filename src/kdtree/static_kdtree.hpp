@@ -1,0 +1,85 @@
+// Classic static kd-tree (Bentley 1975): exact median build on the widest
+// dimension, perfectly balanced, immutable. Serves two roles:
+//   * the building block of the logarithmic method baseline (LogTree),
+//   * the ground-truth query engine for shapes of query cost in benches.
+//
+// Query methods accumulate `counters` (nodes / leaves visited); in the
+// shared-memory rows of Table 1 each node visit is one off-chip access, so
+// these counters are the communication proxy benches report.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kdtree/bruteforce.hpp"
+#include "util/geometry.hpp"
+
+namespace pimkd {
+
+struct KdQueryCounters {
+  std::uint64_t nodes_visited = 0;
+  std::uint64_t leaves_visited = 0;
+  void reset() { *this = KdQueryCounters{}; }
+};
+
+class StaticKdTree {
+ public:
+  struct Config {
+    int dim = 2;
+    std::size_t leaf_cap = 16;
+  };
+
+  // Builds over a copy of pts. `ids` (optional) supplies the PointId each
+  // position reports in query results; defaults to 0..n-1.
+  StaticKdTree(const Config& cfg, std::span<const Point> pts,
+               std::span<const PointId> ids = {});
+
+  std::size_t size() const { return pts_.size(); }
+  int dim() const { return cfg_.dim; }
+  const Box& root_box() const { return nodes_[root_].box; }
+  std::size_t height() const;
+
+  std::vector<Neighbor> knn(const Point& q, std::size_t k) const;
+  // (1+eps)-approximate kNN (Arya et al.): prunes subtrees that cannot
+  // improve the current radius by more than the (1+eps) factor.
+  std::vector<Neighbor> ann(const Point& q, std::size_t k, double eps) const;
+  std::vector<PointId> range(const Box& box) const;
+  std::vector<PointId> radius(const Point& q, Coord r) const;
+  std::size_t radius_count(const Point& q, Coord r) const;
+  // Index of the leaf node the query point falls in (tree-internal id).
+  std::uint32_t leaf_search(const Point& q) const;
+
+  mutable KdQueryCounters counters;
+
+ private:
+  struct Node {
+    Box box;
+    Coord split_val = 0;
+    std::uint32_t left = 0;   // 0 = none (root occupies slot 0 but is never a child)
+    std::uint32_t right = 0;
+    std::uint32_t begin = 0;  // leaf payload range in perm_
+    std::uint32_t count = 0;
+    std::int16_t split_dim = -1;  // -1 => leaf
+    bool is_leaf() const { return split_dim < 0; }
+  };
+
+  std::uint32_t build(std::uint32_t* first, std::uint32_t* last);
+  void knn_rec(std::uint32_t nid, const Point& q,
+               std::vector<Neighbor>& heap, std::size_t k,
+               double prune_factor) const;
+  void range_rec(std::uint32_t nid, const Box& box,
+                 std::vector<PointId>& out) const;
+  void radius_rec(std::uint32_t nid, const Point& q, Coord r2,
+                  std::vector<PointId>* out, std::size_t& cnt) const;
+  std::size_t height_rec(std::uint32_t nid) const;
+
+  Config cfg_;
+  std::vector<Point> pts_;
+  std::vector<PointId> ids_;
+  std::vector<std::uint32_t> perm_;  // leaf-ordered indices into pts_
+  std::vector<Node> nodes_;
+  std::uint32_t root_ = 0;
+};
+
+}  // namespace pimkd

@@ -1,0 +1,77 @@
+#include "parallel/primitives.hpp"
+
+#include <unordered_map>
+
+namespace pimkd {
+
+std::uint64_t exclusive_scan(std::vector<std::uint64_t>& v) {
+  const std::size_t n = v.size();
+  if (n == 0) return 0;
+  ThreadPool& pool = ThreadPool::instance();
+  const std::size_t chunks =
+      std::min<std::size_t>(std::max<std::size_t>(pool.size(), 1), 64);
+  if (n < 8192 || chunks <= 1) {
+    std::uint64_t acc = 0;
+    for (auto& x : v) {
+      const std::uint64_t cur = x;
+      x = acc;
+      acc += cur;
+    }
+    return acc;
+  }
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+  std::vector<std::uint64_t> sums(chunks, 0);
+  pool.run_bulk(chunks, [&](std::size_t c) {
+    const std::size_t lo = c * chunk;
+    const std::size_t hi = std::min(lo + chunk, n);
+    std::uint64_t acc = 0;
+    for (std::size_t i = lo; i < hi; ++i) acc += v[i];
+    sums[c] = acc;
+  });
+  std::uint64_t total = 0;
+  for (auto& s : sums) {
+    const std::uint64_t cur = s;
+    s = total;
+    total += cur;
+  }
+  pool.run_bulk(chunks, [&](std::size_t c) {
+    const std::size_t lo = c * chunk;
+    const std::size_t hi = std::min(lo + chunk, n);
+    std::uint64_t acc = sums[c];
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::uint64_t cur = v[i];
+      v[i] = acc;
+      acc += cur;
+    }
+  });
+  return total;
+}
+
+GroupBy group_by(const std::vector<std::uint64_t>& keys) {
+  // Hash-based semisort. The paper's semisort [30] achieves linear work whp;
+  // a bucketed hash grouping has the same asymptotics for our purposes.
+  GroupBy out;
+  const std::size_t n = keys.size();
+  std::unordered_map<std::uint64_t, std::size_t> group_of;
+  group_of.reserve(n * 2);
+  std::vector<std::size_t> counts;
+  std::vector<std::size_t> gid(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto [it, fresh] = group_of.try_emplace(keys[i], out.keys.size());
+    if (fresh) {
+      out.keys.push_back(keys[i]);
+      counts.push_back(0);
+    }
+    gid[i] = it->second;
+    ++counts[it->second];
+  }
+  const std::size_t g = out.keys.size();
+  out.offsets.assign(g + 1, 0);
+  for (std::size_t j = 0; j < g; ++j) out.offsets[j + 1] = out.offsets[j] + counts[j];
+  out.perm.resize(n);
+  std::vector<std::size_t> cursor(out.offsets.begin(), out.offsets.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) out.perm[cursor[gid[i]]++] = i;
+  return out;
+}
+
+}  // namespace pimkd

@@ -1,0 +1,125 @@
+// Parallel primitives used throughout the library, mirroring the toolbox the
+// paper assumes on the host: parallel_for, reduce, prefix sum (scan), sample
+// sort, semisort / group-by, filter and flatten. All are deterministic.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace pimkd {
+
+inline constexpr std::size_t kDefaultGrain = 1024;
+
+// parallel_for over [begin, end) with static chunking.
+template <class F>
+void parallel_for(std::size_t begin, std::size_t end, F&& fn,
+                  std::size_t grain = kDefaultGrain) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  ThreadPool& pool = ThreadPool::instance();
+  const std::size_t max_chunks = std::max<std::size_t>(pool.size() * 4, 1);
+  const std::size_t chunk =
+      std::max(grain, (n + max_chunks - 1) / max_chunks);
+  const std::size_t chunks = (n + chunk - 1) / chunk;
+  if (chunks <= 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  pool.run_bulk(chunks, [&](std::size_t c) {
+    const std::size_t lo = begin + c * chunk;
+    const std::size_t hi = std::min(lo + chunk, end);
+    for (std::size_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+// parallel reduce of fn(i) over [begin, end) with associative combine.
+template <class T, class F, class Combine>
+T parallel_reduce(std::size_t begin, std::size_t end, T identity, F&& fn,
+                  Combine&& combine, std::size_t grain = kDefaultGrain) {
+  if (end <= begin) return identity;
+  const std::size_t n = end - begin;
+  ThreadPool& pool = ThreadPool::instance();
+  const std::size_t max_chunks = std::max<std::size_t>(pool.size() * 4, 1);
+  const std::size_t chunk = std::max(grain, (n + max_chunks - 1) / max_chunks);
+  const std::size_t chunks = (n + chunk - 1) / chunk;
+  std::vector<T> partial(chunks, identity);
+  pool.run_bulk(chunks, [&](std::size_t c) {
+    const std::size_t lo = begin + c * chunk;
+    const std::size_t hi = std::min(lo + chunk, end);
+    T acc = identity;
+    for (std::size_t i = lo; i < hi; ++i) acc = combine(acc, fn(i));
+    partial[c] = acc;
+  });
+  T out = identity;
+  for (const T& p : partial) out = combine(out, p);
+  return out;
+}
+
+// Exclusive prefix sum in place; returns the total.
+std::uint64_t exclusive_scan(std::vector<std::uint64_t>& v);
+
+// Parallel stable filter: keep(i) selects indices; output preserves order.
+template <class Keep>
+std::vector<std::size_t> parallel_filter_indices(std::size_t n, Keep&& keep) {
+  std::vector<std::uint64_t> flags(n);
+  parallel_for(0, n, [&](std::size_t i) { flags[i] = keep(i) ? 1 : 0; });
+  std::vector<std::uint64_t> offsets = flags;
+  const std::uint64_t total = exclusive_scan(offsets);
+  std::vector<std::size_t> out(total);
+  parallel_for(0, n, [&](std::size_t i) {
+    if (flags[i]) out[offsets[i]] = i;
+  });
+  return out;
+}
+
+// Parallel comparison sort (divide-and-conquer merge over pool chunks).
+template <class T, class Less>
+void parallel_sort(std::vector<T>& v, Less less) {
+  const std::size_t n = v.size();
+  ThreadPool& pool = ThreadPool::instance();
+  if (n < 4096 || pool.size() <= 1) {
+    std::sort(v.begin(), v.end(), less);
+    return;
+  }
+  const std::size_t chunks = std::min<std::size_t>(pool.size(), 64);
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+  pool.run_bulk(chunks, [&](std::size_t c) {
+    const std::size_t lo = c * chunk;
+    const std::size_t hi = std::min(lo + chunk, n);
+    if (lo < hi) std::sort(v.begin() + static_cast<std::ptrdiff_t>(lo),
+                           v.begin() + static_cast<std::ptrdiff_t>(hi), less);
+  });
+  // Iterative pairwise merge.
+  for (std::size_t width = chunk; width < n; width *= 2) {
+    const std::size_t pairs = (n + 2 * width - 1) / (2 * width);
+    std::vector<T> tmp(v.size());
+    pool.run_bulk(pairs, [&](std::size_t pr) {
+      const std::size_t lo = pr * 2 * width;
+      const std::size_t mid = std::min(lo + width, n);
+      const std::size_t hi = std::min(lo + 2 * width, n);
+      std::merge(v.begin() + static_cast<std::ptrdiff_t>(lo),
+                 v.begin() + static_cast<std::ptrdiff_t>(mid),
+                 v.begin() + static_cast<std::ptrdiff_t>(mid),
+                 v.begin() + static_cast<std::ptrdiff_t>(hi),
+                 tmp.begin() + static_cast<std::ptrdiff_t>(lo), less);
+    });
+    v.swap(tmp);
+  }
+}
+
+// Semisort / group-by: groups items by key (arbitrary group order, stable
+// within a group). Returns (group offsets, permuted indices): group g spans
+// perm[offsets[g] .. offsets[g+1]).
+struct GroupBy {
+  std::vector<std::size_t> offsets;  // size = #groups + 1
+  std::vector<std::size_t> perm;     // size = n
+  std::vector<std::uint64_t> keys;   // size = #groups, key of each group
+};
+GroupBy group_by(const std::vector<std::uint64_t>& keys);
+
+}  // namespace pimkd

@@ -1,0 +1,102 @@
+#include "parallel/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+namespace pimkd {
+
+namespace {
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("PIMKD_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? hw : 1;
+}
+
+thread_local bool tls_in_pool = false;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  tls_in_pool = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::run_bulk(std::size_t chunks,
+                          const std::function<void(std::size_t)>& fn) {
+  if (chunks == 0) return;
+  // Nested or single-threaded: run inline. Nesting happens when a pool task
+  // itself calls parallel_for; executing inline keeps the pool deadlock-free.
+  if (chunks == 1 || workers_.empty() || tls_in_pool) {
+    for (std::size_t i = 0; i < chunks; ++i) fn(i);
+    return;
+  }
+  // Shared state outlives this call: queued drain tasks may execute after we
+  // return (when the caller drained every chunk itself), so they must own it.
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    std::size_t chunks;
+    std::function<void(std::size_t)> fn;
+  };
+  auto st = std::make_shared<State>();
+  st->chunks = chunks;
+  st->fn = fn;
+  const std::size_t fanout = std::min(chunks, workers_.size());
+  auto drain = [st] {
+    for (;;) {
+      const std::size_t i = st->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= st->chunks) break;
+      st->fn(i);
+      if (st->done.fetch_add(1, std::memory_order_acq_rel) + 1 == st->chunks) {
+        std::lock_guard lk(st->done_mu);
+        st->done_cv.notify_all();
+      }
+    }
+  };
+  {
+    std::lock_guard lk(mu_);
+    for (std::size_t i = 0; i < fanout; ++i) tasks_.push(drain);
+  }
+  cv_.notify_all();
+  drain();  // caller participates
+  std::unique_lock lk(st->done_mu);
+  st->done_cv.wait(
+      lk, [&] { return st->done.load(std::memory_order_acquire) == chunks; });
+}
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool(default_thread_count());
+  return pool;
+}
+
+}  // namespace pimkd

@@ -1,0 +1,49 @@
+// A small blocking thread pool modelling the paper's multicore host CPU.
+//
+// The PIM Model analyses host computation in the binary-forking model with a
+// work-stealing scheduler; for execution we use a fixed pool with bulk task
+// submission (parallel_for grain scheduling), which preserves the work bounds
+// and is far simpler. The pool is a process-wide singleton sized from
+// hardware_concurrency, overridable for tests via PIMKD_THREADS.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pimkd {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Runs fn(chunk_index) for chunk_index in [0, chunks) across the pool and
+  // blocks until every chunk is done. Re-entrant calls (a task submitting a
+  // bulk) are executed inline in the calling thread to avoid deadlock.
+  void run_bulk(std::size_t chunks, const std::function<void(std::size_t)>& fn);
+
+  // Process-wide pool.
+  static ThreadPool& instance();
+
+ private:
+  struct Bulk;
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+}  // namespace pimkd

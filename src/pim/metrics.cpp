@@ -1,0 +1,111 @@
+#include "pim/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace pimkd::pim {
+
+std::string Snapshot::to_string() const {
+  std::ostringstream os;
+  os << "cpu_work=" << cpu_work << " pim_work=" << pim_work
+     << " pim_time=" << pim_time << " comm=" << communication
+     << " comm_time=" << comm_time << " rounds=" << rounds;
+  return os.str();
+}
+
+Metrics::Metrics(std::size_t num_modules, std::size_t cache_words)
+    : cache_words_(std::max<std::size_t>(cache_words, 1)),
+      round_work_(num_modules),
+      round_comm_(num_modules),
+      lifetime_work_(num_modules),
+      lifetime_comm_(num_modules),
+      storage_(num_modules) {
+  for (std::size_t m = 0; m < num_modules; ++m) {
+    round_work_[m] = 0;
+    round_comm_[m] = 0;
+    lifetime_work_[m] = 0;
+    lifetime_comm_[m] = 0;
+    storage_[m] = 0;
+  }
+}
+
+void Metrics::begin_round() {
+  assert(!in_round_);
+  in_round_ = true;
+  for (auto& v : round_work_) v.store(0, std::memory_order_relaxed);
+  for (auto& v : round_comm_) v.store(0, std::memory_order_relaxed);
+}
+
+void Metrics::end_round() {
+  assert(in_round_);
+  in_round_ = false;
+  std::uint64_t max_work = 0;
+  std::uint64_t max_comm = 0;
+  std::uint64_t sum_comm = 0;
+  for (std::size_t m = 0; m < round_work_.size(); ++m) {
+    const auto w = round_work_[m].load(std::memory_order_relaxed);
+    const auto c = round_comm_[m].load(std::memory_order_relaxed);
+    max_work = std::max(max_work, w);
+    max_comm = std::max(max_comm, c);
+    sum_comm += c;
+  }
+  pim_time_ += max_work;
+  comm_time_ += max_comm;
+  // §7: the CPU can buffer at most M words between synchronisations; a round
+  // moving c words therefore costs ceil(c / M) bulk-synchronous rounds.
+  rounds_ +=
+      std::max<std::uint64_t>(1, (sum_comm + cache_words_ - 1) / cache_words_);
+}
+
+void Metrics::add_module_work(std::size_t m, std::uint64_t w) {
+  assert(in_round_ && m < round_work_.size());
+  round_work_[m].fetch_add(w, std::memory_order_relaxed);
+  lifetime_work_[m].fetch_add(w, std::memory_order_relaxed);
+  pim_work_total_.fetch_add(w, std::memory_order_relaxed);
+}
+
+void Metrics::add_comm(std::size_t m, std::uint64_t words) {
+  assert(in_round_ && m < round_comm_.size());
+  round_comm_[m].fetch_add(words, std::memory_order_relaxed);
+  lifetime_comm_[m].fetch_add(words, std::memory_order_relaxed);
+  comm_total_.fetch_add(words, std::memory_order_relaxed);
+}
+
+void Metrics::add_storage(std::size_t m, std::int64_t words) {
+  assert(m < storage_.size());
+  const auto prev = storage_[m].fetch_add(words, std::memory_order_relaxed);
+  assert(prev + words >= 0);
+  (void)prev;
+}
+
+std::uint64_t Metrics::total_storage() const {
+  std::uint64_t t = 0;
+  for (const auto& s : storage_)
+    t += static_cast<std::uint64_t>(s.load(std::memory_order_relaxed));
+  return t;
+}
+
+LoadSummary Metrics::storage_balance() const {
+  std::vector<std::uint64_t> v(storage_.size());
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = static_cast<std::uint64_t>(
+        storage_[i].load(std::memory_order_relaxed));
+  return summarize_load(v);
+}
+
+Snapshot Metrics::snapshot() const {
+  return Snapshot{cpu_work_.load(std::memory_order_relaxed),
+                  pim_work_total_.load(std::memory_order_relaxed),
+                  pim_time_,
+                  comm_total_.load(std::memory_order_relaxed),
+                  comm_time_,
+                  rounds_};
+}
+
+void Metrics::reset_loads() {
+  for (auto& v : lifetime_work_) v.store(0, std::memory_order_relaxed);
+  for (auto& v : lifetime_comm_) v.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace pimkd::pim

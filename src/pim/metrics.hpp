@@ -1,0 +1,148 @@
+// Cost accounting for the PIM Model [Kang et al., SPAA'21].
+//
+// The model charges, per BSP round:
+//   * CPU work        — instructions executed by the host (instrumented),
+//   * PIM time        — max work on any single PIM core in the round,
+//   * communication   — total off-chip words moved (to/from all modules),
+//   * communication time — max words to/from any single module in the round.
+// Lifetime totals accumulate round results (the paper sums per-round maxima).
+// Round complexity follows §7: a round that moves more than the CPU cache M
+// words counts as ceil(words / M) rounds.
+//
+// Charging is thread-safe (relaxed atomics): the host is a multicore in the
+// PIM Model, so independent queries of one batch may charge concurrently
+// from the thread pool. Totals are sums of commutative adds and therefore
+// deterministic. Round boundaries (begin/end) are control points and must be
+// called from a single thread.
+//
+// Every algorithm in this library runs against a Metrics instance; benches
+// diff Snapshots taken before/after an operation batch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace pimkd::pim {
+
+struct Snapshot {
+  std::uint64_t cpu_work = 0;
+  std::uint64_t pim_work = 0;        // total across modules, all rounds
+  std::uint64_t pim_time = 0;        // sum over rounds of per-round max work
+  std::uint64_t communication = 0;   // total off-chip words
+  std::uint64_t comm_time = 0;       // sum over rounds of per-round max words
+  std::uint64_t rounds = 0;
+
+  Snapshot operator-(const Snapshot& o) const {
+    return Snapshot{cpu_work - o.cpu_work,
+                    pim_work - o.pim_work,
+                    pim_time - o.pim_time,
+                    communication - o.communication,
+                    comm_time - o.comm_time,
+                    rounds - o.rounds};
+  }
+  std::string to_string() const;
+};
+
+class Metrics {
+ public:
+  Metrics(std::size_t num_modules, std::size_t cache_words);
+
+  std::size_t num_modules() const { return round_work_.size(); }
+  std::size_t cache_words() const { return cache_words_; }
+
+  // --- Round structure (single-threaded control points) ----------------------
+  void begin_round();
+  void end_round();
+  bool in_round() const { return in_round_; }
+
+  // --- Charging (safe from any thread) ---------------------------------------
+  void add_cpu_work(std::uint64_t w) {
+    cpu_work_.fetch_add(w, std::memory_order_relaxed);
+  }
+  // Work executed by PIM core m in the current round.
+  void add_module_work(std::size_t m, std::uint64_t w);
+  // Off-chip words moved to or from module m in the current round.
+  void add_comm(std::size_t m, std::uint64_t words);
+
+  // --- Storage (space accounting; not tied to rounds) --------------------------
+  void add_storage(std::size_t m, std::int64_t words);
+  std::uint64_t total_storage() const;
+  LoadSummary storage_balance() const;
+
+  // --- Reading -------------------------------------------------------------------
+  Snapshot snapshot() const;
+  std::vector<std::uint64_t> lifetime_module_work() const {
+    return load_all(lifetime_work_);
+  }
+  std::vector<std::uint64_t> lifetime_module_comm() const {
+    return load_all(lifetime_comm_);
+  }
+  // Per-module loads accumulated in the *current* round (test introspection).
+  std::vector<std::uint64_t> round_module_work() const {
+    return load_all(round_work_);
+  }
+  std::vector<std::uint64_t> round_module_comm() const {
+    return load_all(round_comm_);
+  }
+
+  LoadSummary work_balance() const {
+    const auto v = load_all(lifetime_work_);
+    return summarize_load(v);
+  }
+  LoadSummary comm_balance() const {
+    const auto v = load_all(lifetime_comm_);
+    return summarize_load(v);
+  }
+
+  void reset_loads();  // zero lifetime per-module vectors (keep storage)
+
+ private:
+  using AtomicVec = std::vector<std::atomic<std::uint64_t>>;
+  static std::vector<std::uint64_t> load_all(const AtomicVec& v) {
+    std::vector<std::uint64_t> out(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i)
+      out[i] = v[i].load(std::memory_order_relaxed);
+    return out;
+  }
+
+  std::size_t cache_words_;
+  bool in_round_ = false;
+
+  std::atomic<std::uint64_t> cpu_work_{0};
+  std::atomic<std::uint64_t> pim_work_total_{0};
+  std::uint64_t pim_time_ = 0;
+  std::atomic<std::uint64_t> comm_total_{0};
+  std::uint64_t comm_time_ = 0;
+  std::uint64_t rounds_ = 0;
+
+  AtomicVec round_work_;
+  AtomicVec round_comm_;
+  AtomicVec lifetime_work_;
+  AtomicVec lifetime_comm_;
+  std::vector<std::atomic<std::int64_t>> storage_;
+};
+
+// RAII round: begins on construction, ends on destruction. Re-entrant uses
+// (already inside a round) are no-ops so helpers can be composed.
+class RoundGuard {
+ public:
+  explicit RoundGuard(Metrics& m) : m_(m), owns_(!m.in_round()) {
+    if (owns_) m_.begin_round();
+  }
+  ~RoundGuard() {
+    if (owns_) m_.end_round();
+  }
+  RoundGuard(const RoundGuard&) = delete;
+  RoundGuard& operator=(const RoundGuard&) = delete;
+
+ private:
+  Metrics& m_;
+  bool owns_;
+};
+
+}  // namespace pimkd::pim

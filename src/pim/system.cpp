@@ -1,0 +1,15 @@
+#include "pim/system.hpp"
+
+namespace pimkd::pim {
+
+// Explicit instantiation with a trivial state keeps the template checked by
+// every build even before any user of a concrete State is compiled.
+namespace {
+struct ProbeState {
+  int v = 0;
+};
+}  // namespace
+
+template class PimSystem<ProbeState>;
+
+}  // namespace pimkd::pim

@@ -1,0 +1,68 @@
+// The simulated PIM system: P modules, each holding a user-defined local
+// state, plus the Metrics ledger and the randomized placement hash.
+//
+// The host CPU orchestrates; each PIM core may only touch its own State.
+// Data structures built on this simulator access module state through
+// `module(m)` inside a kernel / round and are responsible for charging the
+// corresponding work and words via Metrics (the core library does this with
+// the Cursor / push-pull helpers). `for_each_module` runs one kernel per
+// module — modules are independent, so kernels run in parallel on the host
+// thread pool, which models the modules computing concurrently.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "parallel/primitives.hpp"
+#include "pim/metrics.hpp"
+#include "util/random.hpp"
+
+namespace pimkd::pim {
+
+struct SystemConfig {
+  std::size_t num_modules = 64;      // P
+  std::size_t cache_words = 1 << 20; // M, host cache size in words
+  std::uint64_t seed = 0xC0FFEE;     // placement / algorithm randomness
+};
+
+template <class State>
+class PimSystem {
+ public:
+  explicit PimSystem(const SystemConfig& cfg)
+      : cfg_(cfg),
+        metrics_(cfg.num_modules, cfg.cache_words),
+        salt_(Rng(cfg.seed).next_u64()),
+        states_(cfg.num_modules) {}
+
+  std::size_t P() const { return cfg_.num_modules; }
+  const SystemConfig& config() const { return cfg_; }
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+  std::uint64_t seed() const { return cfg_.seed; }
+
+  // Randomized placement: which module stores the object with this key.
+  std::size_t module_of(std::uint64_t key) const {
+    return static_cast<std::size_t>(hash64(key ^ salt_) % cfg_.num_modules);
+  }
+
+  State& module(std::size_t m) { return states_[m]; }
+  const State& module(std::size_t m) const { return states_[m]; }
+
+  // Run kernel(m, state) on every module, in parallel across host threads.
+  template <class Kernel>
+  void for_each_module(Kernel&& kernel) {
+    parallel_for(
+        0, P(), [&](std::size_t m) { kernel(m, states_[m]); },
+        /*grain=*/1);
+  }
+
+ private:
+  SystemConfig cfg_;
+  Metrics metrics_;
+  std::uint64_t salt_;
+  std::vector<State> states_;
+};
+
+}  // namespace pimkd::pim

@@ -1,0 +1,128 @@
+#include "util/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pimkd {
+
+std::vector<Point> gen_uniform(const DatasetSpec& spec, Coord extent) {
+  Rng rng(spec.seed);
+  std::vector<Point> pts(spec.n);
+  for (auto& p : pts)
+    for (int d = 0; d < spec.dim; ++d) p[d] = rng.next_double(0, extent);
+  return pts;
+}
+
+std::vector<Point> gen_gaussian_blobs(const DatasetSpec& spec,
+                                      std::size_t clusters, Coord stddev,
+                                      Coord extent) {
+  Rng rng(spec.seed);
+  std::vector<Point> centers(std::max<std::size_t>(clusters, 1));
+  for (auto& c : centers)
+    for (int d = 0; d < spec.dim; ++d) c[d] = rng.next_double(0, extent);
+  std::vector<Point> pts(spec.n);
+  for (auto& p : pts) {
+    const Point& c = centers[rng.next_below(centers.size())];
+    for (int d = 0; d < spec.dim; ++d)
+      p[d] = c[d] + stddev * rng.next_gaussian();
+  }
+  return pts;
+}
+
+std::vector<Point> gen_blobs_with_noise(const DatasetSpec& spec,
+                                        std::size_t clusters, Coord stddev,
+                                        double noise_fraction, Coord extent) {
+  const auto n_noise =
+      static_cast<std::size_t>(noise_fraction * static_cast<double>(spec.n));
+  DatasetSpec blobs = spec;
+  blobs.n = spec.n - n_noise;
+  std::vector<Point> pts = gen_gaussian_blobs(blobs, clusters, stddev, extent);
+  DatasetSpec noise = spec;
+  noise.n = n_noise;
+  noise.seed = spec.seed ^ 0xabcdef;
+  std::vector<Point> np = gen_uniform(noise, extent);
+  pts.insert(pts.end(), np.begin(), np.end());
+  Rng rng(spec.seed ^ 0x77);
+  rng.shuffle(pts);
+  return pts;
+}
+
+std::vector<Point> gen_line(const DatasetSpec& spec, Coord jitter) {
+  Rng rng(spec.seed);
+  std::vector<Point> pts(spec.n);
+  for (std::size_t i = 0; i < spec.n; ++i) {
+    const Coord t = static_cast<Coord>(i) / static_cast<Coord>(spec.n);
+    for (int d = 0; d < spec.dim; ++d)
+      pts[i][d] = t + jitter * (rng.next_double() - 0.5);
+  }
+  rng.shuffle(pts);
+  return pts;
+}
+
+ZipfPicker::ZipfPicker(std::size_t n, double theta, std::uint64_t seed) {
+  cdf_.resize(n);
+  double acc = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    acc += std::pow(static_cast<double>(r + 1), -theta);
+    cdf_[r] = acc;
+  }
+  for (auto& v : cdf_) v /= acc;
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+  Rng rng(seed);
+  rng.shuffle(perm_);
+}
+
+std::size_t ZipfPicker::pick(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const auto rank = static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(it - cdf_.begin(),
+                               static_cast<std::ptrdiff_t>(cdf_.size()) - 1));
+  return perm_[rank];
+}
+
+namespace {
+Point jitter_of(const Point& base, int dim, Coord scale, Rng& rng) {
+  Point q = base;
+  for (int d = 0; d < dim; ++d)
+    q[d] += scale * (rng.next_double() - 0.5);
+  return q;
+}
+}  // namespace
+
+std::vector<Point> gen_uniform_queries(std::span<const Point> data, int dim,
+                                       std::size_t s, std::uint64_t seed) {
+  const Box bb = bounding_box(data, dim);
+  Rng rng(seed);
+  std::vector<Point> qs(s);
+  for (auto& q : qs)
+    for (int d = 0; d < dim; ++d) q[d] = rng.next_double(bb.lo[d], bb.hi[d]);
+  return qs;
+}
+
+std::vector<Point> gen_zipf_queries(std::span<const Point> data, int dim,
+                                    std::size_t s, double theta,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  ZipfPicker picker(data.size(), theta, seed ^ 0x123);
+  const Box bb = bounding_box(data, dim);
+  const Coord scale = bb.longest_side(dim) * 1e-4;
+  std::vector<Point> qs(s);
+  for (auto& q : qs) q = jitter_of(data[picker.pick(rng)], dim, scale, rng);
+  return qs;
+}
+
+std::vector<Point> gen_adversarial_queries(std::span<const Point> data,
+                                           int dim, std::size_t s,
+                                           std::uint64_t seed) {
+  Rng rng(seed);
+  const Point& target = data[rng.next_below(data.size())];
+  const Box bb = bounding_box(data, dim);
+  const Coord scale = bb.longest_side(dim) * 1e-7;
+  std::vector<Point> qs(s);
+  for (auto& q : qs) q = jitter_of(target, dim, scale, rng);
+  return qs;
+}
+
+}  // namespace pimkd

@@ -1,0 +1,75 @@
+// Synthetic datasets and query workloads.
+//
+// The paper's bounds are distribution-free except for kNN (which assumes a
+// "kNN-friendly" dataset, Definition 2 — locally uniform density), and the
+// load-balance claims which must hold under *adversarial* skew. We therefore
+// provide: uniform cubes and Gaussian mixtures (kNN-friendly in practice),
+// and adversarial generators that aim every query at one tiny region of
+// space, the workload used to stress push-pull search (Lemma 3.8).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/geometry.hpp"
+#include "util/random.hpp"
+
+namespace pimkd {
+
+struct DatasetSpec {
+  std::size_t n = 0;
+  int dim = 2;
+  std::uint64_t seed = 1;
+};
+
+// n points uniform in [0, extent)^dim.
+std::vector<Point> gen_uniform(const DatasetSpec& spec, Coord extent = 1.0);
+
+// Gaussian mixture: `clusters` centers uniform in the cube, points normal
+// around a random center with the given per-axis stddev.
+std::vector<Point> gen_gaussian_blobs(const DatasetSpec& spec,
+                                      std::size_t clusters,
+                                      Coord stddev,
+                                      Coord extent = 1.0);
+
+// Mixture of blobs plus a fraction of uniform "noise" points (for DBSCAN).
+std::vector<Point> gen_blobs_with_noise(const DatasetSpec& spec,
+                                        std::size_t clusters, Coord stddev,
+                                        double noise_fraction,
+                                        Coord extent = 1.0);
+
+// Points on a near-degenerate varimax line with small jitter — stresses the
+// widest-dimension split rule and produces deep skewed recursion in naive
+// builders.
+std::vector<Point> gen_line(const DatasetSpec& spec, Coord jitter);
+
+// Zipf-distributed choice over [0, n): rank r picked with weight r^-theta.
+class ZipfPicker {
+ public:
+  ZipfPicker(std::size_t n, double theta, std::uint64_t seed);
+  std::size_t pick(Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+  std::vector<std::size_t> perm_;  // random rank -> index permutation
+};
+
+// Query workloads -----------------------------------------------------------
+
+// S queries uniform over the data's bounding box.
+std::vector<Point> gen_uniform_queries(std::span<const Point> data, int dim,
+                                       std::size_t s, std::uint64_t seed);
+
+// S queries, each a small perturbation of a data point chosen by a Zipf
+// distribution — realistic skew (hot regions).
+std::vector<Point> gen_zipf_queries(std::span<const Point> data, int dim,
+                                    std::size_t s, double theta,
+                                    std::uint64_t seed);
+
+// Adversarial batch: every query is a jitter of the *same* data point, so a
+// partition-by-subtree design would route the whole batch to one module.
+std::vector<Point> gen_adversarial_queries(std::span<const Point> data,
+                                           int dim, std::size_t s,
+                                           std::uint64_t seed);
+
+}  // namespace pimkd

@@ -1,0 +1,21 @@
+#include "util/geometry.hpp"
+
+namespace pimkd {
+
+Box bounding_box(std::span<const Point> pts, int dim) {
+  Box b = Box::empty(dim);
+  for (const Point& p : pts) b.extend(p, dim);
+  return b;
+}
+
+std::ostream& operator<<(std::ostream& os, const Point& p) {
+  os << '(';
+  for (int d = 0; d < kMaxDim; ++d) {
+    if (d) os << ", ";
+    os << p[d];
+    if (d >= 3) { os << ", ..."; break; }
+  }
+  return os << ')';
+}
+
+}  // namespace pimkd

@@ -1,0 +1,160 @@
+// Geometry primitives for the PIM-kd-tree library.
+//
+// Points carry a runtime dimension D (1 <= D <= kMaxDim) stored inline so a
+// point is trivially copyable and can be "shipped" to a PIM module by value.
+// All distance computations are squared-Euclidean unless stated otherwise;
+// callers take sqrt only at API boundaries that promise true distances.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <span>
+#include <vector>
+
+namespace pimkd {
+
+inline constexpr int kMaxDim = 16;
+
+using Coord = double;
+using PointId = std::uint32_t;
+inline constexpr PointId kInvalidPoint = std::numeric_limits<PointId>::max();
+
+// A D-dimensional point. The dimension is a property of the dataset, not the
+// point, so Point does not store it; containers carry the dimension.
+struct Point {
+  std::array<Coord, kMaxDim> x{};
+
+  Coord& operator[](int d) { return x[static_cast<std::size_t>(d)]; }
+  Coord operator[](int d) const { return x[static_cast<std::size_t>(d)]; }
+
+  bool equals(const Point& o, int dim) const {
+    for (int d = 0; d < dim; ++d)
+      if (x[static_cast<std::size_t>(d)] != o.x[static_cast<std::size_t>(d)]) return false;
+    return true;
+  }
+};
+
+// Squared Euclidean distance restricted to the first `dim` coordinates.
+inline Coord sq_dist(const Point& a, const Point& b, int dim) {
+  Coord s = 0;
+  for (int d = 0; d < dim; ++d) {
+    const Coord diff = a[d] - b[d];
+    s += diff * diff;
+  }
+  return s;
+}
+
+inline Coord euclid_dist(const Point& a, const Point& b, int dim) {
+  return std::sqrt(sq_dist(a, b, dim));
+}
+
+// Axis-aligned bounding box over the first `dim` dimensions.
+struct Box {
+  Point lo;
+  Point hi;
+
+  static Box empty(int dim) {
+    Box b;
+    for (int d = 0; d < dim; ++d) {
+      b.lo[d] = std::numeric_limits<Coord>::infinity();
+      b.hi[d] = -std::numeric_limits<Coord>::infinity();
+    }
+    return b;
+  }
+
+  static Box whole(int dim) {
+    Box b;
+    for (int d = 0; d < dim; ++d) {
+      b.lo[d] = -std::numeric_limits<Coord>::infinity();
+      b.hi[d] = std::numeric_limits<Coord>::infinity();
+    }
+    return b;
+  }
+
+  void extend(const Point& p, int dim) {
+    for (int d = 0; d < dim; ++d) {
+      lo[d] = std::min(lo[d], p[d]);
+      hi[d] = std::max(hi[d], p[d]);
+    }
+  }
+
+  void extend(const Box& o, int dim) {
+    for (int d = 0; d < dim; ++d) {
+      lo[d] = std::min(lo[d], o.lo[d]);
+      hi[d] = std::max(hi[d], o.hi[d]);
+    }
+  }
+
+  bool contains(const Point& p, int dim) const {
+    for (int d = 0; d < dim; ++d)
+      if (p[d] < lo[d] || p[d] > hi[d]) return false;
+    return true;
+  }
+
+  bool contains(const Box& o, int dim) const {
+    for (int d = 0; d < dim; ++d)
+      if (o.lo[d] < lo[d] || o.hi[d] > hi[d]) return false;
+    return true;
+  }
+
+  bool intersects(const Box& o, int dim) const {
+    for (int d = 0; d < dim; ++d)
+      if (o.hi[d] < lo[d] || o.lo[d] > hi[d]) return false;
+    return true;
+  }
+
+  // Squared distance from p to the closest point of the box (0 if inside).
+  Coord sq_dist_to(const Point& p, int dim) const {
+    Coord s = 0;
+    for (int d = 0; d < dim; ++d) {
+      Coord diff = 0;
+      if (p[d] < lo[d]) diff = lo[d] - p[d];
+      else if (p[d] > hi[d]) diff = p[d] - hi[d];
+      s += diff * diff;
+    }
+    return s;
+  }
+
+  // Does a ball (center c, squared radius r2) intersect this box?
+  bool intersects_ball(const Point& c, Coord r2, int dim) const {
+    return sq_dist_to(c, dim) <= r2;
+  }
+
+  // Dimension with the widest extent; ties broken by lowest index.
+  int widest_dim(int dim) const {
+    int best = 0;
+    Coord w = hi[0] - lo[0];
+    for (int d = 1; d < dim; ++d) {
+      const Coord wd = hi[d] - lo[d];
+      if (wd > w) { w = wd; best = d; }
+    }
+    return best;
+  }
+
+  Coord longest_side(int dim) const {
+    Coord w = 0;
+    for (int d = 0; d < dim; ++d) w = std::max(w, hi[d] - lo[d]);
+    return w;
+  }
+
+  Coord diagonal(int dim) const {
+    Coord s = 0;
+    for (int d = 0; d < dim; ++d) {
+      const Coord w = hi[d] - lo[d];
+      s += w * w;
+    }
+    return std::sqrt(s);
+  }
+};
+
+// Bounding box of a span of points.
+Box bounding_box(std::span<const Point> pts, int dim);
+
+std::ostream& operator<<(std::ostream& os, const Point& p);
+
+}  // namespace pimkd

@@ -1,0 +1,159 @@
+#include "util/knn_friendly.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/random.hpp"
+#include "util/stats.hpp"
+
+namespace pimkd {
+
+namespace {
+
+// A minimal median-split kd-tree over index ranges, mirroring the query
+// tree's shape for the Definition 2 checks.
+struct AnalyzerNode {
+  Box box;
+  std::size_t begin = 0;
+  std::size_t count = 0;
+  int left = -1;
+  int right = -1;
+};
+
+struct Analyzer {
+  std::span<const Point> pts;
+  int dim;
+  std::size_t leaf_stop = 2;
+  std::vector<std::uint32_t> perm;
+  std::vector<AnalyzerNode> nodes;
+
+  // Builds the space partition: `cell` is the splitting-plane region of the
+  // node (Definition 2's "cell"), which children inherit clipped at the
+  // median value along the cell's widest dimension.
+  int build(std::size_t begin, std::size_t end, const Box& cell) {
+    AnalyzerNode node;
+    node.begin = begin;
+    node.count = end - begin;
+    node.box = cell;
+    const int id = static_cast<int>(nodes.size());
+    nodes.push_back(node);
+    if (node.count <= leaf_stop) return id;
+    const int d = cell.widest_dim(dim);
+    if (cell.hi[d] <= cell.lo[d]) return id;  // degenerate everywhere
+    const std::size_t mid = begin + node.count / 2;
+    std::nth_element(perm.begin() + static_cast<std::ptrdiff_t>(begin),
+                     perm.begin() + static_cast<std::ptrdiff_t>(mid),
+                     perm.begin() + static_cast<std::ptrdiff_t>(end),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return pts[a][d] < pts[b][d];
+                     });
+    const Coord split = pts[perm[mid]][d];
+    if (split <= cell.lo[d] || split >= cell.hi[d]) return id;  // duplicates
+    Box lcell = cell;
+    Box rcell = cell;
+    lcell.hi[d] = split;
+    rcell.lo[d] = split;
+    const int l = build(begin, mid, lcell);
+    const int r = build(mid, end, rcell);
+    nodes[static_cast<std::size_t>(id)].left = l;
+    nodes[static_cast<std::size_t>(id)].right = r;
+    return id;
+  }
+
+  double aspect(const AnalyzerNode& n) const {
+    double longest = 0;
+    double shortest = std::numeric_limits<double>::infinity();
+    for (int d = 0; d < dim; ++d) {
+      const double side = n.box.hi[d] - n.box.lo[d];
+      longest = std::max(longest, side);
+      shortest = std::min(shortest, side);
+    }
+    if (longest <= 0) return 1.0;  // a point-cell
+    if (shortest <= 0) return std::numeric_limits<double>::infinity();
+    return longest / shortest;
+  }
+};
+
+}  // namespace
+
+KnnFriendliness analyze_knn_friendliness(std::span<const Point> pts, int dim,
+                                         std::size_t k, std::size_t samples,
+                                         std::uint64_t seed) {
+  KnnFriendliness out;
+  out.dim = dim;
+  if (pts.size() < 2 * k + 2) return out;
+  // Query trees keep ~k points per leaf; subdividing further would cut
+  // cells with medians of O(1) samples, which no real kd-tree does and
+  // which Definition 2 does not constrain.
+  const std::size_t leaf_stop = std::max<std::size_t>(2, k);
+
+  Analyzer az{pts, dim, leaf_stop, {}, {}};
+  az.perm.resize(pts.size());
+  for (std::size_t i = 0; i < az.perm.size(); ++i)
+    az.perm[i] = static_cast<std::uint32_t>(i);
+  az.nodes.reserve(2 * pts.size());
+  az.build(0, pts.size(), bounding_box(pts, dim));
+
+  // (2) compact cells + (4) bounded expansion.
+  const std::size_t small_limit = 2 * k;  // (1+eps2)k with eps2 = 1
+  for (const auto& n : az.nodes) {
+    if (n.left < 0) continue;
+    const auto& l = az.nodes[static_cast<std::size_t>(n.left)];
+    const auto& r = az.nodes[static_cast<std::size_t>(n.right)];
+    for (const auto* c : {&l, &r}) {
+      if (c->count >= small_limit || c->count < 2) continue;
+      ++out.small_cells;
+      const double a = az.aspect(*c);
+      if (std::isfinite(a))
+        out.max_small_cell_aspect = std::max(out.max_small_cell_aspect, a);
+    }
+    if (l.count < k)
+      out.max_expansion_ratio = std::max(
+          out.max_expansion_ratio, double(r.count) / double(std::max(k, 1ul)));
+    if (r.count < k)
+      out.max_expansion_ratio = std::max(
+          out.max_expansion_ratio, double(l.count) / double(std::max(k, 1ul)));
+  }
+
+  // (3) local uniformity: for sampled queries, find the smallest enclosing
+  // node with more than k points, take R = its diagonal, and estimate the
+  // density in the 3R*sqrt(D) ball. A locally uniform dataset keeps the
+  // per-query density estimates close (small coefficient of variation).
+  Rng rng(seed);
+  Welford density;
+  std::vector<double> estimates;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const Point& q = pts[rng.next_below(pts.size())];
+    // Descend to the smallest node containing q with count > k.
+    int cur = 0;
+    for (;;) {
+      const auto& n = az.nodes[static_cast<std::size_t>(cur)];
+      if (n.left < 0) break;
+      const auto& l = az.nodes[static_cast<std::size_t>(n.left)];
+      const auto& r = az.nodes[static_cast<std::size_t>(n.right)];
+      const bool in_l = l.box.contains(q, dim);
+      const int next = in_l ? n.left : n.right;
+      if (az.nodes[static_cast<std::size_t>(next)].count <= k) break;
+      (void)r;
+      cur = next;
+    }
+    const double R =
+        az.nodes[static_cast<std::size_t>(cur)].box.diagonal(dim);
+    if (R <= 0) continue;
+    const double radius = 3.0 * R * std::sqrt(double(dim));
+    const double r2 = radius * radius;
+    std::size_t count = 0;
+    for (const Point& p : pts) count += sq_dist(p, q, dim) <= r2;
+    // Density per unit volume ~ count / radius^dim (constant factors cancel
+    // in the coefficient of variation).
+    const double est = double(count) / std::pow(radius, dim);
+    density.add(est);
+    estimates.push_back(est);
+  }
+  if (density.count() > 1 && density.mean() > 0)
+    out.local_uniformity_cv = density.stddev() / density.mean();
+  return out;
+}
+
+}  // namespace pimkd

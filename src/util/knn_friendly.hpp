@@ -1,0 +1,45 @@
+// Empirical checker for the paper's Definition 2 (Appendix A): when is a
+// dataset "kNN-friendly", i.e. when do the expected-case kNN bounds
+// (Theorem 4.5, [46]) apply?
+//
+//   (1) Constant dimension  — reported as-is.
+//   (2) Compact cells       — kd-tree nodes holding fewer than (1+eps2)k
+//                             points have bounded aspect ratio (longest /
+//                             shortest side <= 1+eps1).
+//   (3) Locally uniform     — the sampling density is ~constant within the
+//                             3R*sqrt(D) neighborhood of a query, R being
+//                             the diagonal of the smallest enclosing subtree
+//                             with more than k points. Estimated by
+//                             comparing measured ball counts to the
+//                             uniform-density expectation.
+//   (4) Bounded expansion   — a node with fewer than k points has a sibling
+//                             with at most (1+eps2)k points.
+//
+// The analyzer builds a median-split kd-tree (the same shape the queries
+// run on) and reports the measured constants; callers decide thresholds.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "util/geometry.hpp"
+
+namespace pimkd {
+
+struct KnnFriendliness {
+  int dim = 0;                          // condition (1)
+  double max_small_cell_aspect = 0;     // condition (2): max ratio
+  double local_uniformity_cv = 0;       // condition (3): coefficient of
+                                        // variation of density estimates
+  double max_expansion_ratio = 0;       // condition (4): sibling size / k
+  std::size_t small_cells = 0;          // cells checked for (2)
+};
+
+// Analyzes pts for query-neighborhood size k. `samples` query points are
+// drawn from the dataset for condition (3).
+KnnFriendliness analyze_knn_friendliness(std::span<const Point> pts, int dim,
+                                         std::size_t k,
+                                         std::size_t samples = 64,
+                                         std::uint64_t seed = 1);
+
+}  // namespace pimkd

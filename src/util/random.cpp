@@ -1,0 +1,48 @@
+#include "util/random.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <unordered_set>
+
+namespace pimkd {
+
+double Rng::next_gaussian() {
+  // Box-Muller; discard the second value to keep Rng state a single word.
+  double u1 = next_double();
+  const double u2 = next_double();
+  if (u1 <= 0) u1 = 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+std::vector<std::uint32_t> Rng::sample_indices(std::uint32_t n, std::uint32_t k) {
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  if (k >= n) {
+    out.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) out[i] = i;
+    return out;
+  }
+  if (k > n / 3) {
+    // Dense case: partial Fisher-Yates over an index array.
+    std::vector<std::uint32_t> idx(n);
+    for (std::uint32_t i = 0; i < n; ++i) idx[i] = i;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      const std::uint32_t j =
+          i + static_cast<std::uint32_t>(next_below(n - i));
+      std::swap(idx[i], idx[j]);
+      out.push_back(idx[i]);
+    }
+    return out;
+  }
+  // Sparse case: rejection sampling.
+  std::unordered_set<std::uint32_t> seen;
+  seen.reserve(k * 2);
+  while (out.size() < k) {
+    const auto v = static_cast<std::uint32_t>(next_below(n));
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace pimkd

@@ -1,0 +1,85 @@
+// Deterministic, splittable pseudo-randomness.
+//
+// All randomized components of the library (hash placement, sampling,
+// approximate counters, workload generators) draw from Rng so that every
+// experiment is reproducible from a single seed. The generator is a small
+// counter-based mix (splitmix64) — fast, stateless splitting, good enough
+// statistical quality for placement and sampling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pimkd {
+
+// splitmix64 step: the standard finalizer-based PRNG.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Stateless hash of a 64-bit value (used for node -> module placement).
+inline std::uint64_t hash64(std::uint64_t v) {
+  std::uint64_t s = v;
+  return splitmix64(s);
+}
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) : state_(seed) {}
+
+  std::uint64_t next_u64() { return splitmix64(state_); }
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Multiplicative range reduction (Lemire); bias is negligible for our use.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * bound) >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double next_double(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  // Bernoulli trial with success probability p (clamped to [0,1]).
+  bool next_bernoulli(double p) {
+    if (p >= 1.0) return true;
+    if (p <= 0.0) return false;
+    return next_double() < p;
+  }
+
+  // Standard normal via Box-Muller (one value per call; simple and adequate).
+  double next_gaussian();
+
+  // An independent child generator; splitting is deterministic in (seed, i).
+  Rng split(std::uint64_t i) const {
+    std::uint64_t s = state_ ^ (0xd1b54a32d192ed03ULL * (i + 1));
+    return Rng(splitmix64(s));
+  }
+
+  // Fisher-Yates shuffle.
+  template <class T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Sample k distinct indices from [0, n) (k <= n), order unspecified.
+  std::vector<std::uint32_t> sample_indices(std::uint32_t n, std::uint32_t k);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace pimkd

@@ -1,0 +1,63 @@
+#include "util/stats.hpp"
+
+#include <cstdio>
+
+namespace pimkd {
+
+LoadSummary summarize_load(std::span<const std::uint64_t> per_module) {
+  LoadSummary s;
+  if (per_module.empty()) return s;
+  std::uint64_t total = 0;
+  std::uint64_t mx = 0;
+  for (const auto v : per_module) {
+    total += v;
+    mx = std::max(mx, v);
+  }
+  s.mean = static_cast<double>(total) / static_cast<double>(per_module.size());
+  s.max = static_cast<double>(mx);
+  s.imbalance = s.mean > 0 ? s.max / s.mean : 0.0;
+  return s;
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const double rank = p * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1 - frac) + values[hi] * frac;
+}
+
+double ilog2(double x, int iterations) {
+  double v = x;
+  for (int i = 0; i < iterations; ++i) v = std::log2(std::max(v, 2.0));
+  return std::max(v, 1.0);  // paper convention: max{1, log(.)}
+}
+
+int log_star2(double x) {
+  int i = 0;
+  double v = x;
+  while (v > 1.0) {
+    v = std::log2(v);
+    ++i;
+    if (i > 64) break;
+  }
+  return std::max(i, 1);  // paper convention: max{1, log*}
+}
+
+std::string fmt_num(double v) {
+  char buf[64];
+  if (v == 0) {
+    std::snprintf(buf, sizeof buf, "0");
+  } else if (std::abs(v) >= 1e6 || std::abs(v) < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.3e", v);
+  } else if (std::abs(v) >= 100) {
+    std::snprintf(buf, sizeof buf, "%.1f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f", v);
+  }
+  return buf;
+}
+
+}  // namespace pimkd

@@ -1,0 +1,56 @@
+// Small statistics helpers used by benches and property tests.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pimkd {
+
+// Streaming mean/variance (Welford).
+class Welford {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+};
+
+struct LoadSummary {
+  double mean = 0;
+  double max = 0;
+  // max / mean; 1.0 is perfectly balanced. 0 when mean == 0.
+  double imbalance = 0;
+};
+
+// Summary of a per-module load vector (work or words).
+LoadSummary summarize_load(std::span<const std::uint64_t> per_module);
+
+double percentile(std::vector<double> values, double p);
+
+// log base-2 iterated: log^(i) and log* (as used throughout the paper, with
+// the paper's convention max{1, .} so results are always >= 1).
+double ilog2(double x, int iterations);
+int log_star2(double x);
+
+// Human-friendly fixed-width number for bench tables.
+std::string fmt_num(double v);
+
+}  // namespace pimkd

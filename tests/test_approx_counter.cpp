@@ -1,0 +1,153 @@
+#include "core/approx_counter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pimkd::core {
+namespace {
+
+TEST(CounterProbability, ExactRegime) {
+  // Small values update deterministically: p >= 1 when V <= log2(n)/beta.
+  EXPECT_DOUBLE_EQ(counter_probability(0, 0.5, 1 << 20), 1.0);
+  EXPECT_DOUBLE_EQ(counter_probability(10, 0.5, 1 << 20), 1.0);  // 20/(0.5*10)=4
+  EXPECT_DOUBLE_EQ(counter_probability(40, 0.5, 1 << 20), 1.0);
+  EXPECT_LT(counter_probability(100, 0.5, 1 << 20), 1.0);
+}
+
+TEST(CounterProbability, ScalesInverselyWithValue) {
+  const double p1 = counter_probability(1000, 0.5, 1 << 20);
+  const double p2 = counter_probability(2000, 0.5, 1 << 20);
+  EXPECT_NEAR(p1 / p2, 2.0, 1e-9);
+}
+
+TEST(CounterIncrement, ExactWhenSmall) {
+  Rng rng(1);
+  const auto step = counter_increment(5, 0.5, 1 << 20, rng);
+  EXPECT_TRUE(step.updated);
+  EXPECT_DOUBLE_EQ(step.delta, 1.0);
+}
+
+TEST(CounterIncrement, UnbiasedOverWindow) {
+  // Lemma 3.6: Delta_V increments with Delta_V = Omega(beta V) land within
+  // o(Delta_V) of the truth whp. Average the relative drift over independent
+  // windows (a single window has ~1-sigma fluctuation near the bound).
+  const double n = 1 << 20;
+  const double beta = 0.5;
+  const int trials = 10;
+  const int increments = 20000;  // Delta_V = 2 * beta * V0
+  double total_rel_drift = 0;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(200 + static_cast<std::uint64_t>(t));
+    double v = 10000;
+    const double v0 = v;
+    for (int i = 0; i < increments; ++i) {
+      const auto step = counter_increment(v, beta, n, rng);
+      if (step.updated) v += step.delta;
+    }
+    total_rel_drift += std::abs((v - v0) - increments) / increments;
+  }
+  EXPECT_LT(total_rel_drift / trials, 0.15);
+}
+
+TEST(CounterDecrement, UnbiasedOverWindow) {
+  Rng rng(3);
+  const double n = 1 << 20;
+  const double beta = 0.5;
+  double v = 50000;
+  const double v0 = v;
+  const int decrements = 30000;
+  for (int i = 0; i < decrements; ++i) {
+    const auto step = counter_decrement(v, beta, n, rng);
+    if (step.updated) v += step.delta;
+  }
+  const double drift = std::abs((v0 - v) - decrements);
+  EXPECT_LT(drift / decrements, 0.15);
+}
+
+TEST(CounterIncrement, UpdateFrequencyMatchesProbability) {
+  // The whole point of the design: updates (and hence copy broadcasts)
+  // happen only a log(n)/(beta V) fraction of the time.
+  Rng rng(4);
+  const double n = 1 << 20;
+  const double beta = 0.5;
+  const double v = 100000;
+  int updates = 0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i)
+    updates += counter_increment(v, beta, n, rng).updated;
+  const double expect = counter_probability(v, beta, n) * trials;
+  EXPECT_NEAR(static_cast<double>(updates), expect, expect * 0.2 + 30);
+  EXPECT_LT(updates, trials / 100);  // rare updates at this magnitude
+}
+
+TEST(MorrisCounter, OrderOfMagnitudeOnly) {
+  Rng rng(5);
+  MorrisCounter c;
+  for (int i = 0; i < 100000; ++i) (void)c.increment(rng);
+  // Morris tracks magnitude, not value: within a factor of ~8 either way.
+  EXPECT_GT(c.estimate(), 100000.0 / 8);
+  EXPECT_LT(c.estimate(), 100000.0 * 8);
+}
+
+TEST(SteeleCounter, TracksValueWithinConstantFactor) {
+  // Steele counters have constant *relative* accuracy — good to a factor,
+  // not to o(Delta_V). Average over trials to damp the jump noise.
+  double sum = 0;
+  const int trials = 8;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(600 + static_cast<std::uint64_t>(t));
+    SteeleCounter c;
+    for (int i = 0; i < 100000; ++i) (void)c.increment(rng);
+    sum += c.estimate();
+  }
+  const double mean = sum / trials;
+  EXPECT_GT(mean, 100000.0 * 0.4);
+  EXPECT_LT(mean, 100000.0 * 2.5);
+}
+
+TEST(CounterComparison, PaperVariantMoreAccurateThanSteeleOverWindow) {
+  // §3.3's motivation: Morris/Steele counters are "not accurate enough" for
+  // alpha-balance detection — their update step at value V is Theta(V),
+  // versus the paper's beta*V/log(n). Over an insertion window the paper
+  // variant drifts much less.
+  const double n = 1 << 20;
+  const int window = 50000;
+  double paper_drift = 0;
+  double steele_drift = 0;
+  const int trials = 8;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(700 + static_cast<std::uint64_t>(t));
+    double v = 100000;
+    const double v0 = v;
+    for (int i = 0; i < window; ++i) {
+      const auto step = counter_increment(v, 0.5, n, rng);
+      if (step.updated) v += step.delta;
+    }
+    paper_drift += std::abs((v - v0) - window);
+
+    SteeleCounter steele;
+    while (steele.estimate() < v0) (void)steele.increment(rng);
+    const double s0 = steele.estimate();
+    for (int i = 0; i < window; ++i) (void)steele.increment(rng);
+    steele_drift += std::abs((steele.estimate() - s0) - window);
+  }
+  EXPECT_LT(paper_drift, steele_drift);
+}
+
+TEST(CounterComparison, PaperVariantUpdatesFarLessOftenThanExact) {
+  // The other half of the trade-off: at subtree size V the paper's counter
+  // writes its copies only a log(n)/(beta V) fraction of the time, versus
+  // every insertion for an exact counter.
+  Rng rng(8);
+  const double n = 1 << 20;
+  const double v = 1 << 16;
+  int updates = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i)
+    updates += counter_increment(v, 0.5, n, rng).updated;
+  EXPECT_LT(updates, trials / 100);
+}
+
+}  // namespace
+}  // namespace pimkd::core

@@ -1,0 +1,210 @@
+// Unit tests of the two layers the cost model stands on: DistStore (replica
+// registry, refcounts, word accounting) and Cursor (the dual-way caching
+// locality rule), plus ledger-conservation properties of Metrics.
+#include <gtest/gtest.h>
+
+#include "core/pim_kdtree.hpp"
+#include "util/generators.hpp"
+
+namespace pimkd::core {
+namespace {
+
+PimKdConfig base_cfg(std::size_t P, std::uint64_t seed = 1) {
+  PimKdConfig cfg;
+  cfg.dim = 2;
+  cfg.leaf_cap = 8;
+  cfg.system.num_modules = P;
+  cfg.system.seed = seed;
+  return cfg;
+}
+
+TEST(DistStoreUnit, MasterAndCacheRefcounts) {
+  const auto pts = gen_uniform({.n = 2048, .dim = 2, .seed = 2});
+  PimKdTree tree(base_cfg(16), pts);
+  // Every node has a master copy on its hash module.
+  tree.pool().for_each([&](const NodeRec& rec) {
+    const auto& mods = tree.store().copy_modules(rec.id);
+    ASSERT_FALSE(mods.empty());
+    const bool g0 = rec.group == 0;
+    if (!g0) {
+      EXPECT_TRUE(tree.store().module_has(tree.store().master_of(rec.id),
+                                          rec.id));
+    } else {
+      // Group 0: replicated on every module.
+      for (std::size_t m = 0; m < 16; ++m)
+        EXPECT_TRUE(tree.store().module_has(m, rec.id));
+    }
+  });
+}
+
+TEST(DistStoreUnit, StorageWordsMatchPerNodeSum) {
+  const auto pts = gen_uniform({.n = 4096, .dim = 2, .seed = 3});
+  PimKdTree tree(base_cfg(16), pts);
+  std::uint64_t sum = 0;
+  tree.pool().for_each([&](const NodeRec& rec) {
+    sum += tree.store().node_storage_words(rec.id);
+  });
+  EXPECT_EQ(sum, tree.storage_words());
+}
+
+TEST(DistStoreUnit, StorageReturnsToZeroAfterFullErase) {
+  const auto pts = gen_uniform({.n = 1000, .dim = 2, .seed = 4});
+  PimKdTree tree(base_cfg(8), pts);
+  EXPECT_GT(tree.storage_words(), 0u);
+  std::vector<PointId> all(1000);
+  for (PointId i = 0; i < 1000; ++i) all[i] = i;
+  tree.erase(all);
+  EXPECT_EQ(tree.storage_words(), 0u);
+}
+
+TEST(CursorUnit, Group0IsFreeEverywhere) {
+  const auto pts = gen_uniform({.n = 8192, .dim = 2, .seed = 5});
+  PimKdTree tree(base_cfg(16), pts);
+  pim::RoundGuard round(tree.metrics());
+  // Visit the root (Group 0) from every start module: never a hop.
+  for (std::size_t m = 0; m < 16; ++m) {
+    Cursor cur(tree.config(), tree.pool(), tree.store(), tree.metrics(), m);
+    EXPECT_FALSE(cur.visit(tree.root()));
+    EXPECT_EQ(cur.hops(), 0u);
+  }
+}
+
+TEST(CursorUnit, RootToLeafHopsAtMostGroupCount) {
+  const auto pts = gen_uniform({.n = 1 << 15, .dim = 2, .seed = 6});
+  PimKdTree tree(base_cfg(64), pts);
+  pim::RoundGuard round(tree.metrics());
+  Rng rng(7);
+  for (int t = 0; t < 200; ++t) {
+    Point q;
+    q[0] = rng.next_double();
+    q[1] = rng.next_double();
+    Cursor cur(tree.config(), tree.pool(), tree.store(), tree.metrics(),
+               t % 64);
+    NodeId cursor_node = tree.root();
+    cur.visit(cursor_node);
+    while (!tree.pool().at(cursor_node).is_leaf()) {
+      const NodeRec& n = tree.pool().at(cursor_node);
+      cursor_node = q[n.split_dim] < n.split_val ? n.left : n.right;
+      cur.visit(cursor_node);
+    }
+    // One hop per group boundary at most (log* P = 4 for P = 64).
+    EXPECT_LE(cur.hops(), tree.thresholds().size());
+  }
+}
+
+TEST(CursorUnit, NoCachingHopsEveryEdgeBelowGroup0) {
+  auto cfg = base_cfg(64);
+  cfg.caching = CachingMode::kNone;
+  const auto pts = gen_uniform({.n = 1 << 14, .dim = 2, .seed = 8});
+  PimKdTree tree(cfg, pts);
+  pim::RoundGuard round(tree.metrics());
+  Point q;
+  q[0] = 0.37;
+  q[1] = 0.62;
+  Cursor cur(tree.config(), tree.pool(), tree.store(), tree.metrics(), 0);
+  NodeId cursor_node = tree.root();
+  cur.visit(cursor_node);
+  std::size_t below_g0 = 0;
+  while (!tree.pool().at(cursor_node).is_leaf()) {
+    const NodeRec& n = tree.pool().at(cursor_node);
+    cursor_node = q[n.split_dim] < n.split_val ? n.left : n.right;
+    if (tree.pool().at(cursor_node).group != 0) ++below_g0;
+    cur.visit(cursor_node);
+  }
+  EXPECT_EQ(cur.hops(), below_g0);
+}
+
+TEST(CursorUnit, DfsReturnsWithoutExtraHops) {
+  const auto pts = gen_uniform({.n = 1 << 14, .dim = 2, .seed = 9});
+  PimKdTree tree(base_cfg(64), pts);
+  pim::RoundGuard round(tree.metrics());
+  Cursor cur(tree.config(), tree.pool(), tree.store(), tree.metrics(), 0);
+  // Full DFS of the tree: hops == number of component entries, not twice
+  // that (popping back is free through the anchor stack).
+  std::size_t comp_entries = 0;
+  auto walk = [&](auto&& self, NodeId nid, NodeId parent) -> void {
+    const std::size_t mark = cur.mark();
+    cur.visit(nid);
+    const NodeRec& n = tree.pool().at(nid);
+    const bool crossing =
+        parent != kNoNode &&
+        tree.pool().at(parent).comp_root != n.comp_root && n.group != 0;
+    if (crossing) ++comp_entries;
+    if (!n.is_leaf()) {
+      self(self, n.left, nid);
+      self(self, n.right, nid);
+    }
+    cur.release(mark);
+  };
+  walk(walk, tree.root(), kNoNode);
+  EXPECT_EQ(cur.hops(), comp_entries);
+}
+
+TEST(MetricsConservation, PerModuleSumsEqualTotals) {
+  const auto pts = gen_uniform({.n = 1 << 14, .dim = 2, .seed = 10});
+  PimKdTree tree(base_cfg(32), pts);
+  const auto qs = gen_uniform_queries(pts, 2, 2048, 11);
+  (void)tree.leaf_search(qs);
+  (void)tree.knn(qs, 4);
+  const auto batch = gen_uniform({.n = 1024, .dim = 2, .seed = 12});
+  (void)tree.insert(batch);
+
+  const auto s = tree.metrics().snapshot();
+  std::uint64_t comm_sum = 0;
+  for (const auto v : tree.metrics().lifetime_module_comm()) comm_sum += v;
+  std::uint64_t work_sum = 0;
+  for (const auto v : tree.metrics().lifetime_module_work()) work_sum += v;
+  EXPECT_EQ(comm_sum, s.communication);
+  EXPECT_EQ(work_sum, s.pim_work);
+  // Per-round maxima dominate the averages.
+  EXPECT_GE(s.comm_time * 32, s.communication);
+  EXPECT_GE(s.pim_time * 32, s.pim_work);
+}
+
+TEST(MetricsConservation, CommTimeNeverExceedsComm) {
+  const auto pts = gen_uniform({.n = 4096, .dim = 2, .seed = 13});
+  PimKdTree tree(base_cfg(16), pts);
+  const auto s = tree.metrics().snapshot();
+  EXPECT_LE(s.comm_time, s.communication);
+  EXPECT_LE(s.pim_time, s.pim_work);
+}
+
+TEST(CursorUnit, BottomUpOnlyMakesDescentsHop) {
+  auto cfg = base_cfg(64);
+  cfg.caching = CachingMode::kBottomUp;
+  const auto pts = gen_uniform({.n = 1 << 14, .dim = 2, .seed = 14});
+  PimKdTree tree(cfg, pts);
+  pim::RoundGuard round(tree.metrics());
+  Point q;
+  q[0] = 0.5;
+  q[1] = 0.5;
+  // Downward walk hops on every below-G0 edge (no top-down caches)...
+  Cursor down(tree.config(), tree.pool(), tree.store(), tree.metrics(), 0);
+  NodeId cursor_node = tree.root();
+  down.visit(cursor_node);
+  std::size_t below_g0 = 0;
+  while (!tree.pool().at(cursor_node).is_leaf()) {
+    const NodeRec& n = tree.pool().at(cursor_node);
+    cursor_node = q[n.split_dim] < n.split_val ? n.left : n.right;
+    if (tree.pool().at(cursor_node).group != 0) ++below_g0;
+    down.visit(cursor_node);
+  }
+  EXPECT_EQ(down.hops(), below_g0);
+  // ...but the upward walk from that leaf is component-local.
+  Cursor up(tree.config(), tree.pool(), tree.store(), tree.metrics(), 0);
+  NodeId leaf = cursor_node;
+  up.visit(leaf);
+  std::size_t crossings = 0;
+  while (tree.pool().at(leaf).parent != kNoNode) {
+    const NodeId parent = tree.pool().at(leaf).parent;
+    if (tree.pool().at(parent).comp_root != tree.pool().at(leaf).comp_root &&
+        tree.pool().at(parent).group != 0)
+      ++crossings;
+    up.visit(parent);
+    leaf = parent;
+  }
+  EXPECT_LE(up.hops(), crossings + 1);
+}
+
+}  // namespace
+}  // namespace pimkd::core

@@ -1,0 +1,109 @@
+#include "core/decomposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pim_kdtree.hpp"
+#include "util/generators.hpp"
+#include "util/stats.hpp"
+
+namespace pimkd::core {
+namespace {
+
+TEST(Thresholds, ShapeForP1024) {
+  const auto h = group_thresholds(1024);
+  // H_0 = 1024, H_1 = 10, H_2 = log2(10) ~ 3.32, H_3 ~ 1.73, H_4 = 1.
+  ASSERT_EQ(h.size(), 5u);
+  EXPECT_DOUBLE_EQ(h[0], 1024.0);
+  EXPECT_DOUBLE_EQ(h[1], 10.0);
+  EXPECT_NEAR(h[2], 3.3219, 1e-3);
+  EXPECT_NEAR(h[3], 1.7320, 1e-3);
+  EXPECT_DOUBLE_EQ(h[4], 1.0);
+}
+
+TEST(Thresholds, GroupCountIsLogStarPlusOne) {
+  for (const std::size_t P : {4ul, 16ul, 64ul, 256ul, 1024ul, 65536ul}) {
+    const auto h = group_thresholds(P);
+    EXPECT_EQ(h.size(), static_cast<std::size_t>(log_star2(double(P))) + 1)
+        << "P=" << P;
+  }
+}
+
+TEST(GroupOf, BoundariesForP1024) {
+  const auto h = group_thresholds(1024);
+  EXPECT_EQ(group_of(5000, h), 0);
+  EXPECT_EQ(group_of(1024, h), 0);
+  EXPECT_EQ(group_of(1023, h), 1);
+  EXPECT_EQ(group_of(10, h), 1);
+  EXPECT_EQ(group_of(9.9, h), 2);
+  EXPECT_EQ(group_of(3.5, h), 2);
+  EXPECT_EQ(group_of(3, h), 3);
+  EXPECT_EQ(group_of(1.7, h), 4);
+  EXPECT_EQ(group_of(1, h), 4);
+  EXPECT_EQ(group_of(0.1, h), 4);  // clamped to >= 1
+}
+
+TEST(GroupOf, MonotoneInSize) {
+  const auto h = group_thresholds(4096);
+  int prev = group_of(1, h);
+  for (double t = 1; t < 10000; t *= 1.3) {
+    const int g = group_of(t, h);
+    EXPECT_LE(g, prev);
+    prev = g;
+  }
+  EXPECT_EQ(prev, 0);
+}
+
+// Lemma 3.1: the number of nodes with subtree size >= t is O(n/t); in group
+// terms, Group j has O(n / H_j) nodes. Lemma 3.2: intra-group subtrees in
+// Group j have height O(log H_{j-1} / H_j) = O(H_j).
+class DecompositionLemmas : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DecompositionLemmas, GroupPopulationAndHeightBounds) {
+  const std::size_t P = GetParam();
+  const std::size_t n = 1 << 15;
+  const auto pts = gen_uniform({.n = n, .dim = 2, .seed = 42});
+  PimKdConfig cfg;
+  cfg.dim = 2;
+  cfg.leaf_cap = 8;
+  cfg.system.num_modules = P;
+  PimKdTree tree(cfg, pts);
+
+  const auto h = tree.thresholds();
+  const auto stats = tree.decomposition_stats();
+  ASSERT_EQ(stats.size(), h.size());
+  const double num_nodes = static_cast<double>(tree.num_nodes());
+
+  for (std::size_t j = 0; j < stats.size(); ++j) {
+    if (stats[j].nodes == 0) continue;
+    // Lemma 3.1: |Group j| = O(n / H_j) — constant chosen generously. Leaves
+    // are capacity leaf_cap, so "node count" stands in for n/leaf_cap.
+    const double bound = 8.0 * num_nodes / std::max(h[j] / 4.0, 1.0);
+    EXPECT_LE(static_cast<double>(stats[j].nodes), bound) << "group " << j;
+    // Lemma 3.2: component height O(H_j) for j >= 1 (paper's O(log^(j) P)).
+    if (j >= 1) {
+      const double height_bound = 4.0 * std::max(h[j], 1.0) + 8.0;
+      EXPECT_LE(static_cast<double>(stats[j].max_component_height),
+                height_bound)
+          << "group " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PSweep, DecompositionLemmas,
+                         ::testing::Values(16, 64, 256));
+
+TEST(Decomposition, GroupZeroNodesAreLargeSubtrees) {
+  const auto pts = gen_uniform({.n = 4096, .dim = 2, .seed = 5});
+  PimKdConfig cfg;
+  cfg.dim = 2;
+  cfg.leaf_cap = 8;
+  cfg.system.num_modules = 64;
+  PimKdTree tree(cfg, pts);
+  tree.pool().for_each([&](const NodeRec& rec) {
+    if (rec.group == 0) EXPECT_GE(rec.exact_size, 32u);  // ~P with counter slack
+    if (rec.group >= 1) EXPECT_LT(rec.exact_size, 200u);
+  });
+}
+
+}  // namespace
+}  // namespace pimkd::core

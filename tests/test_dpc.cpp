@@ -1,0 +1,183 @@
+#include "clustering/dpc.hpp"
+
+#include "core/pim_kdtree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kdtree/bruteforce.hpp"
+#include "util/generators.hpp"
+#include "util/stats.hpp"
+
+namespace pimkd {
+namespace {
+
+core::PimKdConfig pim_cfg(std::size_t P, std::uint64_t seed = 9) {
+  core::PimKdConfig cfg;
+  cfg.leaf_cap = 8;
+  cfg.sigma = 32;
+  cfg.system.num_modules = P;
+  cfg.system.seed = seed;
+  return cfg;
+}
+
+TEST(DpcShared, DensitiesMatchBruteForce) {
+  const auto pts = gen_gaussian_blobs({.n = 800, .dim = 2, .seed = 1}, 3, 0.05);
+  const DpcParams params{.dim = 2, .dcut = 0.1, .delta = 0.3, .leaf_cap = 8};
+  const auto res = dpc_shared(pts, params);
+  for (std::size_t i = 0; i < pts.size(); i += 17)
+    EXPECT_EQ(res.density[i],
+              brute_radius(pts, 2, pts[i], params.dcut).size());
+}
+
+TEST(DpcShared, DependentPointsAreNearestHigherDensity) {
+  const auto pts = gen_gaussian_blobs({.n = 500, .dim = 2, .seed = 2}, 2, 0.05);
+  const DpcParams params{.dim = 2, .dcut = 0.08, .delta = 0.3, .leaf_cap = 8};
+  const auto res = dpc_shared(pts, params);
+  for (PointId i = 0; i < pts.size(); ++i) {
+    const PointId dep = res.dependent[i];
+    if (dep == kInvalidPoint) continue;
+    // Strictly higher (density, id).
+    EXPECT_TRUE(res.density[dep] > res.density[i] ||
+                (res.density[dep] == res.density[i] && dep > i));
+    // No closer point with higher (density, id).
+    const Coord d2 = sq_dist(pts[i], pts[dep], 2);
+    for (PointId j = 0; j < pts.size(); ++j) {
+      const bool higher =
+          res.density[j] > res.density[i] ||
+          (res.density[j] == res.density[i] && j > i);
+      if (higher) {
+        ASSERT_GE(sq_dist(pts[i], pts[j], 2) + 1e-12, d2);
+      }
+    }
+  }
+}
+
+TEST(DpcShared, ExactlyOneGlobalPeak) {
+  const auto pts = gen_uniform({.n = 600, .dim = 2, .seed = 3});
+  const DpcParams params{.dim = 2, .dcut = 0.1, .delta = 10.0, .leaf_cap = 8};
+  const auto res = dpc_shared(pts, params);
+  std::size_t peaks = 0;
+  for (const PointId d : res.dependent) peaks += d == kInvalidPoint;
+  EXPECT_EQ(peaks, 1u);
+  // With delta = infinity-ish, everything joins one cluster.
+  EXPECT_EQ(res.num_clusters, 1u);
+}
+
+TEST(DpcShared, WellSeparatedBlobsGetOwnClusters) {
+  // Three tight blobs far apart: DPC with a delta below the blob separation
+  // must produce exactly three clusters.
+  std::vector<Point> pts;
+  Rng rng(4);
+  const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  for (const auto& c : centers) {
+    for (int i = 0; i < 150; ++i) {
+      Point p;
+      p[0] = c[0] + 0.2 * rng.next_gaussian();
+      p[1] = c[1] + 0.2 * rng.next_gaussian();
+      pts.push_back(p);
+    }
+  }
+  const DpcParams params{.dim = 2, .dcut = 0.5, .delta = 3.0, .leaf_cap = 8};
+  const auto res = dpc_shared(pts, params);
+  EXPECT_EQ(res.num_clusters, 3u);
+  // Points of one blob share a label.
+  for (int b = 0; b < 3; ++b)
+    for (int i = 1; i < 150; ++i)
+      EXPECT_EQ(res.cluster[static_cast<std::size_t>(b * 150 + i)],
+                res.cluster[static_cast<std::size_t>(b * 150)]);
+}
+
+TEST(DpcPim, IdenticalToSharedBaseline) {
+  const auto pts =
+      gen_gaussian_blobs({.n = 1200, .dim = 2, .seed = 5}, 4, 0.04);
+  const DpcParams params{.dim = 2, .dcut = 0.08, .delta = 0.5, .leaf_cap = 8};
+  const auto shared = dpc_shared(pts, params);
+  pim::Snapshot cost;
+  const auto pim_res = dpc_pim(pts, params, pim_cfg(16), &cost);
+  EXPECT_EQ(shared.density, pim_res.density);
+  EXPECT_EQ(shared.dependent, pim_res.dependent);
+  EXPECT_EQ(shared.cluster, pim_res.cluster);
+  EXPECT_EQ(shared.num_clusters, pim_res.num_clusters);
+  EXPECT_GT(cost.communication, 0u);
+}
+
+TEST(DpcPim, CommunicationPerPointIsNearConstant) {
+  // Theorem 6.1: O(n (1 + rho) log* P) communication — per point this is a
+  // near-constant, far below the baseline's log n factor.
+  const std::size_t n = 1 << 13;
+  const auto pts = gen_uniform({.n = n, .dim = 2, .seed = 6});
+  // dcut chosen so the expected neighborhood is a handful of points.
+  const DpcParams params{
+      .dim = 2, .dcut = 0.02, .delta = 0.2, .leaf_cap = 8};
+  pim::Snapshot cost;
+  (void)dpc_pim(pts, params, pim_cfg(64), &cost);
+  const double per_point =
+      static_cast<double>(cost.communication) / static_cast<double>(n);
+  const double rho = 3.14 * 0.02 * 0.02 * static_cast<double>(n);  // ~E|B|
+  EXPECT_LT(per_point, 40.0 * (1.0 + rho) * log_star2(64.0));
+}
+
+TEST(DpcPim, LoadBalancedOnClusteredData) {
+  const auto pts =
+      gen_gaussian_blobs({.n = 4096, .dim = 2, .seed = 7}, 3, 0.03);
+  const DpcParams params{.dim = 2, .dcut = 0.05, .delta = 0.4, .leaf_cap = 8};
+  // Run through the PIM pipeline and inspect balance on a fresh config.
+  auto cfg = pim_cfg(32);
+  cfg.dim = 2;
+  core::PimKdTree tree(cfg, pts);
+  tree.metrics().reset_loads();
+  (void)tree.radius_count(pts, params.dcut);
+  EXPECT_LT(tree.metrics().work_balance().imbalance, 3.0);
+}
+
+TEST(DpcPim, ThreeDimensionalPipeline) {
+  // DPC is not 2-d specific: run the full pipeline in 3-d and cross-check
+  // the PIM and shared outputs.
+  const auto pts =
+      gen_gaussian_blobs({.n = 900, .dim = 3, .seed = 50}, 3, 0.05);
+  const DpcParams params{.dim = 3, .dcut = 0.1, .delta = 0.5, .leaf_cap = 8};
+  const auto shared = dpc_shared(pts, params);
+  auto cfg = pim_cfg(16);
+  pim::Snapshot cost;
+  const auto pim_res = dpc_pim(pts, params, cfg, &cost);
+  EXPECT_EQ(shared.density, pim_res.density);
+  EXPECT_EQ(shared.dependent, pim_res.dependent);
+  EXPECT_EQ(shared.cluster, pim_res.cluster);
+}
+
+TEST(DpcEdge, AllIdenticalDensities) {
+  // A perfect grid gives many ties: the (density, id) tie-break must still
+  // produce exactly one global peak and a consistent forest.
+  std::vector<Point> pts;
+  for (int x = 0; x < 20; ++x)
+    for (int y = 0; y < 20; ++y) {
+      Point p;
+      p[0] = x;
+      p[1] = y;
+      pts.push_back(p);
+    }
+  const DpcParams params{.dim = 2, .dcut = 1.1, .delta = 100.0, .leaf_cap = 8};
+  const auto res = dpc_shared(pts, params);
+  std::size_t peaks = 0;
+  for (const auto d : res.dependent) peaks += d == kInvalidPoint;
+  EXPECT_EQ(peaks, 1u);
+  EXPECT_EQ(res.num_clusters, 1u);
+  const auto pim_res = dpc_pim(pts, params, pim_cfg(8));
+  EXPECT_EQ(res.cluster, pim_res.cluster);
+}
+
+TEST(DpcEdge, EmptyAndSingleton) {
+  const DpcParams params{.dim = 2, .dcut = 0.1, .delta = 0.5, .leaf_cap = 8};
+  const auto empty = dpc_shared({}, params);
+  EXPECT_EQ(empty.num_clusters, 0u);
+  std::vector<Point> one(1);
+  const auto single = dpc_shared(one, params);
+  EXPECT_EQ(single.density[0], 1u);
+  EXPECT_EQ(single.dependent[0], kInvalidPoint);
+  EXPECT_EQ(single.num_clusters, 1u);
+}
+
+}  // namespace
+}  // namespace pimkd

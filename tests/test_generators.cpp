@@ -1,0 +1,86 @@
+#include "util/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace pimkd {
+namespace {
+
+TEST(Generators, UniformBoundsAndSize) {
+  const auto pts = gen_uniform({.n = 500, .dim = 3, .seed = 1}, 2.0);
+  ASSERT_EQ(pts.size(), 500u);
+  for (const auto& p : pts)
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_GE(p[d], 0.0);
+      EXPECT_LT(p[d], 2.0);
+    }
+}
+
+TEST(Generators, UniformDeterministic) {
+  const auto a = gen_uniform({.n = 50, .dim = 2, .seed = 9});
+  const auto b = gen_uniform({.n = 50, .dim = 2, .seed = 9});
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_TRUE(a[i].equals(b[i], 2));
+}
+
+TEST(Generators, BlobsClusterTightly) {
+  const auto pts =
+      gen_gaussian_blobs({.n = 2000, .dim = 2, .seed = 5}, 4, 0.01);
+  ASSERT_EQ(pts.size(), 2000u);
+  // With stddev 0.01 almost all points lie within ~0.05 of one of 4 centers:
+  // count distinct "rounded" cells; should be far fewer than for uniform data.
+  std::map<std::pair<int, int>, int> cells;
+  for (const auto& p : pts)
+    ++cells[{static_cast<int>(p[0] * 10), static_cast<int>(p[1] * 10)}];
+  EXPECT_LT(cells.size(), 60u);
+}
+
+TEST(Generators, BlobsWithNoiseCount) {
+  const auto pts =
+      gen_blobs_with_noise({.n = 1000, .dim = 2, .seed = 6}, 3, 0.02, 0.1);
+  EXPECT_EQ(pts.size(), 1000u);
+}
+
+TEST(Generators, LinePointsNearDiagonal) {
+  const auto pts = gen_line({.n = 300, .dim = 2, .seed = 7}, 1e-4);
+  for (const auto& p : pts) EXPECT_NEAR(p[0], p[1], 1e-3);
+}
+
+TEST(Generators, ZipfSkewsTowardFewRanks) {
+  ZipfPicker picker(1000, 1.2, 77);
+  Rng rng(3);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 5000; ++i) ++counts[picker.pick(rng)];
+  // Top item should dominate: its count far above the uniform expectation 5.
+  int max_count = 0;
+  for (const auto& [k, v] : counts) max_count = std::max(max_count, v);
+  EXPECT_GT(max_count, 200);
+}
+
+TEST(Generators, UniformQueriesInsideDataBox) {
+  const auto data = gen_uniform({.n = 100, .dim = 2, .seed = 8});
+  const auto qs = gen_uniform_queries(data, 2, 64, 4);
+  const Box bb = bounding_box(data, 2);
+  EXPECT_EQ(qs.size(), 64u);
+  for (const auto& q : qs) EXPECT_TRUE(bb.contains(q, 2));
+}
+
+TEST(Generators, AdversarialQueriesCollapseToOnePoint) {
+  const auto data = gen_uniform({.n = 100, .dim = 2, .seed = 10});
+  const auto qs = gen_adversarial_queries(data, 2, 128, 11);
+  ASSERT_EQ(qs.size(), 128u);
+  const Box bb = bounding_box(qs, 2);
+  EXPECT_LT(bb.longest_side(2), 1e-5);
+}
+
+TEST(Generators, ZipfQueriesDeterministic) {
+  const auto data = gen_uniform({.n = 200, .dim = 2, .seed = 12});
+  const auto a = gen_zipf_queries(data, 2, 32, 1.0, 5);
+  const auto b = gen_zipf_queries(data, 2, 32, 1.0, 5);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_TRUE(a[i].equals(b[i], 2));
+}
+
+}  // namespace
+}  // namespace pimkd

@@ -1,0 +1,128 @@
+#include "util/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pimkd {
+namespace {
+
+Point make(double x, double y) {
+  Point p;
+  p[0] = x;
+  p[1] = y;
+  return p;
+}
+
+TEST(Geometry, SqDistMatchesManual) {
+  const Point a = make(1, 2);
+  const Point b = make(4, 6);
+  EXPECT_DOUBLE_EQ(sq_dist(a, b, 2), 25.0);
+  EXPECT_DOUBLE_EQ(euclid_dist(a, b, 2), 5.0);
+}
+
+TEST(Geometry, SqDistRespectsDim) {
+  Point a;
+  Point b;
+  for (int d = 0; d < kMaxDim; ++d) {
+    a[d] = 0;
+    b[d] = 1;
+  }
+  EXPECT_DOUBLE_EQ(sq_dist(a, b, 3), 3.0);
+  EXPECT_DOUBLE_EQ(sq_dist(a, b, 7), 7.0);
+}
+
+TEST(Geometry, EmptyBoxContainsNothingAndExtends) {
+  Box b = Box::empty(2);
+  EXPECT_FALSE(b.contains(make(0, 0), 2));
+  b.extend(make(1, 1), 2);
+  b.extend(make(3, -2), 2);
+  EXPECT_TRUE(b.contains(make(2, 0), 2));
+  EXPECT_FALSE(b.contains(make(2, 2), 2));
+  EXPECT_DOUBLE_EQ(b.lo[0], 1);
+  EXPECT_DOUBLE_EQ(b.hi[1], 1);
+}
+
+TEST(Geometry, BoxIntersects) {
+  Box a = Box::empty(2);
+  a.extend(make(0, 0), 2);
+  a.extend(make(2, 2), 2);
+  Box b = Box::empty(2);
+  b.extend(make(1, 1), 2);
+  b.extend(make(3, 3), 2);
+  Box c = Box::empty(2);
+  c.extend(make(5, 5), 2);
+  c.extend(make(6, 6), 2);
+  EXPECT_TRUE(a.intersects(b, 2));
+  EXPECT_TRUE(b.intersects(a, 2));
+  EXPECT_FALSE(a.intersects(c, 2));
+  // Touching boundaries count as intersecting.
+  Box d = Box::empty(2);
+  d.extend(make(2, 2), 2);
+  d.extend(make(4, 4), 2);
+  EXPECT_TRUE(a.intersects(d, 2));
+}
+
+TEST(Geometry, BoxContainsBox) {
+  Box outer = Box::empty(2);
+  outer.extend(make(0, 0), 2);
+  outer.extend(make(10, 10), 2);
+  Box inner = Box::empty(2);
+  inner.extend(make(2, 2), 2);
+  inner.extend(make(3, 3), 2);
+  EXPECT_TRUE(outer.contains(inner, 2));
+  EXPECT_FALSE(inner.contains(outer, 2));
+  // A parent box contains the empty box (vacuous truth used by invariants).
+  EXPECT_TRUE(outer.contains(Box::empty(2), 2));
+}
+
+TEST(Geometry, SqDistToBox) {
+  Box b = Box::empty(2);
+  b.extend(make(0, 0), 2);
+  b.extend(make(2, 2), 2);
+  EXPECT_DOUBLE_EQ(b.sq_dist_to(make(1, 1), 2), 0.0);   // inside
+  EXPECT_DOUBLE_EQ(b.sq_dist_to(make(3, 1), 2), 1.0);   // right face
+  EXPECT_DOUBLE_EQ(b.sq_dist_to(make(3, 3), 2), 2.0);   // corner
+  EXPECT_DOUBLE_EQ(b.sq_dist_to(make(-2, 1), 2), 4.0);  // left face
+}
+
+TEST(Geometry, IntersectsBall) {
+  Box b = Box::empty(2);
+  b.extend(make(0, 0), 2);
+  b.extend(make(2, 2), 2);
+  EXPECT_TRUE(b.intersects_ball(make(3, 1), 1.0, 2));
+  EXPECT_FALSE(b.intersects_ball(make(3, 1), 0.5, 2));
+}
+
+TEST(Geometry, WidestDim) {
+  Box b = Box::empty(3);
+  b.extend(make(0, 0), 3);
+  Point p = make(1, 5);
+  p[2] = 2;
+  b.extend(p, 3);
+  EXPECT_EQ(b.widest_dim(3), 1);
+  EXPECT_DOUBLE_EQ(b.longest_side(3), 5.0);
+}
+
+TEST(Geometry, BoundingBoxOfSpan) {
+  std::vector<Point> pts = {make(1, 4), make(-2, 0), make(3, 3)};
+  const Box b = bounding_box(pts, 2);
+  EXPECT_DOUBLE_EQ(b.lo[0], -2);
+  EXPECT_DOUBLE_EQ(b.hi[0], 3);
+  EXPECT_DOUBLE_EQ(b.lo[1], 0);
+  EXPECT_DOUBLE_EQ(b.hi[1], 4);
+}
+
+TEST(Geometry, DiagonalLength) {
+  Box b = Box::empty(2);
+  b.extend(make(0, 0), 2);
+  b.extend(make(3, 4), 2);
+  EXPECT_DOUBLE_EQ(b.diagonal(2), 5.0);
+}
+
+TEST(Geometry, WholeBoxContainsEverything) {
+  const Box b = Box::whole(4);
+  Point p = make(1e300, -1e300);
+  EXPECT_TRUE(b.contains(p, 4));
+}
+
+}  // namespace
+}  // namespace pimkd

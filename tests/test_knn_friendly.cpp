@@ -1,0 +1,81 @@
+#include "util/knn_friendly.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/generators.hpp"
+
+namespace pimkd {
+namespace {
+
+TEST(KnnFriendly, UniformDataIsFriendly) {
+  const auto pts = gen_uniform({.n = 4000, .dim = 2, .seed = 1});
+  const auto f = analyze_knn_friendliness(pts, 2, 8);
+  EXPECT_EQ(f.dim, 2);
+  EXPECT_GT(f.small_cells, 0u);
+  // Median splits on uniform data give near-square small cells...
+  EXPECT_LT(f.max_small_cell_aspect, 16.0);
+  // ...siblings of tiny nodes stay O(k)...
+  EXPECT_LT(f.max_expansion_ratio, 4.0);
+  // ...and density estimates barely vary.
+  EXPECT_LT(f.local_uniformity_cv, 0.5);
+}
+
+TEST(KnnFriendly, GaussianBlobsAreLocallyUniform) {
+  // Blobs are globally non-uniform but *locally* uniform at kNN scales —
+  // exactly the case the paper's Definition 2 is designed to admit.
+  const auto pts = gen_gaussian_blobs({.n = 4000, .dim = 2, .seed = 2}, 4, 0.05);
+  const auto f = analyze_knn_friendliness(pts, 2, 8);
+  EXPECT_LT(f.local_uniformity_cv, 1.5);
+  EXPECT_LT(f.max_expansion_ratio, 4.0);
+}
+
+TEST(KnnFriendly, LowDimensionalManifoldsViolateCompactness) {
+  // Data on a near-1-d manifold inside a 2-d space is *not* kNN-friendly:
+  // at leaf scale the partition cells around the manifold become extremely
+  // elongated, violating condition (2). Both an axis-aligned strip and a
+  // diagonal line trip the checker.
+  std::vector<Point> strip(4000);
+  Rng srng(3);
+  for (auto& p : strip) {
+    p[0] = srng.next_double();
+    p[1] = 1e-7 * srng.next_double();
+  }
+  const auto f = analyze_knn_friendliness(strip, 2, 8);
+  EXPECT_GT(f.max_small_cell_aspect, 100.0);
+
+  const auto diag = gen_line({.n = 4000, .dim = 2, .seed = 4}, 1e-7);
+  const auto fd = analyze_knn_friendliness(diag, 2, 8);
+  EXPECT_GT(fd.max_small_cell_aspect, 50.0);
+}
+
+TEST(KnnFriendly, ExtremeDensityContrastShowsInCv) {
+  // Two blobs whose densities differ by 100x: the per-query density
+  // estimates spread much further than on a single uniform cube.
+  std::vector<Point> pts;
+  Rng rng(4);
+  for (int i = 0; i < 3800; ++i) {
+    Point p;
+    p[0] = 0.001 * rng.next_gaussian();
+    p[1] = 0.001 * rng.next_gaussian();
+    pts.push_back(p);
+  }
+  for (int i = 0; i < 200; ++i) {
+    Point p;
+    p[0] = 10 + rng.next_double();
+    p[1] = 10 + rng.next_double();
+    pts.push_back(p);
+  }
+  const auto contrast = analyze_knn_friendliness(pts, 2, 8, 128, 5);
+  const auto uniform = analyze_knn_friendliness(
+      gen_uniform({.n = 4000, .dim = 2, .seed = 6}), 2, 8, 128, 5);
+  EXPECT_GT(contrast.local_uniformity_cv, 2.0 * uniform.local_uniformity_cv);
+}
+
+TEST(KnnFriendly, TinyDatasetsReportZero) {
+  const auto pts = gen_uniform({.n = 10, .dim = 2, .seed = 7});
+  const auto f = analyze_knn_friendliness(pts, 2, 8);
+  EXPECT_EQ(f.small_cells, 0u);
+}
+
+}  // namespace
+}  // namespace pimkd

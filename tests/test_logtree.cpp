@@ -1,0 +1,159 @@
+#include "kdtree/logtree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kdtree/bruteforce.hpp"
+#include "util/generators.hpp"
+
+namespace pimkd {
+namespace {
+
+// Live-point oracle maintained beside the LogTree.
+struct Oracle {
+  std::vector<Point> pts;
+  std::vector<PointId> ids;
+  int dim;
+
+  std::vector<Neighbor> knn(const Point& q, std::size_t k) const {
+    auto got = brute_knn(pts, dim, q, k);
+    for (auto& nb : got) nb.id = ids[nb.id];
+    return got;
+  }
+  std::vector<PointId> range(const Box& b) const {
+    auto got = brute_range(pts, dim, b);
+    std::vector<PointId> out;
+    for (const auto i : got) out.push_back(ids[i]);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+};
+
+TEST(LogTree, InsertThenQueryMatchesOracle) {
+  const int dim = 2;
+  LogTree tree({.dim = dim, .leaf_cap = 8});
+  Oracle oracle{{}, {}, dim};
+  Rng rng(1);
+  for (int batch = 0; batch < 6; ++batch) {
+    const auto pts =
+        gen_uniform({.n = 100 + 37 * static_cast<std::size_t>(batch),
+                     .dim = dim, .seed = 100 + static_cast<std::uint64_t>(batch)});
+    const auto ids = tree.insert(pts);
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      oracle.pts.push_back(pts[i]);
+      oracle.ids.push_back(ids[i]);
+    }
+  }
+  EXPECT_EQ(tree.size(), oracle.pts.size());
+  const auto qs = gen_uniform_queries(oracle.pts, dim, 25, 7);
+  for (const auto& q : qs) {
+    const auto got = tree.knn(q, 5);
+    const auto want = oracle.knn(q, 5);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+      EXPECT_DOUBLE_EQ(got[i].sq_dist, want[i].sq_dist);
+  }
+}
+
+TEST(LogTree, SubtreeCountIsLogarithmic) {
+  LogTree tree({.dim = 2, .leaf_cap = 8});
+  const auto pts = gen_uniform({.n = 3000, .dim = 2, .seed = 3});
+  for (std::size_t i = 0; i < pts.size(); i += 100)
+    (void)tree.insert(std::span(pts).subspan(i, 100));
+  // 3000 points at base granularity 8: around log2(3000/8) ~ 9 slots.
+  EXPECT_LE(tree.num_subtrees(), 12u);
+}
+
+TEST(LogTree, EraseRemovesFromQueries) {
+  LogTree tree({.dim = 2, .leaf_cap = 8});
+  const auto pts = gen_uniform({.n = 500, .dim = 2, .seed = 4});
+  const auto ids = tree.insert(pts);
+  // Erase every third point.
+  std::vector<PointId> dead;
+  for (std::size_t i = 0; i < ids.size(); i += 3) dead.push_back(ids[i]);
+  tree.erase(dead);
+  EXPECT_EQ(tree.size(), 500u - dead.size());
+
+  Oracle oracle{{}, {}, 2};
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i % 3 == 0) continue;
+    oracle.pts.push_back(pts[i]);
+    oracle.ids.push_back(ids[i]);
+  }
+  const auto qs = gen_uniform_queries(pts, 2, 20, 5);
+  for (const auto& q : qs) {
+    const auto got = tree.knn(q, 4);
+    const auto want = oracle.knn(q, 4);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+      EXPECT_EQ(got[i].id, want[i].id);
+  }
+}
+
+TEST(LogTree, EraseHalfTriggersGlobalRebuild) {
+  LogTree tree({.dim = 2, .leaf_cap = 8});
+  const auto pts = gen_uniform({.n = 1000, .dim = 2, .seed = 6});
+  const auto ids = tree.insert(pts);
+  std::vector<PointId> dead(ids.begin(), ids.begin() + 600);
+  tree.erase(dead);
+  EXPECT_EQ(tree.size(), 400u);
+  // After the rebuild, a full-box range returns exactly the live points.
+  const Box bb = bounding_box(pts, 2);
+  EXPECT_EQ(tree.range(bb).size(), 400u);
+}
+
+TEST(LogTree, RangeAndRadiusMatchOracle) {
+  LogTree tree({.dim = 2, .leaf_cap = 8});
+  const auto pts = gen_uniform({.n = 800, .dim = 2, .seed = 8});
+  const auto ids = tree.insert(pts);
+  Oracle oracle{pts, ids, 2};
+  Rng rng(9);
+  for (int t = 0; t < 10; ++t) {
+    Box b = Box::empty(2);
+    Point a;
+    a[0] = rng.next_double() * 0.7;
+    a[1] = rng.next_double() * 0.7;
+    Point c = a;
+    c[0] += 0.3;
+    c[1] += 0.3;
+    b.extend(a, 2);
+    b.extend(c, 2);
+    EXPECT_EQ(tree.range(b), oracle.range(b));
+  }
+  const auto radius_got = tree.radius(pts[0], 0.1);
+  const auto radius_want = brute_radius(pts, 2, pts[0], 0.1);
+  EXPECT_EQ(radius_got.size(), radius_want.size());
+}
+
+TEST(LogTree, LeafSearchCostGrowsWithSubtreeCount) {
+  LogTree tree({.dim = 2, .leaf_cap = 8});
+  const auto pts = gen_uniform({.n = 2000, .dim = 2, .seed = 10});
+  for (std::size_t i = 0; i < pts.size(); i += 50)
+    (void)tree.insert(std::span(pts).subspan(i, 50));
+  Point q;
+  q[0] = 0.5;
+  q[1] = 0.5;
+  // LeafSearch probes every subtree: cost at least the number of subtrees.
+  EXPECT_GE(tree.leaf_search_cost(q), tree.num_subtrees());
+}
+
+TEST(LogTree, EraseUnknownIdIgnored) {
+  LogTree tree({.dim = 2, .leaf_cap = 8});
+  const auto pts = gen_uniform({.n = 50, .dim = 2, .seed = 11});
+  (void)tree.insert(pts);
+  const PointId bogus[] = {9999};
+  tree.erase(bogus);
+  EXPECT_EQ(tree.size(), 50u);
+}
+
+TEST(LogTree, DoubleEraseCountsOnce) {
+  LogTree tree({.dim = 2, .leaf_cap = 8});
+  const auto pts = gen_uniform({.n = 50, .dim = 2, .seed = 12});
+  const auto ids = tree.insert(pts);
+  const PointId victim[] = {ids[0]};
+  tree.erase(victim);
+  tree.erase(victim);
+  EXPECT_EQ(tree.size(), 49u);
+}
+
+}  // namespace
+}  // namespace pimkd

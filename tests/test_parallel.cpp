@@ -1,0 +1,110 @@
+#include "parallel/primitives.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/random.hpp"
+
+#include <atomic>
+#include <numeric>
+
+namespace pimkd {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexOnce) {
+  constexpr std::size_t kN = 100000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(0, kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, EmptyAndSingle) {
+  int count = 0;
+  parallel_for(5, 5, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  parallel_for(5, 6, [&](std::size_t i) { EXPECT_EQ(i, 5u); ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ParallelFor, NestedDoesNotDeadlock) {
+  std::atomic<int> total{0};
+  parallel_for(0, 8, [&](std::size_t) {
+    parallel_for(0, 8, [&](std::size_t) { total.fetch_add(1); }, 1);
+  }, 1);
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ParallelReduce, Sum) {
+  const std::size_t n = 50000;
+  const auto sum = parallel_reduce<std::uint64_t>(
+      0, n, 0, [](std::size_t i) { return static_cast<std::uint64_t>(i); },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_EQ(sum, static_cast<std::uint64_t>(n) * (n - 1) / 2);
+}
+
+TEST(ExclusiveScan, SmallAndLarge) {
+  for (const std::size_t n : {0ul, 1ul, 7ul, 100000ul}) {
+    std::vector<std::uint64_t> v(n, 0);
+    for (std::size_t i = 0; i < n; ++i) v[i] = i % 5;
+    std::vector<std::uint64_t> expect(n);
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      expect[i] = acc;
+      acc += i % 5;
+    }
+    const auto total = exclusive_scan(v);
+    EXPECT_EQ(total, acc);
+    EXPECT_EQ(v, expect);
+  }
+}
+
+TEST(ParallelFilter, KeepsOrder) {
+  const std::size_t n = 30000;
+  const auto idx =
+      parallel_filter_indices(n, [](std::size_t i) { return i % 3 == 0; });
+  ASSERT_EQ(idx.size(), (n + 2) / 3);
+  for (std::size_t j = 0; j < idx.size(); ++j) EXPECT_EQ(idx[j], j * 3);
+}
+
+TEST(ParallelSort, SortsLargeVector) {
+  Rng rng(4);
+  std::vector<std::uint64_t> v(200000);
+  for (auto& x : v) x = rng.next_u64() % 1000;
+  auto expect = v;
+  std::sort(expect.begin(), expect.end());
+  parallel_sort(v, std::less<>{});
+  EXPECT_EQ(v, expect);
+}
+
+TEST(ParallelSort, SmallVector) {
+  std::vector<int> v = {5, 3, 1, 4, 2};
+  parallel_sort(v, std::less<>{});
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(GroupBy, GroupsAndStability) {
+  const std::vector<std::uint64_t> keys = {7, 3, 7, 9, 3, 7};
+  const auto g = group_by(keys);
+  ASSERT_EQ(g.keys.size(), 3u);
+  ASSERT_EQ(g.offsets.size(), 4u);
+  EXPECT_EQ(g.perm.size(), keys.size());
+  // Each group contains exactly the indices with its key, in input order.
+  for (std::size_t j = 0; j < g.keys.size(); ++j) {
+    std::size_t prev = 0;
+    bool first = true;
+    for (std::size_t t = g.offsets[j]; t < g.offsets[j + 1]; ++t) {
+      EXPECT_EQ(keys[g.perm[t]], g.keys[j]);
+      if (!first) EXPECT_GT(g.perm[t], prev);
+      prev = g.perm[t];
+      first = false;
+    }
+  }
+}
+
+TEST(GroupBy, Empty) {
+  const auto g = group_by({});
+  EXPECT_TRUE(g.keys.empty());
+  EXPECT_EQ(g.offsets.size(), 1u);
+}
+
+}  // namespace
+}  // namespace pimkd

@@ -1,0 +1,285 @@
+#include "btree/pim_btree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/random.hpp"
+#include "util/stats.hpp"
+
+namespace pimkd::btree {
+namespace {
+
+BTreeConfig cfg_of(std::size_t P, std::size_t fanout = 16,
+                   std::uint64_t seed = 1) {
+  BTreeConfig cfg;
+  cfg.fanout = fanout;
+  cfg.system.num_modules = P;
+  cfg.system.seed = seed;
+  return cfg;
+}
+
+std::vector<std::pair<Key, Value>> random_kv(std::size_t n,
+                                             std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<Key, Value>> kv(n);
+  for (auto& [k, v] : kv) {
+    k = rng.next_u64() >> 16;
+    v = rng.next_u64();
+  }
+  return kv;
+}
+
+TEST(ChunkedThresholds, BaseCIteration) {
+  // P=65536, C=16: H = {65536, log16(65536)=4, log16(4)=0.5 -> 1}.
+  const auto h = chunked_thresholds(65536, 16);
+  ASSERT_EQ(h.size(), 3u);
+  EXPECT_DOUBLE_EQ(h[0], 65536.0);
+  EXPECT_DOUBLE_EQ(h[1], 4.0);
+  EXPECT_DOUBLE_EQ(h[2], 1.0);
+  // Larger fanout shrinks the group count (the §5 batch-size trade-off).
+  EXPECT_LE(chunked_thresholds(65536, 256).size(),
+            chunked_thresholds(65536, 4).size());
+}
+
+struct Params {
+  std::size_t n;
+  std::size_t P;
+  std::size_t fanout;
+};
+
+class PimBTreeP : public ::testing::TestWithParam<Params> {};
+
+TEST_P(PimBTreeP, BulkBuildLookup) {
+  const auto [n, P, fanout] = GetParam();
+  const auto kv = random_kv(n, n + P);
+  PimBTree tree(cfg_of(P, fanout), kv);
+  ASSERT_TRUE(tree.check_invariants());
+  std::map<Key, Value> oracle(kv.begin(), kv.end());
+  EXPECT_EQ(tree.size(), oracle.size());
+
+  std::vector<Key> probes;
+  Rng rng(n);
+  for (const auto& [k, v] : kv)
+    if (rng.next_bernoulli(0.1)) probes.push_back(k);
+  probes.push_back(0xdeadbeef);  // almost surely absent
+  const auto got = tree.lookup(probes);
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const auto it = oracle.find(probes[i]);
+    if (it == oracle.end()) {
+      EXPECT_FALSE(got[i].has_value());
+    } else {
+      ASSERT_TRUE(got[i].has_value());
+      EXPECT_EQ(*got[i], it->second);
+    }
+  }
+}
+
+TEST_P(PimBTreeP, ScanMatchesOracle) {
+  const auto [n, P, fanout] = GetParam();
+  const auto kv = random_kv(n, 3 * n + P);
+  PimBTree tree(cfg_of(P, fanout), kv);
+  std::map<Key, Value> oracle(kv.begin(), kv.end());
+  Rng rng(9);
+  std::vector<std::pair<Key, Key>> ranges;
+  for (int t = 0; t < 10; ++t) {
+    Key lo = rng.next_u64() >> 16;
+    Key hi = lo + (rng.next_u64() >> 24);
+    ranges.emplace_back(lo, hi);
+  }
+  const auto got = tree.scan(ranges);
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    std::vector<std::pair<Key, Value>> want;
+    for (auto it = oracle.lower_bound(ranges[i].first);
+         it != oracle.end() && it->first <= ranges[i].second; ++it)
+      want.emplace_back(it->first, it->second);
+    EXPECT_EQ(got[i], want) << "range " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PimBTreeP,
+                         ::testing::Values(Params{100, 4, 4},
+                                           Params{2000, 16, 8},
+                                           Params{20000, 64, 16},
+                                           Params{20000, 64, 64},
+                                           Params{50000, 256, 16}));
+
+TEST(PimBTree, UpsertInsertAndOverwrite) {
+  PimBTree tree(cfg_of(16, 8));
+  std::map<Key, Value> oracle;
+  Rng rng(4);
+  for (int b = 0; b < 12; ++b) {
+    std::vector<std::pair<Key, Value>> batch;
+    for (int i = 0; i < 300; ++i) {
+      const Key k = rng.next_below(2000);  // dense: plenty of overwrites
+      const Value v = rng.next_u64();
+      batch.emplace_back(k, v);
+    }
+    // Oracle applies in order; the tree's batch semantics must match the
+    // per-leaf in-order application for duplicate keys in one batch.
+    std::map<Key, Value> dedup;
+    for (const auto& [k, v] : batch) dedup[k] = v;
+    std::vector<std::pair<Key, Value>> clean(dedup.begin(), dedup.end());
+    tree.upsert(clean);
+    for (const auto& [k, v] : clean) oracle[k] = v;
+    ASSERT_TRUE(tree.check_invariants()) << "batch " << b;
+    ASSERT_EQ(tree.size(), oracle.size());
+  }
+  std::vector<Key> keys;
+  for (const auto& [k, v] : oracle) keys.push_back(k);
+  const auto got = tree.lookup(keys);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(got[i].has_value());
+    EXPECT_EQ(*got[i], oracle[keys[i]]);
+  }
+}
+
+TEST(PimBTree, SplitsKeepHeightLogarithmic) {
+  PimBTree tree(cfg_of(16, 8));
+  std::vector<std::pair<Key, Value>> sorted;
+  for (Key k = 0; k < 20000; ++k) sorted.emplace_back(k, k);
+  // Adversarial sorted insertion in batches.
+  for (std::size_t i = 0; i < sorted.size(); i += 1000)
+    tree.upsert(std::span(sorted).subspan(i, 1000));
+  ASSERT_TRUE(tree.check_invariants());
+  EXPECT_EQ(tree.size(), 20000u);
+  // Height <= ~log_{C/2}(n) + slack.
+  EXPECT_LE(tree.height(), 8u);
+}
+
+TEST(PimBTree, EraseMatchesOracle) {
+  const auto kv = random_kv(10000, 5);
+  PimBTree tree(cfg_of(32, 16), kv);
+  std::map<Key, Value> oracle(kv.begin(), kv.end());
+  Rng rng(6);
+  std::vector<Key> dead;
+  for (const auto& [k, v] : oracle)
+    if (rng.next_bernoulli(0.5)) dead.push_back(k);
+  tree.erase(dead);
+  for (const Key k : dead) oracle.erase(k);
+  ASSERT_TRUE(tree.check_invariants());
+  EXPECT_EQ(tree.size(), oracle.size());
+  std::vector<Key> probes;
+  for (const auto& [k, v] : oracle) probes.push_back(k);
+  probes.insert(probes.end(), dead.begin(), dead.end());
+  const auto got = tree.lookup(probes);
+  for (std::size_t i = 0; i < probes.size(); ++i)
+    EXPECT_EQ(got[i].has_value(), oracle.count(probes[i]) != 0) << i;
+}
+
+TEST(PimBTree, EraseEverythingThenReinsert) {
+  const auto kv = random_kv(3000, 7);
+  PimBTree tree(cfg_of(16, 8), kv);
+  std::vector<Key> keys;
+  for (const auto& [k, v] : kv) keys.push_back(k);
+  tree.erase(keys);
+  EXPECT_EQ(tree.size(), 0u);
+  ASSERT_TRUE(tree.check_invariants());
+  tree.upsert(kv);
+  EXPECT_GT(tree.size(), 0u);
+  ASSERT_TRUE(tree.check_invariants());
+}
+
+TEST(PimBTree, ChurnKeepsInvariants) {
+  PimBTree tree(cfg_of(16, 8));
+  std::map<Key, Value> oracle;
+  Rng rng(8);
+  for (int round = 0; round < 10; ++round) {
+    std::map<Key, Value> fresh;
+    for (int i = 0; i < 400; ++i)
+      fresh[rng.next_below(5000)] = rng.next_u64();
+    std::vector<std::pair<Key, Value>> batch(fresh.begin(), fresh.end());
+    tree.upsert(batch);
+    for (const auto& [k, v] : batch) oracle[k] = v;
+    std::vector<Key> dead;
+    for (const auto& [k, v] : oracle)
+      if (rng.next_bernoulli(0.3)) dead.push_back(k);
+    tree.erase(dead);
+    for (const Key k : dead) oracle.erase(k);
+    ASSERT_TRUE(tree.check_invariants()) << "round " << round;
+    ASSERT_EQ(tree.size(), oracle.size());
+  }
+}
+
+TEST(PimBTree, LookupCommunicationIsLogStarBaseC) {
+  // §5 / §7: chunked search costs O(G + log^(G)_C P) per query — a handful
+  // of words, independent of n.
+  const std::size_t n = 1 << 16;
+  const auto kv = random_kv(n, 9);
+  PimBTree tree(cfg_of(256, 16), kv);
+  std::vector<Key> probes;
+  Rng rng(10);
+  for (int i = 0; i < 4096; ++i) probes.push_back(kv[rng.next_below(n)].first);
+  const auto before = tree.metrics().snapshot();
+  (void)tree.lookup(probes);
+  const auto d = tree.metrics().snapshot() - before;
+  const double per_query = double(d.communication) / 4096.0;
+  EXPECT_LT(per_query, 16.0);  // ~log*_C P + result, not log_C n
+}
+
+TEST(PimBTree, LargerFanoutFewerGroupsLessComm) {
+  // The §5 batch-size trade-off: raising C shrinks log*_C P and the search
+  // communication (at the price of bigger chunks per message).
+  const std::size_t n = 1 << 15;
+  const auto kv = random_kv(n, 11);
+  std::vector<Key> probes;
+  Rng rng(12);
+  for (int i = 0; i < 2048; ++i) probes.push_back(kv[rng.next_below(n)].first);
+  double prev_hops = 1e18;
+  for (const std::size_t fanout : {4u, 16u, 64u}) {
+    PimBTree tree(cfg_of(1024, fanout), kv);
+    auto cfg2 = tree.config();
+    (void)cfg2;
+    const auto before = tree.metrics().snapshot();
+    (void)tree.lookup(probes);
+    const auto d = tree.metrics().snapshot() - before;
+    const double per_query = double(d.communication) / 2048.0;
+    EXPECT_LE(per_query, prev_hops * 1.5 + 4.0) << "fanout " << fanout;
+    prev_hops = per_query;
+  }
+}
+
+TEST(PimBTree, SkewResistantUnderAdversarialLookups) {
+  const auto kv = random_kv(1 << 14, 13);
+  PimBTree tree(cfg_of(32, 16), kv);
+  // Every query asks for the same key.
+  std::vector<Key> probes(4096, kv[7].first);
+  tree.metrics().reset_loads();
+  (void)tree.lookup(probes);
+  EXPECT_LT(tree.metrics().comm_balance().imbalance, 4.0);
+}
+
+TEST(PimBTree, StorageTracksChunkedLogStar) {
+  const std::size_t n = 1 << 15;
+  const auto kv = random_kv(n, 14);
+  PimBTree tree(cfg_of(64, 16), kv);
+  const double raw = double(n) * 2.0;  // key + value words
+  const double ratio = double(tree.storage_words()) / raw;
+  const auto h = tree.thresholds();
+  EXPECT_LT(ratio, 8.0 * double(h.size()));
+  EXPECT_LT(tree.metrics().storage_balance().imbalance, 2.5);
+}
+
+TEST(PimBTree, EmptyAndTiny) {
+  PimBTree tree(cfg_of(4, 4));
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.check_invariants());
+  const Key k = 42;
+  EXPECT_FALSE(tree.lookup(std::span(&k, 1))[0].has_value());
+  const std::pair<Key, Value> one{42, 7};
+  tree.upsert(std::span(&one, 1));
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(*tree.lookup(std::span(&k, 1))[0], 7u);
+  EXPECT_TRUE(tree.check_invariants());
+}
+
+TEST(PimBTree, DuplicateKeysInBuildLastWins) {
+  std::vector<std::pair<Key, Value>> kv = {{5, 1}, {5, 2}, {3, 9}, {5, 3}};
+  PimBTree tree(cfg_of(4, 4), kv);
+  EXPECT_EQ(tree.size(), 2u);
+  const Key k = 5;
+  EXPECT_EQ(*tree.lookup(std::span(&k, 1))[0], 3u);
+}
+
+}  // namespace
+}  // namespace pimkd::btree

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "core/pim_kdtree.hpp"
+#include "util/generators.hpp"
+#include "util/stats.hpp"
+
+namespace pimkd::core {
+namespace {
+
+PimKdConfig base_cfg(std::size_t P, int dim = 2, std::uint64_t seed = 1) {
+  PimKdConfig cfg;
+  cfg.dim = dim;
+  cfg.leaf_cap = 8;
+  cfg.sigma = 32;
+  cfg.system.num_modules = P;
+  cfg.system.cache_words = 1 << 20;
+  cfg.system.seed = seed;
+  return cfg;
+}
+
+struct Params {
+  std::size_t n;
+  std::size_t P;
+  int dim;
+};
+
+class BuildP : public ::testing::TestWithParam<Params> {};
+
+TEST_P(BuildP, InvariantsHoldAfterBuild) {
+  const auto [n, P, dim] = GetParam();
+  const auto pts = gen_uniform({.n = n, .dim = dim, .seed = n ^ P});
+  PimKdTree tree(base_cfg(P, dim, 3), pts);
+  EXPECT_EQ(tree.size(), n);
+  ASSERT_TRUE(tree.check_invariants());
+}
+
+TEST_P(BuildP, HeightIsLogarithmic) {
+  const auto [n, P, dim] = GetParam();
+  const auto pts = gen_uniform({.n = n, .dim = dim, .seed = n + P});
+  PimKdTree tree(base_cfg(P, dim, 4), pts);
+  const double log_leaves =
+      std::log2(std::max<double>(double(n) / 8.0, 2.0));
+  EXPECT_LE(static_cast<double>(tree.height()), 2.5 * log_leaves + 4);
+}
+
+TEST_P(BuildP, SpaceIsNearLinear) {
+  const auto [n, P, dim] = GetParam();
+  const auto pts = gen_uniform({.n = n, .dim = dim, .seed = n + 2 * P});
+  PimKdTree tree(base_cfg(P, dim, 5), pts);
+  // Theorem 3.3: O(n log* P) words. The raw data alone needs n*(dim+1).
+  const double raw = static_cast<double>(n) * double(point_words(dim));
+  const double logstar = log_star2(static_cast<double>(P));
+  EXPECT_LE(static_cast<double>(tree.storage_words()),
+            16.0 * raw * (logstar + 1));
+  EXPECT_GE(static_cast<double>(tree.storage_words()), raw);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BuildP,
+    ::testing::Values(Params{256, 4, 2}, Params{1024, 16, 2},
+                      Params{4096, 64, 2}, Params{4096, 64, 3},
+                      Params{16384, 64, 2}, Params{16384, 256, 3}));
+
+TEST(Build, EmptyTree) {
+  PimKdTree tree(base_cfg(8));
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.check_invariants());
+  Point q{};
+  EXPECT_TRUE(tree.knn(std::span(&q, 1), 3)[0].empty());
+}
+
+TEST(Build, TinyInputs) {
+  for (const std::size_t n : {1ul, 2ul, 7ul, 9ul, 33ul}) {
+    const auto pts = gen_uniform({.n = n, .dim = 2, .seed = n});
+    PimKdTree tree(base_cfg(8), pts);
+    EXPECT_EQ(tree.size(), n);
+    ASSERT_TRUE(tree.check_invariants()) << "n=" << n;
+  }
+}
+
+TEST(Build, DuplicateHeavyInput) {
+  std::vector<Point> pts(1000);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    pts[i][0] = static_cast<double>(i % 7);
+    pts[i][1] = static_cast<double>(i % 4);
+  }
+  PimKdTree tree(base_cfg(16), pts);
+  EXPECT_EQ(tree.size(), 1000u);
+  ASSERT_TRUE(tree.check_invariants());
+}
+
+TEST(Build, AllIdenticalPoints) {
+  std::vector<Point> pts(200);
+  for (auto& p : pts) {
+    p[0] = 3;
+    p[1] = 3;
+  }
+  PimKdTree tree(base_cfg(16), pts);
+  EXPECT_EQ(tree.size(), 200u);
+  ASSERT_TRUE(tree.check_invariants());
+}
+
+TEST(Build, DegenerateLineInput) {
+  const auto pts = gen_line({.n = 4096, .dim = 2, .seed = 8}, 1e-6);
+  PimKdTree tree(base_cfg(64), pts);
+  EXPECT_EQ(tree.size(), 4096u);
+  ASSERT_TRUE(tree.check_invariants());
+  EXPECT_LE(tree.height(), 30u);
+}
+
+TEST(Build, GroupZeroReplicatedOnAllModules) {
+  const auto pts = gen_uniform({.n = 8192, .dim = 2, .seed = 9});
+  PimKdTree tree(base_cfg(32), pts);
+  std::size_t group0 = 0;
+  tree.pool().for_each([&](const NodeRec& rec) {
+    if (rec.group == 0) {
+      ++group0;
+      EXPECT_EQ(tree.store().copy_count(rec.id), 32u);
+    }
+  });
+  EXPECT_GT(group0, 0u);
+}
+
+TEST(Build, MasterPlacementSpreadsAcrossModules) {
+  const auto pts = gen_uniform({.n = 16384, .dim = 2, .seed = 10});
+  PimKdTree tree(base_cfg(16), pts);
+  std::vector<std::size_t> masters(16, 0);
+  tree.pool().for_each([&](const NodeRec& rec) {
+    ++masters[tree.store().master_of(rec.id)];
+  });
+  const auto total = tree.num_nodes();
+  for (const auto c : masters) {
+    EXPECT_GT(c, total / 64);
+    EXPECT_LT(c, total / 4);
+  }
+}
+
+TEST(Build, StorageBalancedAcrossModules) {
+  const auto pts = gen_uniform({.n = 32768, .dim = 2, .seed = 11});
+  PimKdTree tree(base_cfg(32), pts);
+  // Randomized placement keeps per-module storage within a small factor of
+  // the mean (balls-into-bins, Lemma 2.3).
+  EXPECT_LT(tree.metrics().storage_balance().imbalance, 2.0);
+}
+
+TEST(Build, ConstructionCommunicationIsNearLinear) {
+  // Theorem 3.5: O(n log* P) construction communication.
+  const std::size_t n = 32768;
+  const auto pts = gen_uniform({.n = n, .dim = 2, .seed = 12});
+  PimKdTree tree(base_cfg(64), pts);
+  const auto s = tree.metrics().snapshot();
+  const double logstar = log_star2(64.0);
+  const double per_point =
+      static_cast<double>(s.communication) / static_cast<double>(n);
+  // Each point is dim+1 words; replicas multiply by ~log* P; allow overhead.
+  EXPECT_LT(per_point, 20.0 * (logstar + 1));
+  // And it should be far below an O(n log n) communication pattern.
+  EXPECT_LT(per_point, std::log2(double(n)) * 10);
+}
+
+TEST(Build, DeterministicAcrossRuns) {
+  const auto pts = gen_uniform({.n = 2048, .dim = 2, .seed = 13});
+  PimKdTree a(base_cfg(16, 2, 99), pts);
+  PimKdTree b(base_cfg(16, 2, 99), pts);
+  EXPECT_EQ(a.metrics().snapshot().communication,
+            b.metrics().snapshot().communication);
+  EXPECT_EQ(a.num_nodes(), b.num_nodes());
+  EXPECT_EQ(a.height(), b.height());
+}
+
+TEST(Build, CachingModesChangeStorageMonotonically) {
+  const auto pts = gen_uniform({.n = 16384, .dim = 2, .seed = 14});
+  std::uint64_t words[4];
+  const CachingMode modes[] = {CachingMode::kNone, CachingMode::kTopDown,
+                               CachingMode::kBottomUp, CachingMode::kDual};
+  for (int i = 0; i < 4; ++i) {
+    auto cfg = base_cfg(64);
+    cfg.caching = modes[i];
+    PimKdTree tree(cfg, pts);
+    words[i] = tree.storage_words();
+  }
+  EXPECT_LT(words[0], words[1]);
+  EXPECT_LT(words[0], words[2]);
+  EXPECT_LT(words[1], words[3]);
+  EXPECT_LT(words[2], words[3]);
+  // Both directions replicate the same node pairs, but top-down also copies
+  // leaf payloads into ancestor modules, so it is at least as large.
+  EXPECT_GE(words[1], words[2]);
+}
+
+TEST(Build, CachedGroupsKnobTradesSpace) {
+  // §5: caching only the first G groups gives O(nG) space.
+  const auto pts = gen_uniform({.n = 16384, .dim = 2, .seed = 15});
+  std::uint64_t prev = 0;
+  for (const int G : {1, 2, 3, -1}) {
+    auto cfg = base_cfg(64);
+    cfg.cached_groups = G;
+    PimKdTree tree(cfg, pts);
+    EXPECT_GE(tree.storage_words(), prev);
+    prev = tree.storage_words();
+    ASSERT_TRUE(tree.check_invariants()) << "G=" << G;
+  }
+}
+
+}  // namespace
+}  // namespace pimkd::core

@@ -1,0 +1,222 @@
+// Cost-model tests: the communication / load-balance claims of §4, checked
+// against the Metrics ledger (these are the properties the benches then sweep).
+#include <gtest/gtest.h>
+
+#include "core/pim_kdtree.hpp"
+#include "util/generators.hpp"
+#include "util/stats.hpp"
+
+namespace pimkd::core {
+namespace {
+
+PimKdConfig base_cfg(std::size_t P, std::uint64_t seed = 1) {
+  PimKdConfig cfg;
+  cfg.dim = 2;
+  cfg.leaf_cap = 8;
+  cfg.sigma = 32;
+  cfg.system.num_modules = P;
+  cfg.system.seed = seed;
+  return cfg;
+}
+
+TEST(Cost, LeafSearchCommunicationIsLogStarNotLogN) {
+  // Theorem 4.1: O(S min(log* P, log(n/S))) communication. With caching, a
+  // query crosses O(log* P) group boundaries, each O(1) words.
+  const std::size_t n = 1 << 15;
+  const std::size_t P = 64;
+  const auto pts = gen_uniform({.n = n, .dim = 2, .seed = 50});
+  PimKdTree tree(base_cfg(P), pts);
+  const std::size_t S = 4096;
+  const auto qs = gen_uniform_queries(pts, 2, S, 51);
+  const auto before = tree.metrics().snapshot();
+  (void)tree.leaf_search(qs);
+  const auto d = tree.metrics().snapshot() - before;
+  const double per_query =
+      static_cast<double>(d.communication) / static_cast<double>(S);
+  const double logstar = log_star2(static_cast<double>(P));
+  // A few words per group crossing; far below the ~log2(n) = 15 of a
+  // distributed-pointer-chasing design.
+  EXPECT_LT(per_query, 3.0 * kQueryWords * (logstar + 1));
+}
+
+TEST(Cost, NoCachingCostsLogN) {
+  // Without intra-group caching every edge below Group 0 is an off-chip hop.
+  const std::size_t n = 1 << 15;
+  const auto pts = gen_uniform({.n = n, .dim = 2, .seed = 52});
+  auto cached_cfg = base_cfg(64);
+  auto none_cfg = base_cfg(64);
+  none_cfg.caching = CachingMode::kNone;
+  PimKdTree cached(cached_cfg, pts);
+  PimKdTree none(none_cfg, pts);
+  const std::size_t S = 2048;
+  const auto qs = gen_uniform_queries(pts, 2, S, 53);
+
+  const auto b1 = cached.metrics().snapshot();
+  (void)cached.leaf_search(qs);
+  const auto c1 = (cached.metrics().snapshot() - b1).communication;
+
+  const auto b2 = none.metrics().snapshot();
+  (void)none.leaf_search(qs);
+  const auto c2 = (none.metrics().snapshot() - b2).communication;
+
+  // Dual-way caching must save at least 2x communication at this scale.
+  EXPECT_LT(static_cast<double>(c1) * 2.0, static_cast<double>(c2));
+}
+
+TEST(Cost, AdversarialSkewStaysBalancedWithPushPull) {
+  // Lemma 3.8: even when every query targets one leaf, per-module
+  // communication stays balanced because contended nodes are pulled.
+  const std::size_t n = 1 << 14;
+  const std::size_t P = 32;
+  const auto pts = gen_uniform({.n = n, .dim = 2, .seed = 54});
+  PimKdTree tree(base_cfg(P), pts);
+  const std::size_t S = 4096;
+  const auto qs = gen_adversarial_queries(pts, 2, S, 55);
+
+  tree.metrics().reset_loads();
+  (void)tree.leaf_search(qs);
+  const auto balance = tree.metrics().comm_balance();
+  // Communication concentrates on no module: max/mean stays small.
+  EXPECT_LT(balance.imbalance, 4.0);
+}
+
+TEST(Cost, AdversarialSkewUnbalancedWithoutPushPull) {
+  const std::size_t n = 1 << 14;
+  const std::size_t P = 32;
+  const auto pts = gen_uniform({.n = n, .dim = 2, .seed = 54});
+  auto cfg = base_cfg(P);
+  cfg.use_push_pull = false;
+  PimKdTree tree(cfg, pts);
+  const std::size_t S = 4096;
+  const auto qs = gen_adversarial_queries(pts, 2, S, 55);
+
+  tree.metrics().reset_loads();
+  (void)tree.leaf_search(qs);
+  // All queries funnel through the components on one path: some module sees
+  // far more than its fair share.
+  EXPECT_GT(tree.metrics().comm_balance().imbalance, 4.0);
+}
+
+TEST(Cost, KnnCommunicationPerQueryIsSmall) {
+  // Theorem 4.5: O(k log* P) expected communication per query on
+  // kNN-friendly data.
+  const std::size_t n = 1 << 15;
+  const std::size_t P = 64;
+  const auto pts = gen_uniform({.n = n, .dim = 2, .seed = 56});
+  PimKdTree tree(base_cfg(P), pts);
+  const std::size_t S = 512;
+  const std::size_t k = 8;
+  const auto qs = gen_uniform_queries(pts, 2, S, 57);
+  const auto before = tree.metrics().snapshot();
+  (void)tree.knn(qs, k);
+  const auto d = tree.metrics().snapshot() - before;
+  const double per_query =
+      static_cast<double>(d.communication) / static_cast<double>(S);
+  const double logstar = log_star2(static_cast<double>(P));
+  EXPECT_LT(per_query, 4.0 * static_cast<double>(k) * (logstar + 1));
+  // PIM work per query is O(k log n) — also sanity-check its scale.
+  const double work_per_query =
+      static_cast<double>(d.pim_work) / static_cast<double>(S);
+  EXPECT_LT(work_per_query,
+            40.0 * static_cast<double>(k) * std::log2(static_cast<double>(n)));
+}
+
+TEST(Cost, UniformQueriesBalanceWorkAcrossModules) {
+  const std::size_t n = 1 << 15;
+  const auto pts = gen_uniform({.n = n, .dim = 2, .seed = 58});
+  PimKdTree tree(base_cfg(64), pts);
+  const auto qs = gen_uniform_queries(pts, 2, 8192, 59);
+  tree.metrics().reset_loads();
+  (void)tree.leaf_search(qs);
+  EXPECT_LT(tree.metrics().work_balance().imbalance, 3.0);
+}
+
+TEST(Cost, InsertCommunicationIsAmortizedLogStarLogN) {
+  // Theorem 4.3: amortized O(log* P log n / alpha) communication per insert.
+  // Partial reconstructions are lumpy, so the bound is checked over a long
+  // run of batches, not a single one.
+  const std::size_t n = 1 << 14;
+  const auto pts = gen_uniform({.n = n, .dim = 2, .seed = 60});
+  PimKdTree tree(base_cfg(64), pts);
+  const auto before = tree.metrics().snapshot();
+  std::size_t inserted = 0;
+  for (int b = 0; b < 16; ++b) {
+    const auto batch = gen_uniform(
+        {.n = 1024, .dim = 2, .seed = 610 + static_cast<std::uint64_t>(b)});
+    (void)tree.insert(batch);
+    inserted += batch.size();
+  }
+  const auto d = tree.metrics().snapshot() - before;
+  const double per_insert =
+      static_cast<double>(d.communication) / static_cast<double>(inserted);
+  const double logn = std::log2(static_cast<double>(n));
+  EXPECT_LT(per_insert, 10.0 * logn * log_star2(64.0));
+}
+
+TEST(Cost, RoundsAreBatchedNotPerQuery) {
+  // A batch LeafSearch takes O(log* P)-ish rounds, not one per query.
+  const auto pts = gen_uniform({.n = 1 << 14, .dim = 2, .seed = 62});
+  PimKdTree tree(base_cfg(32), pts);
+  const auto qs = gen_uniform_queries(pts, 2, 2048, 63);
+  const auto before = tree.metrics().snapshot();
+  (void)tree.leaf_search(qs);
+  const auto d = tree.metrics().snapshot() - before;
+  EXPECT_LE(d.rounds, 8u);
+}
+
+TEST(Cost, TradeoffCurveIsMonotone) {
+  // §5: fewer cached groups => less space, more communication.
+  const std::size_t n = 1 << 15;
+  const auto pts = gen_uniform({.n = n, .dim = 2, .seed = 64});
+  const auto qs = gen_uniform_queries(pts, 2, 2048, 65);
+  std::vector<std::uint64_t> space;
+  std::vector<std::uint64_t> comm;
+  for (const int G : {1, 2, -1}) {
+    auto cfg = base_cfg(64);
+    cfg.cached_groups = G;
+    PimKdTree tree(cfg, pts);
+    space.push_back(tree.storage_words());
+    const auto before = tree.metrics().snapshot();
+    (void)tree.leaf_search(qs);
+    comm.push_back((tree.metrics().snapshot() - before).communication);
+  }
+  EXPECT_LE(space[0], space[1]);
+  EXPECT_LE(space[1], space[2]);
+  EXPECT_GE(comm[0], comm[1]);
+  EXPECT_GE(comm[1], comm[2]);
+}
+
+TEST(Cost, DelayedConstructionDefersCacheMaterialization) {
+  const std::size_t n = 1 << 14;
+  const auto pts = gen_uniform({.n = n, .dim = 2, .seed = 66});
+  auto delayed_cfg = base_cfg(64);
+  delayed_cfg.delayed_construction = true;
+  delayed_cfg.delayed_finish_multiplier = 1000;  // never auto-finish
+  PimKdTree delayed(delayed_cfg, pts);
+  PimKdTree eager(base_cfg(64), pts);
+  // Delayed construction skips some Group-1 cache replicas.
+  EXPECT_LT(delayed.storage_words(), eager.storage_words());
+  EXPECT_GT(delayed.unfinished_components(), 0u);
+  // Finishing brings the space to the eager level and restores invariants.
+  delayed.finish_delayed_components();
+  EXPECT_EQ(delayed.unfinished_components(), 0u);
+  EXPECT_TRUE(delayed.check_invariants());
+}
+
+TEST(Cost, CpuWorkIsSublinearInQueriesTimesLogN) {
+  // The CPU only partitions pulled batches: per-query CPU work stays near
+  // O(min(log* P, log(n/S))), not O(log n).
+  const std::size_t n = 1 << 15;
+  const auto pts = gen_uniform({.n = n, .dim = 2, .seed = 67});
+  PimKdTree tree(base_cfg(64), pts);
+  const std::size_t S = 8192;
+  const auto qs = gen_uniform_queries(pts, 2, S, 68);
+  const auto before = tree.metrics().snapshot();
+  (void)tree.leaf_search(qs);
+  const auto d = tree.metrics().snapshot() - before;
+  const double per_query = static_cast<double>(d.cpu_work) / double(S);
+  EXPECT_LT(per_query, 3.0 * (log_star2(64.0) + std::log2(double(n) / double(S))));
+}
+
+}  // namespace
+}  // namespace pimkd::core

@@ -1,0 +1,253 @@
+// Property suite: determinism, cross-configuration result equivalence, and
+// long mixed-operation stress with invariants checked throughout.
+#include <gtest/gtest.h>
+
+#include "kdtree/bruteforce.hpp"
+#include "core/pim_kdtree.hpp"
+#include "util/generators.hpp"
+
+namespace pimkd::core {
+namespace {
+
+PimKdConfig base_cfg(std::size_t P, int dim = 2, std::uint64_t seed = 1) {
+  PimKdConfig cfg;
+  cfg.dim = dim;
+  cfg.leaf_cap = 8;
+  cfg.system.num_modules = P;
+  cfg.system.seed = seed;
+  return cfg;
+}
+
+TEST(Props, FullyDeterministicOperationStream) {
+  auto run = [] {
+    PimKdTree tree(base_cfg(16, 2, 42));
+    Rng rng(7);
+    std::vector<PointId> live;
+    std::uint64_t digest = 0;
+    for (int round = 0; round < 6; ++round) {
+      const auto pts = gen_uniform(
+          {.n = 300, .dim = 2, .seed = 70 + std::uint64_t(round)});
+      const auto ids = tree.insert(pts);
+      live.insert(live.end(), ids.begin(), ids.end());
+      const auto qs = gen_uniform_queries(pts, 2, 50, 71);
+      for (const auto& r : tree.knn(qs, 3))
+        for (const auto& nb : r) digest = digest * 31 + nb.id;
+      std::vector<PointId> dead;
+      std::vector<PointId> keep;
+      for (const PointId id : live)
+        (rng.next_bernoulli(0.25) ? dead : keep).push_back(id);
+      tree.erase(dead);
+      live = std::move(keep);
+    }
+    const auto s = tree.metrics().snapshot();
+    return std::tuple{digest, s.communication, s.pim_work, s.rounds,
+                      tree.num_nodes(), tree.storage_words()};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// Query results must be configuration-independent: caching mode, G, and
+// push-pull only change the *cost*, never the answer.
+class ConfigEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConfigEquivalence, SameAnswersAfterUpdates) {
+  const int variant = GetParam();
+  auto cfg = base_cfg(32, 2, 9);
+  switch (variant) {
+    case 0: break;
+    case 1: cfg.caching = CachingMode::kNone; break;
+    case 2: cfg.caching = CachingMode::kTopDown; break;
+    case 3: cfg.caching = CachingMode::kBottomUp; break;
+    case 4: cfg.cached_groups = 1; break;
+    case 5: cfg.use_push_pull = false; break;
+    case 6: cfg.use_approx_counters = false; break;
+    default: break;
+  }
+  PimKdTree tree(cfg);
+  std::vector<Point> all;
+  for (int b = 0; b < 4; ++b) {
+    const auto pts = gen_uniform(
+        {.n = 500, .dim = 2, .seed = 90 + std::uint64_t(b)});
+    (void)tree.insert(pts);
+    all.insert(all.end(), pts.begin(), pts.end());
+  }
+  ASSERT_TRUE(tree.check_invariants());
+  const auto qs = gen_uniform_queries(all, 2, 30, 91);
+  const auto res = tree.knn(qs, 6);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    const auto want = brute_knn(all, 2, qs[i], 6);
+    ASSERT_EQ(res[i].size(), want.size());
+    for (std::size_t j = 0; j < want.size(); ++j)
+      EXPECT_DOUBLE_EQ(res[i][j].sq_dist, want[j].sq_dist) << "variant "
+                                                           << variant;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, ConfigEquivalence,
+                         ::testing::Range(0, 7));
+
+// Dimension sweep: correctness does not depend on D (costs carry the
+// implicit D factor, Table 1 footnote 3).
+class DimSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DimSweep, KnnAndRangeMatchBruteForce) {
+  const int dim = GetParam();
+  const auto pts = gen_uniform(
+      {.n = 1500, .dim = dim, .seed = 100 + std::uint64_t(dim)});
+  PimKdTree tree(base_cfg(16, dim), pts);
+  ASSERT_TRUE(tree.check_invariants());
+  const auto qs = gen_uniform_queries(pts, dim, 10, 101);
+  const auto res = tree.knn(qs, 5);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    const auto want = brute_knn(pts, dim, qs[i], 5);
+    for (std::size_t j = 0; j < want.size(); ++j)
+      EXPECT_DOUBLE_EQ(res[i][j].sq_dist, want[j].sq_dist);
+  }
+  Box b = Box::empty(dim);
+  Point lo;
+  Point hi;
+  for (int d = 0; d < dim; ++d) {
+    lo[d] = 0.2;
+    hi[d] = 0.7;
+  }
+  b.extend(lo, dim);
+  b.extend(hi, dim);
+  EXPECT_EQ(tree.range(std::span(&b, 1))[0], brute_range(pts, dim, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, DimSweep, ::testing::Values(1, 3, 5, 8, 12));
+
+TEST(Props, RadiusEqualsRangeCorners) {
+  // A radius query must return a subset of the enclosing box's range query.
+  const auto pts = gen_uniform({.n = 3000, .dim = 2, .seed = 15});
+  PimKdTree tree(base_cfg(16), pts);
+  Rng rng(16);
+  for (int t = 0; t < 10; ++t) {
+    Point c;
+    c[0] = rng.next_double();
+    c[1] = rng.next_double();
+    const Coord r = 0.05 + 0.1 * rng.next_double();
+    const auto ball = tree.radius(std::span(&c, 1), r)[0];
+    Box b = Box::empty(2);
+    Point lo = c;
+    Point hi = c;
+    lo[0] -= r;
+    lo[1] -= r;
+    hi[0] += r;
+    hi[1] += r;
+    b.extend(lo, 2);
+    b.extend(hi, 2);
+    const auto box = tree.range(std::span(&b, 1))[0];
+    for (const PointId id : ball)
+      EXPECT_TRUE(std::binary_search(box.begin(), box.end(), id));
+  }
+}
+
+TEST(Props, PrioritiesSurviveUpdatesViaRebuild) {
+  // set_priorities after updates reflects the current live set.
+  PimKdTree tree(base_cfg(8));
+  const auto pts = gen_uniform({.n = 800, .dim = 2, .seed = 17});
+  const auto ids = tree.insert(pts);
+  std::vector<PointId> dead(ids.begin(), ids.begin() + 300);
+  tree.erase(dead);
+  std::vector<double> prio(ids.size());
+  Rng rng(18);
+  for (auto& p : prio) p = rng.next_double();
+  tree.set_priorities(prio);
+  // Query from every live point: the dependent point must be live and have
+  // strictly higher (priority, id).
+  std::vector<Point> qs;
+  std::vector<double> qp;
+  std::vector<PointId> self;
+  for (PointId id = 300; id < 400; ++id) {
+    qs.push_back(pts[id]);
+    qp.push_back(prio[id]);
+    self.push_back(id);
+  }
+  const auto dep = tree.dependent_points(qs, qp, self);
+  for (std::size_t i = 0; i < dep.size(); ++i) {
+    if (dep[i].id == kInvalidPoint) continue;
+    EXPECT_TRUE(tree.is_live(dep[i].id));
+    EXPECT_TRUE(prio[dep[i].id] > qp[i] ||
+                (prio[dep[i].id] == qp[i] && dep[i].id > self[i]));
+  }
+}
+
+TEST(Props, LongMixedStress) {
+  PimKdTree tree(base_cfg(16, 3, 77));
+  Rng rng(19);
+  std::vector<PointId> live;
+  std::vector<Point> live_pts;
+  for (int round = 0; round < 15; ++round) {
+    const std::size_t batch = 100 + rng.next_below(400);
+    const auto pts = gen_uniform(
+        {.n = batch, .dim = 3, .seed = 190 + std::uint64_t(round)});
+    const auto ids = tree.insert(pts);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      live.push_back(ids[i]);
+      live_pts.push_back(pts[i]);
+    }
+    if (round % 3 == 2) {
+      std::vector<PointId> dead;
+      std::vector<PointId> keep_ids;
+      std::vector<Point> keep_pts;
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        if (rng.next_bernoulli(0.4)) {
+          dead.push_back(live[i]);
+        } else {
+          keep_ids.push_back(live[i]);
+          keep_pts.push_back(live_pts[i]);
+        }
+      }
+      tree.erase(dead);
+      live = std::move(keep_ids);
+      live_pts = std::move(keep_pts);
+    }
+    ASSERT_TRUE(tree.check_invariants()) << "round " << round;
+    ASSERT_EQ(tree.size(), live.size());
+    // Spot-check correctness every few rounds.
+    if (round % 5 == 4 && !live_pts.empty()) {
+      const auto qs = gen_uniform_queries(live_pts, 3, 8, 191);
+      const auto res = tree.knn(qs, 3);
+      for (std::size_t i = 0; i < qs.size(); ++i) {
+        const auto want = brute_knn(live_pts, 3, qs[i], 3);
+        for (std::size_t j = 0; j < want.size(); ++j)
+          ASSERT_DOUBLE_EQ(res[i][j].sq_dist, want[j].sq_dist);
+      }
+    }
+  }
+}
+
+TEST(Props, CounterCopiesStayInSyncAfterHeavyChurn) {
+  PimKdTree tree(base_cfg(16, 2, 5));
+  Rng rng(20);
+  std::vector<PointId> live;
+  for (int round = 0; round < 8; ++round) {
+    const auto pts = gen_uniform(
+        {.n = 400, .dim = 2, .seed = 200 + std::uint64_t(round)});
+    const auto ids = tree.insert(pts);
+    live.insert(live.end(), ids.begin(), ids.end());
+    std::vector<PointId> dead;
+    std::vector<PointId> keep;
+    for (const PointId id : live)
+      (rng.next_bernoulli(0.3) ? dead : keep).push_back(id);
+    tree.erase(dead);
+    live = std::move(keep);
+  }
+  // check_invariants verifies every copy's counter equals the canonical one.
+  ASSERT_TRUE(tree.check_invariants());
+}
+
+TEST(Props, HugeBatchSingleInsert) {
+  PimKdTree tree(base_cfg(64));
+  const auto pts = gen_uniform({.n = 50000, .dim = 2, .seed = 21});
+  (void)tree.insert(pts);
+  ASSERT_TRUE(tree.check_invariants());
+  const auto more = gen_uniform({.n = 50000, .dim = 2, .seed = 22});
+  (void)tree.insert(more);  // doubling in one batch
+  ASSERT_TRUE(tree.check_invariants());
+  EXPECT_EQ(tree.size(), 100000u);
+}
+
+}  // namespace
+}  // namespace pimkd::core

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "kdtree/bruteforce.hpp"
+#include "core/pim_kdtree.hpp"
+#include "util/generators.hpp"
+
+namespace pimkd::core {
+namespace {
+
+PimKdConfig base_cfg(std::size_t P, int dim = 2, std::uint64_t seed = 1) {
+  PimKdConfig cfg;
+  cfg.dim = dim;
+  cfg.leaf_cap = 8;
+  cfg.sigma = 32;
+  cfg.system.num_modules = P;
+  cfg.system.seed = seed;
+  return cfg;
+}
+
+struct Params {
+  std::size_t n;
+  std::size_t P;
+  int dim;
+  CachingMode mode;
+};
+
+class QueryP : public ::testing::TestWithParam<Params> {};
+
+TEST_P(QueryP, KnnMatchesBruteForce) {
+  const auto [n, P, dim, mode] = GetParam();
+  const auto pts = gen_uniform({.n = n, .dim = dim, .seed = n * 31 + P});
+  auto cfg = base_cfg(P, dim);
+  cfg.caching = mode;
+  PimKdTree tree(cfg, pts);
+  const auto qs = gen_uniform_queries(pts, dim, 24, 5);
+  const auto res = tree.knn(qs, 8);
+  ASSERT_EQ(res.size(), qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    const auto want = brute_knn(pts, dim, qs[i], 8);
+    ASSERT_EQ(res[i].size(), want.size());
+    for (std::size_t j = 0; j < want.size(); ++j)
+      EXPECT_DOUBLE_EQ(res[i][j].sq_dist, want[j].sq_dist);
+  }
+}
+
+TEST_P(QueryP, RangeMatchesBruteForce) {
+  const auto [n, P, dim, mode] = GetParam();
+  const auto pts = gen_uniform({.n = n, .dim = dim, .seed = n * 7 + P});
+  auto cfg = base_cfg(P, dim);
+  cfg.caching = mode;
+  PimKdTree tree(cfg, pts);
+  Rng rng(17);
+  std::vector<Box> boxes;
+  for (int t = 0; t < 12; ++t) {
+    Box b = Box::empty(dim);
+    Point a;
+    Point c;
+    for (int d = 0; d < dim; ++d) {
+      a[d] = rng.next_double() * 0.7;
+      c[d] = a[d] + rng.next_double() * 0.3;
+    }
+    b.extend(a, dim);
+    b.extend(c, dim);
+    boxes.push_back(b);
+  }
+  const auto res = tree.range(boxes);
+  for (std::size_t i = 0; i < boxes.size(); ++i)
+    EXPECT_EQ(res[i], brute_range(pts, dim, boxes[i]));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QueryP,
+    ::testing::Values(Params{512, 8, 2, CachingMode::kDual},
+                      Params{4096, 32, 2, CachingMode::kDual},
+                      Params{4096, 32, 3, CachingMode::kDual},
+                      Params{4096, 32, 2, CachingMode::kNone},
+                      Params{4096, 32, 2, CachingMode::kTopDown},
+                      Params{4096, 32, 2, CachingMode::kBottomUp},
+                      Params{16384, 128, 2, CachingMode::kDual}));
+
+TEST(Query, LeafSearchReturnsContainingLeaf) {
+  const auto pts = gen_uniform({.n = 8192, .dim = 2, .seed = 21});
+  PimKdTree tree(base_cfg(64), pts);
+  // Searching for existing points must land on the leaf that stores them.
+  std::vector<Point> qs(pts.begin(), pts.begin() + 200);
+  const auto leaves = tree.leaf_search(qs);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    ASSERT_NE(leaves[i], kNoNode);
+    const NodeRec& leaf = tree.pool().at(leaves[i]);
+    ASSERT_TRUE(leaf.is_leaf());
+    bool found = false;
+    for (const PointId id : leaf.leaf_pts)
+      found |= tree.point(id).equals(qs[i], 2);
+    EXPECT_TRUE(found) << "query " << i;
+  }
+}
+
+TEST(Query, LeafSearchConsistentWithStructure) {
+  const auto pts = gen_uniform({.n = 4096, .dim = 2, .seed = 22});
+  PimKdTree tree(base_cfg(32), pts);
+  const auto qs = gen_uniform_queries(pts, 2, 100, 23);
+  const auto leaves = tree.leaf_search(qs);
+  // Replaying the split decisions on the mirror must land on the same leaf.
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    NodeId cur = tree.root();
+    while (!tree.pool().at(cur).is_leaf()) {
+      const NodeRec& n = tree.pool().at(cur);
+      cur = qs[i][n.split_dim] < n.split_val ? n.left : n.right;
+    }
+    EXPECT_EQ(leaves[i], cur);
+  }
+}
+
+TEST(Query, RadiusMatchesBruteForce) {
+  const auto pts = gen_uniform({.n = 4096, .dim = 2, .seed = 24});
+  PimKdTree tree(base_cfg(32), pts);
+  std::vector<Point> centers(pts.begin(), pts.begin() + 30);
+  const auto res = tree.radius(centers, 0.1);
+  const auto cnts = tree.radius_count(centers, 0.1);
+  for (std::size_t i = 0; i < centers.size(); ++i) {
+    EXPECT_EQ(res[i], brute_radius(pts, 2, centers[i], 0.1));
+    EXPECT_EQ(cnts[i], res[i].size());
+  }
+}
+
+TEST(Query, AnnWithinApproximationFactor) {
+  const auto pts = gen_uniform({.n = 8192, .dim = 2, .seed = 25});
+  PimKdTree tree(base_cfg(64), pts);
+  const auto qs = gen_uniform_queries(pts, 2, 40, 26);
+  const double eps = 0.5;
+  const auto exact = tree.knn(qs, 4, 0.0);
+  const auto approx = tree.knn(qs, 4, eps);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    ASSERT_EQ(approx[i].size(), 4u);
+    for (std::size_t j = 0; j < 4; ++j)
+      EXPECT_LE(approx[i][j].sq_dist,
+                exact[i][j].sq_dist * (1 + eps) * (1 + eps) + 1e-12);
+  }
+}
+
+TEST(Query, KnnOnClusteredData) {
+  const auto pts = gen_gaussian_blobs({.n = 6000, .dim = 2, .seed = 27}, 5, 0.02);
+  PimKdTree tree(base_cfg(32), pts);
+  std::vector<Point> qs(pts.begin(), pts.begin() + 20);
+  const auto res = tree.knn(qs, 10);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    const auto want = brute_knn(pts, 2, qs[i], 10);
+    for (std::size_t j = 0; j < want.size(); ++j)
+      EXPECT_DOUBLE_EQ(res[i][j].sq_dist, want[j].sq_dist);
+  }
+}
+
+TEST(Query, DependentPointsMatchBruteForce) {
+  const auto pts = gen_uniform({.n = 2000, .dim = 2, .seed = 28});
+  PimKdTree tree(base_cfg(16), pts);
+  // Use a synthetic "density" as priority.
+  std::vector<double> prio(pts.size());
+  Rng rng(29);
+  for (auto& p : prio) p = rng.next_double();
+  tree.set_priorities(prio);
+
+  std::vector<Point> qs;
+  std::vector<double> qprio;
+  std::vector<PointId> self;
+  for (PointId i = 0; i < 150; ++i) {
+    qs.push_back(pts[i]);
+    qprio.push_back(prio[i]);
+    self.push_back(i);
+  }
+  const auto res = tree.dependent_points(qs, qprio, self);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    // Brute force: nearest point with (prio, id) > (qprio, self).
+    Neighbor want{kInvalidPoint, std::numeric_limits<Coord>::infinity()};
+    for (PointId j = 0; j < pts.size(); ++j) {
+      const bool higher = prio[j] > qprio[i] ||
+                          (prio[j] == qprio[i] && j > self[i]);
+      if (!higher) continue;
+      const Coord d2 = sq_dist(pts[j], qs[i], 2);
+      if (d2 < want.sq_dist || (d2 == want.sq_dist && j < want.id))
+        want = Neighbor{j, d2};
+    }
+    EXPECT_EQ(res[i].id, want.id) << i;
+  }
+}
+
+TEST(Query, BatchOnSingletonTree) {
+  std::vector<Point> pts(1);
+  pts[0][0] = 0.5;
+  pts[0][1] = 0.5;
+  PimKdTree tree(base_cfg(4), pts);
+  const auto qs = gen_uniform({.n = 10, .dim = 2, .seed = 30});
+  const auto res = tree.knn(qs, 3);
+  for (const auto& r : res) {
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r[0].id, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace pimkd::core

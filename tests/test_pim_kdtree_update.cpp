@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include "kdtree/bruteforce.hpp"
+#include "core/pim_kdtree.hpp"
+#include "util/generators.hpp"
+
+namespace pimkd::core {
+namespace {
+
+PimKdConfig base_cfg(std::size_t P, std::uint64_t seed = 1) {
+  PimKdConfig cfg;
+  cfg.dim = 2;
+  cfg.leaf_cap = 8;
+  cfg.sigma = 32;
+  cfg.system.num_modules = P;
+  cfg.system.seed = seed;
+  return cfg;
+}
+
+// Oracle of live points.
+struct Oracle {
+  std::vector<Point> pts;
+  std::vector<PointId> ids;
+  void add(std::span<const Point> p, std::span<const PointId> id) {
+    pts.insert(pts.end(), p.begin(), p.end());
+    ids.insert(ids.end(), id.begin(), id.end());
+  }
+  void remove(std::span<const PointId> dead) {
+    for (const PointId d : dead)
+      for (std::size_t i = 0; i < ids.size(); ++i)
+        if (ids[i] == d) {
+          ids[i] = ids.back();
+          pts[i] = pts.back();
+          ids.pop_back();
+          pts.pop_back();
+          break;
+        }
+  }
+};
+
+TEST(Update, IncrementalInsertInvariantsAndQueries) {
+  PimKdTree tree(base_cfg(16));
+  Oracle oracle;
+  for (int b = 0; b < 8; ++b) {
+    const auto pts = gen_uniform(
+        {.n = 400, .dim = 2, .seed = 300 + static_cast<std::uint64_t>(b)});
+    const auto ids = tree.insert(pts);
+    oracle.add(pts, ids);
+    ASSERT_TRUE(tree.check_invariants()) << "batch " << b;
+    ASSERT_EQ(tree.size(), oracle.pts.size());
+  }
+  const auto qs = gen_uniform_queries(oracle.pts, 2, 20, 9);
+  const auto res = tree.knn(qs, 6);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    const auto want = brute_knn(oracle.pts, 2, qs[i], 6);
+    ASSERT_EQ(res[i].size(), want.size());
+    for (std::size_t j = 0; j < want.size(); ++j)
+      EXPECT_DOUBLE_EQ(res[i][j].sq_dist, want[j].sq_dist);
+  }
+}
+
+TEST(Update, SortedAdversarialStreamStaysShallow) {
+  PimKdTree tree(base_cfg(16, 2));
+  std::vector<Point> pts(6000);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    pts[i][0] = static_cast<double>(i);
+    pts[i][1] = std::sqrt(static_cast<double>(i));
+  }
+  for (std::size_t i = 0; i < pts.size(); i += 500)
+    (void)tree.insert(std::span(pts).subspan(i, 500));
+  ASSERT_TRUE(tree.check_invariants());
+  // log2(6000/8) ~ 9.6; partial reconstruction must keep height near that.
+  EXPECT_LE(tree.height(), 26u);
+}
+
+TEST(Update, EraseMatchesOracle) {
+  const auto pts = gen_uniform({.n = 4000, .dim = 2, .seed = 31});
+  PimKdTree tree(base_cfg(16), pts);
+  Oracle oracle;
+  std::vector<PointId> ids(4000);
+  for (PointId i = 0; i < 4000; ++i) ids[i] = i;
+  oracle.add(pts, ids);
+
+  Rng rng(32);
+  std::vector<PointId> dead;
+  for (PointId i = 0; i < 4000; ++i)
+    if (rng.next_bernoulli(0.35)) dead.push_back(i);
+  tree.erase(dead);
+  oracle.remove(dead);
+  ASSERT_TRUE(tree.check_invariants());
+  ASSERT_EQ(tree.size(), oracle.pts.size());
+
+  const auto qs = gen_uniform_queries(pts, 2, 25, 33);
+  const auto res = tree.knn(qs, 5);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    const auto want = brute_knn(oracle.pts, 2, qs[i], 5);
+    for (std::size_t j = 0; j < want.size(); ++j)
+      EXPECT_DOUBLE_EQ(res[i][j].sq_dist, want[j].sq_dist);
+  }
+}
+
+TEST(Update, ChurnKeepsInvariants) {
+  PimKdTree tree(base_cfg(8, 7));
+  Oracle oracle;
+  Rng rng(34);
+  std::vector<PointId> live;
+  for (int round = 0; round < 12; ++round) {
+    const auto pts = gen_uniform(
+        {.n = 250, .dim = 2, .seed = 340 + static_cast<std::uint64_t>(round)});
+    const auto ids = tree.insert(pts);
+    oracle.add(pts, ids);
+    live.insert(live.end(), ids.begin(), ids.end());
+
+    std::vector<PointId> dead;
+    std::vector<PointId> keep;
+    for (const PointId id : live)
+      (rng.next_bernoulli(0.3) ? dead : keep).push_back(id);
+    tree.erase(dead);
+    oracle.remove(dead);
+    live = std::move(keep);
+    ASSERT_TRUE(tree.check_invariants()) << "round " << round;
+    ASSERT_EQ(tree.size(), live.size());
+  }
+  // Final correctness check against the oracle.
+  const auto qs = gen_uniform_queries(oracle.pts, 2, 15, 35);
+  const auto res = tree.knn(qs, 4);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    const auto want = brute_knn(oracle.pts, 2, qs[i], 4);
+    for (std::size_t j = 0; j < want.size(); ++j)
+      EXPECT_DOUBLE_EQ(res[i][j].sq_dist, want[j].sq_dist);
+  }
+}
+
+TEST(Update, EraseEverythingThenReinsert) {
+  const auto pts = gen_uniform({.n = 1000, .dim = 2, .seed = 36});
+  PimKdTree tree(base_cfg(8), pts);
+  std::vector<PointId> all(1000);
+  for (PointId i = 0; i < 1000; ++i) all[i] = i;
+  tree.erase(all);
+  EXPECT_EQ(tree.size(), 0u);
+  ASSERT_TRUE(tree.check_invariants());
+  const auto ids = tree.insert(pts);
+  EXPECT_EQ(tree.size(), 1000u);
+  ASSERT_TRUE(tree.check_invariants());
+  const auto res = tree.knn(std::span(pts.data(), 5), 1);
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_DOUBLE_EQ(res[i][0].sq_dist, 0.0);
+  (void)ids;
+}
+
+TEST(Update, DoubleEraseIgnored) {
+  const auto pts = gen_uniform({.n = 100, .dim = 2, .seed = 37});
+  PimKdTree tree(base_cfg(4), pts);
+  const PointId victim[] = {3};
+  tree.erase(victim);
+  tree.erase(victim);
+  EXPECT_EQ(tree.size(), 99u);
+  ASSERT_TRUE(tree.check_invariants());
+}
+
+TEST(Update, ExactCountersAblation) {
+  auto cfg = base_cfg(16);
+  cfg.use_approx_counters = false;
+  PimKdTree tree(cfg);
+  for (int b = 0; b < 5; ++b) {
+    const auto pts = gen_uniform(
+        {.n = 500, .dim = 2, .seed = 380 + static_cast<std::uint64_t>(b)});
+    (void)tree.insert(pts);
+    ASSERT_TRUE(tree.check_invariants());
+  }
+  // With exact counters every node's counter equals its exact size.
+  tree.pool().for_each([&](const NodeRec& rec) {
+    EXPECT_DOUBLE_EQ(rec.counter, static_cast<double>(rec.exact_size));
+  });
+}
+
+TEST(Update, ApproxCountersTrackSizes) {
+  PimKdTree tree(base_cfg(16, 5));
+  for (int b = 0; b < 10; ++b) {
+    const auto pts = gen_uniform(
+        {.n = 400, .dim = 2, .seed = 390 + static_cast<std::uint64_t>(b)});
+    (void)tree.insert(pts);
+  }
+  // The root counter should be within ~25% of the true size.
+  const auto& root = tree.pool().at(tree.root());
+  EXPECT_NEAR(root.counter, static_cast<double>(root.exact_size),
+              0.25 * static_cast<double>(root.exact_size) + 32);
+}
+
+TEST(Update, InsertTriggersPartialReconstruction) {
+  // Inserting a dense cluster into one corner must violate alpha-balance
+  // somewhere and trigger subtree rebuilds rather than degrading the height.
+  const auto base = gen_uniform({.n = 4000, .dim = 2, .seed = 40});
+  PimKdTree tree(base_cfg(16), base);
+  const std::size_t h0 = tree.height();
+  std::vector<Point> cluster(4000);
+  Rng rng(41);
+  for (auto& p : cluster) {
+    p[0] = 0.01 * rng.next_double();
+    p[1] = 0.01 * rng.next_double();
+  }
+  for (std::size_t i = 0; i < cluster.size(); i += 500)
+    (void)tree.insert(std::span(cluster).subspan(i, 500));
+  ASSERT_TRUE(tree.check_invariants());
+  EXPECT_LE(tree.height(), h0 + 14);
+}
+
+TEST(Update, MixedWithQueriesBetween) {
+  PimKdTree tree(base_cfg(8));
+  Oracle oracle;
+  for (int b = 0; b < 6; ++b) {
+    const auto pts = gen_uniform(
+        {.n = 300, .dim = 2, .seed = 420 + static_cast<std::uint64_t>(b)});
+    const auto ids = tree.insert(pts);
+    oracle.add(pts, ids);
+    const auto qs = gen_uniform_queries(oracle.pts, 2, 5, 43);
+    const auto res = tree.knn(qs, 3);
+    for (std::size_t i = 0; i < qs.size(); ++i) {
+      const auto want = brute_knn(oracle.pts, 2, qs[i], 3);
+      for (std::size_t j = 0; j < want.size(); ++j)
+        ASSERT_DOUBLE_EQ(res[i][j].sq_dist, want[j].sq_dist);
+    }
+  }
+}
+
+TEST(Update, LeafSearchAfterUpdates) {
+  PimKdTree tree(base_cfg(16));
+  const auto pts = gen_uniform({.n = 3000, .dim = 2, .seed = 44});
+  (void)tree.insert(pts);
+  std::vector<PointId> dead;
+  for (PointId i = 0; i < 3000; i += 2) dead.push_back(i);
+  tree.erase(dead);
+  std::vector<Point> qs;
+  for (PointId i = 1; i < 200; i += 2) qs.push_back(pts[i]);
+  const auto leaves = tree.leaf_search(qs);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    const NodeRec& leaf = tree.pool().at(leaves[i]);
+    bool found = false;
+    for (const PointId id : leaf.leaf_pts)
+      found |= tree.point(id).equals(qs[i], 2);
+    EXPECT_TRUE(found);
+  }
+}
+
+}  // namespace
+}  // namespace pimkd::core

@@ -1,0 +1,138 @@
+#include "pim/metrics.hpp"
+#include "pim/system.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pimkd::pim {
+namespace {
+
+TEST(Metrics, RoundAggregation) {
+  Metrics m(4, 1 << 20);
+  m.begin_round();
+  m.add_module_work(0, 10);
+  m.add_module_work(1, 4);
+  m.add_comm(2, 7);
+  m.add_comm(3, 3);
+  m.end_round();
+
+  const auto s = m.snapshot();
+  EXPECT_EQ(s.pim_work, 14u);
+  EXPECT_EQ(s.pim_time, 10u);       // max work in the round
+  EXPECT_EQ(s.communication, 10u);  // total words
+  EXPECT_EQ(s.comm_time, 7u);       // max words on one module
+  EXPECT_EQ(s.rounds, 1u);
+}
+
+TEST(Metrics, MultiRoundSumsPerRoundMaxima) {
+  Metrics m(2, 1 << 20);
+  m.begin_round();
+  m.add_module_work(0, 5);
+  m.end_round();
+  m.begin_round();
+  m.add_module_work(1, 8);
+  m.end_round();
+  const auto s = m.snapshot();
+  EXPECT_EQ(s.pim_time, 13u);
+  EXPECT_EQ(s.rounds, 2u);
+}
+
+TEST(Metrics, CacheBoundRoundSplitting) {
+  // §7: a round moving c words counts as ceil(c / M) rounds.
+  Metrics m(2, 100);
+  m.begin_round();
+  m.add_comm(0, 250);
+  m.end_round();
+  EXPECT_EQ(m.snapshot().rounds, 3u);
+}
+
+TEST(Metrics, SnapshotDiff) {
+  Metrics m(2, 1 << 20);
+  m.begin_round();
+  m.add_cpu_work(5);
+  m.end_round();
+  const auto a = m.snapshot();
+  m.begin_round();
+  m.add_cpu_work(7);
+  m.add_comm(0, 2);
+  m.end_round();
+  const auto d = m.snapshot() - a;
+  EXPECT_EQ(d.cpu_work, 7u);
+  EXPECT_EQ(d.communication, 2u);
+  EXPECT_EQ(d.rounds, 1u);
+}
+
+TEST(Metrics, StorageBalance) {
+  Metrics m(4, 1 << 20);
+  m.add_storage(0, 100);
+  m.add_storage(1, 100);
+  m.add_storage(2, 100);
+  m.add_storage(3, 100);
+  EXPECT_EQ(m.total_storage(), 400u);
+  EXPECT_DOUBLE_EQ(m.storage_balance().imbalance, 1.0);
+  m.add_storage(0, -50);
+  EXPECT_EQ(m.total_storage(), 350u);
+}
+
+TEST(Metrics, LifetimeModuleLoads) {
+  Metrics m(3, 1 << 20);
+  m.begin_round();
+  m.add_module_work(1, 9);
+  m.add_comm(1, 3);
+  m.end_round();
+  EXPECT_EQ(m.lifetime_module_work()[1], 9u);
+  EXPECT_EQ(m.lifetime_module_comm()[1], 3u);
+  m.reset_loads();
+  EXPECT_EQ(m.lifetime_module_work()[1], 0u);
+}
+
+TEST(RoundGuard, NestedIsNoOp) {
+  Metrics m(2, 1 << 20);
+  {
+    RoundGuard outer(m);
+    EXPECT_TRUE(m.in_round());
+    {
+      RoundGuard inner(m);
+      EXPECT_TRUE(m.in_round());
+    }
+    EXPECT_TRUE(m.in_round());  // inner guard must not end the round
+    m.add_comm(0, 1);
+  }
+  EXPECT_FALSE(m.in_round());
+  EXPECT_EQ(m.snapshot().rounds, 1u);
+}
+
+TEST(PimSystem, PlacementStableAndInRange) {
+  PimSystem<int> sys({.num_modules = 8, .cache_words = 1024, .seed = 1});
+  EXPECT_EQ(sys.P(), 8u);
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    const auto m = sys.module_of(k);
+    EXPECT_LT(m, 8u);
+    EXPECT_EQ(m, sys.module_of(k));
+  }
+}
+
+TEST(PimSystem, PlacementRoughlyUniform) {
+  PimSystem<int> sys({.num_modules = 16, .cache_words = 1024, .seed = 2});
+  std::vector<int> counts(16, 0);
+  for (std::uint64_t k = 0; k < 16000; ++k) ++counts[sys.module_of(k)];
+  for (const int c : counts) {
+    EXPECT_GT(c, 700);
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(PimSystem, ModuleStateIsolated) {
+  PimSystem<std::vector<int>> sys({.num_modules = 4, .cache_words = 64, .seed = 3});
+  sys.module(2).push_back(42);
+  EXPECT_TRUE(sys.module(0).empty());
+  EXPECT_EQ(sys.module(2).size(), 1u);
+}
+
+TEST(PimSystem, ForEachModuleVisitsAll) {
+  PimSystem<int> sys({.num_modules = 6, .cache_words = 64, .seed = 4});
+  sys.for_each_module([](std::size_t m, int& st) { st = static_cast<int>(m); });
+  for (std::size_t m = 0; m < 6; ++m) EXPECT_EQ(sys.module(m), static_cast<int>(m));
+}
+
+}  // namespace
+}  // namespace pimkd::pim

@@ -1,0 +1,271 @@
+#include "kdtree/pkdtree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kdtree/bruteforce.hpp"
+#include "util/generators.hpp"
+
+namespace pimkd {
+namespace {
+
+// Collect the live points of the tree as (point, id) pairs for an oracle.
+struct Oracle {
+  std::vector<Point> pts;
+  std::vector<PointId> ids;
+  int dim = 2;
+
+  void add(std::span<const Point> p, std::span<const PointId> id) {
+    pts.insert(pts.end(), p.begin(), p.end());
+    ids.insert(ids.end(), id.begin(), id.end());
+  }
+  void remove(std::span<const PointId> dead) {
+    for (const PointId d : dead) {
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        if (ids[i] == d) {
+          ids[i] = ids.back();
+          pts[i] = pts.back();
+          ids.pop_back();
+          pts.pop_back();
+          break;
+        }
+      }
+    }
+  }
+  std::vector<Neighbor> knn(const Point& q, std::size_t k) const {
+    auto got = brute_knn(pts, dim, q, k);
+    for (auto& nb : got) nb.id = ids[nb.id];
+    return got;
+  }
+};
+
+struct Params {
+  std::size_t n;
+  int dim;
+  double alpha;
+  std::uint64_t seed;
+};
+
+class PkdTreeP : public ::testing::TestWithParam<Params> {};
+
+TEST_P(PkdTreeP, BulkBuildQueriesMatchBruteForce) {
+  const auto [n, dim, alpha, seed] = GetParam();
+  const auto pts = gen_uniform({.n = n, .dim = dim, .seed = seed});
+  PkdTree tree({.dim = dim, .alpha = alpha, .leaf_cap = 8, .sigma = 32,
+                .seed = seed},
+               pts);
+  EXPECT_EQ(tree.size(), n);
+  EXPECT_TRUE(tree.check_sizes());
+  const auto qs = gen_uniform_queries(pts, dim, 15, seed ^ 1);
+  for (const auto& q : qs) {
+    const auto got = tree.knn(q, 8);
+    const auto want = brute_knn(pts, dim, q, 8);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+      EXPECT_DOUBLE_EQ(got[i].sq_dist, want[i].sq_dist);
+  }
+}
+
+TEST_P(PkdTreeP, AlphaBalanceAfterBuild) {
+  const auto [n, dim, alpha, seed] = GetParam();
+  const auto pts = gen_uniform({.n = n, .dim = dim, .seed = seed});
+  PkdTree tree({.dim = dim, .alpha = alpha, .leaf_cap = 8, .sigma = 32,
+                .seed = seed},
+               pts);
+  // Sampled splitters land near the median whp; allow slack over (1+alpha).
+  EXPECT_TRUE(tree.check_balance((1.0 + alpha) * 1.5));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PkdTreeP,
+    ::testing::Values(Params{256, 2, 1.0, 1}, Params{2048, 2, 1.0, 2},
+                      Params{2048, 3, 0.5, 3}, Params{4096, 2, 2.0, 4},
+                      Params{1024, 4, 1.0, 5}));
+
+TEST(PkdTree, IncrementalInsertsMatchOracle) {
+  const int dim = 2;
+  PkdTree tree({.dim = dim, .alpha = 1.0, .leaf_cap = 8, .sigma = 32, .seed = 6});
+  Oracle oracle;
+  for (int b = 0; b < 8; ++b) {
+    const auto pts = gen_uniform(
+        {.n = 150, .dim = dim, .seed = 60 + static_cast<std::uint64_t>(b)});
+    const auto ids = tree.insert(pts);
+    oracle.add(pts, ids);
+    EXPECT_TRUE(tree.check_sizes());
+  }
+  EXPECT_EQ(tree.size(), oracle.pts.size());
+  const auto qs = gen_uniform_queries(oracle.pts, dim, 20, 7);
+  for (const auto& q : qs) {
+    const auto got = tree.knn(q, 6);
+    const auto want = oracle.knn(q, 6);
+    for (std::size_t i = 0; i < got.size(); ++i)
+      EXPECT_DOUBLE_EQ(got[i].sq_dist, want[i].sq_dist);
+  }
+}
+
+TEST(PkdTree, SkewedInsertStreamStaysBalanced) {
+  // Sorted (adversarial) insertion order forces scapegoat rebuilds.
+  const int dim = 2;
+  PkdTree tree({.dim = dim, .alpha = 1.0, .leaf_cap = 8, .sigma = 32, .seed = 8});
+  std::vector<Point> pts(4000);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    pts[i][0] = static_cast<double>(i);
+    pts[i][1] = static_cast<double>(i % 17);
+  }
+  for (std::size_t i = 0; i < pts.size(); i += 200)
+    (void)tree.insert(std::span(pts).subspan(i, 200));
+  EXPECT_TRUE(tree.check_sizes());
+  EXPECT_TRUE(tree.check_balance(2.0 * 1.5));
+  EXPECT_GT(tree.update_counters.rebuilds, 0u);
+  // Height stays logarithmic despite the sorted stream.
+  EXPECT_LE(tree.height(), 20u);
+}
+
+TEST(PkdTree, EraseMatchesOracle) {
+  const int dim = 2;
+  const auto pts = gen_uniform({.n = 2000, .dim = dim, .seed = 9});
+  PkdTree tree({.dim = dim, .alpha = 1.0, .leaf_cap = 8, .sigma = 32, .seed = 9},
+               pts);
+  Oracle oracle;
+  std::vector<PointId> ids(2000);
+  for (PointId i = 0; i < 2000; ++i) ids[i] = i;
+  oracle.add(pts, ids);
+
+  Rng rng(10);
+  std::vector<PointId> dead;
+  for (PointId i = 0; i < 2000; ++i)
+    if (rng.next_bernoulli(0.4)) dead.push_back(i);
+  tree.erase(dead);
+  oracle.remove(dead);
+  EXPECT_EQ(tree.size(), oracle.pts.size());
+  EXPECT_TRUE(tree.check_sizes());
+
+  const auto qs = gen_uniform_queries(pts, dim, 20, 11);
+  for (const auto& q : qs) {
+    const auto got = tree.knn(q, 5);
+    const auto want = oracle.knn(q, 5);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+      EXPECT_EQ(got[i].id, want[i].id);
+  }
+}
+
+TEST(PkdTree, EraseEverything) {
+  const auto pts = gen_uniform({.n = 300, .dim = 2, .seed = 12});
+  PkdTree tree({.dim = 2, .alpha = 1.0, .leaf_cap = 8, .sigma = 32, .seed = 12},
+               pts);
+  std::vector<PointId> all(300);
+  for (PointId i = 0; i < 300; ++i) all[i] = i;
+  tree.erase(all);
+  EXPECT_EQ(tree.size(), 0u);
+  Point q{};
+  EXPECT_TRUE(tree.knn(q, 3).empty());
+  // Reinsert after emptying works.
+  (void)tree.insert(pts);
+  EXPECT_EQ(tree.size(), 300u);
+  EXPECT_TRUE(tree.check_sizes());
+}
+
+TEST(PkdTree, MixedInsertEraseChurn) {
+  const int dim = 3;
+  PkdTree tree({.dim = dim, .alpha = 1.0, .leaf_cap = 8, .sigma = 32, .seed = 13});
+  Oracle oracle;
+  oracle.dim = dim;
+  Rng rng(14);
+  std::vector<PointId> live_ids;
+  for (int round = 0; round < 10; ++round) {
+    const auto pts = gen_uniform(
+        {.n = 200, .dim = dim, .seed = 140 + static_cast<std::uint64_t>(round)});
+    const auto ids = tree.insert(pts);
+    oracle.add(pts, ids);
+    live_ids.insert(live_ids.end(), ids.begin(), ids.end());
+    // Delete a random 30%.
+    std::vector<PointId> dead;
+    std::vector<PointId> keep;
+    for (const PointId id : live_ids) {
+      if (rng.next_bernoulli(0.3)) dead.push_back(id);
+      else keep.push_back(id);
+    }
+    tree.erase(dead);
+    oracle.remove(dead);
+    live_ids = std::move(keep);
+    ASSERT_TRUE(tree.check_sizes()) << "round " << round;
+    ASSERT_EQ(tree.size(), live_ids.size());
+  }
+  const auto qs = gen_uniform_queries(oracle.pts, dim, 15, 15);
+  for (const auto& q : qs) {
+    const auto got = tree.knn(q, 4);
+    const auto want = oracle.knn(q, 4);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+      EXPECT_DOUBLE_EQ(got[i].sq_dist, want[i].sq_dist);
+  }
+}
+
+TEST(PkdTree, RangeAndRadius) {
+  const auto pts = gen_uniform({.n = 1500, .dim = 2, .seed = 16});
+  PkdTree tree({.dim = 2, .alpha = 1.0, .leaf_cap = 8, .sigma = 32, .seed = 16},
+               pts);
+  Rng rng(17);
+  for (int t = 0; t < 10; ++t) {
+    Box b = Box::empty(2);
+    Point a;
+    a[0] = rng.next_double() * 0.6;
+    a[1] = rng.next_double() * 0.6;
+    Point c = a;
+    c[0] += 0.4;
+    c[1] += 0.2;
+    b.extend(a, 2);
+    b.extend(c, 2);
+    EXPECT_EQ(tree.range(b), brute_range(pts, 2, b));
+  }
+  EXPECT_EQ(tree.radius(pts[3], 0.15), brute_radius(pts, 2, pts[3], 0.15));
+  EXPECT_EQ(tree.radius_count(pts[3], 0.15),
+            brute_radius(pts, 2, pts[3], 0.15).size());
+}
+
+TEST(PkdTree, DuplicateCoordinates) {
+  std::vector<Point> pts(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    pts[i][0] = static_cast<double>(i % 5);
+    pts[i][1] = static_cast<double>(i % 3);
+  }
+  PkdTree tree({.dim = 2, .alpha = 1.0, .leaf_cap = 4, .sigma = 16, .seed = 18},
+               pts);
+  EXPECT_EQ(tree.size(), 100u);
+  EXPECT_TRUE(tree.check_sizes());
+  const auto got = tree.knn(pts[0], 10);
+  EXPECT_EQ(got.size(), 10u);
+  EXPECT_DOUBLE_EQ(got[0].sq_dist, 0.0);
+}
+
+TEST(PkdTree, AllIdenticalPoints) {
+  std::vector<Point> pts(64);
+  for (auto& p : pts) {
+    p[0] = 1;
+    p[1] = 1;
+  }
+  PkdTree tree({.dim = 2, .alpha = 1.0, .leaf_cap = 4, .sigma = 16, .seed = 19},
+               pts);
+  EXPECT_EQ(tree.size(), 64u);
+  EXPECT_EQ(tree.knn(pts[0], 64).size(), 64u);
+}
+
+TEST(PkdTree, LeafSearchCostIsTreeHeightish) {
+  const auto pts = gen_uniform({.n = 8192, .dim = 2, .seed = 20});
+  PkdTree tree({.dim = 2, .alpha = 1.0, .leaf_cap = 8, .sigma = 32, .seed = 20},
+               pts);
+  Point q;
+  q[0] = 0.3;
+  q[1] = 0.7;
+  EXPECT_LE(tree.leaf_search_cost(q), tree.height());
+}
+
+TEST(PkdTree, UpdateCountersAccumulate) {
+  PkdTree tree({.dim = 2, .alpha = 0.5, .leaf_cap = 8, .sigma = 32, .seed = 21});
+  const auto pts = gen_uniform({.n = 1000, .dim = 2, .seed = 21});
+  (void)tree.insert(pts);
+  EXPECT_GT(tree.update_counters.points_rebuilt, 0u);
+}
+
+}  // namespace
+}  // namespace pimkd

@@ -1,0 +1,161 @@
+#include "kdtree/static_kdtree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kdtree/bruteforce.hpp"
+#include "util/generators.hpp"
+
+namespace pimkd {
+namespace {
+
+struct Params {
+  std::size_t n;
+  int dim;
+  std::uint64_t seed;
+};
+
+class StaticKdTreeP : public ::testing::TestWithParam<Params> {};
+
+TEST_P(StaticKdTreeP, KnnMatchesBruteForce) {
+  const auto [n, dim, seed] = GetParam();
+  const auto pts = gen_uniform({.n = n, .dim = dim, .seed = seed});
+  StaticKdTree tree({.dim = dim, .leaf_cap = 8}, pts);
+  const auto qs = gen_uniform_queries(pts, dim, 20, seed ^ 1);
+  for (const auto& q : qs) {
+    for (const std::size_t k : {1ul, 4ul, 16ul}) {
+      const auto got = tree.knn(q, k);
+      const auto want = brute_knn(pts, dim, q, k);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_DOUBLE_EQ(got[i].sq_dist, want[i].sq_dist);
+    }
+  }
+}
+
+TEST_P(StaticKdTreeP, RangeMatchesBruteForce) {
+  const auto [n, dim, seed] = GetParam();
+  const auto pts = gen_uniform({.n = n, .dim = dim, .seed = seed});
+  StaticKdTree tree({.dim = dim, .leaf_cap = 8}, pts);
+  Rng rng(seed ^ 2);
+  for (int t = 0; t < 15; ++t) {
+    Box b = Box::empty(dim);
+    Point a;
+    Point c;
+    for (int d = 0; d < dim; ++d) {
+      const double lo = rng.next_double();
+      a[d] = lo;
+      c[d] = lo + rng.next_double() * 0.3;
+    }
+    b.extend(a, dim);
+    b.extend(c, dim);
+    EXPECT_EQ(tree.range(b), brute_range(pts, dim, b));
+  }
+}
+
+TEST_P(StaticKdTreeP, RadiusMatchesBruteForce) {
+  const auto [n, dim, seed] = GetParam();
+  const auto pts = gen_uniform({.n = n, .dim = dim, .seed = seed});
+  StaticKdTree tree({.dim = dim, .leaf_cap = 8}, pts);
+  const auto qs = gen_uniform_queries(pts, dim, 10, seed ^ 3);
+  for (const auto& q : qs) {
+    EXPECT_EQ(tree.radius(q, 0.2), brute_radius(pts, dim, q, 0.2));
+    EXPECT_EQ(tree.radius_count(q, 0.2), brute_radius(pts, dim, q, 0.2).size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StaticKdTreeP,
+    ::testing::Values(Params{64, 2, 1}, Params{512, 2, 2}, Params{512, 3, 3},
+                      Params{2048, 2, 4}, Params{2048, 5, 5},
+                      Params{100, 1, 6}, Params{4096, 3, 7}));
+
+TEST(StaticKdTree, EmptyTree) {
+  StaticKdTree tree({.dim = 2, .leaf_cap = 4}, {});
+  EXPECT_EQ(tree.size(), 0u);
+  Point q{};
+  EXPECT_TRUE(tree.knn(q, 3).empty());
+}
+
+TEST(StaticKdTree, SinglePoint) {
+  std::vector<Point> pts(1);
+  pts[0][0] = 1;
+  pts[0][1] = 2;
+  StaticKdTree tree({.dim = 2, .leaf_cap = 4}, pts);
+  Point q{};
+  const auto nn = tree.knn(q, 1);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0].id, 0u);
+  EXPECT_DOUBLE_EQ(nn[0].sq_dist, 5.0);
+}
+
+TEST(StaticKdTree, DuplicatePointsAllReported) {
+  std::vector<Point> pts(20);
+  for (auto& p : pts) {
+    p[0] = 1;
+    p[1] = 1;
+  }
+  StaticKdTree tree({.dim = 2, .leaf_cap = 4}, pts);
+  Box b = Box::empty(2);
+  b.extend(pts[0], 2);
+  EXPECT_EQ(tree.range(b).size(), 20u);
+  EXPECT_EQ(tree.knn(pts[0], 5).size(), 5u);
+}
+
+TEST(StaticKdTree, CustomIdsReported) {
+  const auto pts = gen_uniform({.n = 32, .dim = 2, .seed = 9});
+  std::vector<PointId> ids(32);
+  for (std::size_t i = 0; i < 32; ++i) ids[i] = static_cast<PointId>(1000 + i);
+  StaticKdTree tree({.dim = 2, .leaf_cap = 4}, pts, ids);
+  const auto nn = tree.knn(pts[7], 1);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0].id, 1007u);
+}
+
+TEST(StaticKdTree, BalancedHeight) {
+  const auto pts = gen_uniform({.n = 4096, .dim = 2, .seed = 10});
+  StaticKdTree tree({.dim = 2, .leaf_cap = 8}, pts);
+  // Median splits: height <= ceil(log2(n/leaf_cap)) + 2.
+  EXPECT_LE(tree.height(), 12u);
+}
+
+TEST(StaticKdTree, AnnWithinFactor) {
+  const auto pts = gen_uniform({.n = 4096, .dim = 2, .seed = 11});
+  StaticKdTree tree({.dim = 2, .leaf_cap = 8}, pts);
+  const auto qs = gen_uniform_queries(pts, 2, 50, 12);
+  const double eps = 0.5;
+  for (const auto& q : qs) {
+    const auto exact = tree.knn(q, 4);
+    const auto approx = tree.ann(q, 4, eps);
+    ASSERT_EQ(approx.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_LE(approx[i].sq_dist,
+                exact[i].sq_dist * (1 + eps) * (1 + eps) + 1e-12);
+    }
+  }
+}
+
+TEST(StaticKdTree, AnnVisitsNoMoreNodesThanExact) {
+  const auto pts = gen_uniform({.n = 8192, .dim = 2, .seed = 13});
+  StaticKdTree tree({.dim = 2, .leaf_cap = 8}, pts);
+  const auto qs = gen_uniform_queries(pts, 2, 100, 14);
+  tree.counters.reset();
+  for (const auto& q : qs) (void)tree.knn(q, 8);
+  const auto exact_nodes = tree.counters.nodes_visited;
+  tree.counters.reset();
+  for (const auto& q : qs) (void)tree.ann(q, 8, 1.0);
+  EXPECT_LE(tree.counters.nodes_visited, exact_nodes);
+}
+
+TEST(StaticKdTree, LeafSearchDescendsOnePath) {
+  const auto pts = gen_uniform({.n = 4096, .dim = 2, .seed = 15});
+  StaticKdTree tree({.dim = 2, .leaf_cap = 8}, pts);
+  tree.counters.reset();
+  Point q;
+  q[0] = 0.5;
+  q[1] = 0.5;
+  (void)tree.leaf_search(q);
+  EXPECT_LE(tree.counters.nodes_visited, tree.height());
+}
+
+}  // namespace
+}  // namespace pimkd

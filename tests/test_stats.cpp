@@ -1,0 +1,73 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pimkd {
+namespace {
+
+TEST(Welford, MeanAndVariance) {
+  Welford w;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) w.add(x);
+  EXPECT_EQ(w.count(), 8u);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_NEAR(w.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Welford, SingleValue) {
+  Welford w;
+  w.add(3.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+}
+
+TEST(LoadSummary, Balanced) {
+  const std::vector<std::uint64_t> load = {10, 10, 10, 10};
+  const auto s = summarize_load(load);
+  EXPECT_DOUBLE_EQ(s.mean, 10.0);
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
+  EXPECT_DOUBLE_EQ(s.imbalance, 1.0);
+}
+
+TEST(LoadSummary, Skewed) {
+  const std::vector<std::uint64_t> load = {40, 0, 0, 0};
+  const auto s = summarize_load(load);
+  EXPECT_DOUBLE_EQ(s.imbalance, 4.0);
+}
+
+TEST(LoadSummary, Empty) {
+  const auto s = summarize_load(std::vector<std::uint64_t>{});
+  EXPECT_DOUBLE_EQ(s.imbalance, 0.0);
+}
+
+TEST(Percentile, Basics) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.0);
+}
+
+TEST(IteratedLog, Values) {
+  EXPECT_DOUBLE_EQ(ilog2(1024, 1), 10.0);
+  EXPECT_NEAR(ilog2(1024, 2), std::log2(10.0), 1e-12);
+  // Convention: results clamp at 1.
+  EXPECT_DOUBLE_EQ(ilog2(2, 3), 1.0);
+}
+
+TEST(LogStar, KnownValues) {
+  EXPECT_EQ(log_star2(2), 1);
+  EXPECT_EQ(log_star2(4), 2);
+  EXPECT_EQ(log_star2(16), 3);
+  EXPECT_EQ(log_star2(65536), 4);
+  EXPECT_EQ(log_star2(1024), 4);   // 1024 -> 10 -> 3.32 -> 1.73 -> 0.79
+  EXPECT_EQ(log_star2(1), 1);      // paper convention max{1, log*}
+}
+
+TEST(FmtNum, Shapes) {
+  EXPECT_EQ(fmt_num(0), "0");
+  EXPECT_EQ(fmt_num(3.14159), "3.142");
+  EXPECT_EQ(fmt_num(12345678), "1.235e+07");
+}
+
+}  // namespace
+}  // namespace pimkd

@@ -1,0 +1,95 @@
+#include "clustering/union_find.hpp"
+
+#include <gtest/gtest.h>
+
+#include "clustering/connectivity.hpp"
+#include "parallel/primitives.hpp"
+#include "util/random.hpp"
+
+namespace pimkd {
+namespace {
+
+TEST(UnionFind, BasicMerges) {
+  UnionFind uf(6);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_TRUE(uf.same(0, 1));
+  EXPECT_FALSE(uf.same(1, 2));
+  EXPECT_TRUE(uf.unite(1, 3));
+  EXPECT_TRUE(uf.same(0, 2));
+  EXPECT_FALSE(uf.same(0, 5));
+}
+
+TEST(UnionFind, ChainMerge) {
+  UnionFind uf(1000);
+  for (std::size_t i = 0; i + 1 < 1000; ++i) uf.unite(i, i + 1);
+  EXPECT_TRUE(uf.same(0, 999));
+}
+
+TEST(AtomicUnionFind, SequentialAgreesWithPlain) {
+  Rng rng(1);
+  UnionFind a(500);
+  AtomicUnionFind b(500);
+  for (int t = 0; t < 800; ++t) {
+    const auto x = static_cast<std::size_t>(rng.next_below(500));
+    const auto y = static_cast<std::size_t>(rng.next_below(500));
+    a.unite(x, y);
+    b.unite(x, y);
+  }
+  for (std::size_t i = 0; i < 500; ++i)
+    for (const std::size_t j : {0ul, 123ul, 499ul})
+      EXPECT_EQ(a.same(i, j), b.find(i) == b.find(j));
+}
+
+TEST(AtomicUnionFind, ConcurrentUnites) {
+  AtomicUnionFind uf(10000);
+  parallel_for(0, 9999, [&](std::size_t i) { uf.unite(i, i + 1); }, 64);
+  const std::size_t root = uf.find(0);
+  for (const std::size_t i : {1ul, 5000ul, 9999ul})
+    EXPECT_EQ(uf.find(i), root);
+}
+
+TEST(Connectivity, LabelsComponents) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}, {4, 5}};
+  const auto c = connected_components(7, edges);
+  EXPECT_EQ(c.count, 4u);  // {0,1,2}, {3}, {4,5}, {6}
+  EXPECT_EQ(c.label[0], c.label[2]);
+  EXPECT_EQ(c.label[4], c.label[5]);
+  EXPECT_NE(c.label[0], c.label[3]);
+  EXPECT_NE(c.label[3], c.label[6]);
+}
+
+TEST(Connectivity, EmptyGraph) {
+  const auto c = connected_components(4, {});
+  EXPECT_EQ(c.count, 4u);
+}
+
+TEST(Connectivity, LabelsAreNormalized) {
+  const std::vector<Edge> edges = {{8, 9}, {0, 1}};
+  const auto c = connected_components(10, edges);
+  for (const auto l : c.label) EXPECT_LT(l, c.count);
+  // Labels appear in vertex order: vertex 0's component gets label 0.
+  EXPECT_EQ(c.label[0], 0u);
+}
+
+TEST(Connectivity, PimVariantSameResultAndCharges) {
+  Rng rng(2);
+  std::vector<Edge> edges;
+  for (int t = 0; t < 3000; ++t)
+    edges.emplace_back(static_cast<std::uint32_t>(rng.next_below(2000)),
+                       static_cast<std::uint32_t>(rng.next_below(2000)));
+  const auto plain = connected_components(2000, edges);
+  pim::Metrics metrics(16, 1 << 20);
+  const auto pim_res = pim_connected_components(2000, edges, metrics);
+  EXPECT_EQ(plain.count, pim_res.count);
+  EXPECT_EQ(plain.label, pim_res.label);
+  const auto s = metrics.snapshot();
+  EXPECT_EQ(s.communication, 2 * edges.size());
+  EXPECT_GT(s.pim_work, 0u);
+  // Hash placement keeps per-module communication balanced.
+  EXPECT_LT(metrics.comm_balance().imbalance, 2.0);
+}
+
+}  // namespace
+}  // namespace pimkd
