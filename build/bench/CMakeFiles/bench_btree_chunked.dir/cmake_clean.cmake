@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_btree_chunked.dir/bench_btree_chunked.cpp.o"
+  "CMakeFiles/bench_btree_chunked.dir/bench_btree_chunked.cpp.o.d"
+  "bench_btree_chunked"
+  "bench_btree_chunked.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_btree_chunked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_decomposition.dir/bench_fig1_decomposition.cpp.o"
+  "CMakeFiles/bench_fig1_decomposition.dir/bench_fig1_decomposition.cpp.o.d"
+  "bench_fig1_decomposition"
+  "bench_fig1_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_caching.dir/bench_fig2_caching.cpp.o"
+  "CMakeFiles/bench_fig2_caching.dir/bench_fig2_caching.cpp.o.d"
+  "bench_fig2_caching"
+  "bench_fig2_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

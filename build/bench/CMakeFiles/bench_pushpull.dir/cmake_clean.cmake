@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pushpull.dir/bench_pushpull.cpp.o"
+  "CMakeFiles/bench_pushpull.dir/bench_pushpull.cpp.o.d"
+  "bench_pushpull"
+  "bench_pushpull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pushpull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

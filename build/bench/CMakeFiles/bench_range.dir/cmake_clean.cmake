@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_range.dir/bench_range.cpp.o"
+  "CMakeFiles/bench_range.dir/bench_range.cpp.o.d"
+  "bench_range"
+  "bench_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

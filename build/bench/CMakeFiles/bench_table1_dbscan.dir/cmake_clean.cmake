@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_dbscan.dir/bench_table1_dbscan.cpp.o"
+  "CMakeFiles/bench_table1_dbscan.dir/bench_table1_dbscan.cpp.o.d"
+  "bench_table1_dbscan"
+  "bench_table1_dbscan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_dbscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

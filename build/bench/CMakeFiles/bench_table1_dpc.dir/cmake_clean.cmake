@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_dpc.dir/bench_table1_dpc.cpp.o"
+  "CMakeFiles/bench_table1_dpc.dir/bench_table1_dpc.cpp.o.d"
+  "bench_table1_dpc"
+  "bench_table1_dpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_dpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

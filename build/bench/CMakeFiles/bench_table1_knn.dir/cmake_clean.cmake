@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_knn.dir/bench_table1_knn.cpp.o"
+  "CMakeFiles/bench_table1_knn.dir/bench_table1_knn.cpp.o.d"
+  "bench_table1_knn"
+  "bench_table1_knn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

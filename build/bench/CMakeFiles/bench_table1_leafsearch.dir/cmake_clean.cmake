@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_leafsearch.dir/bench_table1_leafsearch.cpp.o"
+  "CMakeFiles/bench_table1_leafsearch.dir/bench_table1_leafsearch.cpp.o.d"
+  "bench_table1_leafsearch"
+  "bench_table1_leafsearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_leafsearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

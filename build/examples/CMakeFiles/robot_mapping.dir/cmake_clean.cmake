@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robot_mapping.dir/robot_mapping.cpp.o"
+  "CMakeFiles/robot_mapping.dir/robot_mapping.cpp.o.d"
+  "robot_mapping"
+  "robot_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robot_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

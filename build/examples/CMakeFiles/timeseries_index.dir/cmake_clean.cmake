@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeseries_index.dir/timeseries_index.cpp.o"
+  "CMakeFiles/timeseries_index.dir/timeseries_index.cpp.o.d"
+  "timeseries_index"
+  "timeseries_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeseries_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

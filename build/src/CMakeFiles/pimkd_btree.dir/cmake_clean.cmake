@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimkd_btree.dir/btree/pim_btree.cpp.o"
+  "CMakeFiles/pimkd_btree.dir/btree/pim_btree.cpp.o.d"
+  "libpimkd_btree.a"
+  "libpimkd_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimkd_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clustering/connectivity.cpp" "src/CMakeFiles/pimkd_clustering.dir/clustering/connectivity.cpp.o" "gcc" "src/CMakeFiles/pimkd_clustering.dir/clustering/connectivity.cpp.o.d"
+  "/root/repo/src/clustering/dbscan.cpp" "src/CMakeFiles/pimkd_clustering.dir/clustering/dbscan.cpp.o" "gcc" "src/CMakeFiles/pimkd_clustering.dir/clustering/dbscan.cpp.o.d"
+  "/root/repo/src/clustering/dbscan_pim.cpp" "src/CMakeFiles/pimkd_clustering.dir/clustering/dbscan_pim.cpp.o" "gcc" "src/CMakeFiles/pimkd_clustering.dir/clustering/dbscan_pim.cpp.o.d"
+  "/root/repo/src/clustering/dpc.cpp" "src/CMakeFiles/pimkd_clustering.dir/clustering/dpc.cpp.o" "gcc" "src/CMakeFiles/pimkd_clustering.dir/clustering/dpc.cpp.o.d"
+  "/root/repo/src/clustering/dpc_pim.cpp" "src/CMakeFiles/pimkd_clustering.dir/clustering/dpc_pim.cpp.o" "gcc" "src/CMakeFiles/pimkd_clustering.dir/clustering/dpc_pim.cpp.o.d"
+  "/root/repo/src/clustering/priority_kdtree.cpp" "src/CMakeFiles/pimkd_clustering.dir/clustering/priority_kdtree.cpp.o" "gcc" "src/CMakeFiles/pimkd_clustering.dir/clustering/priority_kdtree.cpp.o.d"
+  "/root/repo/src/clustering/union_find.cpp" "src/CMakeFiles/pimkd_clustering.dir/clustering/union_find.cpp.o" "gcc" "src/CMakeFiles/pimkd_clustering.dir/clustering/union_find.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pimkd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pimkd_pim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pimkd_kdtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pimkd_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pimkd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimkd_clustering.dir/clustering/connectivity.cpp.o"
+  "CMakeFiles/pimkd_clustering.dir/clustering/connectivity.cpp.o.d"
+  "CMakeFiles/pimkd_clustering.dir/clustering/dbscan.cpp.o"
+  "CMakeFiles/pimkd_clustering.dir/clustering/dbscan.cpp.o.d"
+  "CMakeFiles/pimkd_clustering.dir/clustering/dbscan_pim.cpp.o"
+  "CMakeFiles/pimkd_clustering.dir/clustering/dbscan_pim.cpp.o.d"
+  "CMakeFiles/pimkd_clustering.dir/clustering/dpc.cpp.o"
+  "CMakeFiles/pimkd_clustering.dir/clustering/dpc.cpp.o.d"
+  "CMakeFiles/pimkd_clustering.dir/clustering/dpc_pim.cpp.o"
+  "CMakeFiles/pimkd_clustering.dir/clustering/dpc_pim.cpp.o.d"
+  "CMakeFiles/pimkd_clustering.dir/clustering/priority_kdtree.cpp.o"
+  "CMakeFiles/pimkd_clustering.dir/clustering/priority_kdtree.cpp.o.d"
+  "CMakeFiles/pimkd_clustering.dir/clustering/union_find.cpp.o"
+  "CMakeFiles/pimkd_clustering.dir/clustering/union_find.cpp.o.d"
+  "libpimkd_clustering.a"
+  "libpimkd_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimkd_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

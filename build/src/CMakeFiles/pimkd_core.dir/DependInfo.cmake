@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/approx_counter.cpp" "src/CMakeFiles/pimkd_core.dir/core/approx_counter.cpp.o" "gcc" "src/CMakeFiles/pimkd_core.dir/core/approx_counter.cpp.o.d"
+  "/root/repo/src/core/build.cpp" "src/CMakeFiles/pimkd_core.dir/core/build.cpp.o" "gcc" "src/CMakeFiles/pimkd_core.dir/core/build.cpp.o.d"
+  "/root/repo/src/core/cursor.cpp" "src/CMakeFiles/pimkd_core.dir/core/cursor.cpp.o" "gcc" "src/CMakeFiles/pimkd_core.dir/core/cursor.cpp.o.d"
+  "/root/repo/src/core/decomposition.cpp" "src/CMakeFiles/pimkd_core.dir/core/decomposition.cpp.o" "gcc" "src/CMakeFiles/pimkd_core.dir/core/decomposition.cpp.o.d"
+  "/root/repo/src/core/knn.cpp" "src/CMakeFiles/pimkd_core.dir/core/knn.cpp.o" "gcc" "src/CMakeFiles/pimkd_core.dir/core/knn.cpp.o.d"
+  "/root/repo/src/core/pim_kdtree.cpp" "src/CMakeFiles/pimkd_core.dir/core/pim_kdtree.cpp.o" "gcc" "src/CMakeFiles/pimkd_core.dir/core/pim_kdtree.cpp.o.d"
+  "/root/repo/src/core/range.cpp" "src/CMakeFiles/pimkd_core.dir/core/range.cpp.o" "gcc" "src/CMakeFiles/pimkd_core.dir/core/range.cpp.o.d"
+  "/root/repo/src/core/storage.cpp" "src/CMakeFiles/pimkd_core.dir/core/storage.cpp.o" "gcc" "src/CMakeFiles/pimkd_core.dir/core/storage.cpp.o.d"
+  "/root/repo/src/core/update.cpp" "src/CMakeFiles/pimkd_core.dir/core/update.cpp.o" "gcc" "src/CMakeFiles/pimkd_core.dir/core/update.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pimkd_pim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pimkd_kdtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pimkd_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pimkd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimkd_core.dir/core/approx_counter.cpp.o"
+  "CMakeFiles/pimkd_core.dir/core/approx_counter.cpp.o.d"
+  "CMakeFiles/pimkd_core.dir/core/build.cpp.o"
+  "CMakeFiles/pimkd_core.dir/core/build.cpp.o.d"
+  "CMakeFiles/pimkd_core.dir/core/cursor.cpp.o"
+  "CMakeFiles/pimkd_core.dir/core/cursor.cpp.o.d"
+  "CMakeFiles/pimkd_core.dir/core/decomposition.cpp.o"
+  "CMakeFiles/pimkd_core.dir/core/decomposition.cpp.o.d"
+  "CMakeFiles/pimkd_core.dir/core/knn.cpp.o"
+  "CMakeFiles/pimkd_core.dir/core/knn.cpp.o.d"
+  "CMakeFiles/pimkd_core.dir/core/pim_kdtree.cpp.o"
+  "CMakeFiles/pimkd_core.dir/core/pim_kdtree.cpp.o.d"
+  "CMakeFiles/pimkd_core.dir/core/range.cpp.o"
+  "CMakeFiles/pimkd_core.dir/core/range.cpp.o.d"
+  "CMakeFiles/pimkd_core.dir/core/storage.cpp.o"
+  "CMakeFiles/pimkd_core.dir/core/storage.cpp.o.d"
+  "CMakeFiles/pimkd_core.dir/core/update.cpp.o"
+  "CMakeFiles/pimkd_core.dir/core/update.cpp.o.d"
+  "libpimkd_core.a"
+  "libpimkd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimkd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

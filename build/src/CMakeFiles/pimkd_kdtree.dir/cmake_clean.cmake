@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimkd_kdtree.dir/kdtree/bruteforce.cpp.o"
+  "CMakeFiles/pimkd_kdtree.dir/kdtree/bruteforce.cpp.o.d"
+  "CMakeFiles/pimkd_kdtree.dir/kdtree/logtree.cpp.o"
+  "CMakeFiles/pimkd_kdtree.dir/kdtree/logtree.cpp.o.d"
+  "CMakeFiles/pimkd_kdtree.dir/kdtree/pkdtree.cpp.o"
+  "CMakeFiles/pimkd_kdtree.dir/kdtree/pkdtree.cpp.o.d"
+  "CMakeFiles/pimkd_kdtree.dir/kdtree/static_kdtree.cpp.o"
+  "CMakeFiles/pimkd_kdtree.dir/kdtree/static_kdtree.cpp.o.d"
+  "libpimkd_kdtree.a"
+  "libpimkd_kdtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimkd_kdtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpimkd_kdtree.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimkd_parallel.dir/parallel/primitives.cpp.o"
+  "CMakeFiles/pimkd_parallel.dir/parallel/primitives.cpp.o.d"
+  "CMakeFiles/pimkd_parallel.dir/parallel/thread_pool.cpp.o"
+  "CMakeFiles/pimkd_parallel.dir/parallel/thread_pool.cpp.o.d"
+  "libpimkd_parallel.a"
+  "libpimkd_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimkd_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimkd_pim.dir/pim/metrics.cpp.o"
+  "CMakeFiles/pimkd_pim.dir/pim/metrics.cpp.o.d"
+  "CMakeFiles/pimkd_pim.dir/pim/system.cpp.o"
+  "CMakeFiles/pimkd_pim.dir/pim/system.cpp.o.d"
+  "libpimkd_pim.a"
+  "libpimkd_pim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimkd_pim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimkd_util.dir/util/generators.cpp.o"
+  "CMakeFiles/pimkd_util.dir/util/generators.cpp.o.d"
+  "CMakeFiles/pimkd_util.dir/util/geometry.cpp.o"
+  "CMakeFiles/pimkd_util.dir/util/geometry.cpp.o.d"
+  "CMakeFiles/pimkd_util.dir/util/knn_friendly.cpp.o"
+  "CMakeFiles/pimkd_util.dir/util/knn_friendly.cpp.o.d"
+  "CMakeFiles/pimkd_util.dir/util/random.cpp.o"
+  "CMakeFiles/pimkd_util.dir/util/random.cpp.o.d"
+  "CMakeFiles/pimkd_util.dir/util/stats.cpp.o"
+  "CMakeFiles/pimkd_util.dir/util/stats.cpp.o.d"
+  "libpimkd_util.a"
+  "libpimkd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimkd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_approx_counter.dir/test_approx_counter.cpp.o"
+  "CMakeFiles/test_approx_counter.dir/test_approx_counter.cpp.o.d"
+  "test_approx_counter"
+  "test_approx_counter.pdb"
+  "test_approx_counter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_approx_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

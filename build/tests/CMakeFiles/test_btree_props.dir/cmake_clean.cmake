@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_btree_props.dir/test_btree_props.cpp.o"
+  "CMakeFiles/test_btree_props.dir/test_btree_props.cpp.o.d"
+  "test_btree_props"
+  "test_btree_props.pdb"
+  "test_btree_props[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_btree_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cursor_storage.dir/test_cursor_storage.cpp.o"
+  "CMakeFiles/test_cursor_storage.dir/test_cursor_storage.cpp.o.d"
+  "test_cursor_storage"
+  "test_cursor_storage.pdb"
+  "test_cursor_storage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cursor_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

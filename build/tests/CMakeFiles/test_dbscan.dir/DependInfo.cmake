@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_dbscan.cpp" "tests/CMakeFiles/test_dbscan.dir/test_dbscan.cpp.o" "gcc" "tests/CMakeFiles/test_dbscan.dir/test_dbscan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pimkd_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pimkd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pimkd_pim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pimkd_kdtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pimkd_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pimkd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dpc.dir/test_dpc.cpp.o"
+  "CMakeFiles/test_dpc.dir/test_dpc.cpp.o.d"
+  "test_dpc"
+  "test_dpc.pdb"
+  "test_dpc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_knn_friendly.dir/test_knn_friendly.cpp.o"
+  "CMakeFiles/test_knn_friendly.dir/test_knn_friendly.cpp.o.d"
+  "test_knn_friendly"
+  "test_knn_friendly.pdb"
+  "test_knn_friendly[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_knn_friendly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logtree.dir/test_logtree.cpp.o"
+  "CMakeFiles/test_logtree.dir/test_logtree.cpp.o.d"
+  "test_logtree"
+  "test_logtree.pdb"
+  "test_logtree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pim_btree.dir/test_pim_btree.cpp.o"
+  "CMakeFiles/test_pim_btree.dir/test_pim_btree.cpp.o.d"
+  "test_pim_btree"
+  "test_pim_btree.pdb"
+  "test_pim_btree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pim_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pim_kdtree_build.dir/test_pim_kdtree_build.cpp.o"
+  "CMakeFiles/test_pim_kdtree_build.dir/test_pim_kdtree_build.cpp.o.d"
+  "test_pim_kdtree_build"
+  "test_pim_kdtree_build.pdb"
+  "test_pim_kdtree_build[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pim_kdtree_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pim_kdtree_cost.dir/test_pim_kdtree_cost.cpp.o"
+  "CMakeFiles/test_pim_kdtree_cost.dir/test_pim_kdtree_cost.cpp.o.d"
+  "test_pim_kdtree_cost"
+  "test_pim_kdtree_cost.pdb"
+  "test_pim_kdtree_cost[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pim_kdtree_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

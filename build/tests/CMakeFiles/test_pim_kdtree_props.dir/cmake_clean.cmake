@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pim_kdtree_props.dir/test_pim_kdtree_props.cpp.o"
+  "CMakeFiles/test_pim_kdtree_props.dir/test_pim_kdtree_props.cpp.o.d"
+  "test_pim_kdtree_props"
+  "test_pim_kdtree_props.pdb"
+  "test_pim_kdtree_props[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pim_kdtree_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_pim_kdtree_props.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pim_kdtree_query.dir/test_pim_kdtree_query.cpp.o"
+  "CMakeFiles/test_pim_kdtree_query.dir/test_pim_kdtree_query.cpp.o.d"
+  "test_pim_kdtree_query"
+  "test_pim_kdtree_query.pdb"
+  "test_pim_kdtree_query[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pim_kdtree_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pim_kdtree_update.dir/test_pim_kdtree_update.cpp.o"
+  "CMakeFiles/test_pim_kdtree_update.dir/test_pim_kdtree_update.cpp.o.d"
+  "test_pim_kdtree_update"
+  "test_pim_kdtree_update.pdb"
+  "test_pim_kdtree_update[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pim_kdtree_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pim_metrics.dir/test_pim_metrics.cpp.o"
+  "CMakeFiles/test_pim_metrics.dir/test_pim_metrics.cpp.o.d"
+  "test_pim_metrics"
+  "test_pim_metrics.pdb"
+  "test_pim_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pim_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pkdtree.dir/test_pkdtree.cpp.o"
+  "CMakeFiles/test_pkdtree.dir/test_pkdtree.cpp.o.d"
+  "test_pkdtree"
+  "test_pkdtree.pdb"
+  "test_pkdtree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pkdtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_priority_kdtree.dir/test_priority_kdtree.cpp.o"
+  "CMakeFiles/test_priority_kdtree.dir/test_priority_kdtree.cpp.o.d"
+  "test_priority_kdtree"
+  "test_priority_kdtree.pdb"
+  "test_priority_kdtree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_priority_kdtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

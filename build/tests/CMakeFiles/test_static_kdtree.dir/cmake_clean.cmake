@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_static_kdtree.dir/test_static_kdtree.cpp.o"
+  "CMakeFiles/test_static_kdtree.dir/test_static_kdtree.cpp.o.d"
+  "test_static_kdtree"
+  "test_static_kdtree.pdb"
+  "test_static_kdtree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_static_kdtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

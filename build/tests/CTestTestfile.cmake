@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_geometry[1]_include.cmake")
+include("/root/repo/build/tests/test_random[1]_include.cmake")
+include("/root/repo/build/tests/test_generators[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_pim_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_static_kdtree[1]_include.cmake")
+include("/root/repo/build/tests/test_logtree[1]_include.cmake")
+include("/root/repo/build/tests/test_pkdtree[1]_include.cmake")
+include("/root/repo/build/tests/test_decomposition[1]_include.cmake")
+include("/root/repo/build/tests/test_approx_counter[1]_include.cmake")
+include("/root/repo/build/tests/test_pim_kdtree_build[1]_include.cmake")
+include("/root/repo/build/tests/test_pim_kdtree_query[1]_include.cmake")
+include("/root/repo/build/tests/test_pim_kdtree_update[1]_include.cmake")
+include("/root/repo/build/tests/test_pim_kdtree_cost[1]_include.cmake")
+include("/root/repo/build/tests/test_union_find[1]_include.cmake")
+include("/root/repo/build/tests/test_priority_kdtree[1]_include.cmake")
+include("/root/repo/build/tests/test_dpc[1]_include.cmake")
+include("/root/repo/build/tests/test_dbscan[1]_include.cmake")
+include("/root/repo/build/tests/test_pim_btree[1]_include.cmake")
+include("/root/repo/build/tests/test_cursor_storage[1]_include.cmake")
+include("/root/repo/build/tests/test_pim_kdtree_props[1]_include.cmake")
+include("/root/repo/build/tests/test_knn_friendly[1]_include.cmake")
+include("/root/repo/build/tests/test_btree_props[1]_include.cmake")
