@@ -42,6 +42,12 @@ int main() {
   for (std::size_t i = 0; i < S; ++i)
     probes.push_back(kv[rng.next_below(n)].first);
 
+  BenchReport rep("bench_btree_chunked");
+  {
+    Json m;
+    m.set("n", n).set("P", P).set("S", S);
+    rep.meta(m);
+  }
   Table t({"fanout C", "groups (log*_C P + 1)", "height", "lookup comm/q",
            "space / raw", "storage imbalance"});
   for (const std::size_t fanout : {4u, 8u, 16u, 64u, 256u}) {
@@ -58,6 +64,11 @@ int main() {
            num(double(d.communication) / double(S)),
            num(double(tree.storage_words()) / (2.0 * double(n))),
            num(tree.metrics().storage_balance().imbalance)});
+    Json row;
+    row.set("fanout", fanout).set("height", double(tree.height()))
+        .set("lookup_comm_per_q", double(d.communication) / double(S))
+        .set("space_ratio", double(tree.storage_words()) / (2.0 * double(n)));
+    rep.add_row(row);
   }
   t.print();
 
@@ -89,7 +100,7 @@ int main() {
     cfg.system.seed = 7;
     btree::PimBTree tree(cfg, kv);
     std::vector<btree::Key> adv(S, kv[42].first);
-    tree.metrics().reset_loads();
+    tree.metrics().reset_module_loads();
     const auto before = tree.metrics().snapshot();
     (void)tree.lookup(adv);
     const auto d = tree.metrics().snapshot() - before;

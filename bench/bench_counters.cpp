@@ -20,6 +20,12 @@ int main() {
          "larger drift; Morris: order-of-magnitude only; exact: 100% updates");
   const double n = 1 << 20;
   const double beta = 0.5;
+  BenchReport rep("bench_counters");
+  {
+    Json m;
+    m.set("n", n).set("beta", beta);
+    rep.meta(m);
+  }
   Table t({"V (counter value)", "design", "updates per 10k incs",
            "mean |drift| / window"});
   for (const double v0 : {1e3, 1e4, 1e5}) {
@@ -65,6 +71,14 @@ int main() {
     t.row({num(v0), "Morris (rel err of value)", "~10000/V",
            num(morris_drift / trials)});
     t.row({num(v0), "exact", "10000", "0"});
+    Json row;
+    row.set("V", v0)
+        .set("paper_updates_per_10k", paper_updates / trials)
+        .set("paper_drift", paper_drift / trials)
+        .set("steele_updates_per_10k", steele_updates / trials)
+        .set("steele_drift", steele_drift / trials)
+        .set("morris_rel_err", morris_drift / trials);
+    rep.add_row(row);
   }
   t.print();
 

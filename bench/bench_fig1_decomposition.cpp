@@ -11,6 +11,7 @@ using namespace pimkd::bench;
 int main() {
   banner("E7 bench_fig1_decomposition", "Figure 1 + Lemmas 3.1/3.2",
          "group j population ~ nodes/H_j; component height ~ H_j");
+  BenchReport rep("bench_fig1_decomposition");
   for (const std::size_t P : {64u, 1024u}) {
     const std::size_t n = 1u << 17;
     const auto pts = gen_uniform({.n = n, .dim = 2, .seed = P});
@@ -28,6 +29,12 @@ int main() {
              num(double(stats[j].components)),
              num(double(stats[j].max_component_size)),
              num(double(stats[j].max_component_height))});
+      Json row;
+      row.set("P", P).set("group", j).set("threshold", h[j])
+          .set("nodes", stats[j].nodes)
+          .set("components", stats[j].components)
+          .set("max_component_height", stats[j].max_component_height);
+      rep.add_row(row);
     }
     t.print();
   }

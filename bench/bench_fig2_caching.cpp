@@ -42,6 +42,12 @@ int main() {
   const auto pts = gen_uniform({.n = n, .dim = 2, .seed = 5});
   const auto qs = gen_uniform_queries(pts, 2, S, 6);
 
+  BenchReport rep("bench_fig2_caching");
+  {
+    Json m;
+    m.set("n", n).set("P", P).set("S", S);
+    rep.meta(m);
+  }
   struct ModeRow {
     const char* name;
     core::CachingMode mode;
@@ -80,6 +86,12 @@ int main() {
            num(double(d1.communication) / double(S)),
            num(double(up_comm) / double(S)),
            num(double(d2.communication) / double(S))});
+    Json row;
+    row.set("strategy", name).set("storage_words", tree.storage_words())
+        .set("leafsearch_comm_per_q", double(d1.communication) / double(S))
+        .set("bottom_up_comm_per_q", double(up_comm) / double(S))
+        .set("knn_comm_per_q", double(d2.communication) / double(S));
+    rep.add_row(row);
   }
   t.print();
   std::printf(

@@ -29,6 +29,12 @@ int main() {
   workloads.push_back(
       {"adversarial (one leaf)", gen_adversarial_queries(pts, 2, S, 11)});
 
+  BenchReport rep("bench_pushpull");
+  {
+    Json m;
+    m.set("n", n).set("P", P).set("S", S);
+    rep.meta(m);
+  }
   Table t({"workload", "push-pull", "comm/q", "comm imbalance",
            "work imbalance", "cpu work/q"});
   for (const auto& w : workloads) {
@@ -36,7 +42,7 @@ int main() {
       auto cfg = default_cfg(P);
       cfg.use_push_pull = pp;
       core::PimKdTree tree(cfg, pts);
-      tree.metrics().reset_loads();
+      tree.metrics().reset_module_loads();
       const auto before = tree.metrics().snapshot();
       (void)tree.leaf_search(w.qs);
       const auto d = tree.metrics().snapshot() - before;
@@ -45,6 +51,12 @@ int main() {
              num(tree.metrics().comm_balance().imbalance),
              num(tree.metrics().work_balance().imbalance),
              num(double(d.cpu_work) / double(S))});
+      Json row;
+      row.set("workload", w.name).set("push_pull", pp)
+          .set("comm_per_q", double(d.communication) / double(S))
+          .set("comm_imbalance", tree.metrics().comm_balance().imbalance)
+          .set("work_imbalance", tree.metrics().work_balance().imbalance);
+      rep.add_row(row);
     }
   }
   t.print();

@@ -15,6 +15,12 @@ int main() {
          "PIM-balanced when many nodes are touched");
   const std::size_t P = 64;
   const std::size_t S = 256;
+  BenchReport rep("bench_range");
+  {
+    Json m;
+    m.set("P", P).set("S", S);
+    rep.meta(m);
+  }
 
   std::printf("\nSelectivity sweep (D=2, n=2^16): cost = structure + output\n");
   Table t({"box side", "avg k (output)", "pim work/q", "pim comm/q",
@@ -47,6 +53,11 @@ int main() {
     t.row({num(side), num(k), num(work),
            num(double(d.communication) / double(S)),
            num(std::sqrt(double(n) / 8.0)), num(work - k)});
+    Json row;
+    row.set("n", n).set("box_side", side).set("avg_output", k)
+        .set("work_per_q", work)
+        .set("comm_per_q", double(d.communication) / double(S));
+    rep.add_row(row);
   }
   t.print();
 
@@ -101,7 +112,7 @@ int main() {
       b.extend(c, 2);
       boxes.push_back(b);
     }
-    tr.metrics().reset_loads();
+    tr.metrics().reset_module_loads();
     (void)tr.range(boxes);
     std::printf("  work imbalance (max/mean): %.2f\n",
                 tr.metrics().work_balance().imbalance);

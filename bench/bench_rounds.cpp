@@ -18,6 +18,12 @@ int main() {
   const auto pts = gen_uniform({.n = n, .dim = 2, .seed = 6});
   const auto qs = gen_uniform_queries(pts, 2, S, 7);
 
+  BenchReport rep("bench_rounds");
+  {
+    Json m;
+    m.set("n", n).set("P", P).set("S", S);
+    rep.meta(m);
+  }
   Table t({"cache words M", "leafsearch comm (c)", "rounds", "c / M"});
   for (const std::size_t m : {1u << 10, 1u << 12, 1u << 14, 1u << 20}) {
     auto cfg = default_cfg(P);
@@ -28,6 +34,9 @@ int main() {
     const auto d = tree.metrics().snapshot() - before;
     t.row({num(double(m)), num(double(d.communication)),
            num(double(d.rounds)), num(double(d.communication) / double(m))});
+    Json row;
+    row.set("M", m).set("comm", d.communication).set("rounds", d.rounds);
+    rep.add_row(row);
   }
   t.print();
 
@@ -43,6 +52,9 @@ int main() {
     const auto d = tree.metrics().snapshot() - before;
     t2.row({num(double(s)), num(double(d.communication)),
             num(double(d.rounds)), num(double(d.rounds) / double(s))});
+    Json row;
+    row.set("S", s).set("comm", d.communication).set("rounds", d.rounds);
+    rep.add_row(row);
   }
   t2.print();
   return 0;

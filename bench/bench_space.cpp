@@ -12,6 +12,7 @@ int main() {
   banner("E9 bench_space", "Theorem 3.3 space bound",
          "storage / raw-data-words ~ c * log* P, flat in n; per-module "
          "balance ~1");
+  BenchReport rep("bench_space");
   Table t({"n", "P", "log* P", "storage words", "ratio to raw",
            "per-group0 share", "module imbalance"});
   for (const std::size_t P : {16u, 64u, 256u, 1024u}) {
@@ -30,6 +31,12 @@ int main() {
              num(double(tree.storage_words()) / raw),
              num(double(g0_words) / double(tree.storage_words())),
              num(tree.metrics().storage_balance().imbalance)});
+      Json row;
+      row.set("n", n).set("P", P)
+          .set("storage_words", tree.storage_words())
+          .set("ratio_to_raw", double(tree.storage_words()) / raw)
+          .set("imbalance", tree.metrics().storage_balance().imbalance);
+      rep.add_row(row);
     }
   }
   t.print();

@@ -19,6 +19,13 @@ int main() {
          "PIM comm/point flat ~log* P; CPU work/point ~log P + loglog n, "
          "well below log n; total work ~ baseline work; PIM-balanced");
   const std::size_t P = 64;
+  BenchReport rep("bench_table1_construction");
+  const pim::BoundCheck check;
+  {
+    Json m;
+    m.set("P", P).set("dim", 3).set("slack", check.slack());
+    rep.meta(m);
+  }
   Table t({"n", "pkd work/pt (~log n)", "pim cpu/pt", "pim total work/pt",
            "pim comm/pt", "log* P", "pim storage imbalance"});
   for (const std::size_t n : {1u << 13, 1u << 15, 1u << 17}) {
@@ -33,7 +40,8 @@ int main() {
         static_cast<double>(n) * std::log2(double(n)) /
         std::log2(double(n));  // normalized below via log2 column
 
-    core::PimKdTree pim(default_cfg(P, 3), pts);
+    const auto cfg = default_cfg(P, 3);
+    core::PimKdTree pim(cfg, pts);
     const auto s = pim.metrics().snapshot();
     t.row({num(double(n)), num(std::log2(double(n))),
            num(double(s.cpu_work) / double(n)),
@@ -42,6 +50,12 @@ int main() {
            num(double(log_star2(double(P)))),
            num(pim.metrics().storage_balance().imbalance)});
     (void)pkd_work;
+    Json row;
+    row.set("n", n).set("P", P).raw("snapshot", snapshot_json(s).str());
+    rep.add_row(row);
+    rep.add_bound(check.construction(
+        s, {.n = n, .batch = n, .P = P, .M = cfg.system.cache_words,
+            .alpha = cfg.alpha}));
   }
   t.print();
 
@@ -50,12 +64,20 @@ int main() {
             "rounds"});
   const auto pts = gen_uniform({.n = 1u << 16, .dim = 3, .seed = 5});
   for (const std::size_t P2 : {16u, 64u, 256u, 1024u}) {
-    core::PimKdTree pim(default_cfg(P2, 3), pts);
+    const auto cfg = default_cfg(P2, 3);
+    core::PimKdTree pim(cfg, pts);
     const auto s = pim.metrics().snapshot();
     t2.row({num(double(P2)), num(double(log_star2(double(P2)))),
             num(double(s.communication) / double(pts.size())),
             num(double(s.pim_time) / double(pts.size())),
             num(double(s.rounds))});
+    Json row;
+    row.set("n", pts.size()).set("P", P2).raw("snapshot",
+                                              snapshot_json(s).str());
+    rep.add_row(row);
+    rep.add_bound(check.construction(
+        s, {.n = pts.size(), .batch = pts.size(), .P = P2,
+            .M = cfg.system.cache_words, .alpha = cfg.alpha}));
   }
   t2.print();
   return 0;

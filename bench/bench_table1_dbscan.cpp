@@ -20,6 +20,13 @@ int main() {
          "pim comm/pt constant in n; baseline pair checks ~k per point; "
          "identical clusterings");
   const std::size_t P = 64;
+  BenchReport rep("bench_table1_dbscan");
+  const pim::BoundCheck check;
+  {
+    Json m;
+    m.set("P", P).set("slack", check.slack());
+    rep.meta(m);
+  }
   Table t({"n", "clusters", "baseline pairs/pt", "pim comm/pt", "pim work/pt",
            "pim comm_time*P/comm", "rounds"});
   for (const std::size_t n : {1u << 12, 1u << 14, 1u << 16}) {
@@ -40,6 +47,16 @@ int main() {
            num(double(cost.comm_time) * double(P) /
                std::max<double>(1, double(cost.communication))),
            num(double(cost.rounds))});
+    Json row;
+    row.set("n", n).raw("snapshot", snapshot_json(cost).str());
+    rep.add_row(row);
+    // Table-1 2d-DBSCAN row: O(n) communication — a flat per-point constant,
+    // no log n factor. The pipeline runs a handful of grid/BFS phases.
+    rep.add_bound(check.custom(
+        "dbscan", cost,
+        {.n = n, .batch = n, .P = P, .M = 1u << 22, .alpha = 1.0,
+         .batches = 8},
+        60.0 * double(n), "60 * n"));
   }
   t.print();
 

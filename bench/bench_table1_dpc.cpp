@@ -21,6 +21,13 @@ int main() {
          "baseline nodes/pt ~ (1+rho) log n; pim comm/pt ~ (1+rho) log* P "
          "(flat in n); identical clusterings");
   const std::size_t P = 64;
+  BenchReport rep("bench_table1_dpc");
+  const pim::BoundCheck check;
+  {
+    Json m;
+    m.set("P", P).set("slack", check.slack());
+    rep.meta(m);
+  }
   Table t({"n", "rho(avg density)", "clusters", "baseline nodes/pt",
            "pim comm/pt", "pim work/pt", "pim cpu/pt", "(1+rho)log2n",
            "(1+rho)log*P"});
@@ -48,6 +55,19 @@ int main() {
            num(double(cost.cpu_work) / double(n)),
            num((1 + rho) * std::log2(double(n))),
            num((1 + rho) * log_star2(double(P)))});
+    Json row;
+    row.set("n", n).set("rho", rho).raw("snapshot", snapshot_json(cost).str());
+    rep.add_row(row);
+    // Table-1 DPC row: O(n (1+rho) log* P) communication. The snapshot spans
+    // the whole pipeline (build + densities + dependent points), hence the
+    // construction-sized constant. Internally ~6 batch phases run.
+    const double ls = double(log_star2(double(P)));
+    rep.add_bound(check.custom(
+        "dpc", cost,
+        {.n = n, .batch = n, .P = P, .M = 1u << 22, .alpha = 1.0,
+         .batches = 8},
+        40.0 * double(n) * (1.0 + rho) * ls,
+        "40 * n * (1+rho(" + num(rho) + ")) * log*P(" + num(ls) + ")"));
   }
   t.print();
 

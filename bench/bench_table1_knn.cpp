@@ -20,6 +20,13 @@ int main() {
          "pkd nodes/query grows with log n; pim comm/(q*k) flat ~log* P");
   const std::size_t P = 64;
   const std::size_t S = 1024;
+  BenchReport rep("bench_table1_knn");
+  const pim::BoundCheck check;
+  {
+    Json m;
+    m.set("P", P).set("S", S).set("slack", check.slack());
+    rep.meta(m);
+  }
   Table t({"n", "k", "pkd nodes/q", "pim comm/q", "pim comm/(q*k)",
            "pim work/q", "k*log2 n", "k*log*P"});
   for (const std::size_t n : {1u << 13, 1u << 15, 1u << 17}) {
@@ -27,7 +34,8 @@ int main() {
     const auto qs = gen_uniform_queries(pts, 2, S, n ^ 9);
     PkdTree pkd({.dim = 2, .alpha = 1.0, .leaf_cap = 8, .sigma = 64, .seed = 3},
                 pts);
-    core::PimKdTree pim(default_cfg(P), pts);
+    const auto cfg = default_cfg(P);
+    core::PimKdTree pim(cfg, pts);
     for (const std::size_t k : {1u, 8u, 64u}) {
       pkd.counters.reset();
       for (const auto& q : qs) (void)pkd.knn(q, k);
@@ -42,6 +50,12 @@ int main() {
              num(double(d.pim_work) / double(S)),
              num(double(k) * std::log2(double(n))),
              num(double(k) * log_star2(double(P)))});
+      Json row;
+      row.set("n", n).set("k", k).raw("snapshot", snapshot_json(d).str());
+      rep.add_row(row);
+      rep.add_bound(check.knn(
+          d, {.n = n, .batch = S, .P = P, .M = cfg.system.cache_words,
+              .alpha = cfg.alpha, .k = k}));
     }
   }
   t.print();
@@ -62,6 +76,10 @@ int main() {
     t2.row({num(eps), num(double(pkd.counters.nodes_visited) / double(S)),
             num(double(d.communication) / double(S)),
             num(double(d.pim_work) / double(S))});
+    Json row;
+    row.set("n", pts.size()).set("k", 8).set("eps", eps)
+        .raw("snapshot", snapshot_json(d).str());
+    rep.add_row(row);
   }
   t2.print();
 
@@ -76,7 +94,7 @@ int main() {
               : gen_uniform({.n = 1u << 15, .dim = 2, .seed = 13});
     const auto queries = gen_zipf_queries(data, 2, S, 1.0, 14);
     core::PimKdTree tree(default_cfg(P), data);
-    tree.metrics().reset_loads();
+    tree.metrics().reset_module_loads();
     const auto before = tree.metrics().snapshot();
     (void)tree.knn(queries, 8);
     const auto d = tree.metrics().snapshot() - before;

@@ -23,6 +23,13 @@ int main() {
          "PIM comm/query flat ~log* P");
   const std::size_t S = 4096;
   const std::size_t P = 64;
+  BenchReport rep("bench_table1_leafsearch");
+  const pim::BoundCheck check;
+  {
+    Json m;
+    m.set("P", P).set("S", S).set("slack", check.slack());
+    rep.meta(m);
+  }
   Table t({"n", "logtree nodes/q", "pkd nodes/q", "pim comm/q (words)",
            "pim work/q", "pim cpu/q", "log2(n)", "log*P"});
   for (const std::size_t n : {1u << 12, 1u << 14, 1u << 16, 1u << 18}) {
@@ -40,10 +47,17 @@ int main() {
     std::uint64_t pkd_cost = 0;
     for (const auto& q : qs) pkd_cost += pkd.leaf_search_cost(q);
 
-    core::PimKdTree pim(default_cfg(P), pts);
+    const auto cfg = default_cfg(P);
+    core::PimKdTree pim(cfg, pts);
     const auto before = pim.metrics().snapshot();
     (void)pim.leaf_search(qs);
     const auto d = pim.metrics().snapshot() - before;
+    Json row;
+    row.set("n", n).set("S", S).raw("snapshot", snapshot_json(d).str());
+    rep.add_row(row);
+    rep.add_bound(check.leaf_search(
+        d, {.n = n, .batch = S, .P = P, .M = cfg.system.cache_words,
+            .alpha = cfg.alpha}));
 
     const double s = static_cast<double>(S);
     t.row({num(double(n)), num(double(lt_cost) / s), num(double(pkd_cost) / s),
@@ -61,13 +75,20 @@ int main() {
     auto cfg = default_cfg(P);
     cfg.use_push_pull = push_pull;
     core::PimKdTree pim(cfg, pts);
-    pim.metrics().reset_loads();
+    pim.metrics().reset_module_loads();
     const auto before = pim.metrics().snapshot();
     (void)pim.leaf_search(adv);
     const auto d = pim.metrics().snapshot() - before;
     t2.row({push_pull ? "PIM-kd-tree (push-pull)" : "PIM-kd-tree (push only)",
             num(double(d.communication) / double(S)),
             num(pim.metrics().comm_balance().imbalance)});
+    // Ablation rows are recorded without bound verdicts: push-only exists to
+    // show the balance the full design buys, so it may legally violate it.
+    Json row;
+    row.set("n", pts.size()).set("S", S).set("push_pull", push_pull)
+        .set("adversarial", true)
+        .raw("snapshot", snapshot_json(d).str());
+    rep.add_row(row);
   }
   t2.print();
   return 0;

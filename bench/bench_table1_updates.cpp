@@ -25,6 +25,14 @@ int main() {
   const std::size_t P = 64;
   const std::size_t batch = 1024;
   const int batches = 12;
+  BenchReport rep("bench_table1_updates");
+  const pim::BoundCheck check;
+  {
+    Json m;
+    m.set("P", P).set("batch", batch).set("batches", batches)
+        .set("slack", check.slack());
+    rep.meta(m);
+  }
   Table t({"n0", "logtree pts-moved/ins", "pkd work/ins", "pim comm/ins",
            "pim work/ins", "pim cpu/ins", "log2n*log*P", "log^2 n"});
   for (const std::size_t n : {1u << 13, 1u << 15, 1u << 17}) {
@@ -63,7 +71,8 @@ int main() {
                    static_cast<std::uint64_t>(std::log2(double(n)))) /
         total;
 
-    core::PimKdTree pim(default_cfg(P), pts);
+    const auto cfg = default_cfg(P);
+    core::PimKdTree pim(cfg, pts);
     const auto before = pim.metrics().snapshot();
     for (int b = 0; b < batches; ++b) {
       const auto more = gen_uniform(
@@ -76,6 +85,14 @@ int main() {
            num(double(d.communication) / total),
            num(double(d.pim_work) / total), num(double(d.cpu_work) / total),
            num(logn * log_star2(double(P))), num(logn * logn)});
+    Json row;
+    row.set("n", n).set("op", "insert").raw("snapshot",
+                                            snapshot_json(d).str());
+    rep.add_row(row);
+    rep.add_bound(check.update(
+        d, {.n = n + batch * batches, .batch = batch * batches, .P = P,
+            .M = cfg.system.cache_words, .alpha = cfg.alpha,
+            .batches = static_cast<std::size_t>(batches)}));
   }
   t.print();
 
@@ -84,7 +101,8 @@ int main() {
   {
     const std::size_t n = 1u << 15;
     const auto pts = gen_uniform({.n = n, .dim = 2, .seed = 77});
-    core::PimKdTree pim(default_cfg(P), pts);
+    const auto cfg = default_cfg(P);
+    core::PimKdTree pim(cfg, pts);
     const auto before = pim.metrics().snapshot();
     Rng rng(5);
     std::size_t erased = 0;
@@ -100,6 +118,14 @@ int main() {
     const auto d = pim.metrics().snapshot() - before;
     t2.row({"PIM-kd-tree", num(double(d.communication) / double(erased)),
             num(double(d.pim_work) / double(erased))});
+    Json row;
+    row.set("n", n).set("op", "erase").raw("snapshot",
+                                           snapshot_json(d).str());
+    rep.add_row(row);
+    rep.add_bound(check.update(
+        d, {.n = n, .batch = erased, .P = P, .M = cfg.system.cache_words,
+            .alpha = cfg.alpha,
+            .batches = static_cast<std::size_t>(batches)}));
   }
   t2.print();
   return 0;

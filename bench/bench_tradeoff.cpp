@@ -17,6 +17,12 @@ int main() {
   const std::size_t S = 4096;
   const auto pts = gen_uniform({.n = n, .dim = 2, .seed = 4});
 
+  BenchReport rep("bench_tradeoff");
+  {
+    Json m;
+    m.set("n", n).set("S", S);
+    rep.meta(m);
+  }
   for (const std::size_t P : {64u, 1024u}) {
     const int logstar = log_star2(double(P));
     std::printf("\nP=%zu (log* P = %d):\n", P, logstar);
@@ -37,6 +43,12 @@ int main() {
              num(double(tree.storage_words()) / raw),
              num(double(d.communication) / double(S)),
              num(double(G) + ilog2(double(P), G))});
+      Json row;
+      row.set("P", P).set("G", G)
+          .set("all_groups", cfg.cached_groups < 0)
+          .set("storage_words", tree.storage_words())
+          .set("comm_per_q", double(d.communication) / double(S));
+      rep.add_row(row);
     }
     t.print();
   }

@@ -6,10 +6,14 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/pim_kdtree.hpp"
+#include "pim/bounds.hpp"
 #include "util/generators.hpp"
 #include "util/stats.hpp"
 
@@ -74,5 +78,175 @@ inline void banner(const char* experiment, const char* artifact,
 }
 
 inline std::string num(double v) { return fmt_num(v); }
+
+// --- Structured (JSON) result output -----------------------------------------
+//
+// Every bench binary also emits a machine-readable result file when
+// PIMKD_BENCH_JSON_DIR is set: <dir>/<bench name>.json, of the form
+//   {"bench": "...", "meta": {...}, "rows": [...],
+//    "bounds": [...], "bounds_pass": true}
+// scripts/reproduce.sh collects these into one BENCH_results.json. Rows
+// mirror the stdout tables; "bounds" carries the Table-1 conformance
+// verdicts (pim::BoundCheck) for the bench_table1_* binaries.
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Insertion-ordered JSON object builder.
+class Json {
+ public:
+  Json& set(const std::string& key, double v) {
+    std::ostringstream os;
+    os.precision(12);
+    os << v;
+    return raw(key, os.str());
+  }
+  Json& set(const std::string& key, std::uint64_t v) {
+    return raw(key, std::to_string(v));
+  }
+  Json& set(const std::string& key, std::uint32_t v) {
+    return raw(key, std::to_string(v));
+  }
+  Json& set(const std::string& key, int v) {
+    return raw(key, std::to_string(v));
+  }
+  Json& set(const std::string& key, bool v) {
+    return raw(key, v ? "true" : "false");
+  }
+  Json& set(const std::string& key, const std::string& v) {
+    return raw(key, "\"" + json_escape(v) + "\"");
+  }
+  Json& set(const std::string& key, const char* v) {
+    return set(key, std::string(v));
+  }
+  // Pre-serialised JSON value (nested object / array).
+  Json& raw(const std::string& key, std::string json) {
+    fields_.emplace_back(key, std::move(json));
+    return *this;
+  }
+  std::string str() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i) out += ",";
+      out += "\"" + json_escape(fields_[i].first) + "\":" + fields_[i].second;
+    }
+    return out + "}";
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+inline std::string json_array(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i) out += ",";
+    out += items[i];
+  }
+  return out + "]";
+}
+
+inline Json snapshot_json(const pim::Snapshot& s) {
+  Json j;
+  j.set("cpu_work", s.cpu_work)
+      .set("pim_work", s.pim_work)
+      .set("pim_time", s.pim_time)
+      .set("communication", s.communication)
+      .set("comm_time", s.comm_time)
+      .set("rounds", s.rounds);
+  return j;
+}
+
+inline Json bound_report_json(const pim::BoundReport& r) {
+  Json j;
+  j.set("op", r.op)
+      .set("n", r.params.n)
+      .set("batch", r.params.batch)
+      .set("P", r.params.P)
+      .set("alpha", r.params.alpha);
+  if (r.params.k) j.set("k", r.params.k);
+  std::vector<std::string> dims;
+  for (const auto& d : r.results) {
+    Json dj;
+    dj.set("dimension", d.dimension)
+        .set("measured", d.measured)
+        .set("budget", d.budget)
+        .set("expr", d.expr)
+        .set("pass", d.pass());
+    dims.push_back(dj.str());
+  }
+  j.raw("checks", json_array(dims)).set("pass", r.pass());
+  return j;
+}
+
+// Collects one bench binary's structured results and writes them to
+// $PIMKD_BENCH_JSON_DIR/<name>.json on destruction (no-op when the env var
+// is unset, so plain runs keep their stdout-only behaviour).
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  ~BenchReport() { write(); }
+
+  void meta(Json j) { meta_ = std::move(j); }
+  void add_row(const Json& j) { rows_.push_back(j.str()); }
+  // Records a conformance verdict; also prints it when it fails so the
+  // stdout log explains a red BENCH_results.json.
+  void add_bound(const pim::BoundReport& r) {
+    bounds_.push_back(bound_report_json(r).str());
+    if (!r.pass()) std::printf("%s", r.to_string().c_str());
+  }
+
+  void write() {
+    if (written_) return;
+    written_ = true;
+    const char* dir = std::getenv("PIMKD_BENCH_JSON_DIR");
+    if (!dir || !*dir) return;
+    bool all_pass = true;
+    Json top;
+    top.set("bench", name_);
+    top.raw("meta", meta_.str());
+    top.raw("rows", json_array(rows_));
+    top.raw("bounds", json_array(bounds_));
+    for (const auto& b : bounds_)
+      if (b.find("\"pass\":false") != std::string::npos) all_pass = false;
+    top.set("bounds_pass", all_pass);
+    const std::string path = std::string(dir) + "/" + name_ + ".json";
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      const std::string body = top.str();
+      std::fwrite(body.data(), 1, body.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  Json meta_;
+  std::vector<std::string> rows_;
+  std::vector<std::string> bounds_;
+  bool written_ = false;
+};
 
 }  // namespace pimkd::bench

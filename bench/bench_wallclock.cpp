@@ -6,6 +6,7 @@
 // visible independently of the model counters.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
 #include "clustering/dbscan.hpp"
 #include "clustering/dpc.hpp"
 #include "core/pim_kdtree.hpp"
@@ -120,4 +121,21 @@ BENCHMARK(BM_DpcShared)->Arg(1 << 12)->Arg(1 << 14);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): after the google-benchmark run,
+// emit the structured result stub so scripts/reproduce.sh finds one JSON
+// file per bench binary. Wall-clock numbers are machine-dependent, so only
+// the run metadata is recorded — the timings stay in the stdout report
+// (or --benchmark_out for machine-readable timings).
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const std::size_t ran = ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  pimkd::bench::BenchReport rep("bench_wallclock");
+  pimkd::bench::Json m;
+  m.set("benchmarks_run", static_cast<std::uint64_t>(ran))
+      .set("note", "wall-clock timings are machine-dependent; see stdout or "
+                   "--benchmark_out");
+  rep.meta(m);
+  return 0;
+}

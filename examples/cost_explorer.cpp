@@ -29,7 +29,7 @@ Profile profile(core::PimKdConfig cfg, std::span<const Point> pts) {
   const double raw =
       double(pts.size()) * double(core::point_words(cfg.dim));
   const auto qs = gen_uniform_queries(pts, cfg.dim, 2048, 5);
-  tree.metrics().reset_loads();
+  tree.metrics().reset_module_loads();
   const auto b1 = tree.metrics().snapshot();
   (void)tree.leaf_search(qs);
   const auto d1 = tree.metrics().snapshot() - b1;

@@ -1,12 +1,60 @@
 #!/usr/bin/env sh
 # Builds the library, runs the full test suite, and regenerates every paper
-# artifact (Table 1 blocks, Figures 1-2, §3-§7 properties). Outputs land in
-# test_output.txt and bench_output.txt at the repository root.
+# artifact (Table 1 blocks, Figures 1-2, §3-§7 properties).
+#
+# Outputs, at the repository root:
+#   test_output.txt     — ctest log
+#   bench_output.txt    — human-readable bench tables
+#   BENCH_results.json  — one aggregated JSON document: every bench binary's
+#                         structured rows plus the Table-1 bound-conformance
+#                         verdicts (pim::BoundCheck). The script exits
+#                         non-zero if any bench reports bounds_pass=false.
 set -e
 cd "$(dirname "$0")/.."
-cmake -B build -G Ninja
+cmake -B build
 cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
-for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
+
+# Each bench binary writes $PIMKD_BENCH_JSON_DIR/<name>.json (bench_util.hpp).
+PIMKD_BENCH_JSON_DIR="$PWD/build/bench_json"
+export PIMKD_BENCH_JSON_DIR
+rm -rf "$PIMKD_BENCH_JSON_DIR"
+mkdir -p "$PIMKD_BENCH_JSON_DIR"
+
+for b in build/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then "$b"; fi
+done 2>&1 | tee bench_output.txt
+
+# Aggregate the per-bench files into one document.
+out=BENCH_results.json
+{
+  printf '{"benches":['
+  first=1
+  for f in "$PIMKD_BENCH_JSON_DIR"/*.json; do
+    [ -f "$f" ] || continue
+    if [ "$first" -eq 1 ]; then first=0; else printf ','; fi
+    tr -d '\n' < "$f"
+  done
+  printf ']}\n'
+} > "$out"
+echo "wrote $out"
+
+# Fail loudly if any Table-1 conformance check regressed.
+fail=0
+for f in "$PIMKD_BENCH_JSON_DIR"/*.json; do
+  [ -f "$f" ] || continue
+  if grep -q '"bounds_pass":false' "$f"; then
+    echo "BOUND CHECK FAILED: $(basename "$f" .json)" >&2
+    fail=1
+  fi
+done
+if [ "$fail" -ne 0 ]; then
+  echo "Table-1 conformance failed; see bench_output.txt for details." >&2
+  exit 1
+fi
+echo "all Table-1 bound checks passed"
+
 echo "Examples:"
-for e in build/examples/*; do echo "--- $e"; "$e"; done
+for e in build/examples/*; do
+  if [ -f "$e" ] && [ -x "$e" ]; then echo "--- $e"; "$e"; fi
+done

@@ -133,6 +133,7 @@ void PimKdTree::full_build(std::vector<PointId> ids) {
     root_ = kNoNode;
     return;
   }
+  pim::TraceScope span(sys_.metrics(), "build", ids.size());
   const std::size_t n = ids.size();
   const std::size_t P = sys_.P();
   const std::size_t sketch_cap =
@@ -530,6 +531,7 @@ void PimKdTree::materialize_pair_caches(NodeId comp_root) {
 }
 
 void PimKdTree::finish_delayed_components() {
+  pim::TraceScope span(sys_.metrics(), "finish_delayed", unfinished_.size());
   pim::RoundGuard round(sys_.metrics());
   for (const NodeId cr : unfinished_) {
     if (!pool_.contains(cr)) continue;  // destroyed by a rebuild meanwhile

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "pim/system.hpp"
 
@@ -35,6 +36,10 @@ struct PimKdConfig {
   // §3.4 delayed construction of oversized Group-1 components.
   bool delayed_construction = false;
   std::size_t delayed_finish_multiplier = 1;  // finish when unfinished > mult*P*logP
+  // JSONL cost-trace output (pim/trace.hpp): one record per BSP round plus
+  // one span per batch operation. Empty => consult the PIMKD_TRACE env var;
+  // tracing stays off when neither names a file.
+  std::string trace_path;
   pim::SystemConfig system;    // P modules, cache words M, seed
 };
 

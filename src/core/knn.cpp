@@ -36,6 +36,7 @@ void PimKdTree::knn_rec(Cursor& cur, NodeId nid, const Point& q,
   if (n.is_leaf()) {
     cur.charge_work(n.leaf_pts.size());
     for (const PointId id : n.leaf_pts) {
+      if (!alive_[id]) continue;
       const Neighbor cand{id, sq_dist(all_points_[id], q, cfg_.dim)};
       if (heap.size() < k) {
         heap.push_back(cand);
@@ -62,6 +63,8 @@ void PimKdTree::knn_rec(Cursor& cur, NodeId nid, const Point& q,
 
 std::vector<std::vector<Neighbor>> PimKdTree::knn(
     std::span<const Point> queries, std::size_t k, double eps) {
+  pim::TraceScope span(sys_.metrics(), eps > 0.0 ? "ann" : "knn",
+                       queries.size());
   pim::RoundGuard round(sys_.metrics());
   std::vector<std::vector<Neighbor>> out(queries.size());
   if (root_ == kNoNode) return out;
@@ -128,6 +131,7 @@ std::vector<Neighbor> PimKdTree::dependent_points(
   assert(queries.size() == query_priority.size() &&
          queries.size() == self_id.size());
   assert(!priorities_.empty() && "call set_priorities first");
+  pim::TraceScope span(sys_.metrics(), "dependent_points", queries.size());
   pim::RoundGuard round(sys_.metrics());
   std::vector<Neighbor> out(
       queries.size(),
@@ -145,6 +149,7 @@ std::vector<Neighbor> PimKdTree::dependent_points(
 void PimKdTree::set_priorities(std::span<const double> priority_by_id) {
   assert(priority_by_id.size() >= all_points_.size());
   priorities_.assign(priority_by_id.begin(), priority_by_id.end());
+  pim::TraceScope span(sys_.metrics(), "set_priorities", priority_by_id.size());
   pim::RoundGuard round(sys_.metrics());
   // Recompute per-node (max-priority, id) aggregates bottom-up and refresh
   // every copy — two words per copy, charged like a counter broadcast.

@@ -12,17 +12,21 @@ namespace pimkd::core {
 PimKdTree::PimKdTree(const PimKdConfig& cfg)
     : cfg_(cfg),
       sys_(cfg.system),
+      trace_(pim::TraceSink::open(cfg.trace_path)),
       store_(cfg_, sys_, pool_),
       rng_(cfg.system.seed ^ 0x7ee1),
       thresholds_(group_thresholds(cfg.system.num_modules)) {
   assert(cfg_.dim >= 1 && cfg_.dim <= kMaxDim);
   assert(cfg_.alpha > 0 && cfg_.beta > 0 && cfg_.leaf_cap >= 1);
+  if (trace_) sys_.metrics().set_trace_sink(trace_.get());
 }
 
 PimKdTree::PimKdTree(const PimKdConfig& cfg, std::span<const Point> pts)
     : PimKdTree(cfg) {
   if (!pts.empty()) (void)insert(pts);
 }
+
+PimKdTree::~PimKdTree() { sys_.metrics().set_trace_sink(nullptr); }
 
 std::size_t PimKdTree::height() const {
   return root_ == kNoNode ? 0 : height_rec(root_);

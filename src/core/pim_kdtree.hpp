@@ -19,6 +19,8 @@
 #include <span>
 #include <vector>
 
+#include <memory>
+
 #include "core/config.hpp"
 #include "core/cursor.hpp"
 #include "core/decomposition.hpp"
@@ -26,6 +28,7 @@
 #include "core/tree.hpp"
 #include "kdtree/bruteforce.hpp"
 #include "pim/system.hpp"
+#include "pim/trace.hpp"
 #include "util/random.hpp"
 
 namespace pimkd::core {
@@ -34,6 +37,7 @@ class PimKdTree {
  public:
   explicit PimKdTree(const PimKdConfig& cfg);
   PimKdTree(const PimKdConfig& cfg, std::span<const Point> pts);
+  ~PimKdTree();
 
   PimKdTree(const PimKdTree&) = delete;
   PimKdTree& operator=(const PimKdTree&) = delete;
@@ -202,6 +206,7 @@ class PimKdTree {
 
   PimKdConfig cfg_;
   pim::PimSystem<ModuleState> sys_;
+  std::unique_ptr<pim::TraceSink> trace_;  // attached to sys_.metrics()
   NodePool pool_;
   DistStore store_;
   Rng rng_;

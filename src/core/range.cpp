@@ -18,7 +18,8 @@ void PimKdTree::range_rec(Cursor& cur, NodeId nid, const Box& box,
   if (n.is_leaf()) {
     cur.charge_work(n.leaf_pts.size());
     for (const PointId id : n.leaf_pts)
-      if (box.contains(all_points_[id], cfg_.dim)) out.push_back(id);
+      if (alive_[id] && box.contains(all_points_[id], cfg_.dim))
+        out.push_back(id);
     cur.release(mark);
     return;
   }
@@ -29,6 +30,7 @@ void PimKdTree::range_rec(Cursor& cur, NodeId nid, const Box& box,
 
 std::vector<std::vector<PointId>> PimKdTree::range(
     std::span<const Box> boxes) {
+  pim::TraceScope span(sys_.metrics(), "range", boxes.size());
   pim::RoundGuard round(sys_.metrics());
   std::vector<std::vector<PointId>> out(boxes.size());
   if (root_ == kNoNode) return out;
@@ -56,6 +58,7 @@ void PimKdTree::radius_rec(Cursor& cur, NodeId nid, const Point& q, Coord r2,
   if (n.is_leaf()) {
     cur.charge_work(n.leaf_pts.size());
     for (const PointId id : n.leaf_pts) {
+      if (!alive_[id]) continue;
       if (sq_dist(all_points_[id], q, cfg_.dim) <= r2) {
         ++cnt;
         if (out) out->push_back(id);
@@ -71,6 +74,7 @@ void PimKdTree::radius_rec(Cursor& cur, NodeId nid, const Point& q, Coord r2,
 
 std::vector<std::vector<PointId>> PimKdTree::radius(
     std::span<const Point> centers, Coord r) {
+  pim::TraceScope span(sys_.metrics(), "radius", centers.size());
   pim::RoundGuard round(sys_.metrics());
   std::vector<std::vector<PointId>> out(centers.size());
   if (root_ == kNoNode) return out;
@@ -88,6 +92,7 @@ std::vector<std::vector<PointId>> PimKdTree::radius(
 
 std::vector<std::size_t> PimKdTree::radius_count(
     std::span<const Point> centers, Coord r) {
+  pim::TraceScope span(sys_.metrics(), "radius_count", centers.size());
   pim::RoundGuard round(sys_.metrics());
   std::vector<std::size_t> out(centers.size(), 0);
   if (root_ == kNoNode) return out;

@@ -381,6 +381,7 @@ void PimKdTree::repair_groups_batch(const std::vector<NodeId>& touched) {
 // --- Insert / Delete -----------------------------------------------------------
 
 std::vector<PointId> PimKdTree::insert(std::span<const Point> pts) {
+  pim::TraceScope span(sys_.metrics(), "insert", pts.size());
   std::vector<PointId> new_ids;
   new_ids.reserve(pts.size());
   for (const Point& p : pts) {
@@ -441,6 +442,7 @@ std::vector<PointId> PimKdTree::insert(std::span<const Point> pts) {
 }
 
 void PimKdTree::erase(std::span<const PointId> ids) {
+  pim::TraceScope span(sys_.metrics(), "erase", ids.size());
   std::vector<PointId> victims;
   victims.reserve(ids.size());
   for (const PointId id : ids) {
@@ -510,6 +512,7 @@ void PimKdTree::erase(std::span<const PointId> ids) {
 // --- LeafSearch (Algorithm 4) ---------------------------------------------------
 
 std::vector<NodeId> PimKdTree::leaf_search(std::span<const Point> queries) {
+  pim::TraceScope span(sys_.metrics(), "leaf_search", queries.size());
   pim::RoundGuard round(sys_.metrics());
   const auto stops = route_batch(queries, 0);
   std::vector<NodeId> out(queries.size());

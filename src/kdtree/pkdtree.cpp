@@ -200,10 +200,11 @@ std::uint32_t PkdTree::insert_rec(std::uint32_t nid, std::vector<PointId> batch,
   std::vector<PointId> right_batch(mid, batch.end());
   for (const PointId id : batch) n.box.extend(all_points_[id], cfg_.dim);
   n.size = static_cast<std::uint32_t>(new_l + new_r);
-  const std::uint32_t new_left =
-      insert_rec(n.left, std::move(left_batch), rng.split(1));
-  const std::uint32_t new_right =
-      insert_rec(n.right, std::move(right_batch), rng.split(2));
+  // Child ids by value: the recursion can grow nodes_ and invalidate `n`.
+  const std::uint32_t lc = n.left;
+  const std::uint32_t rc = n.right;
+  const std::uint32_t new_left = insert_rec(lc, std::move(left_batch), rng.split(1));
+  const std::uint32_t new_right = insert_rec(rc, std::move(right_batch), rng.split(2));
   Node& n2 = nodes_[nid];
   n2.left = new_left;
   n2.right = new_right;
@@ -265,10 +266,11 @@ std::uint32_t PkdTree::erase_rec(std::uint32_t nid, std::vector<PointId> batch,
   std::vector<PointId> left_batch(batch.begin(), mid);
   std::vector<PointId> right_batch(mid, batch.end());
   n.size = static_cast<std::uint32_t>(new_l + new_r);
-  const std::uint32_t new_left =
-      erase_rec(n.left, std::move(left_batch), rng.split(1));
-  const std::uint32_t new_right =
-      erase_rec(n.right, std::move(right_batch), rng.split(2));
+  // Child ids by value: a rebuild deeper down can grow nodes_ and invalidate `n`.
+  const std::uint32_t lc = n.left;
+  const std::uint32_t rc = n.right;
+  const std::uint32_t new_left = erase_rec(lc, std::move(left_batch), rng.split(1));
+  const std::uint32_t new_right = erase_rec(rc, std::move(right_batch), rng.split(2));
   Node& n2 = nodes_[nid];
   n2.left = new_left;
   n2.right = new_right;

@@ -63,6 +63,8 @@ void ThreadPool::run_bulk(std::size_t chunks,
   struct State {
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;  // first exception; guarded by done_mu
     std::mutex done_mu;
     std::condition_variable done_cv;
     std::size_t chunks;
@@ -76,7 +78,19 @@ void ThreadPool::run_bulk(std::size_t chunks,
     for (;;) {
       const std::size_t i = st->next.fetch_add(1, std::memory_order_relaxed);
       if (i >= st->chunks) break;
-      st->fn(i);
+      // After a failure, remaining chunks are claimed but skipped: `done`
+      // must still reach `chunks` so the caller's wait terminates.
+      if (!st->failed.load(std::memory_order_acquire)) {
+        try {
+          st->fn(i);
+        } catch (...) {
+          {
+            std::lock_guard lk(st->done_mu);
+            if (!st->error) st->error = std::current_exception();
+          }
+          st->failed.store(true, std::memory_order_release);
+        }
+      }
       if (st->done.fetch_add(1, std::memory_order_acq_rel) + 1 == st->chunks) {
         std::lock_guard lk(st->done_mu);
         st->done_cv.notify_all();
@@ -92,6 +106,9 @@ void ThreadPool::run_bulk(std::size_t chunks,
   std::unique_lock lk(st->done_mu);
   st->done_cv.wait(
       lk, [&] { return st->done.load(std::memory_order_acquire) == chunks; });
+  // Rethrow the first captured exception on the calling thread (the inline
+  // fast paths above propagate naturally).
+  if (st->error) std::rethrow_exception(st->error);
 }
 
 ThreadPool& ThreadPool::instance() {

@@ -30,6 +30,9 @@ class ThreadPool {
   // Runs fn(chunk_index) for chunk_index in [0, chunks) across the pool and
   // blocks until every chunk is done. Re-entrant calls (a task submitting a
   // bulk) are executed inline in the calling thread to avoid deadlock.
+  // If fn throws, the first exception is captured, chunks not yet started
+  // are skipped, and the exception is rethrown on the calling thread once
+  // all workers have drained.
   void run_bulk(std::size_t chunks, const std::function<void(std::size_t)>& fn);
 
   // Process-wide pool.

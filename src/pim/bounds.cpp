@@ -1,0 +1,146 @@
+#include "pim/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/stats.hpp"
+
+namespace pimkd::pim {
+
+namespace {
+
+// Calibrated leading constants. Fitted against the measurements recorded in
+// EXPERIMENTS.md (E1-E4) with a 2-4x margin so the checks survive input-
+// distribution and machine variance while still catching asymptotic drift.
+constexpr double kBuildCommPerPoint = 30.0;   // x log*P     (measured ~14.6)
+constexpr double kUpdateCommPerOp = 10.0;     // x log*P log(n)/alpha (~3.2)
+constexpr double kLeafSearchCommPerQ = 8.0;   // x (min(log*P, log(n/S))+1)
+constexpr double kKnnCommPerQ = 8.0;          // x k (log*P + 1)
+constexpr double kCommTimeFactor = 4.0;       // x alpha comm/P
+constexpr double kCommTimeFloor = 1024.0;     // words; small-batch skew floor
+constexpr double kRoundsFloor = 8.0;          // rounds; per-batch control cost
+
+double logstar(const BoundParams& p) {
+  return static_cast<double>(log_star2(std::max<double>(2.0, p.P)));
+}
+
+double log2n(const BoundParams& p) {
+  return std::max(1.0, std::log2(std::max<double>(2.0, p.n)));
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(4);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string BoundReport::to_string() const {
+  std::ostringstream os;
+  os << "BoundReport[" << op << "] n=" << params.n << " S=" << params.batch
+     << " P=" << params.P << " M=" << params.M << " alpha=" << params.alpha;
+  if (params.k) os << " k=" << params.k;
+  os << (pass() ? "  PASS" : "  FAIL") << '\n';
+  for (const auto& r : results) {
+    os << "  " << (r.pass() ? "pass" : "FAIL") << "  " << r.dimension
+       << ": measured " << fmt(r.measured) << " vs budget " << fmt(r.budget)
+       << "  (" << r.expr << ")\n";
+  }
+  return os.str();
+}
+
+BoundReport BoundCheck::make_report(const char* op, const Snapshot& d,
+                                    const BoundParams& p, double comm_budget,
+                                    const std::string& comm_expr) const {
+  BoundReport rep;
+  rep.op = op;
+  rep.params = p;
+
+  comm_budget *= slack_;
+  rep.results.push_back(BoundResult{
+      "communication", static_cast<double>(d.communication), comm_budget,
+      comm_expr + " * slack " + fmt(slack_)});
+
+  // Load balance: per-round max module traffic should track comm/P within
+  // the tree's alpha factor. The floor covers small batches where one
+  // module necessarily carries a whole query path.
+  const double comm = static_cast<double>(d.communication);
+  const double pmod = static_cast<double>(std::max<std::size_t>(1, p.P));
+  const double ct_budget =
+      slack_ * std::max(kCommTimeFloor,
+                        kCommTimeFactor * p.alpha * comm / pmod);
+  rep.results.push_back(BoundResult{
+      "comm_time", static_cast<double>(d.comm_time), ct_budget,
+      "max(" + fmt(kCommTimeFloor) + ", " + fmt(kCommTimeFactor) +
+          " * alpha * comm/P) * slack " + fmt(slack_)});
+
+  // Rounds follow from the comm budget: a round moving w words counts as
+  // ceil(w / M), so total rounds are bounded by comm_budget/M plus O(1)
+  // control rounds per batch operation.
+  const double cache = static_cast<double>(std::max<std::size_t>(1, p.M));
+  const double nb = static_cast<double>(std::max<std::size_t>(1, p.batches));
+  const double r_budget = comm_budget / cache + slack_ * kRoundsFloor * nb;
+  rep.results.push_back(BoundResult{
+      "rounds", static_cast<double>(d.rounds), r_budget,
+      "comm_budget/M + " + fmt(kRoundsFloor) + " * batches(" + fmt(nb) +
+          ") * slack " + fmt(slack_)});
+  return rep;
+}
+
+BoundReport BoundCheck::custom(const char* op, const Snapshot& d,
+                               const BoundParams& p, double comm_budget,
+                               const std::string& comm_expr) const {
+  return make_report(op, d, p, comm_budget, comm_expr);
+}
+
+BoundReport BoundCheck::construction(const Snapshot& d,
+                                     const BoundParams& p) const {
+  const double ls = logstar(p);
+  const double n = static_cast<double>(std::max<std::size_t>(1, p.batch));
+  const double budget = kBuildCommPerPoint * n * ls;
+  return make_report("construction", d, p,
+                     budget,
+                     fmt(kBuildCommPerPoint) + " * n * log*P(" + fmt(ls) +
+                         ")");
+}
+
+BoundReport BoundCheck::update(const Snapshot& d, const BoundParams& p) const {
+  const double ls = logstar(p);
+  const double lg = log2n(p);
+  const double s = static_cast<double>(std::max<std::size_t>(1, p.batch));
+  const double a = std::max(1.0, p.alpha);
+  const double budget = kUpdateCommPerOp * s * ls * lg / a;
+  return make_report("update", d, p, budget,
+                     fmt(kUpdateCommPerOp) + " * S * log*P(" + fmt(ls) +
+                         ") * log n(" + fmt(lg) + ") / alpha");
+}
+
+BoundReport BoundCheck::leaf_search(const Snapshot& d,
+                                    const BoundParams& p) const {
+  const double ls = logstar(p);
+  const double s = static_cast<double>(std::max<std::size_t>(1, p.batch));
+  const double n = static_cast<double>(std::max<std::size_t>(2, p.n));
+  const double lg_ratio = std::max(1.0, std::log2(std::max(2.0, n / s)));
+  const double depth = std::min(ls, lg_ratio) + 1.0;
+  const double budget = kLeafSearchCommPerQ * s * depth;
+  return make_report("leaf_search", d, p, budget,
+                     fmt(kLeafSearchCommPerQ) + " * S * (min(log*P, log(n/S))(" +
+                         fmt(depth - 1.0) + ") + 1)");
+}
+
+BoundReport BoundCheck::knn(const Snapshot& d, const BoundParams& p) const {
+  const double ls = logstar(p);
+  const double s = static_cast<double>(std::max<std::size_t>(1, p.batch));
+  const double k = static_cast<double>(std::max<std::size_t>(1, p.k));
+  // k+2: k result words plus the query descriptor / root hop, so the check
+  // stays meaningful at k=1 where the fixed per-query cost dominates.
+  const double budget = kKnnCommPerQ * s * (k + 2.0) * (ls + 1.0);
+  return make_report("knn", d, p, budget,
+                     fmt(kKnnCommPerQ) + " * S * (k(" + fmt(k) +
+                         ")+2) * (log*P(" + fmt(ls) + ") + 1)");
+}
+
+}  // namespace pimkd::pim

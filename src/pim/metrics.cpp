@@ -4,6 +4,8 @@
 #include <cassert>
 #include <sstream>
 
+#include "pim/trace.hpp"
+
 namespace pimkd::pim {
 
 std::string Snapshot::to_string() const {
@@ -54,8 +56,19 @@ void Metrics::end_round() {
   comm_time_ += max_comm;
   // §7: the CPU can buffer at most M words between synchronisations; a round
   // moving c words therefore costs ceil(c / M) bulk-synchronous rounds.
-  rounds_ +=
+  const std::uint64_t charged =
       std::max<std::uint64_t>(1, (sum_comm + cache_words_ - 1) / cache_words_);
+  rounds_ += charged;
+  if (trace_) {
+    const auto w = load_all(round_work_);
+    const auto c = load_all(round_comm_);
+    std::uint64_t sum_work = 0;
+    for (const auto v : w) sum_work += v;
+    trace_->record_round(round_seq_, trace_label(), sum_work,
+                         summarize_load(w), sum_comm, summarize_load(c),
+                         charged);
+  }
+  ++round_seq_;
 }
 
 void Metrics::add_module_work(std::size_t m, std::uint64_t w) {
@@ -103,7 +116,7 @@ Snapshot Metrics::snapshot() const {
                   rounds_};
 }
 
-void Metrics::reset_loads() {
+void Metrics::reset_module_loads() {
   for (auto& v : lifetime_work_) v.store(0, std::memory_order_relaxed);
   for (auto& v : lifetime_comm_) v.store(0, std::memory_order_relaxed);
 }

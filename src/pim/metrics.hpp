@@ -29,6 +29,8 @@
 
 namespace pimkd::pim {
 
+class TraceSink;  // pim/trace.hpp
+
 struct Snapshot {
   std::uint64_t cpu_work = 0;
   std::uint64_t pim_work = 0;        // total across modules, all rounds
@@ -99,7 +101,30 @@ class Metrics {
     return summarize_load(v);
   }
 
-  void reset_loads();  // zero lifetime per-module vectors (keep storage)
+  // Zeroes ONLY the per-module lifetime work/comm vectors that feed
+  // work_balance() / comm_balance() — the scalar Snapshot aggregates
+  // (cpu_work, pim_work, pim_time, communication, comm_time, rounds) and the
+  // storage ledger are untouched. Use it to scope a balance measurement to
+  // the operations that follow; snapshot() diffs remain the way to scope the
+  // aggregate counters.
+  void reset_module_loads();
+
+  // --- Tracing (pim/trace.hpp) -----------------------------------------------
+  // When a sink is attached, end_round() emits one JSONL record per round,
+  // labelled with the top of the TraceScope label stack. The sink is not
+  // owned; the owner must detach (or outlive) it.
+  void set_trace_sink(TraceSink* sink) { trace_ = sink; }
+  TraceSink* trace_sink() const { return trace_; }
+  void push_trace_label(std::string label) {
+    trace_labels_.push_back(std::move(label));
+  }
+  void pop_trace_label() {
+    if (!trace_labels_.empty()) trace_labels_.pop_back();
+  }
+  const std::string& trace_label() const {
+    static const std::string kEmpty;
+    return trace_labels_.empty() ? kEmpty : trace_labels_.back();
+  }
 
  private:
   using AtomicVec = std::vector<std::atomic<std::uint64_t>>;
@@ -125,6 +150,10 @@ class Metrics {
   AtomicVec lifetime_work_;
   AtomicVec lifetime_comm_;
   std::vector<std::atomic<std::int64_t>> storage_;
+
+  TraceSink* trace_ = nullptr;
+  std::vector<std::string> trace_labels_;  // TraceScope stack (control thread)
+  std::uint64_t round_seq_ = 0;            // begin/end pairs seen (trace index)
 };
 
 // RAII round: begins on construction, ends on destruction. Re-entrant uses

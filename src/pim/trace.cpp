@@ -1,0 +1,113 @@
+#include "pim/trace.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace pimkd::pim {
+
+namespace {
+// Labels are short identifiers, but escape defensively so every emitted line
+// stays valid JSON whatever the caller passes.
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+}  // namespace
+
+TraceSink::TraceSink(const std::string& path) : path_(path) {
+  out_ = std::fopen(path.c_str(), "w");
+}
+
+TraceSink::~TraceSink() {
+  if (out_) std::fclose(out_);
+}
+
+std::unique_ptr<TraceSink> TraceSink::open(const std::string& path) {
+  std::string p = path;
+  if (p.empty()) {
+    if (const char* env = std::getenv("PIMKD_TRACE")) p = env;
+  }
+  if (p.empty()) return nullptr;
+  auto sink = std::make_unique<TraceSink>(p);
+  if (!sink->ok()) {
+    std::fprintf(stderr, "pimkd: cannot open trace file '%s'\n", p.c_str());
+    return nullptr;
+  }
+  return sink;
+}
+
+void TraceSink::write_line(const std::string& line) {
+  std::lock_guard lk(mu_);
+  if (!out_) return;
+  std::fputs(line.c_str(), out_);
+  std::fputc('\n', out_);
+  std::fflush(out_);
+}
+
+void TraceSink::record_round(std::uint64_t round, const std::string& label,
+                             std::uint64_t work_total, const LoadSummary& work,
+                             std::uint64_t comm_total, const LoadSummary& comm,
+                             std::uint64_t rounds_charged) {
+  std::ostringstream os;
+  os << "{\"type\":\"round\",\"round\":" << round << ",\"label\":\""
+     << escape(label) << "\",\"work_total\":" << work_total
+     << ",\"work_max\":" << fmt(work.max) << ",\"work_mean\":"
+     << fmt(work.mean) << ",\"work_imbalance\":" << fmt(work.imbalance)
+     << ",\"comm_total\":" << comm_total << ",\"comm_max\":" << fmt(comm.max)
+     << ",\"comm_mean\":" << fmt(comm.mean) << ",\"comm_imbalance\":"
+     << fmt(comm.imbalance) << ",\"rounds_charged\":" << rounds_charged
+     << "}";
+  write_line(os.str());
+}
+
+void TraceSink::record_span(const std::string& label, std::uint64_t ops,
+                            const Snapshot& delta) {
+  std::ostringstream os;
+  os << "{\"type\":\"span\",\"label\":\"" << escape(label)
+     << "\",\"ops\":" << ops << ",\"cpu_work\":" << delta.cpu_work
+     << ",\"pim_work\":" << delta.pim_work << ",\"pim_time\":"
+     << delta.pim_time << ",\"comm\":" << delta.communication
+     << ",\"comm_time\":" << delta.comm_time << ",\"rounds\":" << delta.rounds
+     << "}";
+  write_line(os.str());
+}
+
+TraceScope::TraceScope(Metrics& m, const char* label, std::uint64_t ops)
+    : m_(m), label_(label), ops_(ops), active_(m.trace_sink() != nullptr) {
+  if (!active_) return;
+  m_.push_trace_label(label_);
+  before_ = m_.snapshot();
+}
+
+TraceScope::~TraceScope() {
+  if (!active_) return;
+  m_.pop_trace_label();
+  if (TraceSink* sink = m_.trace_sink())
+    sink->record_span(label_, ops_, m_.snapshot() - before_);
+}
+
+}  // namespace pimkd::pim

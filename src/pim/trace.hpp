@@ -1,0 +1,90 @@
+// Observability over the PIM cost ledger: per-round JSONL trace export.
+//
+// A TraceSink, when attached to a Metrics instance, receives one record per
+// BSP round (round sequence number, the label of the enclosing operation,
+// per-round total/max work and communication plus the LoadSummary of the
+// per-module histograms) and one record per operation-scoped span (a
+// TraceScope around a batch entry point: build / insert / erase /
+// leaf_search / knn / range / radius / ...). Records are newline-delimited
+// JSON objects, one per line, so a trace can be streamed into any JSONL
+// consumer while the process runs.
+//
+// Tracing is off by default and costs one pointer test per round when off.
+// Enable it either programmatically (PimKdConfig::trace_path) or with the
+// PIMKD_TRACE environment variable naming the output file.
+//
+// Schema (documented in README "Tracing"):
+//   {"type":"round","round":N,"label":L,"work_total":..,"work_max":..,
+//    "work_mean":..,"work_imbalance":..,"comm_total":..,"comm_max":..,
+//    "comm_mean":..,"comm_imbalance":..,"rounds_charged":..}
+//   {"type":"span","label":L,"ops":S,"cpu_work":..,"pim_work":..,
+//    "pim_time":..,"comm":..,"comm_time":..,"rounds":..}
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "pim/metrics.hpp"
+#include "util/stats.hpp"
+
+namespace pimkd::pim {
+
+class TraceSink {
+ public:
+  // Opens (truncates) `path` for writing. Check ok() before attaching.
+  explicit TraceSink(const std::string& path);
+  ~TraceSink();
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  bool ok() const { return out_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  // Factory honoring the configuration precedence: an explicit `path` wins,
+  // otherwise the PIMKD_TRACE environment variable; returns nullptr (tracing
+  // disabled) when neither is set or the file cannot be opened.
+  static std::unique_ptr<TraceSink> open(const std::string& path = "");
+
+  // One BSP round (called by Metrics::end_round on the control thread).
+  void record_round(std::uint64_t round, const std::string& label,
+                    std::uint64_t work_total, const LoadSummary& work,
+                    std::uint64_t comm_total, const LoadSummary& comm,
+                    std::uint64_t rounds_charged);
+
+  // One operation-scoped span (called by ~TraceScope). `delta` is the
+  // Snapshot diff over the scope; `ops` the batch size it covered.
+  void record_span(const std::string& label, std::uint64_t ops,
+                   const Snapshot& delta);
+
+ private:
+  void write_line(const std::string& line);
+
+  std::string path_;
+  std::FILE* out_ = nullptr;
+  std::mutex mu_;
+};
+
+// RAII span: pushes `label` onto the owning Metrics' label stack (so round
+// records emitted while alive carry it) and, on destruction, emits one
+// "span" record with the Snapshot diff over the scope. A no-op when no sink
+// is attached. Construct it *before* the operation's RoundGuard so the
+// round settles inside the span.
+class TraceScope {
+ public:
+  TraceScope(Metrics& m, const char* label, std::uint64_t ops = 1);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  Metrics& m_;
+  const char* label_;
+  std::uint64_t ops_;
+  Snapshot before_;
+  bool active_;
+};
+
+}  // namespace pimkd::pim

@@ -1,0 +1,145 @@
+// Table-1 conformance checker (pim/bounds.hpp).
+#include "pim/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace pimkd::pim {
+namespace {
+
+BoundParams params() {
+  BoundParams p;
+  p.n = 1u << 16;
+  p.batch = 1024;
+  p.P = 64;
+  p.M = 1u << 22;
+  p.alpha = 1.0;
+  return p;
+}
+
+Snapshot snap(std::uint64_t comm, std::uint64_t comm_time,
+              std::uint64_t rounds) {
+  Snapshot s;
+  s.communication = comm;
+  s.comm_time = comm_time;
+  s.rounds = rounds;
+  return s;
+}
+
+TEST(BoundCheck, ConstructionWithinAndBeyondBudget) {
+  const BoundCheck check(2.0);
+  auto p = params();
+  p.batch = p.n;
+  const double ls = log_star2(double(p.P));
+  // Measured comm well inside 30 * n * log*P * slack.
+  const auto ok = check.construction(
+      snap(std::uint64_t(14.0 * double(p.n) * ls), 1000, 4), p);
+  EXPECT_TRUE(ok.pass()) << ok.to_string();
+  ASSERT_EQ(ok.results.size(), 3u);
+  EXPECT_EQ(ok.results[0].dimension, "communication");
+  EXPECT_EQ(ok.results[1].dimension, "comm_time");
+  EXPECT_EQ(ok.results[2].dimension, "rounds");
+
+  // 100x the bound must fail on communication.
+  const auto bad = check.construction(
+      snap(std::uint64_t(3000.0 * double(p.n) * ls), 1000, 4), p);
+  EXPECT_FALSE(bad.pass());
+  EXPECT_FALSE(bad.results[0].pass());
+  EXPECT_NE(bad.to_string().find("FAIL"), std::string::npos);
+}
+
+TEST(BoundCheck, SlackScalesBudgets) {
+  auto p = params();
+  p.batch = p.n;
+  const Snapshot s = snap(1u << 22, 100, 4);
+  const auto tight = BoundCheck(0.001).construction(s, p);
+  const auto loose = BoundCheck(100.0).construction(s, p);
+  EXPECT_FALSE(tight.pass());
+  EXPECT_TRUE(loose.pass());
+  EXPECT_GT(loose.results[0].budget, tight.results[0].budget);
+}
+
+TEST(BoundCheck, UpdateScalesWithLogNAndAlpha) {
+  const BoundCheck check(1.0);
+  auto p = params();
+  const auto r1 = check.update(snap(0, 0, 0), p);
+  auto p2 = p;
+  p2.n = p.n * p.n;  // log n doubles
+  const auto r2 = check.update(snap(0, 0, 0), p2);
+  EXPECT_NEAR(r2.results[0].budget, 2.0 * r1.results[0].budget,
+              1e-6 * r1.results[0].budget);
+  auto p3 = p;
+  p3.alpha = 2.0;  // doubling alpha halves the amortized budget
+  const auto r3 = check.update(snap(0, 0, 0), p3);
+  EXPECT_NEAR(r3.results[0].budget, 0.5 * r1.results[0].budget,
+              1e-6 * r1.results[0].budget);
+}
+
+TEST(BoundCheck, LeafSearchUsesMinOfLogStarAndLogRatio) {
+  const BoundCheck check(1.0);
+  // Tiny n relative to S: the log(n/S) side of the min kicks in and the
+  // budget is smaller than the log*P side would give.
+  auto small = params();
+  small.n = 2048;
+  small.batch = 1024;  // log2(n/S) = 1
+  auto big = params();
+  big.n = 1u << 20;
+  big.batch = 1024;  // min picks log*P
+  const auto r_small = check.leaf_search(snap(0, 0, 0), small);
+  const auto r_big = check.leaf_search(snap(0, 0, 0), big);
+  EXPECT_LT(r_small.results[0].budget, r_big.results[0].budget);
+}
+
+TEST(BoundCheck, KnnBudgetGrowsWithK) {
+  const BoundCheck check(1.0);
+  auto p = params();
+  p.k = 1;
+  const auto r1 = check.knn(snap(0, 0, 0), p);
+  p.k = 64;
+  const auto r64 = check.knn(snap(0, 0, 0), p);
+  EXPECT_GT(r64.results[0].budget, 10.0 * r1.results[0].budget);
+}
+
+TEST(BoundCheck, RoundsBudgetScalesWithBatches) {
+  const BoundCheck check(1.0);
+  auto p = params();
+  p.batches = 1;
+  const auto r1 = check.update(snap(0, 0, 0), p);
+  p.batches = 12;
+  const auto r12 = check.update(snap(0, 0, 0), p);
+  EXPECT_GT(r12.results[2].budget, r1.results[2].budget);
+  // A diff spanning 12 batch ops with ~2 control rounds each passes with
+  // batches=12 but fails with batches=1.
+  const auto many_rounds = snap(100, 10, 24);
+  EXPECT_FALSE(check.update(many_rounds, params()).results[2].pass());
+  auto p12 = params();
+  p12.batches = 12;
+  EXPECT_TRUE(check.update(many_rounds, p12).results[2].pass());
+}
+
+TEST(BoundCheck, CustomOpCarriesCallerBudget) {
+  const BoundCheck check(2.0);
+  const auto p = params();
+  const auto r =
+      check.custom("dpc", snap(5000, 10, 2), p, 10000.0, "10 * n * rho");
+  EXPECT_EQ(r.op, "dpc");
+  EXPECT_TRUE(r.results[0].pass());  // 5000 <= 10000 * slack 2
+  EXPECT_NE(r.results[0].expr.find("10 * n * rho"), std::string::npos);
+  const auto fail =
+      check.custom("dpc", snap(50000, 10, 2), p, 10000.0, "10 * n * rho");
+  EXPECT_FALSE(fail.results[0].pass());
+}
+
+TEST(BoundCheck, CommTimeFloorCoversSmallBatches) {
+  const BoundCheck check(1.0);
+  // A single tiny query: one module carries the whole path. The additive
+  // floor keeps the balance check from tripping on it.
+  auto p = params();
+  p.batch = 1;
+  const auto r = check.leaf_search(snap(40, 40, 1), p);
+  EXPECT_TRUE(r.results[1].pass()) << r.to_string();
+}
+
+}  // namespace
+}  // namespace pimkd::pim

@@ -1,0 +1,202 @@
+// Regression tests: erased (dead) points must never appear in query results,
+// whatever state the tree is in — straight after an erase, interleaved with
+// inserts that trigger imbalanced rebuilds, or with delayed Group-1
+// construction. Leaves may legitimately hold dead points transiently inside
+// an update round; the query leaf loops filter on liveness.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/pim_kdtree.hpp"
+#include "kdtree/bruteforce.hpp"
+#include "util/generators.hpp"
+#include "util/random.hpp"
+
+namespace pimkd::core {
+namespace {
+
+PimKdConfig base_cfg(std::size_t P, std::uint64_t seed = 1) {
+  PimKdConfig cfg;
+  cfg.dim = 2;
+  cfg.leaf_cap = 8;
+  cfg.sigma = 32;
+  cfg.system.num_modules = P;
+  cfg.system.seed = seed;
+  return cfg;
+}
+
+// Live-point oracle keyed by the tree's PointIds.
+struct Oracle {
+  std::vector<Point> pts;
+  std::vector<PointId> ids;
+  void add(std::span<const Point> p, std::span<const PointId> id) {
+    pts.insert(pts.end(), p.begin(), p.end());
+    ids.insert(ids.end(), id.begin(), id.end());
+  }
+  void remove(std::span<const PointId> dead) {
+    for (const PointId d : dead)
+      for (std::size_t i = 0; i < ids.size(); ++i)
+        if (ids[i] == d) {
+          ids[i] = ids.back();
+          pts[i] = pts.back();
+          ids.pop_back();
+          pts.pop_back();
+          break;
+        }
+  }
+  std::vector<PointId> in_box(const Box& box, int dim) const {
+    std::vector<PointId> out;
+    for (std::size_t i = 0; i < pts.size(); ++i)
+      if (box.contains(pts[i], dim)) out.push_back(ids[i]);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+  std::vector<PointId> in_ball(const Point& c, Coord r, int dim) const {
+    std::vector<PointId> out;
+    for (std::size_t i = 0; i < pts.size(); ++i)
+      if (sq_dist(pts[i], c, dim) <= r * r) out.push_back(ids[i]);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+};
+
+Box unit_box(double lo0, double lo1, double hi0, double hi1) {
+  Box b = Box::empty(2);
+  Point a{};
+  a[0] = lo0;
+  a[1] = lo1;
+  Point c{};
+  c[0] = hi0;
+  c[1] = hi1;
+  b.extend(a, 2);
+  b.extend(c, 2);
+  return b;
+}
+
+// Runs knn + range + radius against the oracle and asserts no dead point
+// (and no wrong distance) ever surfaces.
+void expect_queries_match(PimKdTree& tree, const Oracle& oracle,
+                          std::uint64_t seed) {
+  const auto qs = gen_uniform_queries(oracle.pts, 2, 16, seed);
+  const std::size_t k = std::min<std::size_t>(8, oracle.pts.size());
+
+  const auto knn = tree.knn(qs, k);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    const auto want = brute_knn(oracle.pts, 2, qs[i], k);
+    ASSERT_EQ(knn[i].size(), want.size()) << "query " << i;
+    for (std::size_t j = 0; j < want.size(); ++j) {
+      EXPECT_DOUBLE_EQ(knn[i][j].sq_dist, want[j].sq_dist)
+          << "query " << i << " rank " << j;
+      EXPECT_TRUE(tree.is_live(knn[i][j].id)) << "dead id in knn result";
+    }
+  }
+
+  const std::vector<Box> boxes = {unit_box(0.1, 0.1, 0.4, 0.4),
+                                  unit_box(0.0, 0.0, 1.0, 1.0),
+                                  unit_box(0.45, 0.45, 0.55, 0.55)};
+  const auto ranges = tree.range(boxes);
+  for (std::size_t i = 0; i < boxes.size(); ++i)
+    EXPECT_EQ(ranges[i], oracle.in_box(boxes[i], 2)) << "box " << i;
+
+  const auto balls = tree.radius(qs, 0.15);
+  const auto counts = tree.radius_count(qs, 0.15);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_EQ(balls[i], oracle.in_ball(qs[i], 0.15, 2)) << "ball " << i;
+    EXPECT_EQ(counts[i], balls[i].size()) << "count " << i;
+  }
+}
+
+TEST(DeadPoints, EraseInterleavedWithQueries) {
+  PimKdTree tree(base_cfg(16));
+  Oracle oracle;
+  Rng rng(11);
+  for (int b = 0; b < 6; ++b) {
+    const auto pts = gen_uniform(
+        {.n = 600, .dim = 2, .seed = 500 + static_cast<std::uint64_t>(b)});
+    const auto ids = tree.insert(pts);
+    oracle.add(pts, ids);
+
+    // Erase a third of the live points, then query immediately.
+    std::vector<PointId> dead;
+    while (dead.size() < oracle.ids.size() / 3) {
+      const PointId id = oracle.ids[rng.next_below(oracle.ids.size())];
+      if (std::find(dead.begin(), dead.end(), id) == dead.end())
+        dead.push_back(id);
+    }
+    tree.erase(dead);
+    oracle.remove(dead);
+    ASSERT_TRUE(tree.check_invariants()) << "batch " << b;
+    expect_queries_match(tree, oracle, 900 + b);
+  }
+}
+
+TEST(DeadPoints, ImbalancedRebuildPath) {
+  // Clustered inserts aimed at one region force alpha-imbalance rebuilds
+  // (drop_dead subtree rebuilds) while erases are in flight elsewhere.
+  PimKdTree tree(base_cfg(16, /*seed=*/3));
+  Oracle oracle;
+  {
+    const auto pts = gen_uniform({.n = 1500, .dim = 2, .seed = 21});
+    oracle.add(pts, tree.insert(pts));
+  }
+  Rng rng(13);
+  for (int b = 0; b < 5; ++b) {
+    // Tight blob in one corner: the touched subtree overflows its alpha
+    // budget and rebuilds.
+    const auto blob = gen_gaussian_blobs(
+        {.n = 400, .dim = 2, .seed = 700 + static_cast<std::uint64_t>(b)}, 1,
+        0.01);
+    oracle.add(blob, tree.insert(blob));
+
+    std::vector<PointId> dead;
+    while (dead.size() < 200) {
+      const PointId id = oracle.ids[rng.next_below(oracle.ids.size())];
+      if (std::find(dead.begin(), dead.end(), id) == dead.end())
+        dead.push_back(id);
+    }
+    tree.erase(dead);
+    oracle.remove(dead);
+    ASSERT_TRUE(tree.check_invariants()) << "batch " << b;
+    expect_queries_match(tree, oracle, 1000 + b);
+  }
+}
+
+TEST(DeadPoints, DelayedConstructionPath) {
+  // With delayed Group-1 construction held open, queries run against
+  // unfinished components; dead points must stay invisible there too.
+  auto cfg = base_cfg(256, /*seed=*/5);
+  cfg.delayed_construction = true;
+  cfg.delayed_finish_multiplier = 1000000;  // hold until finished manually
+  const auto pts = gen_uniform({.n = 3000, .dim = 2, .seed = 31});
+  PimKdTree tree(cfg, pts);
+  Oracle oracle;
+  {
+    std::vector<PointId> ids(pts.size());
+    for (PointId i = 0; i < ids.size(); ++i) ids[i] = i;
+    oracle.add(pts, ids);
+  }
+  Rng rng(17);
+  for (int b = 0; b < 3; ++b) {
+    const auto more = gen_uniform(
+        {.n = 500, .dim = 2, .seed = 800 + static_cast<std::uint64_t>(b)});
+    oracle.add(more, tree.insert(more));
+    std::vector<PointId> dead;
+    while (dead.size() < 300) {
+      const PointId id = oracle.ids[rng.next_below(oracle.ids.size())];
+      if (std::find(dead.begin(), dead.end(), id) == dead.end())
+        dead.push_back(id);
+    }
+    tree.erase(dead);
+    oracle.remove(dead);
+    ASSERT_TRUE(tree.check_invariants()) << "batch " << b;
+    expect_queries_match(tree, oracle, 1100 + b);
+  }
+  // Finishing the deferred components must not resurrect anything.
+  tree.finish_delayed_components();
+  ASSERT_TRUE(tree.check_invariants());
+  expect_queries_match(tree, oracle, 1200);
+}
+
+}  // namespace
+}  // namespace pimkd::core

@@ -127,7 +127,7 @@ TEST(DpcPim, LoadBalancedOnClusteredData) {
   auto cfg = pim_cfg(32);
   cfg.dim = 2;
   core::PimKdTree tree(cfg, pts);
-  tree.metrics().reset_loads();
+  tree.metrics().reset_module_loads();
   (void)tree.radius_count(pts, params.dcut);
   EXPECT_LT(tree.metrics().work_balance().imbalance, 3.0);
 }

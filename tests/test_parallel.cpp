@@ -2,10 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include "parallel/thread_pool.hpp"
 #include "util/random.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 
 namespace pimkd {
 namespace {
@@ -31,6 +35,74 @@ TEST(ParallelFor, NestedDoesNotDeadlock) {
     parallel_for(0, 8, [&](std::size_t) { total.fetch_add(1); }, 1);
   }, 1);
   EXPECT_EQ(total.load(), 64);
+}
+
+TEST(RunBulk, PropagatesExceptionToCaller) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run_bulk(64,
+                             [](std::size_t i) {
+                               if (i == 13)
+                                 throw std::runtime_error("chunk 13");
+                             }),
+               std::runtime_error);
+}
+
+TEST(RunBulk, PropagatesOnInlinePaths) {
+  ThreadPool pool(2);
+  // chunks == 1 runs inline in the caller.
+  EXPECT_THROW(pool.run_bulk(1, [](std::size_t) {
+    throw std::invalid_argument("inline");
+  }),
+               std::invalid_argument);
+  // A zero-worker pool also runs inline.
+  ThreadPool serial(0);
+  EXPECT_THROW(serial.run_bulk(8, [](std::size_t i) {
+    if (i == 3) throw std::invalid_argument("serial");
+  }),
+               std::invalid_argument);
+}
+
+TEST(RunBulk, StopsHandingOutChunksAfterFailure) {
+  ThreadPool pool(2);
+  std::atomic<int> executed{0};
+  try {
+    pool.run_bulk(10000, [&](std::size_t i) {
+      if (i == 0) throw std::runtime_error("boom");
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      executed.fetch_add(1);
+    });
+    FAIL() << "expected run_bulk to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  // Chunk 0 fails almost immediately; once the failure is observed the
+  // remaining chunks are claimed but skipped, so only the handful in flight
+  // at that moment actually run.
+  EXPECT_LT(executed.load(), 10000);
+}
+
+TEST(RunBulk, PoolUsableAfterException) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(pool.run_bulk(32,
+                               [](std::size_t) {
+                                 throw std::runtime_error("every chunk");
+                               }),
+                 std::runtime_error);
+  }
+  std::atomic<int> count{0};
+  pool.run_bulk(100, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ParallelFor, PropagatesException) {
+  EXPECT_THROW(parallel_for(0, 1000,
+                            [](std::size_t i) {
+                              if (i == 500)
+                                throw std::invalid_argument("bad index");
+                            },
+                            1),
+               std::invalid_argument);
 }
 
 TEST(ParallelReduce, Sum) {

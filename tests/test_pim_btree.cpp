@@ -244,7 +244,7 @@ TEST(PimBTree, SkewResistantUnderAdversarialLookups) {
   PimBTree tree(cfg_of(32, 16), kv);
   // Every query asks for the same key.
   std::vector<Key> probes(4096, kv[7].first);
-  tree.metrics().reset_loads();
+  tree.metrics().reset_module_loads();
   (void)tree.lookup(probes);
   EXPECT_LT(tree.metrics().comm_balance().imbalance, 4.0);
 }

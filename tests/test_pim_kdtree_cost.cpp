@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/pim_kdtree.hpp"
+#include "pim/bounds.hpp"
 #include "util/generators.hpp"
 #include "util/stats.hpp"
 
@@ -73,7 +74,7 @@ TEST(Cost, AdversarialSkewStaysBalancedWithPushPull) {
   const std::size_t S = 4096;
   const auto qs = gen_adversarial_queries(pts, 2, S, 55);
 
-  tree.metrics().reset_loads();
+  tree.metrics().reset_module_loads();
   (void)tree.leaf_search(qs);
   const auto balance = tree.metrics().comm_balance();
   // Communication concentrates on no module: max/mean stays small.
@@ -90,7 +91,7 @@ TEST(Cost, AdversarialSkewUnbalancedWithoutPushPull) {
   const std::size_t S = 4096;
   const auto qs = gen_adversarial_queries(pts, 2, S, 55);
 
-  tree.metrics().reset_loads();
+  tree.metrics().reset_module_loads();
   (void)tree.leaf_search(qs);
   // All queries funnel through the components on one path: some module sees
   // far more than its fair share.
@@ -126,7 +127,7 @@ TEST(Cost, UniformQueriesBalanceWorkAcrossModules) {
   const auto pts = gen_uniform({.n = n, .dim = 2, .seed = 58});
   PimKdTree tree(base_cfg(64), pts);
   const auto qs = gen_uniform_queries(pts, 2, 8192, 59);
-  tree.metrics().reset_loads();
+  tree.metrics().reset_module_loads();
   (void)tree.leaf_search(qs);
   EXPECT_LT(tree.metrics().work_balance().imbalance, 3.0);
 }
@@ -201,6 +202,69 @@ TEST(Cost, DelayedConstructionDefersCacheMaterialization) {
   delayed.finish_delayed_components();
   EXPECT_EQ(delayed.unfinished_components(), 0u);
   EXPECT_TRUE(delayed.check_invariants());
+}
+
+TEST(Cost, Table1ConformanceOnMeasuredRuns) {
+  // The same BoundCheck the benches use, asserted here so a cost regression
+  // fails fast in ctest instead of waiting for a bench run.
+  const std::size_t n = 1 << 14;
+  const std::size_t P = 64;
+  const auto cfg = base_cfg(P);
+  const auto pts = gen_uniform({.n = n, .dim = 2, .seed = 70});
+  PimKdTree tree(cfg, pts);
+  const pim::BoundCheck check;  // default slack
+
+  const auto build = check.construction(
+      tree.metrics().snapshot(), {.n = n,
+                                  .batch = n,
+                                  .P = P,
+                                  .M = cfg.system.cache_words,
+                                  .alpha = cfg.alpha});
+  EXPECT_TRUE(build.pass()) << build.to_string();
+
+  const std::size_t S = 2048;
+  const auto qs = gen_uniform_queries(pts, 2, S, 71);
+  auto before = tree.metrics().snapshot();
+  (void)tree.leaf_search(qs);
+  const auto ls = check.leaf_search(tree.metrics().snapshot() - before,
+                                    {.n = n,
+                                     .batch = S,
+                                     .P = P,
+                                     .M = cfg.system.cache_words,
+                                     .alpha = cfg.alpha});
+  EXPECT_TRUE(ls.pass()) << ls.to_string();
+
+  before = tree.metrics().snapshot();
+  (void)tree.knn(qs, 8);
+  const auto kn = check.knn(tree.metrics().snapshot() - before,
+                            {.n = n,
+                             .batch = S,
+                             .P = P,
+                             .M = cfg.system.cache_words,
+                             .alpha = cfg.alpha,
+                             .k = 8});
+  EXPECT_TRUE(kn.pass()) << kn.to_string();
+
+  // Updates are amortized: check over 8 insert batches plus one erase.
+  before = tree.metrics().snapshot();
+  std::size_t ops = 0;
+  for (int b = 0; b < 8; ++b) {
+    const auto batch = gen_uniform(
+        {.n = 512, .dim = 2, .seed = 720 + static_cast<std::uint64_t>(b)});
+    ops += tree.insert(batch).size();
+  }
+  std::vector<PointId> dead;
+  for (PointId id = 0; id < 1024; ++id) dead.push_back(id);
+  tree.erase(dead);
+  ops += dead.size();
+  const auto upd = check.update(tree.metrics().snapshot() - before,
+                                {.n = tree.size(),
+                                 .batch = ops,
+                                 .P = P,
+                                 .M = cfg.system.cache_words,
+                                 .alpha = cfg.alpha,
+                                 .batches = 9});
+  EXPECT_TRUE(upd.pass()) << upd.to_string();
 }
 
 TEST(Cost, CpuWorkIsSublinearInQueriesTimesLogN) {

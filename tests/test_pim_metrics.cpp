@@ -81,8 +81,45 @@ TEST(Metrics, LifetimeModuleLoads) {
   m.end_round();
   EXPECT_EQ(m.lifetime_module_work()[1], 9u);
   EXPECT_EQ(m.lifetime_module_comm()[1], 3u);
-  m.reset_loads();
+  m.reset_module_loads();
   EXPECT_EQ(m.lifetime_module_work()[1], 0u);
+}
+
+TEST(Metrics, ResetModuleLoadsKeepsAggregatesAndStorage) {
+  Metrics m(2, 1 << 20);
+  m.add_storage(0, 64);
+  m.begin_round();
+  m.add_cpu_work(5);
+  m.add_module_work(0, 9);
+  m.add_comm(1, 3);
+  m.end_round();
+  const auto before = m.snapshot();
+  ASSERT_EQ(before.pim_work, 9u);
+  ASSERT_EQ(before.communication, 3u);
+
+  m.reset_module_loads();
+
+  // Only the per-module lifetime vectors feeding the balance views zero out.
+  EXPECT_EQ(m.lifetime_module_work()[0], 0u);
+  EXPECT_EQ(m.lifetime_module_comm()[1], 0u);
+  EXPECT_DOUBLE_EQ(m.work_balance().max, 0.0);
+  // The scalar Snapshot aggregates and the storage ledger are untouched.
+  const auto after = m.snapshot();
+  EXPECT_EQ(after.cpu_work, before.cpu_work);
+  EXPECT_EQ(after.pim_work, before.pim_work);
+  EXPECT_EQ(after.pim_time, before.pim_time);
+  EXPECT_EQ(after.communication, before.communication);
+  EXPECT_EQ(after.comm_time, before.comm_time);
+  EXPECT_EQ(after.rounds, before.rounds);
+  EXPECT_EQ(m.total_storage(), 64u);
+
+  // Charging after the reset starts the balance views from zero.
+  m.begin_round();
+  m.add_module_work(1, 4);
+  m.end_round();
+  EXPECT_EQ(m.lifetime_module_work()[0], 0u);
+  EXPECT_EQ(m.lifetime_module_work()[1], 4u);
+  EXPECT_EQ(m.snapshot().pim_work, 13u);  // aggregate keeps accumulating
 }
 
 TEST(RoundGuard, NestedIsNoOp) {

@@ -1,0 +1,178 @@
+// Round/span trace export (pim/trace.hpp): schema, labelling, and the
+// PimKdTree wiring (one span per batch operation).
+#include "pim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/pim_kdtree.hpp"
+#include "util/generators.hpp"
+
+namespace pimkd {
+namespace {
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty()) lines.push_back(line);
+  return lines;
+}
+
+bool looks_like_json_object(const std::string& line) {
+  return line.size() >= 2 && line.front() == '{' && line.back() == '}';
+}
+
+std::size_t count_with(const std::vector<std::string>& lines,
+                       const std::string& needle) {
+  std::size_t c = 0;
+  for (const auto& l : lines) c += l.find(needle) != std::string::npos;
+  return c;
+}
+
+class TraceFile : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "pimkd_trace_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".jsonl";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(TraceFile, SinkEmitsRoundRecordsWithLabels) {
+  {
+    pim::TraceSink sink(path_);
+    ASSERT_TRUE(sink.ok());
+    pim::Metrics m(4, 1 << 20);
+    m.set_trace_sink(&sink);
+
+    {
+      pim::TraceScope span(m, "phase_a", 3);
+      pim::RoundGuard round(m);
+      m.add_module_work(0, 10);
+      m.add_comm(1, 7);
+    }
+    {
+      pim::RoundGuard round(m);  // unlabeled round
+      m.add_comm(2, 1);
+    }
+    m.set_trace_sink(nullptr);
+  }
+  const auto lines = read_lines(path_);
+  ASSERT_EQ(lines.size(), 3u);  // round + span + round
+  for (const auto& l : lines) EXPECT_TRUE(looks_like_json_object(l)) << l;
+  EXPECT_NE(lines[0].find("\"type\":\"round\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"label\":\"phase_a\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"work_max\":10"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"comm_total\":7"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"type\":\"span\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"ops\":3"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"comm\":7"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"label\":\"\""), std::string::npos);
+}
+
+TEST_F(TraceFile, NestedScopesLabelRoundsWithInnermost) {
+  {
+    pim::TraceSink sink(path_);
+    pim::Metrics m(2, 1 << 20);
+    m.set_trace_sink(&sink);
+    pim::TraceScope outer(m, "outer");
+    {
+      pim::TraceScope inner(m, "inner");
+      pim::RoundGuard round(m);
+      m.add_comm(0, 2);
+    }
+    {
+      pim::RoundGuard round(m);
+      m.add_comm(0, 2);
+    }
+    m.set_trace_sink(nullptr);
+  }
+  const auto lines = read_lines(path_);
+  // inner round, inner span, outer round; outer span is lost because the
+  // sink detached first — fine, the tree detaches only at destruction.
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("\"label\":\"inner\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"type\":\"span\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"label\":\"outer\""), std::string::npos);
+}
+
+TEST_F(TraceFile, ScopeIsNoOpWithoutSink) {
+  pim::Metrics m(2, 1 << 20);
+  pim::TraceScope span(m, "nothing");
+  pim::RoundGuard round(m);
+  m.add_comm(0, 1);
+  // No sink: nothing to flush, no file created.
+  std::ifstream in(path_);
+  EXPECT_FALSE(in.good());
+}
+
+TEST_F(TraceFile, PimKdTreeEmitsOneSpanPerBatchOperation) {
+  {
+    auto cfg = core::PimKdConfig{};
+    cfg.dim = 2;
+    cfg.leaf_cap = 8;
+    cfg.system.num_modules = 8;
+    cfg.trace_path = path_;
+    const auto pts = gen_uniform({.n = 2000, .dim = 2, .seed = 1});
+    core::PimKdTree tree(cfg, pts);
+
+    const auto more = gen_uniform({.n = 500, .dim = 2, .seed = 2});
+    (void)tree.insert(more);
+    std::vector<PointId> dead;
+    for (PointId id = 0; id < 100; ++id) dead.push_back(id);
+    tree.erase(dead);
+    const auto qs = gen_uniform_queries(pts, 2, 64, 3);
+    (void)tree.leaf_search(qs);
+    (void)tree.knn(qs, 4);
+    (void)tree.knn(qs, 4, /*eps=*/0.5);
+    std::vector<Box> boxes;
+    Box b = Box::empty(2);
+    Point lo{};
+    Point hi{};
+    hi[0] = hi[1] = 0.5;
+    b.extend(lo, 2);
+    b.extend(hi, 2);
+    boxes.push_back(b);
+    (void)tree.range(boxes);
+    (void)tree.radius(qs, 0.1);
+    (void)tree.radius_count(qs, 0.1);
+  }  // destructor detaches + closes the sink
+
+  const auto lines = read_lines(path_);
+  ASSERT_FALSE(lines.empty());
+  for (const auto& l : lines) EXPECT_TRUE(looks_like_json_object(l)) << l;
+  for (const char* label :
+       {"build", "insert", "erase", "leaf_search", "knn", "ann", "range",
+        "radius", "radius_count"}) {
+    EXPECT_GE(count_with(lines, std::string("\"type\":\"span\",\"label\":\"") +
+                                    label + "\""),
+              1u)
+        << "missing span for " << label;
+  }
+  // Every round emitted inside a batch op carries that op's label.
+  EXPECT_GE(count_with(lines, "\"type\":\"round\""), 1u);
+}
+
+TEST_F(TraceFile, EnvVarEnablesTracing) {
+  ASSERT_EQ(setenv("PIMKD_TRACE", path_.c_str(), 1), 0);
+  {
+    auto sink = pim::TraceSink::open("");
+    ASSERT_NE(sink, nullptr);
+    EXPECT_EQ(sink->path(), path_);
+  }
+  ASSERT_EQ(unsetenv("PIMKD_TRACE"), 0);
+  EXPECT_EQ(pim::TraceSink::open(""), nullptr);
+}
+
+}  // namespace
+}  // namespace pimkd
