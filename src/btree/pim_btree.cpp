@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 
 #include "core/decomposition.hpp"
 #include "parallel/primitives.hpp"
@@ -31,13 +32,28 @@ std::vector<double> chunked_thresholds(std::size_t P, std::size_t fanout) {
   return h;
 }
 
+void BTreeConfig::validate() const {
+  if (fanout < 4)
+    throw std::invalid_argument("BTreeConfig::fanout must be >= 4");
+  if (!std::isfinite(push_pull_c) || push_pull_c <= 0)
+    throw std::invalid_argument(
+        "BTreeConfig::push_pull_c must be finite and > 0");
+  if (cached_groups < -1)
+    throw std::invalid_argument(
+        "BTreeConfig::cached_groups must be -1 (all groups) or >= 0");
+  if (system.num_modules < 1)
+    throw std::invalid_argument("BTreeConfig::system.num_modules must be >= 1");
+  if (system.cache_words < 1)
+    throw std::invalid_argument("BTreeConfig::system.cache_words must be >= 1");
+}
+
 PimBTree::PimBTree(const BTreeConfig& cfg)
     : cfg_(cfg),
-      sys_(cfg.system),
+      // validate() before the system and thresholds are derived from the
+      // config (e.g. fanout < 2 would loop in chunked_thresholds).
+      sys_((cfg_.validate(), cfg_.system)),
       rng_(cfg.system.seed ^ 0xb7ee),
-      thresholds_(chunked_thresholds(cfg.system.num_modules, cfg.fanout)) {
-  assert(cfg_.fanout >= 4);
-}
+      thresholds_(chunked_thresholds(cfg.system.num_modules, cfg.fanout)) {}
 
 PimBTree::PimBTree(const BTreeConfig& cfg,
                    std::span<const std::pair<Key, Value>> kv)

@@ -41,6 +41,9 @@ struct BTreeConfig {
   double push_pull_c = 2.0;
   bool use_push_pull = true;
   pim::SystemConfig system;
+
+  // Always-on validation; throws std::invalid_argument on a bad field.
+  void validate() const;
 };
 
 struct BNode {

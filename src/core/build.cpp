@@ -92,13 +92,14 @@ NodeId PimKdTree::build_subtree(std::vector<PointId> ids, NodeId parent,
     }
   }
   // Charge one unit per point per level: O(n log n) build work in total.
+  // A dead target module can't compute — the host stands in (CPU-charged).
   const std::uint64_t level_work = std::max<std::uint64_t>(ids.size(), 1);
-  if (work_module == kWorkCpu) {
+  std::size_t wm = work_module;
+  if (wm == kWorkByHash) wm = sys_.module_of(nid);
+  if (wm == kWorkCpu || !sys_.module_alive(wm)) {
     sys_.metrics().add_cpu_work(level_work);
-  } else if (work_module == kWorkByHash) {
-    sys_.metrics().add_module_work(sys_.module_of(nid), level_work);
   } else {
-    sys_.metrics().add_module_work(work_module, level_work);
+    sys_.metrics().add_module_work(wm, level_work);
   }
 
   int d = 0;
@@ -210,9 +211,11 @@ void PimKdTree::full_build(std::vector<PointId> ids) {
     };
     root_ = kNoNode;
     skel(skel, std::move(ids), kNoNode, true, 0, P, rng_.split(rng_.next_u64()));
-    // Ship each bucket to its module.
+    // Ship each bucket to its module (dead targets: the host keeps the
+    // bucket and builds locally, so no words cross off-chip).
     for (std::size_t b = 0; b < buckets.size(); ++b) {
       const std::size_t m = b % P;
+      if (!sys_.module_alive(m)) continue;
       sys_.metrics().add_comm(
           m, static_cast<std::uint64_t>(buckets[b].ids.size()) *
                  point_words(cfg_.dim));
@@ -235,9 +238,10 @@ void PimKdTree::full_build(std::vector<PointId> ids) {
         pool_.at(bk.parent).right = sub;
       }
       // "Send T_i to CPU": the built structure crosses off-chip once.
-      sys_.metrics().add_comm(
-          m, static_cast<std::uint64_t>(pool_.size() - before) *
-                 node_words(cfg_.dim));
+      if (sys_.module_alive(m))
+        sys_.metrics().add_comm(
+            m, static_cast<std::uint64_t>(pool_.size() - before) *
+                   node_words(cfg_.dim));
     }
     sys_.metrics().end_round();
     sys_.metrics().begin_round();
@@ -575,10 +579,13 @@ void PimKdTree::collect_subtree_points(NodeId subtree,
   if (rec.is_leaf()) {
     out.insert(out.end(), rec.leaf_pts.begin(), rec.leaf_pts.end());
     if (charge) {
-      sys_.metrics().add_comm(
-          store_.master_of(subtree),
-          static_cast<std::uint64_t>(rec.leaf_pts.size()) *
-              point_words(cfg_.dim));
+      const std::size_t m = store_.master_of(subtree);
+      const auto words = static_cast<std::uint64_t>(rec.leaf_pts.size()) *
+                         point_words(cfg_.dim);
+      if (sys_.module_alive(m))
+        sys_.metrics().add_comm(m, words);
+      else  // master down: the payload comes from the host mirror
+        sys_.metrics().add_cpu_work(words);
     }
     return;
   }

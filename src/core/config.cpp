@@ -1,0 +1,43 @@
+#include "core/config.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/geometry.hpp"
+
+namespace pimkd::core {
+
+namespace {
+[[noreturn]] void bad_field(const char* field, const std::string& why) {
+  std::ostringstream os;
+  os << "PimKdConfig::" << field << " " << why;
+  throw std::invalid_argument(os.str());
+}
+}  // namespace
+
+void PimKdConfig::validate() const {
+  if (dim < 1 || dim > kMaxDim) {
+    std::ostringstream os;
+    os << "must be in [1, " << kMaxDim << "], got " << dim;
+    bad_field("dim", os.str());
+  }
+  if (!std::isfinite(alpha) || alpha <= 0)
+    bad_field("alpha", "must be finite and > 0");
+  if (!std::isfinite(beta) || beta <= 0)
+    bad_field("beta", "must be finite and > 0");
+  if (leaf_cap < 1) bad_field("leaf_cap", "must be >= 1");
+  if (sigma < 1) bad_field("sigma", "must be >= 1");
+  if (!std::isfinite(push_pull_c) || push_pull_c <= 0)
+    bad_field("push_pull_c", "must be finite and > 0");
+  if (cached_groups < -1)
+    bad_field("cached_groups", "must be -1 (all groups) or >= 0");
+  if (delayed_finish_multiplier < 1)
+    bad_field("delayed_finish_multiplier", "must be >= 1");
+  if (system.num_modules < 1)
+    bad_field("system.num_modules", "must be >= 1");
+  if (system.cache_words < 1)
+    bad_field("system.cache_words", "must be >= 1");
+}
+
+}  // namespace pimkd::core

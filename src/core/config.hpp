@@ -41,6 +41,10 @@ struct PimKdConfig {
   // tracing stays off when neither names a file.
   std::string trace_path;
   pim::SystemConfig system;    // P modules, cache words M, seed
+
+  // Always-on validation (not an assert): throws std::invalid_argument naming
+  // the offending field. Tree constructors call this before touching state.
+  void validate() const;
 };
 
 // Word-cost model: one word = 8 bytes, matching the PIM Model's word-sized

@@ -53,6 +53,12 @@ bool Cursor::is_local(NodeId id) const {
   return is_comp_related(id, top.node);
 }
 
+bool Cursor::can_visit(NodeId id) const {
+  if (!store_.any_module_dead()) return true;
+  if (is_local(id)) return store_.module_alive(stack_.back().module);
+  return store_.module_alive(store_.master_of(id));
+}
+
 bool Cursor::visit(NodeId id) {
   if (is_local(id)) {
     const std::size_t m = stack_.back().module;

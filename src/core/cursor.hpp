@@ -41,6 +41,11 @@ class Cursor {
   // Returns true when the visit required an off-chip hop.
   bool visit(NodeId id);
 
+  // Would visit(id) land on an alive module? False means the subtree under
+  // `id` is unreachable in-PIM and the caller must degrade to the host mirror.
+  // Fast path: always true while every module is alive.
+  bool can_visit(NodeId id) const;
+
   // Depth-first scope: pops the anchors pushed since the matching mark when
   // the traversal returns past this point.
   std::size_t mark() const { return stack_.size(); }
@@ -52,6 +57,10 @@ class Cursor {
 
   std::size_t current_module() const;
   std::uint64_t hops() const { return hops_; }
+
+  // The ledger this traversal charges (degraded-mode host fallbacks charge
+  // CPU work on it when a subtree's module is dead).
+  pim::Metrics& ledger() const { return metrics_; }
 
  private:
   struct Anchor {

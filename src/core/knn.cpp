@@ -23,6 +23,13 @@ struct HeapCmp {
 void PimKdTree::knn_rec(Cursor& cur, NodeId nid, const Point& q,
                         std::vector<Neighbor>& heap, std::size_t k,
                         double prune) const {
+  if (!cur.can_visit(nid)) {
+    // Degraded mode: this subtree's module is dead; scan the host mirror
+    // instead. Same pruning, same tie-breaks, so results stay exact.
+    deg_subtrees_.fetch_add(1, std::memory_order_relaxed);
+    host_knn_rec(cur.ledger(), nid, q, heap, k, prune);
+    return;
+  }
   const std::size_t mark = cur.mark();
   cur.visit(nid);
   const NodeRec& n = pool_.at(nid);
@@ -63,21 +70,29 @@ void PimKdTree::knn_rec(Cursor& cur, NodeId nid, const Point& q,
 
 std::vector<std::vector<Neighbor>> PimKdTree::knn(
     std::span<const Point> queries, std::size_t k, double eps) {
+  validate_points(queries, cfg_.dim, "knn");
   pim::TraceScope span(sys_.metrics(), eps > 0.0 ? "ann" : "knn",
                        queries.size());
   pim::RoundGuard round(sys_.metrics());
   std::vector<std::vector<Neighbor>> out(queries.size());
   if (root_ == kNoNode) return out;
   const double prune = (1.0 + eps) * (1.0 + eps);
+  const auto starts = query_start_modules();
   // Queries of a batch are independent: they run across the host's cores and
   // charge the (thread-safe) ledger concurrently.
   parallel_for(0, queries.size(), [&](std::size_t i) {
-    const std::size_t start = i % sys_.P();
-    sys_.metrics().add_comm(start, kQueryWords);
-    Cursor cur(cfg_, pool_, store_, sys_.metrics(), start);
     std::vector<Neighbor> heap;
     heap.reserve(k);
-    knn_rec(cur, root_, queries[i], heap, k, prune);
+    if (starts.empty()) {
+      // Every module is down: the whole query runs on the host mirror.
+      deg_queries_.fetch_add(1, std::memory_order_relaxed);
+      host_knn_rec(sys_.metrics(), root_, queries[i], heap, k, prune);
+    } else {
+      const std::size_t start = starts[i % starts.size()];
+      sys_.metrics().add_comm(start, kQueryWords);
+      Cursor cur(cfg_, pool_, store_, sys_.metrics(), start);
+      knn_rec(cur, root_, queries[i], heap, k, prune);
+    }
     std::sort_heap(heap.begin(), heap.end(), HeapCmp{});
     out[i] = std::move(heap);
   }, /*grain=*/16);
@@ -95,6 +110,11 @@ bool higher(double prio, PointId id, double q_prio, PointId self) {
 
 void PimKdTree::dep_rec(Cursor& cur, NodeId nid, const Point& q, double q_prio,
                         PointId self, Neighbor& best) const {
+  if (!cur.can_visit(nid)) {
+    deg_subtrees_.fetch_add(1, std::memory_order_relaxed);
+    host_dep_rec(cur.ledger(), nid, q, q_prio, self, best);
+    return;
+  }
   const std::size_t mark = cur.mark();
   cur.visit(nid);
   const NodeRec& n = pool_.at(nid);
@@ -131,14 +151,22 @@ std::vector<Neighbor> PimKdTree::dependent_points(
   assert(queries.size() == query_priority.size() &&
          queries.size() == self_id.size());
   assert(!priorities_.empty() && "call set_priorities first");
+  validate_points(queries, cfg_.dim, "dependent_points");
   pim::TraceScope span(sys_.metrics(), "dependent_points", queries.size());
   pim::RoundGuard round(sys_.metrics());
   std::vector<Neighbor> out(
       queries.size(),
       Neighbor{kInvalidPoint, std::numeric_limits<Coord>::infinity()});
   if (root_ == kNoNode) return out;
+  const auto starts = query_start_modules();
   parallel_for(0, queries.size(), [&](std::size_t i) {
-    const std::size_t start = i % sys_.P();
+    if (starts.empty()) {
+      deg_queries_.fetch_add(1, std::memory_order_relaxed);
+      host_dep_rec(sys_.metrics(), root_, queries[i], query_priority[i],
+                   self_id[i], out[i]);
+      return;
+    }
+    const std::size_t start = starts[i % starts.size()];
     sys_.metrics().add_comm(start, kQueryWords);
     Cursor cur(cfg_, pool_, store_, sys_.metrics(), start);
     dep_rec(cur, root_, queries[i], query_priority[i], self_id[i], out[i]);
@@ -177,6 +205,7 @@ void PimKdTree::set_priorities(std::span<const double> priority_by_id) {
       fold(r.max_priority, r.max_priority_id);
     }
     for (const std::uint32_t m : store_.copy_modules(nid)) {
+      if (!sys_.module_alive(m)) continue;  // send suppressed: module down
       sys_.metrics().add_comm(m, 2);
       sys_.metrics().add_module_work(m, 1);
     }

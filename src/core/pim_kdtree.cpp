@@ -11,13 +11,13 @@ namespace pimkd::core {
 
 PimKdTree::PimKdTree(const PimKdConfig& cfg)
     : cfg_(cfg),
-      sys_(cfg.system),
+      // validate() before the system exists: a malformed config (e.g. zero
+      // modules) must throw std::invalid_argument, not corrupt construction.
+      sys_((cfg_.validate(), cfg_.system)),
       trace_(pim::TraceSink::open(cfg.trace_path)),
       store_(cfg_, sys_, pool_),
       rng_(cfg.system.seed ^ 0x7ee1),
       thresholds_(group_thresholds(cfg.system.num_modules)) {
-  assert(cfg_.dim >= 1 && cfg_.dim <= kMaxDim);
-  assert(cfg_.alpha > 0 && cfg_.beta > 0 && cfg_.leaf_cap >= 1);
   if (trace_) sys_.metrics().set_trace_sink(trace_.get());
 }
 

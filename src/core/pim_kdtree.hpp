@@ -15,8 +15,10 @@
 // against the Table 1 bounds.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include <memory>
@@ -86,6 +88,65 @@ class PimKdTree {
   // --- Delayed construction (§3.4) -------------------------------------------
   std::size_t unfinished_components() const { return unfinished_.size(); }
   void finish_delayed_components();
+
+  // --- Fault handling & recovery (ISSUE: fault-injection subsystem) ----------
+  // The underlying simulated system (fault surface: crash/revive, health(),
+  // alive bitmap, the FaultInjector when a plan is configured).
+  pim::PimSystem<ModuleState>& system() { return sys_; }
+  const pim::PimSystem<ModuleState>& system() const { return sys_; }
+  // True while at least one module is dead: queries touching it transparently
+  // fall back to the host-side mirror (results stay exact) and updates route
+  // on the CPU past it.
+  bool degraded() const { return sys_.dead_module_count() != 0; }
+  // Direct crash hook (tests / soak): wipes module m's state, marks it dead.
+  void crash_module(std::size_t m) { sys_.crash_module(m); }
+
+  struct RecoveryReport {
+    std::size_t module = 0;
+    std::uint64_t copies = 0;          // copy instances restored
+    std::uint64_t words = 0;           // words shipped to the module
+    std::uint64_t from_replicas = 0;   // sourced from surviving replicas
+    std::uint64_t from_host = 0;       // rebuilt from the host point store
+    std::uint64_t counters_resynced = 0;
+    bool integrity_ok = false;         // check_integrity() after the repair
+  };
+  // Revives module m and rebuilds its masters/replicas from surviving dual-way
+  // replicas plus the host point store, charging the recovery work and words
+  // to Metrics inside a "recover" trace span; then repairs any message-loss
+  // counter damage and runs check_integrity().
+  RecoveryReport recover(std::size_t m);
+  // Recovers every dead module (ascending module index).
+  std::vector<RecoveryReport> recover_all();
+  // Repairs stale replica counters (message-loss damage) without a revive.
+  std::uint64_t resync_counters();
+
+  // "fsck" for the distributed tree: master/replica agreement (presence, ref
+  // counts, counter sync, leaf payload equality), no orphan physical copies,
+  // approximate-counter drift bounds, alive/live bookkeeping, and per-module
+  // storage-ledger reconciliation. Read-only; ok=false while any module is
+  // dead (the damage is still visible).
+  struct IntegrityReport {
+    bool ok = true;
+    std::vector<std::string> problems;  // first kMaxProblems, human-readable
+    std::string to_string() const;
+  };
+  IntegrityReport check_integrity() const;
+
+  struct DegradedStats {
+    std::uint64_t host_fallback_queries = 0;   // whole queries run on the host
+    std::uint64_t host_fallback_subtrees = 0;  // subtree visits degraded
+    std::uint64_t cpu_routed_batches = 0;      // push targets dead -> CPU route
+  };
+  DegradedStats degraded_stats() const {
+    return DegradedStats{deg_queries_.load(std::memory_order_relaxed),
+                         deg_subtrees_.load(std::memory_order_relaxed),
+                         deg_routes_.load(std::memory_order_relaxed)};
+  }
+  void reset_degraded_stats() {
+    deg_queries_.store(0, std::memory_order_relaxed);
+    deg_subtrees_.store(0, std::memory_order_relaxed);
+    deg_routes_.store(0, std::memory_order_relaxed);
+  }
 
   // --- Introspection (tests and benches) -------------------------------------
   // Cumulative update-path event counters (cleared with reset_op_stats).
@@ -201,6 +262,25 @@ class PimKdTree {
   void radius_rec(Cursor& cur, NodeId nid, const Point& q, Coord r2,
                   std::vector<PointId>* out, std::size_t& cnt) const;
 
+  // --- Degraded-mode host fallbacks (recovery.cpp) -----------------------------
+  // Mirror-walk twins of the *_rec recursions: identical pruning and identical
+  // result order (all candidate orders are resolved by unique-minimum
+  // tie-breaks or final sorts), but every step charges CPU work instead of
+  // touching PIM state. Used when a subtree's module is dead.
+  void host_knn_rec(pim::Metrics& led, NodeId nid, const Point& q,
+                    std::vector<Neighbor>& heap, std::size_t k,
+                    double prune) const;
+  void host_dep_rec(pim::Metrics& led, NodeId nid, const Point& q,
+                    double q_prio, PointId self, Neighbor& best) const;
+  void host_range_rec(pim::Metrics& led, NodeId nid, const Box& box,
+                      std::vector<PointId>& out) const;
+  void host_radius_rec(pim::Metrics& led, NodeId nid, const Point& q, Coord r2,
+                       std::vector<PointId>* out, std::size_t& cnt) const;
+  // Modules a query batch may start on: all of them when healthy (so charge
+  // patterns are unchanged), the alive subset when degraded, empty when every
+  // module is dead (full host fallback).
+  std::vector<std::size_t> query_start_modules() const;
+
   std::size_t height_rec(NodeId nid) const;
   bool check_node_invariants(NodeId nid, std::uint64_t& size_out) const;
 
@@ -220,6 +300,11 @@ class PimKdTree {
   std::size_t peak_live_ = 0;  // high-water mark since the last full rebuild
   std::vector<NodeId> unfinished_;  // delayed-construction component roots
   OpStats op_stats_;
+
+  // Degraded-mode event counters (atomic: queries charge them from the pool).
+  mutable std::atomic<std::uint64_t> deg_queries_{0};
+  mutable std::atomic<std::uint64_t> deg_subtrees_{0};
+  mutable std::atomic<std::uint64_t> deg_routes_{0};
 };
 
 }  // namespace pimkd::core

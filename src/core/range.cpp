@@ -8,6 +8,13 @@ namespace pimkd::core {
 
 void PimKdTree::range_rec(Cursor& cur, NodeId nid, const Box& box,
                           std::vector<PointId>& out) const {
+  if (!cur.can_visit(nid)) {
+    // Degraded mode: subtree unreachable in-PIM; the host mirror answers
+    // exactly (results are sorted afterwards either way).
+    deg_subtrees_.fetch_add(1, std::memory_order_relaxed);
+    host_range_rec(cur.ledger(), nid, box, out);
+    return;
+  }
   const std::size_t mark = cur.mark();
   cur.visit(nid);
   const NodeRec& n = pool_.at(nid);
@@ -30,12 +37,20 @@ void PimKdTree::range_rec(Cursor& cur, NodeId nid, const Box& box,
 
 std::vector<std::vector<PointId>> PimKdTree::range(
     std::span<const Box> boxes) {
+  for (const Box& b : boxes) validate_box(b, cfg_.dim, "range");
   pim::TraceScope span(sys_.metrics(), "range", boxes.size());
   pim::RoundGuard round(sys_.metrics());
   std::vector<std::vector<PointId>> out(boxes.size());
   if (root_ == kNoNode) return out;
+  const auto starts = query_start_modules();
   parallel_for(0, boxes.size(), [&](std::size_t i) {
-    const std::size_t start = i % sys_.P();
+    if (starts.empty()) {
+      deg_queries_.fetch_add(1, std::memory_order_relaxed);
+      host_range_rec(sys_.metrics(), root_, boxes[i], out[i]);
+      std::sort(out[i].begin(), out[i].end());
+      return;
+    }
+    const std::size_t start = starts[i % starts.size()];
     sys_.metrics().add_comm(start, kQueryWords);
     Cursor cur(cfg_, pool_, store_, sys_.metrics(), start);
     range_rec(cur, root_, boxes[i], out[i]);
@@ -48,6 +63,11 @@ std::vector<std::vector<PointId>> PimKdTree::range(
 
 void PimKdTree::radius_rec(Cursor& cur, NodeId nid, const Point& q, Coord r2,
                            std::vector<PointId>* out, std::size_t& cnt) const {
+  if (!cur.can_visit(nid)) {
+    deg_subtrees_.fetch_add(1, std::memory_order_relaxed);
+    host_radius_rec(cur.ledger(), nid, q, r2, out, cnt);
+    return;
+  }
   const std::size_t mark = cur.mark();
   cur.visit(nid);
   const NodeRec& n = pool_.at(nid);
@@ -74,15 +94,24 @@ void PimKdTree::radius_rec(Cursor& cur, NodeId nid, const Point& q, Coord r2,
 
 std::vector<std::vector<PointId>> PimKdTree::radius(
     std::span<const Point> centers, Coord r) {
+  validate_points(centers, cfg_.dim, "radius");
+  validate_radius(r, "radius");
   pim::TraceScope span(sys_.metrics(), "radius", centers.size());
   pim::RoundGuard round(sys_.metrics());
   std::vector<std::vector<PointId>> out(centers.size());
   if (root_ == kNoNode) return out;
+  const auto starts = query_start_modules();
   parallel_for(0, centers.size(), [&](std::size_t i) {
-    const std::size_t start = i % sys_.P();
+    std::size_t cnt = 0;
+    if (starts.empty()) {
+      deg_queries_.fetch_add(1, std::memory_order_relaxed);
+      host_radius_rec(sys_.metrics(), root_, centers[i], r * r, &out[i], cnt);
+      std::sort(out[i].begin(), out[i].end());
+      return;
+    }
+    const std::size_t start = starts[i % starts.size()];
     sys_.metrics().add_comm(start, kQueryWords);
     Cursor cur(cfg_, pool_, store_, sys_.metrics(), start);
-    std::size_t cnt = 0;
     radius_rec(cur, root_, centers[i], r * r, &out[i], cnt);
     sys_.metrics().add_comm(start, out[i].size());
     std::sort(out[i].begin(), out[i].end());
@@ -92,12 +121,21 @@ std::vector<std::vector<PointId>> PimKdTree::radius(
 
 std::vector<std::size_t> PimKdTree::radius_count(
     std::span<const Point> centers, Coord r) {
+  validate_points(centers, cfg_.dim, "radius_count");
+  validate_radius(r, "radius_count");
   pim::TraceScope span(sys_.metrics(), "radius_count", centers.size());
   pim::RoundGuard round(sys_.metrics());
   std::vector<std::size_t> out(centers.size(), 0);
   if (root_ == kNoNode) return out;
+  const auto starts = query_start_modules();
   parallel_for(0, centers.size(), [&](std::size_t i) {
-    const std::size_t start = i % sys_.P();
+    if (starts.empty()) {
+      deg_queries_.fetch_add(1, std::memory_order_relaxed);
+      host_radius_rec(sys_.metrics(), root_, centers[i], r * r, nullptr,
+                      out[i]);
+      return;
+    }
+    const std::size_t start = starts[i % starts.size()];
     sys_.metrics().add_comm(start, kQueryWords);
     Cursor cur(cfg_, pool_, store_, sys_.metrics(), start);
     radius_rec(cur, root_, centers[i], r * r, nullptr, out[i]);

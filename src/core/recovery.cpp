@@ -1,0 +1,349 @@
+// Fault recovery and the distributed-tree integrity checker ("fsck"), plus
+// the degraded-mode host fallbacks for queries.
+//
+// Recovery model: a crash wipes a module's physical state but the host keeps
+// the authoritative mirror (NodePool + point store) and the copy registry
+// (intent). recover(m) revives the module and re-ships everything the
+// registry says it should hold, preferring surviving dual-way replicas as
+// sources and falling back to the host store; the work and words are charged
+// to Metrics inside a "recover" trace span, so recovery cost shows up in the
+// JSONL trace like any other operation. check_integrity() then cross-checks
+// intent against physical truth.
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+
+#include "core/pim_kdtree.hpp"
+#include "pim/status.hpp"
+
+namespace pimkd::core {
+
+namespace {
+// Bound the problem list so a badly damaged tree doesn't drown the caller.
+constexpr std::size_t kMaxProblems = 32;
+
+struct HeapCmp {
+  bool operator()(const Neighbor& a, const Neighbor& b) const {
+    return a.sq_dist != b.sq_dist ? a.sq_dist < b.sq_dist : a.id < b.id;
+  }
+};
+
+bool higher(double prio, PointId id, double q_prio, PointId self) {
+  return prio > q_prio || (prio == q_prio && id > self);
+}
+}  // namespace
+
+// --- Recovery -----------------------------------------------------------------
+
+PimKdTree::RecoveryReport PimKdTree::recover(std::size_t m) {
+  RecoveryReport rep;
+  rep.module = m;
+  if (m >= sys_.P()) {
+    std::ostringstream os;
+    os << "recover: module " << m << " out of range (P=" << sys_.P() << ")";
+    throw std::invalid_argument(os.str());
+  }
+  if (sys_.module_alive(m)) {
+    rep.integrity_ok = check_integrity().ok;
+    return rep;
+  }
+  pim::TraceScope span(sys_.metrics(), "recover", 1);
+  pim::RoundGuard round(sys_.metrics());
+  sys_.revive_module(m);
+  const DistStore::RecoverySummary sum = store_.rebuild_module(m);
+  rep.copies = sum.copies;
+  rep.words = sum.words;
+  rep.from_replicas = sum.from_replicas;
+  rep.from_host = sum.from_host;
+  // Message-loss damage (stale counters on surviving replicas) is repaired in
+  // the same pass, so post-recovery integrity covers both failure modes.
+  rep.counters_resynced = store_.resync_counters();
+  if (pim::TraceSink* t = sys_.metrics().trace_sink())
+    t->record_recovery(m, rep.copies, rep.words, rep.from_replicas,
+                       rep.from_host, rep.counters_resynced);
+  rep.integrity_ok = check_integrity().ok;
+  return rep;
+}
+
+std::vector<PimKdTree::RecoveryReport> PimKdTree::recover_all() {
+  std::vector<RecoveryReport> out;
+  for (const std::size_t m : sys_.dead_modules()) out.push_back(recover(m));
+  return out;
+}
+
+std::uint64_t PimKdTree::resync_counters() {
+  pim::TraceScope span(sys_.metrics(), "resync_counters", 1);
+  pim::RoundGuard round(sys_.metrics());
+  return store_.resync_counters();
+}
+
+// --- Integrity checker ("fsck") -------------------------------------------------
+
+std::string PimKdTree::IntegrityReport::to_string() const {
+  if (ok) return "integrity OK";
+  std::ostringstream os;
+  os << "integrity FAILED (" << problems.size() << " problem(s) recorded)";
+  for (const std::string& p : problems) os << "\n  - " << p;
+  return os.str();
+}
+
+PimKdTree::IntegrityReport PimKdTree::check_integrity() const {
+  IntegrityReport rep;
+  auto fail = [&](const std::string& msg) {
+    rep.ok = false;
+    if (rep.problems.size() < kMaxProblems) rep.problems.push_back(msg);
+  };
+
+  // Alive bitmap: a dead module is damage by definition (its registered
+  // copies are physically missing until recover()).
+  for (const std::size_t m : sys_.dead_modules()) {
+    std::ostringstream os;
+    os << "module m" << m << " is dead (unrecovered)";
+    fail(os.str());
+  }
+
+  // Host bookkeeping: live_ matches the alive_ flags.
+  std::size_t alive_count = 0;
+  for (const char a : alive_)
+    if (a) ++alive_count;
+  if (alive_count != live_) {
+    std::ostringstream os;
+    os << "live_=" << live_ << " but " << alive_count << " alive flags";
+    fail(os.str());
+  }
+
+  // Expected physical words per module, recomputed from the registry while
+  // cross-checking every copy against the mirror.
+  std::vector<std::uint64_t> expect_words(sys_.P(), 0);
+  store_.for_each_registered([&](NodeId id,
+                                 const std::vector<std::uint32_t>& mods) {
+    if (!pool_.contains(id)) {
+      std::ostringstream os;
+      os << "registry entry for node " << id << " absent from the mirror";
+      fail(os.str());
+      return;
+    }
+    const NodeRec& rec = pool_.at(id);
+    // Per-module ref multiplicity.
+    std::unordered_map<std::uint32_t, std::uint32_t> refs;
+    for (const std::uint32_t m : mods) ++refs[m];
+    bool master_seen = false;
+    for (const auto& [m, r] : refs) {
+      if (m == store_.master_of(id)) master_seen = true;
+      expect_words[m] += static_cast<std::uint64_t>(r) * node_words(cfg_.dim);
+      if (rec.is_leaf())
+        expect_words[m] += static_cast<std::uint64_t>(rec.leaf_pts.size()) *
+                           point_words(cfg_.dim);
+      if (!sys_.module_alive(m)) continue;  // missing by design; flagged above
+      const ModuleState& st = sys_.module(m);
+      const auto cit = st.nodes.find(id);
+      if (cit == st.nodes.end()) {
+        std::ostringstream os;
+        os << "node " << id << " registered on m" << m
+           << " but physically absent";
+        fail(os.str());
+        continue;
+      }
+      if (cit->second.refs != r) {
+        std::ostringstream os;
+        os << "node " << id << " on m" << m << ": refs=" << cit->second.refs
+           << " registry says " << r;
+        fail(os.str());
+      }
+      if (cit->second.counter != rec.counter) {
+        std::ostringstream os;
+        os << "node " << id << " on m" << m << ": replica counter "
+           << cit->second.counter << " != canonical " << rec.counter
+           << " (stale; resync_counters repairs)";
+        fail(os.str());
+      }
+      if (rec.is_leaf()) {
+        const auto lit = st.leaf_points.find(id);
+        if (lit == st.leaf_points.end() || lit->second != rec.leaf_pts) {
+          std::ostringstream os;
+          os << "leaf " << id << " payload on m" << m
+             << (lit == st.leaf_points.end() ? " missing" : " desynced");
+          fail(os.str());
+        }
+      }
+    }
+    if (!master_seen) {
+      std::ostringstream os;
+      os << "node " << id << " has no copy on its master m"
+         << store_.master_of(id);
+      fail(os.str());
+    }
+  });
+
+  // Orphan physical copies (present on a module but not in the registry) and
+  // storage-ledger reconciliation.
+  for (std::size_t m = 0; m < sys_.P(); ++m) {
+    if (!sys_.module_alive(m)) continue;
+    const ModuleState& st = sys_.module(m);
+    for (const auto& [id, copy] : st.nodes) {
+      const auto& mods = store_.copy_modules(id);
+      if (std::find(mods.begin(), mods.end(),
+                    static_cast<std::uint32_t>(m)) == mods.end()) {
+        std::ostringstream os;
+        os << "orphan copy of node " << id << " on m" << m
+           << " (not in registry)";
+        fail(os.str());
+      }
+    }
+    for (const auto& [id, pts] : st.leaf_points) {
+      if (st.nodes.find(id) == st.nodes.end()) {
+        std::ostringstream os;
+        os << "orphan leaf payload for node " << id << " on m" << m;
+        fail(os.str());
+      }
+    }
+    const std::uint64_t ledger = sys_.metrics().module_storage(m);
+    if (ledger != expect_words[m]) {
+      std::ostringstream os;
+      os << "storage ledger m" << m << ": " << ledger << " words, expected "
+         << expect_words[m];
+      fail(os.str());
+    }
+  }
+
+  // Counter drift envelope (Lemma 3.6/3.7 smoke bound, as in
+  // check_invariants) and basic counter sanity.
+  pool_.for_each([&](const NodeRec& rec) {
+    if (!(rec.counter >= 0.0) || !std::isfinite(rec.counter)) {
+      std::ostringstream os;
+      os << "node " << rec.id << ": counter " << rec.counter
+         << " out of bounds";
+      fail(os.str());
+      return;
+    }
+    const double exact = static_cast<double>(rec.exact_size);
+    const double slack =
+        0.75 * std::max(exact, 1.0) + 8.0 * static_cast<double>(cfg_.leaf_cap);
+    if (std::abs(rec.counter - exact) > slack) {
+      std::ostringstream os;
+      os << "node " << rec.id << ": counter " << rec.counter
+         << " drifted beyond envelope of exact " << exact;
+      fail(os.str());
+    }
+  });
+
+  return rep;
+}
+
+// --- Degraded-mode host fallbacks ----------------------------------------------
+
+std::vector<std::size_t> PimKdTree::query_start_modules() const {
+  std::vector<std::size_t> out;
+  out.reserve(sys_.P());
+  if (!sys_.dead_module_count()) {
+    for (std::size_t m = 0; m < sys_.P(); ++m) out.push_back(m);
+    return out;
+  }
+  for (std::size_t m = 0; m < sys_.P(); ++m)
+    if (sys_.module_alive(m)) out.push_back(m);
+  return out;
+}
+
+void PimKdTree::host_knn_rec(pim::Metrics& led, NodeId nid, const Point& q,
+                             std::vector<Neighbor>& heap, std::size_t k,
+                             double prune) const {
+  led.add_cpu_work(1);
+  const NodeRec& n = pool_.at(nid);
+  const Coord worst_in = heap.size() < k
+                             ? std::numeric_limits<Coord>::infinity()
+                             : heap.front().sq_dist;
+  if (n.box.sq_dist_to(q, cfg_.dim) * prune >= worst_in) return;
+  if (n.is_leaf()) {
+    led.add_cpu_work(n.leaf_pts.size());
+    for (const PointId id : n.leaf_pts) {
+      if (!alive_[id]) continue;
+      const Neighbor cand{id, sq_dist(all_points_[id], q, cfg_.dim)};
+      if (heap.size() < k) {
+        heap.push_back(cand);
+        std::push_heap(heap.begin(), heap.end(), HeapCmp{});
+      } else if (HeapCmp{}(cand, heap.front())) {
+        std::pop_heap(heap.begin(), heap.end(), HeapCmp{});
+        heap.back() = cand;
+        std::push_heap(heap.begin(), heap.end(), HeapCmp{});
+      }
+    }
+    return;
+  }
+  const bool left_first = q[n.split_dim] < n.split_val;
+  const NodeId first = left_first ? n.left : n.right;
+  const NodeId second = left_first ? n.right : n.left;
+  host_knn_rec(led, first, q, heap, k, prune);
+  const Coord worst = heap.size() < k ? std::numeric_limits<Coord>::infinity()
+                                      : heap.front().sq_dist;
+  if (pool_.at(second).box.sq_dist_to(q, cfg_.dim) * prune < worst)
+    host_knn_rec(led, second, q, heap, k, prune);
+}
+
+void PimKdTree::host_dep_rec(pim::Metrics& led, NodeId nid, const Point& q,
+                             double q_prio, PointId self,
+                             Neighbor& best) const {
+  led.add_cpu_work(1);
+  const NodeRec& n = pool_.at(nid);
+  if (n.max_priority_id == kInvalidPoint ||
+      !higher(n.max_priority, n.max_priority_id, q_prio, self) ||
+      n.box.sq_dist_to(q, cfg_.dim) >= best.sq_dist)
+    return;
+  if (n.is_leaf()) {
+    led.add_cpu_work(n.leaf_pts.size());
+    for (const PointId id : n.leaf_pts) {
+      if (!alive_[id] || !higher(priorities_[id], id, q_prio, self)) continue;
+      const Coord d2 = sq_dist(all_points_[id], q, cfg_.dim);
+      if (d2 < best.sq_dist || (d2 == best.sq_dist && id < best.id))
+        best = Neighbor{id, d2};
+    }
+    return;
+  }
+  const bool left_first = q[n.split_dim] < n.split_val;
+  const NodeId first = left_first ? n.left : n.right;
+  const NodeId second = left_first ? n.right : n.left;
+  host_dep_rec(led, first, q, q_prio, self, best);
+  if (pool_.at(second).box.sq_dist_to(q, cfg_.dim) < best.sq_dist)
+    host_dep_rec(led, second, q, q_prio, self, best);
+}
+
+void PimKdTree::host_range_rec(pim::Metrics& led, NodeId nid, const Box& box,
+                               std::vector<PointId>& out) const {
+  led.add_cpu_work(1);
+  const NodeRec& n = pool_.at(nid);
+  if (!box.intersects(n.box, cfg_.dim)) return;
+  if (n.is_leaf()) {
+    led.add_cpu_work(n.leaf_pts.size());
+    for (const PointId id : n.leaf_pts)
+      if (alive_[id] && box.contains(all_points_[id], cfg_.dim))
+        out.push_back(id);
+    return;
+  }
+  host_range_rec(led, n.left, box, out);
+  host_range_rec(led, n.right, box, out);
+}
+
+void PimKdTree::host_radius_rec(pim::Metrics& led, NodeId nid, const Point& q,
+                                Coord r2, std::vector<PointId>* out,
+                                std::size_t& cnt) const {
+  led.add_cpu_work(1);
+  const NodeRec& n = pool_.at(nid);
+  if (!n.box.intersects_ball(q, r2, cfg_.dim)) return;
+  if (n.is_leaf()) {
+    led.add_cpu_work(n.leaf_pts.size());
+    for (const PointId id : n.leaf_pts) {
+      if (!alive_[id]) continue;
+      if (sq_dist(all_points_[id], q, cfg_.dim) <= r2) {
+        ++cnt;
+        if (out) out->push_back(id);
+      }
+    }
+    return;
+  }
+  host_radius_rec(led, n.left, q, r2, out, cnt);
+  host_radius_rec(led, n.right, q, r2, out, cnt);
+}
+
+}  // namespace pimkd::core

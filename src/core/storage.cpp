@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cstdio>
-#include <cstdlib>
+#include <sstream>
+
+#include "pim/status.hpp"
 
 namespace pimkd::core {
 
@@ -14,6 +15,11 @@ std::uint64_t DistStore::copy_words(const NodeRec& rec) const {
 
 void DistStore::add_copy(NodeId id, std::size_t module) {
   assert(sys_.metrics().in_round());
+  // The registry records intent even for a dead module (recovery re-ships it);
+  // the physical write and every charge are suppressed — the module is down
+  // and the orchestrator knows it.
+  registry_[id].push_back(static_cast<std::uint32_t>(module));
+  if (!sys_.module_alive(module)) return;
   const NodeRec& rec = pool_.at(id);
   ModuleState& st = sys_.module(module);
   Copy& copy = st.nodes[id];
@@ -27,7 +33,6 @@ void DistStore::add_copy(NodeId id, std::size_t module) {
   }
   sys_.metrics().add_comm(module, words);
   sys_.metrics().add_storage(module, static_cast<std::int64_t>(words));
-  registry_[id].push_back(static_cast<std::uint32_t>(module));
 }
 
 void DistStore::remove_all_copies(NodeId id) {
@@ -35,6 +40,7 @@ void DistStore::remove_all_copies(NodeId id) {
   if (it == registry_.end()) return;
   const NodeRec& rec = pool_.at(id);
   for (const std::uint32_t module : it->second) {
+    if (!sys_.module_alive(module)) continue;  // already physically gone
     ModuleState& st = sys_.module(module);
     const auto cit = st.nodes.find(id);
     assert(cit != st.nodes.end() && cit->second.refs > 0);
@@ -58,45 +64,52 @@ void DistStore::remove_all_copies(NodeId id) {
 void DistStore::remove_one_copy(NodeId id, std::size_t module) {
   const auto rit = registry_.find(id);
   if (rit == registry_.end()) {
-    std::fprintf(stderr,
-                 "DistStore::remove_one_copy: node %llu has no copies\n",
-                 static_cast<unsigned long long>(id));
-    std::abort();
+    std::ostringstream os;
+    os << "DistStore::remove_one_copy: node " << id << " has no copies";
+    throw PimError(StatusCode::kCorruptState, os.str());
   }
   auto& mods = rit->second;
   const auto pos =
       std::find(mods.begin(), mods.end(), static_cast<std::uint32_t>(module));
   if (pos == mods.end()) {
-    std::fprintf(stderr,
-                 "DistStore::remove_one_copy: node %llu absent on module %zu "
-                 "(%zu copies elsewhere)\n",
-                 static_cast<unsigned long long>(id), module, mods.size());
-    std::abort();
+    std::ostringstream os;
+    os << "DistStore::remove_one_copy: node " << id << " absent on module "
+       << module << " (" << mods.size() << " copies elsewhere)";
+    throw PimError(StatusCode::kCorruptState, os.str());
   }
   mods.erase(pos);
-  const NodeRec& rec = pool_.at(id);
-  ModuleState& st = sys_.module(module);
-  const auto cit = st.nodes.find(id);
-  assert(cit != st.nodes.end() && cit->second.refs > 0);
-  std::uint64_t words = copy_words(rec);
-  if (--cit->second.refs == 0) {
-    if (rec.is_leaf()) {
-      const auto lit = st.leaf_points.find(id);
-      if (lit != st.leaf_points.end()) {
-        words += static_cast<std::uint64_t>(lit->second.size()) *
-                 point_words(cfg_.dim);
-        st.leaf_points.erase(lit);
+  const bool live = sys_.module_alive(module);
+  if (live) {
+    const NodeRec& rec = pool_.at(id);
+    ModuleState& st = sys_.module(module);
+    const auto cit = st.nodes.find(id);
+    assert(cit != st.nodes.end() && cit->second.refs > 0);
+    std::uint64_t words = copy_words(rec);
+    if (--cit->second.refs == 0) {
+      if (rec.is_leaf()) {
+        const auto lit = st.leaf_points.find(id);
+        if (lit != st.leaf_points.end()) {
+          words += static_cast<std::uint64_t>(lit->second.size()) *
+                   point_words(cfg_.dim);
+          st.leaf_points.erase(lit);
+        }
       }
+      st.nodes.erase(cit);
     }
-    st.nodes.erase(cit);
+    sys_.metrics().add_storage(module, -static_cast<std::int64_t>(words));
   }
-  sys_.metrics().add_storage(module, -static_cast<std::int64_t>(words));
   if (mods.empty()) registry_.erase(rit);
 }
 
 bool DistStore::module_has(std::size_t module, NodeId id) const {
   const ModuleState& st = sys_.module(module);
   return st.nodes.count(id) != 0;
+}
+
+bool DistStore::has_live_copy(NodeId id) const {
+  for (const std::uint32_t m : copy_modules(id))
+    if (sys_.module_alive(m)) return true;
+  return false;
 }
 
 const std::vector<std::uint32_t>& DistStore::copy_modules(NodeId id) const {
@@ -111,12 +124,17 @@ std::size_t DistStore::copy_count(NodeId id) const {
 void DistStore::write_counter_copies(NodeId id, bool charge_comm) {
   assert(sys_.metrics().in_round());
   const NodeRec& rec = pool_.at(id);
+  pim::FaultInjector* faults = sys_.faults();
   for (const std::uint32_t module : copy_modules(id)) {
+    if (!sys_.module_alive(module)) continue;  // send suppressed: module down
+    if (charge_comm) sys_.metrics().add_comm(module, kCounterWords);
+    // A lost message is charged (the word left the host) but never applied:
+    // the replica keeps its stale counter until resync_counters repairs it.
+    if (charge_comm && faults && faults->drop_counter_word(module)) continue;
     ModuleState& st = sys_.module(module);
     const auto it = st.nodes.find(id);
     assert(it != st.nodes.end());
     it->second.counter = rec.counter;
-    if (charge_comm) sys_.metrics().add_comm(module, kCounterWords);
     sys_.metrics().add_module_work(module, 1);
   }
 }
@@ -131,6 +149,7 @@ void DistStore::refresh_leaf_payload(NodeId leaf, std::uint64_t words_changed) {
   std::sort(uniq.begin(), uniq.end());
   uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
   for (const std::uint32_t module : uniq) {
+    if (!sys_.module_alive(module)) continue;  // send suppressed: module down
     ModuleState& st = sys_.module(module);
     auto& stored = st.leaf_points[leaf];
     const auto old_words = static_cast<std::int64_t>(stored.size()) *
@@ -142,6 +161,76 @@ void DistStore::refresh_leaf_payload(NodeId leaf, std::uint64_t words_changed) {
     sys_.metrics().add_module_work(module, 1 + words_changed);
     sys_.metrics().add_storage(module, new_words - old_words);
   }
+}
+
+DistStore::RecoverySummary DistStore::rebuild_module(std::size_t m) {
+  assert(sys_.metrics().in_round());
+  assert(sys_.module_alive(m));
+  RecoverySummary sum;
+  ModuleState& st = sys_.module(m);
+  for (const auto& [id, mods] : registry_) {
+    const auto refs_here = static_cast<std::uint32_t>(
+        std::count(mods.begin(), mods.end(), static_cast<std::uint32_t>(m)));
+    if (refs_here == 0) continue;
+    const NodeRec& rec = pool_.at(id);
+    // Prefer a surviving replica as the source (Figure-2 dual-way caching
+    // collocates copies widely); the host point store is the fallback of last
+    // resort and always suffices — it is authoritative.
+    std::size_t src = m;
+    for (const std::uint32_t other : mods) {
+      if (other != m && sys_.module_alive(other) && module_has(other, id)) {
+        src = other;
+        break;
+      }
+    }
+    Copy& copy = st.nodes[id];
+    copy.refs = refs_here;
+    copy.counter = rec.counter;
+    std::uint64_t words =
+        static_cast<std::uint64_t>(refs_here) * copy_words(rec);
+    if (rec.is_leaf()) {
+      st.leaf_points[id] = rec.leaf_pts;
+      words += static_cast<std::uint64_t>(rec.leaf_pts.size()) *
+               point_words(cfg_.dim);
+    }
+    if (src != m) {
+      sys_.metrics().add_comm(src, words);  // read side of the transfer
+      sum.from_replicas += refs_here;
+    } else {
+      sys_.metrics().add_cpu_work(words);  // host reconstructs the copy
+      sum.from_host += refs_here;
+    }
+    sys_.metrics().add_comm(m, words);
+    sys_.metrics().add_module_work(m, refs_here);
+    sys_.metrics().add_storage(m, static_cast<std::int64_t>(words));
+    sum.copies += refs_here;
+    sum.words += words;
+  }
+  return sum;
+}
+
+std::uint64_t DistStore::resync_counters() {
+  assert(sys_.metrics().in_round());
+  std::uint64_t fixed = 0;
+  for (const auto& [id, mods] : registry_) {
+    const NodeRec& rec = pool_.at(id);
+    // Dedup: one physical Copy per module regardless of ref multiplicity.
+    std::vector<std::uint32_t> uniq(mods.begin(), mods.end());
+    std::sort(uniq.begin(), uniq.end());
+    uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+    for (const std::uint32_t module : uniq) {
+      if (!sys_.module_alive(module)) continue;
+      ModuleState& st = sys_.module(module);
+      auto cit = st.nodes.find(id);
+      if (cit == st.nodes.end() || cit->second.counter == rec.counter)
+        continue;
+      cit->second.counter = rec.counter;
+      sys_.metrics().add_comm(module, kCounterWords);
+      sys_.metrics().add_module_work(module, 1);
+      ++fixed;
+    }
+  }
+  return fixed;
 }
 
 std::uint64_t DistStore::node_storage_words(NodeId id) const {

@@ -13,6 +13,17 @@
 // where the algorithm claims), keeps a host-side registry of copy locations
 // (so demolition and counter broadcast are exact), and charges Metrics for
 // every word it ships.
+//
+// Fault model: the registry records *intent* (where copies should live); the
+// per-module maps record physical truth. When a module is dead (crashed, see
+// pim/fault.hpp), the orchestrator suppresses every message addressed to it —
+// registry bookkeeping proceeds (so recovery knows what to restore) but no
+// state is written, no words are charged and no storage moves. Lost counter
+// messages (kMessageLoss) are charged (the word left the host) but not
+// applied, leaving a stale replica for check_integrity to flag and
+// resync_counters to repair. rebuild_module() restores a revived module's
+// copies from surviving replicas, falling back to the host-side authoritative
+// store when a node has no live replica.
 #pragma once
 
 #include <cstdint>
@@ -54,11 +65,44 @@ class DistStore {
   void remove_all_copies(NodeId id);
 
   // Removes exactly one copy of `id` from `module` (incremental component
-  // maintenance when a node leaves a component). The copy must exist.
+  // maintenance when a node leaves a component). The copy must exist in the
+  // registry; a missing entry throws PimError(kCorruptState) so callers (and
+  // tests) can observe the damage instead of the process dying.
   void remove_one_copy(NodeId id, std::size_t module);
 
   // Is a copy of `id` present on `module`? (Traversal assertion hook.)
   bool module_has(std::size_t module, NodeId id) const;
+
+  // --- Fault surface ---------------------------------------------------------
+  bool module_alive(std::size_t m) const { return sys_.module_alive(m); }
+  bool any_module_dead() const { return sys_.dead_module_count() != 0; }
+
+  // Is at least one registered copy of `id` on an alive module? (Degraded
+  // queries fall back to the host when not.)
+  bool has_live_copy(NodeId id) const;
+
+  // Re-ships every registered copy of (revived, empty) module `m` — node
+  // records, counters, leaf payloads — preferring a surviving replica as the
+  // source and falling back to the host point store. Charges communication to
+  // both ends (or CPU work for host-sourced copies), module work and storage.
+  struct RecoverySummary {
+    std::uint64_t copies = 0;         // copy instances restored (with refs)
+    std::uint64_t words = 0;          // words shipped to the module
+    std::uint64_t from_replicas = 0;  // copies sourced from surviving replicas
+    std::uint64_t from_host = 0;      // copies rebuilt from the host store
+  };
+  RecoverySummary rebuild_module(std::size_t m);
+
+  // Rewrites every replica counter that disagrees with the canonical mirror
+  // value (message-loss damage); charges one word per rewritten replica.
+  // Returns the number of replicas fixed.
+  std::uint64_t resync_counters();
+
+  // Host-side fsck hook: fn(id, modules) for every registry entry.
+  template <class Fn>
+  void for_each_registered(Fn&& fn) const {
+    for (const auto& [id, mods] : registry_) fn(id, mods);
+  }
 
   // All modules currently holding a copy (with multiplicity; master first if
   // present). Used for counter broadcast cost accounting.

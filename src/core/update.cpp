@@ -87,11 +87,16 @@ std::vector<PimKdTree::RouteStop> PimKdTree::route_batch(
   std::vector<RouteStop> out(queries.size());
   if (root_ == kNoNode || queries.empty()) return out;
   const std::uint64_t tau = push_pull_threshold();
-  const std::size_t P = sys_.P();
 
   // Distribute the batch: query i lands on module i mod P (Alg. 4 lines 2-5).
-  for (std::size_t i = 0; i < queries.size(); ++i)
-    sys_.metrics().add_comm(i % P, kQueryWords);
+  // Degraded mode rotates over the alive modules only (starts == all modules
+  // when healthy, so the fault-free charge pattern is unchanged); with every
+  // module down the whole descent runs on the CPU.
+  const auto starts = query_start_modules();
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (!starts.empty())
+      sys_.metrics().add_comm(starts[i % starts.size()], kQueryWords);
+  }
 
   // push_anchor == kNoNode means the descent currently runs on the CPU
   // (pulled) or inside the replicated Group 0.
@@ -103,9 +108,14 @@ std::vector<PimKdTree::RouteStop> PimKdTree::route_batch(
 
     // --- Arrival: charge per the execution site -----------------------------
     if (g0) {
-      // Group 0 is replicated everywhere: each query works on its own module.
-      for (const std::uint32_t qi : qs)
-        sys_.metrics().add_module_work(qi % P, 1);
+      // Group 0 is replicated everywhere: each query works on its own module
+      // (its alive start module when degraded, the CPU when none remain).
+      for (const std::uint32_t qi : qs) {
+        if (!starts.empty())
+          sys_.metrics().add_module_work(starts[qi % starts.size()], 1);
+        else
+          sys_.metrics().add_cpu_work(1);
+      }
       push_anchor = kNoNode;
     } else {
       bool local = false;
@@ -130,16 +140,31 @@ std::vector<PimKdTree::RouteStop> PimKdTree::route_batch(
         if (rec.is_leaf())
           words += static_cast<std::uint64_t>(rec.leaf_pts.size()) *
                    point_words(cfg_.dim);
-        sys_.metrics().add_comm(store_.master_of(nid), words);
+        const std::size_t m = store_.master_of(nid);
+        if (sys_.module_alive(m)) {
+          sys_.metrics().add_comm(m, words);
+        } else {
+          // Degraded: the master is down; the CPU reads its own mirror.
+          deg_routes_.fetch_add(1, std::memory_order_relaxed);
+          sys_.metrics().add_cpu_work(words);
+        }
         sys_.metrics().add_cpu_work(qs.size());
         push_anchor = kNoNode;
       } else {
-        // Push: ship the queries to the node's module and continue there.
         const std::size_t m = store_.master_of(nid);
-        assert(store_.module_has(m, nid));
-        sys_.metrics().add_comm(m, qs.size() * kQueryWords);
-        sys_.metrics().add_module_work(m, qs.size());
-        push_anchor = nid;
+        if (!sys_.module_alive(m)) {
+          // Degraded: the push target is down; the host resolves this batch
+          // segment from its mirror (still exact, CPU-charged).
+          deg_routes_.fetch_add(1, std::memory_order_relaxed);
+          sys_.metrics().add_cpu_work(qs.size());
+          push_anchor = kNoNode;
+        } else {
+          // Push: ship the queries to the node's module and continue there.
+          assert(store_.module_has(m, nid));
+          sys_.metrics().add_comm(m, qs.size() * kQueryWords);
+          sys_.metrics().add_module_work(m, qs.size());
+          push_anchor = nid;
+        }
       }
     }
 
@@ -381,6 +406,7 @@ void PimKdTree::repair_groups_batch(const std::vector<NodeId>& touched) {
 // --- Insert / Delete -----------------------------------------------------------
 
 std::vector<PointId> PimKdTree::insert(std::span<const Point> pts) {
+  validate_points(pts, cfg_.dim, "insert");
   pim::TraceScope span(sys_.metrics(), "insert", pts.size());
   std::vector<PointId> new_ids;
   new_ids.reserve(pts.size());
@@ -512,6 +538,7 @@ void PimKdTree::erase(std::span<const PointId> ids) {
 // --- LeafSearch (Algorithm 4) ---------------------------------------------------
 
 std::vector<NodeId> PimKdTree::leaf_search(std::span<const Point> queries) {
+  validate_points(queries, cfg_.dim, "leaf_search");
   pim::TraceScope span(sys_.metrics(), "leaf_search", queries.size());
   pim::RoundGuard round(sys_.metrics());
   const auto stops = route_batch(queries, 0);

@@ -2,14 +2,27 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
+#include <stdexcept>
 
 namespace pimkd {
 
+void PkdTree::Config::validate() const {
+  if (dim < 1 || dim > kMaxDim)
+    throw std::invalid_argument("PkdTree::Config::dim out of [1, kMaxDim]");
+  if (!std::isfinite(alpha) || alpha <= 0)
+    throw std::invalid_argument(
+        "PkdTree::Config::alpha must be finite and > 0");
+  if (leaf_cap < 1)
+    throw std::invalid_argument("PkdTree::Config::leaf_cap must be >= 1");
+  if (sigma < 1)
+    throw std::invalid_argument("PkdTree::Config::sigma must be >= 1");
+}
+
 PkdTree::PkdTree(const Config& cfg, std::span<const Point> pts)
     : cfg_(cfg), rng_(cfg.seed) {
-  assert(cfg_.dim >= 1 && cfg_.dim <= kMaxDim);
-  assert(cfg_.alpha > 0);
+  cfg_.validate();
   if (!pts.empty()) (void)insert(pts);
 }
 

@@ -32,6 +32,9 @@ class PkdTree {
     std::size_t leaf_cap = 16;
     std::size_t sigma = 64;  // over-sampling rate for splitter selection
     std::uint64_t seed = 0x9d;
+
+    // Always-on validation; throws std::invalid_argument on a bad field.
+    void validate() const;
   };
 
   struct UpdateCounters {

@@ -2,14 +2,23 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 namespace pimkd {
+
+void StaticKdTree::Config::validate() const {
+  if (dim < 1 || dim > kMaxDim)
+    throw std::invalid_argument(
+        "StaticKdTree::Config::dim out of [1, kMaxDim]");
+  if (leaf_cap < 1)
+    throw std::invalid_argument(
+        "StaticKdTree::Config::leaf_cap must be >= 1");
+}
 
 StaticKdTree::StaticKdTree(const Config& cfg, std::span<const Point> pts,
                            std::span<const PointId> ids)
     : cfg_(cfg), pts_(pts.begin(), pts.end()) {
-  assert(cfg_.dim >= 1 && cfg_.dim <= kMaxDim);
-  assert(cfg_.leaf_cap >= 1);
+  cfg_.validate();
   if (ids.empty()) {
     ids_.resize(pts_.size());
     for (std::size_t i = 0; i < ids_.size(); ++i)

@@ -28,6 +28,9 @@ class StaticKdTree {
   struct Config {
     int dim = 2;
     std::size_t leaf_cap = 16;
+
+    // Always-on validation; throws std::invalid_argument on a bad field.
+    void validate() const;
   };
 
   // Builds over a copy of pts. `ids` (optional) supplies the PointId each

@@ -1,0 +1,141 @@
+#include "pim/fault.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace pimkd::pim {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kModuleCrash: return "crash";
+    case FaultKind::kStall: return "stall";
+    case FaultKind::kMessageLoss: return "lose";
+  }
+  return "unknown";
+}
+
+namespace {
+
+[[noreturn]] void bad_token(const std::string& token, const char* why) {
+  throw std::invalid_argument("pimkd: bad fault event '" + token + "': " + why);
+}
+
+std::uint64_t parse_u64(const std::string& token, const std::string& s) {
+  if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos)
+    bad_token(token, "expected a non-negative integer");
+  return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+FaultEvent parse_event(const std::string& token) {
+  // kind@round:mMODULE[:ARG]
+  const auto at = token.find('@');
+  if (at == std::string::npos) bad_token(token, "missing '@round'");
+  const std::string kind_str = token.substr(0, at);
+  FaultEvent ev;
+  bool wants_arg = false;
+  if (kind_str == "crash") {
+    ev.kind = FaultKind::kModuleCrash;
+  } else if (kind_str == "stall") {
+    ev.kind = FaultKind::kStall;
+    wants_arg = true;
+  } else if (kind_str == "lose") {
+    ev.kind = FaultKind::kMessageLoss;
+    wants_arg = true;
+  } else {
+    bad_token(token, "unknown kind (want crash|stall|lose)");
+  }
+  const auto colon = token.find(':', at + 1);
+  if (colon == std::string::npos) bad_token(token, "missing ':mMODULE'");
+  ev.round = parse_u64(token, token.substr(at + 1, colon - at - 1));
+  std::string rest = token.substr(colon + 1);
+  std::string arg_str;
+  if (const auto colon2 = rest.find(':'); colon2 != std::string::npos) {
+    arg_str = rest.substr(colon2 + 1);
+    rest = rest.substr(0, colon2);
+  }
+  if (rest.empty() || rest[0] != 'm') bad_token(token, "module must be 'mN'");
+  ev.module = static_cast<std::size_t>(parse_u64(token, rest.substr(1)));
+  if (!arg_str.empty()) {
+    ev.arg = parse_u64(token, arg_str);
+  } else if (wants_arg) {
+    bad_token(token, "kind requires an ':ARG' value");
+  }
+  if (ev.kind == FaultKind::kMessageLoss && ev.arg > 1000)
+    bad_token(token, "loss rate is permille (0..1000)");
+  return ev;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::string token;
+  std::istringstream in(spec);
+  while (std::getline(in, token, ';')) {
+    // Trim surrounding whitespace; skip empty tokens (trailing ';').
+    const auto b = token.find_first_not_of(" \t");
+    const auto e = token.find_last_not_of(" \t");
+    if (b == std::string::npos) continue;
+    plan.events.push_back(parse_event(token.substr(b, e - b + 1)));
+  }
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.round < b.round;
+                   });
+  return plan;
+}
+
+FaultPlan FaultPlan::resolve(const std::string& spec) {
+  if (!spec.empty()) return parse(spec);
+  if (const char* env = std::getenv("PIMKD_FAULTS")) return parse(env);
+  return FaultPlan{};
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& ev = events[i];
+    if (i) os << ';';
+    os << fault_kind_name(ev.kind) << '@' << ev.round << ":m" << ev.module;
+    if (ev.kind != FaultKind::kModuleCrash) os << ':' << ev.arg;
+  }
+  return os.str();
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed,
+                             std::size_t num_modules)
+    : events_(std::move(plan.events)),
+      loss_permille_(num_modules, 0),
+      rng_(seed ^ 0xfa017ULL) {}
+
+std::vector<FaultEvent> FaultInjector::take_events(std::uint64_t round) {
+  std::vector<FaultEvent> fired;
+  // events_ is sorted by round and next_ only advances, so events scheduled
+  // for rounds the run has already passed can never fire late.
+  while (next_ < events_.size() && events_[next_].round <= round) {
+    if (events_[next_].round == round) fired.push_back(events_[next_]);
+    ++next_;
+  }
+  return fired;
+}
+
+void FaultInjector::set_loss_permille(std::size_t module,
+                                      std::uint64_t permille) {
+  if (module >= loss_permille_.size()) return;
+  const bool was = loss_permille_[module] > 0;
+  const bool now = permille > 0;
+  loss_permille_[module] = permille;
+  if (was != now) active_loss_modules_ += now ? 1 : -1;
+}
+
+bool FaultInjector::drop_counter_word(std::size_t module) {
+  if (module >= loss_permille_.size() || loss_permille_[module] == 0)
+    return false;
+  const bool drop = rng_.next_below(1000) < loss_permille_[module];
+  if (drop) ++dropped_;
+  return drop;
+}
+
+}  // namespace pimkd::pim

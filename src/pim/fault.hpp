@@ -1,0 +1,101 @@
+// Deterministic, seeded fault injection for the simulated PIM system.
+//
+// Real PIM hardware (UPMEM-class) exhibits module crashes, transient stalls
+// and lost transfers; the simulator reproduces them as *scheduled events at
+// BSP-round barriers* so every faulty run is exactly replayable from (seed,
+// plan). Three fault kinds:
+//   * crash  — the module's local state is wiped and it is marked dead until
+//              explicitly recovered (PimKdTree::recover). Messages addressed
+//              to a dead module are suppressed by the orchestrator.
+//   * stall  — the module charges `arg` extra units of work in that round,
+//              modelling a transient slowdown that stretches the round's
+//              PIM time.
+//   * lose   — from that round on, each counter-sync word sent to the module
+//              is dropped with probability arg/1000 (replica goes stale; the
+//              canonical host-side value is unaffected). arg = 0 clears the
+//              loss rate. Drops draw from the injector's private RNG on the
+//              control thread only, so the drop sequence is deterministic.
+//
+// Plans are written as a ';'-separated event list, e.g.
+//   PIMKD_FAULTS="crash@12:m3;stall@20:m1:5000;lose@8:m2:250"
+// (kind@round:mMODULE[:ARG]) and parse into a FaultPlan. The plan is applied
+// by PimSystem at the beginning of the matching Metrics round; events for
+// rounds that never run simply do not fire.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace pimkd::pim {
+
+enum class FaultKind {
+  kModuleCrash,
+  kStall,
+  kMessageLoss,
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+struct FaultEvent {
+  std::uint64_t round = 0;  // BSP round (Metrics round sequence) at whose
+                            // begin-barrier the event fires
+  FaultKind kind = FaultKind::kModuleCrash;
+  std::size_t module = 0;
+  std::uint64_t arg = 0;    // stall: extra work units; lose: permille rate
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  // Parses the "kind@round:mMODULE[:ARG]" ';'-list format. Throws
+  // std::invalid_argument naming the offending token on malformed input.
+  static FaultPlan parse(const std::string& spec);
+
+  // `spec` if non-empty, else the PIMKD_FAULTS environment variable, else an
+  // empty plan.
+  static FaultPlan resolve(const std::string& spec);
+
+  // Re-serializes to the parse() format (round-trips).
+  std::string to_string() const;
+};
+
+// Holds the plan plus the per-module message-loss state; owned by PimSystem
+// and consulted at round barriers (events) and on counter-sync sends (drops).
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, std::uint64_t seed, std::size_t num_modules);
+
+  // All events scheduled for `round`, in plan order. Consumes them: each
+  // event fires at most once.
+  std::vector<FaultEvent> take_events(std::uint64_t round);
+
+  // Message-loss draw for one counter-sync word to `module`. Control-thread
+  // only (the draw sequence is part of the deterministic trace).
+  bool drop_counter_word(std::size_t module);
+
+  void set_loss_permille(std::size_t module, std::uint64_t permille);
+  std::uint64_t loss_permille(std::size_t module) const {
+    return loss_permille_[module];
+  }
+  bool any_loss_active() const { return active_loss_modules_ > 0; }
+  std::uint64_t dropped_words() const { return dropped_; }
+  std::size_t pending_events() const { return events_.size() - next_; }
+
+ private:
+  std::vector<FaultEvent> events_;  // stably sorted by round
+  std::size_t next_ = 0;
+  std::vector<std::uint64_t> loss_permille_;
+  std::size_t active_loss_modules_ = 0;
+  Rng rng_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace pimkd::pim

@@ -37,6 +37,8 @@ void Metrics::begin_round() {
   in_round_ = true;
   for (auto& v : round_work_) v.store(0, std::memory_order_relaxed);
   for (auto& v : round_comm_) v.store(0, std::memory_order_relaxed);
+  // Scheduled faults fire at the barrier, before any kernel of the round.
+  if (round_observer_) round_observer_->on_round_begin(round_seq_);
 }
 
 void Metrics::end_round() {
@@ -90,6 +92,12 @@ void Metrics::add_storage(std::size_t m, std::int64_t words) {
   const auto prev = storage_[m].fetch_add(words, std::memory_order_relaxed);
   assert(prev + words >= 0);
   (void)prev;
+}
+
+std::uint64_t Metrics::clear_storage(std::size_t m) {
+  assert(m < storage_.size());
+  const auto prev = storage_[m].exchange(0, std::memory_order_relaxed);
+  return static_cast<std::uint64_t>(std::max<std::int64_t>(prev, 0));
 }
 
 std::uint64_t Metrics::total_storage() const {

@@ -31,6 +31,15 @@ namespace pimkd::pim {
 
 class TraceSink;  // pim/trace.hpp
 
+// Barrier hook: notified right after a round opens (in_round() is already
+// true, so the observer may charge work/comm into the new round). Used by
+// PimSystem to apply scheduled fault events at BSP-round barriers.
+class RoundObserver {
+ public:
+  virtual ~RoundObserver() = default;
+  virtual void on_round_begin(std::uint64_t round_seq) = 0;
+};
+
 struct Snapshot {
   std::uint64_t cpu_work = 0;
   std::uint64_t pim_work = 0;        // total across modules, all rounds
@@ -75,6 +84,15 @@ class Metrics {
   void add_storage(std::size_t m, std::int64_t words);
   std::uint64_t total_storage() const;
   LoadSummary storage_balance() const;
+  // Module m's state was physically lost (crash): zero its storage ledger and
+  // return the number of words that were stored there.
+  std::uint64_t clear_storage(std::size_t m);
+  // Words currently attributed to module m (integrity checks reconcile this
+  // ledger against the physically stored state).
+  std::uint64_t module_storage(std::size_t m) const {
+    const std::int64_t v = storage_[m].load(std::memory_order_relaxed);
+    return v > 0 ? static_cast<std::uint64_t>(v) : 0;
+  }
 
   // --- Reading -------------------------------------------------------------------
   Snapshot snapshot() const;
@@ -115,6 +133,10 @@ class Metrics {
   // owned; the owner must detach (or outlive) it.
   void set_trace_sink(TraceSink* sink) { trace_ = sink; }
   TraceSink* trace_sink() const { return trace_; }
+  // Barrier observer (fault injection). Not owned; detach before it dies.
+  void set_round_observer(RoundObserver* obs) { round_observer_ = obs; }
+  // Index of the round currently open (or of the next one to open).
+  std::uint64_t round_seq() const { return round_seq_; }
   void push_trace_label(std::string label) {
     trace_labels_.push_back(std::move(label));
   }
@@ -152,6 +174,7 @@ class Metrics {
   std::vector<std::atomic<std::int64_t>> storage_;
 
   TraceSink* trace_ = nullptr;
+  RoundObserver* round_observer_ = nullptr;
   std::vector<std::string> trace_labels_;  // TraceScope stack (control thread)
   std::uint64_t round_seq_ = 0;            // begin/end pairs seen (trace index)
 };

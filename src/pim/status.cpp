@@ -1,0 +1,27 @@
+#include "pim/status.hpp"
+
+namespace pimkd {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kModuleFailed: return "MODULE_FAILED";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kCorruptState: return "CORRUPT_STATE";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  std::string out = status_code_name(code);
+  if (!message.empty()) {
+    out += ": ";
+    out += message;
+  }
+  return out;
+}
+
+}  // namespace pimkd

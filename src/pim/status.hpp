@@ -1,0 +1,62 @@
+// Structured error taxonomy for the PIM simulator and its data structures.
+//
+// The library distinguishes three failure classes:
+//   * API misuse (bad configs, non-finite inputs)   -> std::invalid_argument,
+//   * hardware faults the system is built to survive (dead modules, lost
+//     messages)                                      -> Status / PimError with
+//     a fault code (kModuleFailed, kDataLoss, kUnavailable),
+//   * internal corruption that a correct build must never produce
+//     (registry/replica disagreement)               -> kCorruptState.
+// Status is the value type (for_each_module, integrity reports); PimError is
+// the exception carrier for the same taxonomy where an error cannot be
+// returned. Both print as "CODE: message".
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace pimkd {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,     // caller handed the API something malformed
+  kFailedPrecondition,  // operation not valid in the current state
+  kModuleFailed,        // one or more PIM modules are down
+  kDataLoss,            // module-local state was wiped or a message was lost
+  kUnavailable,         // resource temporarily unusable (recover first)
+  kCorruptState,        // internal bookkeeping disagrees with itself
+};
+
+const char* status_code_name(StatusCode code);
+
+struct Status {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+
+  bool ok() const { return code == StatusCode::kOk; }
+  std::string to_string() const;
+
+  static Status Ok() { return Status{}; }
+  static Status Error(StatusCode c, std::string msg) {
+    return Status{c, std::move(msg)};
+  }
+};
+
+// Exception carrying a Status, for call sites that cannot return one (deep
+// inside storage bookkeeping, round kernels, ...). what() == status string.
+class PimError : public std::runtime_error {
+ public:
+  explicit PimError(Status s)
+      : std::runtime_error(s.to_string()), status_(std::move(s)) {}
+  PimError(StatusCode c, std::string msg)
+      : PimError(Status{c, std::move(msg)}) {}
+
+  const Status& status() const { return status_; }
+  StatusCode code() const { return status_.code; }
+
+ private:
+  Status status_;
+};
+
+}  // namespace pimkd

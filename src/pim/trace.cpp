@@ -96,6 +96,29 @@ void TraceSink::record_span(const std::string& label, std::uint64_t ops,
   write_line(os.str());
 }
 
+void TraceSink::record_fault(std::uint64_t round, const char* kind,
+                             std::size_t module, std::uint64_t arg,
+                             std::uint64_t words_lost) {
+  std::ostringstream os;
+  os << "{\"type\":\"fault\",\"round\":" << round << ",\"kind\":\""
+     << escape(kind) << "\",\"module\":" << module << ",\"arg\":" << arg
+     << ",\"words_lost\":" << words_lost << "}";
+  write_line(os.str());
+}
+
+void TraceSink::record_recovery(std::size_t module, std::uint64_t copies,
+                                std::uint64_t words,
+                                std::uint64_t from_replicas,
+                                std::uint64_t from_host,
+                                std::uint64_t counters_resynced) {
+  std::ostringstream os;
+  os << "{\"type\":\"recovery\",\"module\":" << module << ",\"copies\":"
+     << copies << ",\"words\":" << words << ",\"from_replicas\":"
+     << from_replicas << ",\"from_host\":" << from_host
+     << ",\"counters_resynced\":" << counters_resynced << "}";
+  write_line(os.str());
+}
+
 TraceScope::TraceScope(Metrics& m, const char* label, std::uint64_t ops)
     : m_(m), label_(label), ops_(ops), active_(m.trace_sink() != nullptr) {
   if (!active_) return;

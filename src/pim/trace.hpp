@@ -59,6 +59,20 @@ class TraceSink {
   void record_span(const std::string& label, std::uint64_t ops,
                    const Snapshot& delta);
 
+  // One injected fault event (pim/fault.hpp), fired at a round barrier:
+  //   {"type":"fault","round":N,"kind":"crash|stall|lose","module":M,
+  //    "arg":A,"words_lost":W}
+  void record_fault(std::uint64_t round, const char* kind, std::size_t module,
+                    std::uint64_t arg, std::uint64_t words_lost);
+
+  // One module recovery (PimKdTree::recover):
+  //   {"type":"recovery","module":M,"copies":..,"words":..,
+  //    "from_replicas":..,"from_host":..,"counters_resynced":..}
+  void record_recovery(std::size_t module, std::uint64_t copies,
+                       std::uint64_t words, std::uint64_t from_replicas,
+                       std::uint64_t from_host,
+                       std::uint64_t counters_resynced);
+
  private:
   void write_line(const std::string& line);
 

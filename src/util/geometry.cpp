@@ -1,6 +1,55 @@
 #include "util/geometry.hpp"
 
+#include <sstream>
+#include <stdexcept>
+
 namespace pimkd {
+
+void validate_point(const Point& p, int dim, const char* op) {
+  for (int d = 0; d < dim; ++d) {
+    if (!std::isfinite(p[d])) {
+      std::ostringstream os;
+      os << op << ": non-finite coordinate " << p[d] << " at dimension " << d;
+      throw std::invalid_argument(os.str());
+    }
+  }
+}
+
+void validate_points(std::span<const Point> pts, int dim, const char* op) {
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (int d = 0; d < dim; ++d) {
+      if (!std::isfinite(pts[i][d])) {
+        std::ostringstream os;
+        os << op << ": non-finite coordinate " << pts[i][d] << " at point "
+           << i << " dimension " << d;
+        throw std::invalid_argument(os.str());
+      }
+    }
+  }
+}
+
+void validate_box(const Box& b, int dim, const char* op) {
+  for (int d = 0; d < dim; ++d) {
+    if (std::isnan(b.lo[d]) || std::isnan(b.hi[d])) {
+      std::ostringstream os;
+      os << op << ": NaN box bound at dimension " << d;
+      throw std::invalid_argument(os.str());
+    }
+    if (b.lo[d] > b.hi[d]) {
+      std::ostringstream os;
+      os << op << ": inverted box at dimension " << d << " (lo=" << b.lo[d]
+         << " > hi=" << b.hi[d] << ")";
+      throw std::invalid_argument(os.str());
+    }
+  }
+}
+
+void validate_radius(Coord r, const char* op) {
+  if (std::isfinite(r) && r >= 0) return;
+  std::ostringstream os;
+  os << op << ": radius must be finite and >= 0, got " << r;
+  throw std::invalid_argument(os.str());
+}
 
 Box bounding_box(std::span<const Point> pts, int dim) {
   Box b = Box::empty(dim);

@@ -155,6 +155,16 @@ struct Box {
 // Bounding box of a span of points.
 Box bounding_box(std::span<const Point> pts, int dim);
 
+// Input validation at API boundaries: every coordinate in the first `dim`
+// dimensions must be finite (no NaN/Inf). Throws std::invalid_argument
+// naming `op` and the offending position. A box may have infinite bounds
+// (Box::whole) but no NaN, and must satisfy lo <= hi per dimension.
+void validate_point(const Point& p, int dim, const char* op);
+void validate_points(std::span<const Point> pts, int dim, const char* op);
+void validate_box(const Box& b, int dim, const char* op);
+// A search radius must be finite and non-negative.
+void validate_radius(Coord r, const char* op);
+
 std::ostream& operator<<(std::ostream& os, const Point& p);
 
 }  // namespace pimkd

@@ -1,0 +1,247 @@
+// Fault-injection layer: plan parsing, injector determinism, and the
+// PimSystem-level crash/stall/lose behavior at BSP-round barriers.
+#include "pim/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "pim/metrics.hpp"
+#include "pim/status.hpp"
+#include "pim/system.hpp"
+
+namespace pimkd::pim {
+namespace {
+
+// --- Plan parsing -------------------------------------------------------------
+
+TEST(FaultPlan, ParsesAllKinds) {
+  const auto plan = FaultPlan::parse("crash@12:m3;stall@20:m1:5000;lose@8:m2:250");
+  ASSERT_EQ(plan.events.size(), 3u);
+  // Parsed events are stably sorted by round.
+  EXPECT_EQ(plan.events[0],
+            (FaultEvent{8, FaultKind::kMessageLoss, 2, 250}));
+  EXPECT_EQ(plan.events[1],
+            (FaultEvent{12, FaultKind::kModuleCrash, 3, 0}));
+  EXPECT_EQ(plan.events[2],
+            (FaultEvent{20, FaultKind::kStall, 1, 5000}));
+}
+
+TEST(FaultPlan, RoundTripsThroughToString) {
+  const std::string spec = "lose@8:m2:250;crash@12:m3;stall@20:m1:5000";
+  const auto plan = FaultPlan::parse(spec);
+  EXPECT_EQ(plan.to_string(), spec);
+  // Parsing the serialization again yields the same events.
+  EXPECT_EQ(FaultPlan::parse(plan.to_string()).events, plan.events);
+}
+
+TEST(FaultPlan, ToleratesWhitespaceAndEmptyTokens) {
+  const auto plan = FaultPlan::parse(" crash@1:m0 ; ;stall@2:m1:7;");
+  ASSERT_EQ(plan.events.size(), 2u);
+  EXPECT_EQ(plan.events[0].kind, FaultKind::kModuleCrash);
+  EXPECT_EQ(plan.events[1].arg, 7u);
+}
+
+TEST(FaultPlan, EmptySpecIsEmptyPlan) {
+  EXPECT_TRUE(FaultPlan::parse("").empty());
+  EXPECT_TRUE(FaultPlan::parse(" ; ; ").empty());
+}
+
+TEST(FaultPlan, RejectsMalformedTokens) {
+  EXPECT_THROW(FaultPlan::parse("crash:m0"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("melt@3:m0"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("crash@3"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("crash@x:m0"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("crash@3:module0"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("crash@3:m"), std::invalid_argument);
+  // stall and lose require an ARG; crash must not fail without one.
+  EXPECT_THROW(FaultPlan::parse("stall@3:m0"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("lose@3:m0"), std::invalid_argument);
+  EXPECT_NO_THROW(FaultPlan::parse("crash@3:m0"));
+  // Loss rate is permille.
+  EXPECT_THROW(FaultPlan::parse("lose@3:m0:1001"), std::invalid_argument);
+  EXPECT_NO_THROW(FaultPlan::parse("lose@3:m0:1000"));
+}
+
+TEST(FaultPlan, ResolvePrecedence) {
+  ASSERT_EQ(setenv("PIMKD_FAULTS", "crash@5:m1", 1), 0);
+  // Env var is consulted when the explicit spec is empty...
+  auto plan = FaultPlan::resolve("");
+  ASSERT_EQ(plan.events.size(), 1u);
+  EXPECT_EQ(plan.events[0].module, 1u);
+  // ...but an explicit spec wins.
+  plan = FaultPlan::resolve("crash@9:m2");
+  ASSERT_EQ(plan.events.size(), 1u);
+  EXPECT_EQ(plan.events[0].module, 2u);
+  ASSERT_EQ(unsetenv("PIMKD_FAULTS"), 0);
+  EXPECT_TRUE(FaultPlan::resolve("").empty());
+}
+
+// --- FaultInjector ------------------------------------------------------------
+
+TEST(FaultInjector, EventsFireExactlyOnce) {
+  FaultInjector inj(FaultPlan::parse("crash@2:m0;stall@2:m1:9;crash@4:m2"),
+                    /*seed=*/7, /*num_modules=*/4);
+  EXPECT_EQ(inj.pending_events(), 3u);
+  EXPECT_TRUE(inj.take_events(0).empty());
+  EXPECT_TRUE(inj.take_events(1).empty());
+  const auto at2 = inj.take_events(2);
+  ASSERT_EQ(at2.size(), 2u);
+  EXPECT_EQ(at2[0].kind, FaultKind::kModuleCrash);
+  EXPECT_EQ(at2[1].kind, FaultKind::kStall);
+  EXPECT_TRUE(inj.take_events(2).empty());  // consumed
+  const auto at4 = inj.take_events(4);
+  ASSERT_EQ(at4.size(), 1u);
+  EXPECT_EQ(at4[0].module, 2u);
+  EXPECT_EQ(inj.pending_events(), 0u);
+}
+
+TEST(FaultInjector, SkippedRoundsNeverFireLate) {
+  FaultInjector inj(FaultPlan::parse("crash@3:m0"), 7, 2);
+  // The run jumps straight past round 3: the event is consumed, not deferred.
+  EXPECT_TRUE(inj.take_events(10).empty());
+  EXPECT_EQ(inj.pending_events(), 0u);
+}
+
+TEST(FaultInjector, LossDrawsAreDeterministic) {
+  const auto plan = FaultPlan::parse("lose@0:m1:500");
+  FaultInjector a(plan, 42, 4);
+  FaultInjector b(plan, 42, 4);
+  a.set_loss_permille(1, 500);
+  b.set_loss_permille(1, 500);
+  for (int i = 0; i < 2000; ++i)
+    ASSERT_EQ(a.drop_counter_word(1), b.drop_counter_word(1)) << i;
+  EXPECT_GT(a.dropped_words(), 0u);
+  EXPECT_LT(a.dropped_words(), 2000u);
+  EXPECT_EQ(a.dropped_words(), b.dropped_words());
+}
+
+TEST(FaultInjector, LossRateEndpoints) {
+  FaultInjector inj(FaultPlan{}, 1, 2);
+  // No loss configured: never drops, and the zero-rate fast path is free.
+  EXPECT_FALSE(inj.any_loss_active());
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(inj.drop_counter_word(0));
+  inj.set_loss_permille(0, 1000);
+  EXPECT_TRUE(inj.any_loss_active());
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(inj.drop_counter_word(0));
+  inj.set_loss_permille(0, 0);
+  EXPECT_FALSE(inj.any_loss_active());
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(inj.drop_counter_word(0));
+  EXPECT_EQ(inj.dropped_words(), 100u);
+}
+
+// --- System-level behavior at round barriers ------------------------------------
+
+struct TestState {
+  int value = 0;
+};
+
+SystemConfig sys_cfg(std::size_t P, const std::string& faults) {
+  SystemConfig cfg;
+  cfg.num_modules = P;
+  cfg.cache_words = 1 << 16;
+  cfg.seed = 99;
+  cfg.fault_spec = faults;
+  return cfg;
+}
+
+TEST(PimSystemFaults, CrashFiresAtItsRoundBarrier) {
+  PimSystem<TestState> sys(sys_cfg(4, "crash@1:m2"));
+  ASSERT_NE(sys.faults(), nullptr);
+  sys.module(2).value = 7;
+  sys.metrics().add_storage(2, 100);
+  {
+    RoundGuard r(sys.metrics());  // round 0: nothing scheduled
+    EXPECT_TRUE(sys.module_alive(2));
+  }
+  {
+    RoundGuard r(sys.metrics());  // round 1: the crash fires at the barrier
+    EXPECT_FALSE(sys.module_alive(2));
+  }
+  EXPECT_EQ(sys.dead_module_count(), 1u);
+  EXPECT_EQ(sys.dead_modules(), std::vector<std::size_t>{2});
+  // State wiped, storage ledger zeroed, loss recorded.
+  EXPECT_EQ(sys.module(2).value, 0);
+  EXPECT_EQ(sys.metrics().module_storage(2), 0u);
+  EXPECT_EQ(sys.lost_storage_words(), 100u);
+}
+
+TEST(PimSystemFaults, ForEachModuleSurfacesStructuredError) {
+  PimSystem<TestState> sys(sys_cfg(4, ""));
+  sys.crash_module(1);
+  sys.crash_module(3);
+  const Status h = sys.health();
+  EXPECT_FALSE(h.ok());
+  EXPECT_EQ(h.code, StatusCode::kModuleFailed);
+  EXPECT_NE(h.message.find("m1"), std::string::npos);
+  EXPECT_NE(h.message.find("m3"), std::string::npos);
+  try {
+    sys.for_each_module([](std::size_t, TestState&) {});
+    FAIL() << "expected PimError";
+  } catch (const PimError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kModuleFailed);
+  }
+  // Degraded variant runs the alive modules only and reports the dead ones.
+  const Status st = sys.try_for_each_module(
+      [](std::size_t, TestState& s) { s.value = 1; });
+  EXPECT_EQ(st.code, StatusCode::kModuleFailed);
+  EXPECT_EQ(sys.module(0).value, 1);
+  EXPECT_EQ(sys.module(1).value, 0);  // dead: kernel skipped
+  EXPECT_EQ(sys.module(2).value, 1);
+  EXPECT_EQ(sys.module(3).value, 0);
+}
+
+TEST(PimSystemFaults, ReviveRestoresHealth) {
+  PimSystem<TestState> sys(sys_cfg(2, ""));
+  sys.crash_module(0);
+  EXPECT_FALSE(sys.health().ok());
+  sys.revive_module(0);
+  EXPECT_TRUE(sys.health().ok());
+  EXPECT_NO_THROW(sys.for_each_module([](std::size_t, TestState&) {}));
+  // crash / revive are idempotent.
+  sys.revive_module(0);
+  EXPECT_EQ(sys.dead_module_count(), 0u);
+  sys.crash_module(0);
+  sys.crash_module(0);
+  EXPECT_EQ(sys.dead_module_count(), 1u);
+}
+
+TEST(PimSystemFaults, StallChargesExtraWorkIntoItsRound) {
+  PimSystem<TestState> sys(sys_cfg(4, "stall@0:m1:500"));
+  {
+    RoundGuard r(sys.metrics());
+    EXPECT_EQ(sys.metrics().round_module_work()[1], 500u);
+  }
+  // The stall stretches the round's max work => PIM time.
+  EXPECT_GE(sys.metrics().snapshot().pim_time, 500u);
+}
+
+TEST(PimSystemFaults, LoseEventArmsTheInjector) {
+  PimSystem<TestState> sys(sys_cfg(4, "lose@0:m1:1000;lose@1:m1:0"));
+  { RoundGuard r(sys.metrics()); }
+  EXPECT_EQ(sys.faults()->loss_permille(1), 1000u);
+  EXPECT_TRUE(sys.faults()->drop_counter_word(1));
+  { RoundGuard r(sys.metrics()); }  // round 1 clears the rate
+  EXPECT_EQ(sys.faults()->loss_permille(1), 0u);
+  EXPECT_FALSE(sys.faults()->drop_counter_word(1));
+}
+
+TEST(PimSystemFaults, EnvVarConfiguresInjection) {
+  ASSERT_EQ(setenv("PIMKD_FAULTS", "crash@0:m0", 1), 0);
+  PimSystem<TestState> sys(sys_cfg(2, ""));
+  ASSERT_EQ(unsetenv("PIMKD_FAULTS"), 0);
+  ASSERT_NE(sys.faults(), nullptr);
+  { RoundGuard r(sys.metrics()); }
+  EXPECT_FALSE(sys.module_alive(0));
+}
+
+TEST(PimSystemFaults, NoPlanMeansNoInjector) {
+  PimSystem<TestState> sys(sys_cfg(2, ""));
+  EXPECT_EQ(sys.faults(), nullptr);
+  { RoundGuard r(sys.metrics()); }  // no observer: rounds run normally
+  EXPECT_TRUE(sys.health().ok());
+}
+
+}  // namespace
+}  // namespace pimkd::pim

@@ -1,0 +1,286 @@
+// Crash → degraded-mode queries → recover → integrity, plus trace
+// determinism and a randomized crash-recover-verify soak (ISSUE 2 acceptance
+// criteria). Throughout, a fault-free "reference" tree built with the same
+// configuration and fed the same workload is the ground truth: faulty-run
+// results must be byte-identical to it.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/pim_kdtree.hpp"
+#include "kdtree/bruteforce.hpp"
+#include "util/generators.hpp"
+#include "util/random.hpp"
+
+namespace pimkd::core {
+namespace {
+
+PimKdConfig base_cfg(std::size_t P, std::uint64_t seed = 7) {
+  PimKdConfig cfg;
+  cfg.dim = 2;
+  cfg.leaf_cap = 8;
+  cfg.sigma = 32;
+  cfg.system.num_modules = P;
+  cfg.system.seed = seed;
+  return cfg;
+}
+
+std::vector<Box> gen_boxes(int dim, std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Box> boxes;
+  for (std::size_t t = 0; t < count; ++t) {
+    Box b = Box::empty(dim);
+    Point a, c;
+    for (int d = 0; d < dim; ++d) {
+      a[d] = rng.next_double() * 0.7;
+      c[d] = a[d] + rng.next_double() * 0.3;
+    }
+    b.extend(a, dim);
+    b.extend(c, dim);
+    boxes.push_back(b);
+  }
+  return boxes;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(FaultRecovery, DegradedQueriesMatchFaultFreeRun) {
+  const auto pts = gen_uniform({.n = 3000, .dim = 2, .seed = 11});
+  PimKdTree ref(base_cfg(8), pts);
+  PimKdTree faulty(base_cfg(8), pts);
+
+  faulty.crash_module(1);
+  faulty.crash_module(4);
+  faulty.crash_module(6);
+  EXPECT_TRUE(faulty.degraded());
+  EXPECT_FALSE(faulty.check_integrity().ok);  // damage is visible until repair
+
+  const auto qs = gen_uniform_queries(pts, 2, 48, 5);
+  EXPECT_EQ(faulty.knn(qs, 8), ref.knn(qs, 8));
+  const auto boxes = gen_boxes(2, 16, 17);
+  EXPECT_EQ(faulty.range(boxes), ref.range(boxes));
+  EXPECT_EQ(faulty.radius(qs, 0.1), ref.radius(qs, 0.1));
+  EXPECT_EQ(faulty.radius_count(qs, 0.1), ref.radius_count(qs, 0.1));
+
+  // With 3 of 8 modules dead, some subtree visits must have degraded to the
+  // host mirror.
+  const auto st = faulty.degraded_stats();
+  EXPECT_GT(st.host_fallback_subtrees + st.host_fallback_queries, 0u);
+}
+
+TEST(FaultRecovery, RecoverRestoresIntegrityAndReportsSources) {
+  const auto pts = gen_uniform({.n = 2000, .dim = 2, .seed = 3});
+  PimKdTree tree(base_cfg(8), pts);
+  ASSERT_TRUE(tree.check_integrity().ok);
+
+  const auto before = tree.metrics().snapshot();
+  tree.crash_module(3);
+  const auto rep = tree.recover(3);
+  EXPECT_EQ(rep.module, 3u);
+  EXPECT_TRUE(rep.integrity_ok);
+  EXPECT_GT(rep.copies, 0u);
+  EXPECT_GT(rep.words, 0u);
+  EXPECT_EQ(rep.from_replicas + rep.from_host, rep.copies);
+  // Group 0 is replicated on every module, so at least those copies must have
+  // been sourced from surviving replicas rather than the host.
+  EXPECT_GT(rep.from_replicas, 0u);
+  EXPECT_FALSE(tree.degraded());
+  EXPECT_TRUE(tree.check_integrity().ok);
+  EXPECT_TRUE(tree.check_invariants());
+
+  // Recovery cost is charged to the ledger: words shipped appear as
+  // communication, and the repair ran inside at least one BSP round.
+  const auto delta = tree.metrics().snapshot() - before;
+  EXPECT_GE(delta.communication, rep.words);
+  EXPECT_GT(delta.rounds, 0u);
+
+  // Post-recovery queries are exact.
+  const auto qs = gen_uniform_queries(pts, 2, 24, 9);
+  const auto res = tree.knn(qs, 5);
+  for (std::size_t i = 0; i < qs.size(); ++i)
+    EXPECT_EQ(res[i], brute_knn(pts, 2, qs[i], 5));
+}
+
+TEST(FaultRecovery, RecoveringAnAliveModuleIsANoOp) {
+  const auto pts = gen_uniform({.n = 500, .dim = 2, .seed = 21});
+  PimKdTree tree(base_cfg(4), pts);
+  const auto before = tree.metrics().snapshot();
+  const auto rep = tree.recover(2);
+  EXPECT_EQ(rep.copies, 0u);
+  EXPECT_EQ(rep.words, 0u);
+  EXPECT_TRUE(rep.integrity_ok);
+  EXPECT_EQ((tree.metrics().snapshot() - before).communication, 0u);
+}
+
+TEST(FaultRecovery, RecoverRejectsOutOfRangeModule) {
+  PimKdTree tree(base_cfg(4));
+  EXPECT_THROW(tree.recover(4), std::invalid_argument);
+  EXPECT_THROW(tree.recover(999), std::invalid_argument);
+}
+
+TEST(FaultRecovery, AllModulesDeadStillAnswersExactly) {
+  // P=16 so the tree has non-Group-0 nodes (Group 0 holds subtrees of size
+  // >= P): updates must actually route past dead masters, not just walk the
+  // replicated top.
+  const auto pts = gen_uniform({.n = 1500, .dim = 2, .seed = 31});
+  PimKdTree ref(base_cfg(16), pts);
+  PimKdTree tree(base_cfg(16), pts);
+  for (std::size_t m = 0; m < tree.P(); ++m) tree.crash_module(m);
+  EXPECT_EQ(tree.system().dead_module_count(), 16u);
+
+  const auto qs = gen_uniform_queries(pts, 2, 16, 13);
+  EXPECT_EQ(tree.knn(qs, 6), ref.knn(qs, 6));
+  EXPECT_GT(tree.degraded_stats().host_fallback_queries, 0u);
+
+  // Updates keep working too (routed on the CPU), and the evolution stays in
+  // lockstep with the fault-free twin.
+  const auto extra = gen_uniform({.n = 300, .dim = 2, .seed = 32});
+  EXPECT_EQ(tree.insert(extra), ref.insert(extra));
+  EXPECT_GT(tree.degraded_stats().cpu_routed_batches, 0u);
+  EXPECT_EQ(tree.knn(qs, 6), ref.knn(qs, 6));
+
+  const auto reps = tree.recover_all();
+  EXPECT_EQ(reps.size(), 16u);
+  // Intermediate reports still see the not-yet-recovered siblings as damage;
+  // the final repair must leave the system green.
+  EXPECT_TRUE(reps.back().integrity_ok);
+  EXPECT_FALSE(tree.degraded());
+  EXPECT_TRUE(tree.check_integrity().ok);
+  EXPECT_EQ(tree.knn(qs, 6), ref.knn(qs, 6));
+}
+
+TEST(FaultRecovery, MessageLossGoesStaleAndResyncRepairs) {
+  auto cfg = base_cfg(8);
+  // From round 0 on, 80% of counter-sync words to m2 are dropped.
+  cfg.system.fault_spec = "lose@0:m2:800";
+  const auto pts = gen_uniform({.n = 2000, .dim = 2, .seed = 41});
+  PimKdTree tree(cfg, pts);
+  // Counter broadcasts during build + inserts must have hit the loss window.
+  for (std::uint64_t b = 0; b < 4; ++b) {
+    const auto extra = gen_uniform({.n = 200, .dim = 2, .seed = 50 + b});
+    tree.insert(extra);
+  }
+  ASSERT_NE(tree.system().faults(), nullptr);
+  EXPECT_GT(tree.system().faults()->dropped_words(), 0u);
+  EXPECT_FALSE(tree.check_integrity().ok);  // stale replicas are visible
+
+  // Loss never corrupts the canonical host mirror: queries stay exact.
+  const auto qs = gen_uniform_queries(pts, 2, 12, 43);
+  PimKdTree ref(base_cfg(8), pts);
+  for (std::uint64_t b = 0; b < 4; ++b) {
+    const auto extra = gen_uniform({.n = 200, .dim = 2, .seed = 50 + b});
+    ref.insert(extra);
+  }
+  EXPECT_EQ(tree.knn(qs, 4), ref.knn(qs, 4));
+
+  // Stop the loss, repair the stale counters, and the fsck goes green.
+  tree.system().faults()->set_loss_permille(2, 0);
+  EXPECT_GT(tree.resync_counters(), 0u);
+  EXPECT_TRUE(tree.check_integrity().ok);
+}
+
+TEST(FaultRecovery, IdenticalSeedAndPlanGiveIdenticalTraces) {
+  const auto run = [](const std::string& trace_path) {
+    auto cfg = base_cfg(8, /*seed=*/77);
+    cfg.trace_path = trace_path;
+    cfg.system.fault_spec = "crash@3:m2;stall@5:m1:200";
+    const auto pts = gen_uniform({.n = 1500, .dim = 2, .seed = 61});
+    PimKdTree tree(cfg, pts);
+    for (std::uint64_t b = 0; b < 6; ++b) {
+      const auto extra = gen_uniform({.n = 100, .dim = 2, .seed = 70 + b});
+      tree.insert(extra);
+      const auto qs = gen_uniform_queries(pts, 2, 8, 80 + b);
+      tree.knn(qs, 4);
+    }
+    tree.recover_all();
+    EXPECT_TRUE(tree.check_integrity().ok);
+  };
+  const std::string a = ::testing::TempDir() + "pimkd_fault_trace_a.jsonl";
+  const std::string b = ::testing::TempDir() + "pimkd_fault_trace_b.jsonl";
+  run(a);
+  run(b);
+  const std::string ta = slurp(a);
+  ASSERT_FALSE(ta.empty());
+  EXPECT_EQ(ta, slurp(b));
+  // The trace carries the injected fault and the recovery with its costs.
+  EXPECT_NE(ta.find("\"type\":\"fault\""), std::string::npos);
+  EXPECT_NE(ta.find("\"kind\":\"crash\""), std::string::npos);
+  EXPECT_NE(ta.find("\"kind\":\"stall\""), std::string::npos);
+  EXPECT_NE(ta.find("\"type\":\"recovery\""), std::string::npos);
+  EXPECT_NE(ta.find("\"label\":\"recover\""), std::string::npos);
+}
+
+// The acceptance-criteria soak: interleave inserts, erases, random crashes
+// and recoveries; at every step the faulty tree's answers must be
+// byte-identical to the fault-free twin's, and every recovery must leave the
+// fsck green.
+TEST(FaultRecovery, RandomizedCrashRecoverVerifySoak) {
+  const std::size_t P = 16;
+  PimKdTree ref(base_cfg(P, /*seed=*/5));
+  PimKdTree faulty(base_cfg(P, /*seed=*/5));
+
+  const auto seed_pts = gen_uniform({.n = 2000, .dim = 2, .seed = 90});
+  ASSERT_EQ(ref.insert(seed_pts), faulty.insert(seed_pts));
+
+  Rng chaos(0x50AC);
+  std::vector<PointId> live;
+  for (PointId id = 0; id < seed_pts.size(); ++id) live.push_back(id);
+
+  for (int it = 0; it < 8; ++it) {
+    // Mutate: insert a fresh batch, erase a slice of the live ids.
+    const auto batch =
+        gen_uniform({.n = 150, .dim = 2, .seed = 200 + static_cast<unsigned>(it)});
+    const auto ids_r = ref.insert(batch);
+    const auto ids_f = faulty.insert(batch);
+    ASSERT_EQ(ids_r, ids_f);
+    for (const PointId id : ids_r) live.push_back(id);
+
+    std::vector<PointId> victims;
+    for (std::size_t j = it; j < live.size(); j += 7) victims.push_back(live[j]);
+    ref.erase(victims);
+    faulty.erase(victims);
+
+    // Chaos: crash one or two modules picked by the seeded RNG.
+    const std::size_t c1 = chaos.next_u64() % P;
+    faulty.crash_module(c1);
+    if (chaos.next_u64() % 2) faulty.crash_module(chaos.next_u64() % P);
+
+    // Verify: every query family answers exactly as the fault-free twin.
+    const auto qs = gen_uniform_queries(seed_pts, 2, 16,
+                                        300 + static_cast<unsigned>(it));
+    ASSERT_EQ(faulty.knn(qs, 6), ref.knn(qs, 6)) << "iteration " << it;
+    const auto boxes = gen_boxes(2, 6, 400 + static_cast<unsigned>(it));
+    ASSERT_EQ(faulty.range(boxes), ref.range(boxes)) << "iteration " << it;
+    ASSERT_EQ(faulty.radius_count(qs, 0.08), ref.radius_count(qs, 0.08))
+        << "iteration " << it;
+
+    // Periodically repair; every report must come back integrity-green.
+    if (it % 3 == 2) {
+      const auto reps = faulty.recover_all();
+      if (!reps.empty())
+        ASSERT_TRUE(reps.back().integrity_ok) << "iteration " << it;
+      ASSERT_FALSE(faulty.degraded());
+      ASSERT_TRUE(faulty.check_integrity().ok) << "iteration " << it;
+    }
+  }
+
+  const auto final_reps = faulty.recover_all();
+  if (!final_reps.empty()) ASSERT_TRUE(final_reps.back().integrity_ok);
+  EXPECT_TRUE(faulty.check_integrity().ok);
+  EXPECT_TRUE(faulty.check_invariants());
+  EXPECT_EQ(faulty.size(), ref.size());
+  const auto qs = gen_uniform_queries(seed_pts, 2, 32, 999);
+  EXPECT_EQ(faulty.knn(qs, 8), ref.knn(qs, 8));
+}
+
+}  // namespace
+}  // namespace pimkd::core

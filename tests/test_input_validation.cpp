@@ -1,0 +1,232 @@
+// Always-on input validation: non-finite points, inverted boxes and bad
+// radii are rejected at the API boundary with std::invalid_argument, and
+// every tree type's Config::validate() fires from its constructor even in
+// NDEBUG builds (this used to be assert-only).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "btree/pim_btree.hpp"
+#include "core/pim_kdtree.hpp"
+#include "kdtree/pkdtree.hpp"
+#include "kdtree/static_kdtree.hpp"
+#include "util/generators.hpp"
+#include "util/geometry.hpp"
+
+namespace pimkd {
+namespace {
+
+constexpr Coord kNaN = std::numeric_limits<Coord>::quiet_NaN();
+constexpr Coord kInf = std::numeric_limits<Coord>::infinity();
+
+core::PimKdConfig small_cfg() {
+  core::PimKdConfig cfg;
+  cfg.dim = 2;
+  cfg.leaf_cap = 8;
+  cfg.system.num_modules = 4;
+  return cfg;
+}
+
+Point pt(Coord x, Coord y) {
+  Point p;
+  p[0] = x;
+  p[1] = y;
+  return p;
+}
+
+// Expect an invalid_argument whose message mentions the operation name, so
+// errors stay attributable when validation fires deep inside a pipeline.
+template <class Fn>
+void expect_rejected(Fn&& fn, const std::string& op) {
+  try {
+    fn();
+    FAIL() << op << ": expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(op), std::string::npos)
+        << "message '" << e.what() << "' does not name the operation";
+  }
+}
+
+// --- Point / box / radius validation on the PIM-kd-tree -------------------------
+
+TEST(InputValidation, InsertRejectsNonFinitePoints) {
+  core::PimKdTree tree(small_cfg());
+  const std::vector<Point> ok = {pt(0.1, 0.2), pt(0.3, 0.4)};
+  EXPECT_NO_THROW(tree.insert(ok));
+  expect_rejected([&] { tree.insert({{pt(0.5, kNaN)}}); }, "insert");
+  expect_rejected([&] { tree.insert({{pt(kInf, 0.5)}}); }, "insert");
+  // The failed batch must not have been partially applied.
+  EXPECT_EQ(tree.size(), ok.size());
+  EXPECT_TRUE(tree.check_invariants());
+}
+
+TEST(InputValidation, QueriesRejectNonFinitePoints) {
+  const auto pts = gen_uniform({.n = 256, .dim = 2, .seed = 1});
+  core::PimKdTree tree(small_cfg(), pts);
+  const std::vector<Point> bad = {pt(0.5, 0.5), pt(kNaN, 0.5)};
+  expect_rejected([&] { tree.leaf_search(bad); }, "leaf_search");
+  expect_rejected([&] { tree.knn(bad, 3); }, "knn");
+  expect_rejected([&] { tree.radius(bad, 0.1); }, "radius");
+  expect_rejected([&] { tree.radius_count(bad, 0.1); }, "radius_count");
+}
+
+TEST(InputValidation, ValidationNamesTheOffendingPointAndDimension) {
+  const auto pts = gen_uniform({.n = 64, .dim = 2, .seed = 2});
+  core::PimKdTree tree(small_cfg(), pts);
+  try {
+    tree.knn({{pt(0.5, 0.5), pt(0.5, kNaN)}}, 3);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("point 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("dimension 1"), std::string::npos) << msg;
+  }
+}
+
+TEST(InputValidation, RangeRejectsBadBoxes) {
+  const auto pts = gen_uniform({.n = 256, .dim = 2, .seed = 3});
+  core::PimKdTree tree(small_cfg(), pts);
+  Box inverted = Box::empty(2);
+  inverted.lo = pt(0.8, 0.1);
+  inverted.hi = pt(0.2, 0.9);  // lo[0] > hi[0]
+  expect_rejected([&] { tree.range({{inverted}}); }, "range");
+  Box nan_box;
+  nan_box.lo = pt(0.1, kNaN);
+  nan_box.hi = pt(0.9, 0.9);
+  expect_rejected([&] { tree.range({{nan_box}}); }, "range");
+  // Unbounded-but-ordered boxes are legitimate queries.
+  EXPECT_NO_THROW(tree.range({{Box::whole(2)}}));
+}
+
+TEST(InputValidation, RadiusRejectsBadRadii) {
+  const auto pts = gen_uniform({.n = 128, .dim = 2, .seed = 4});
+  core::PimKdTree tree(small_cfg(), pts);
+  const std::vector<Point> qs = {pt(0.5, 0.5)};
+  expect_rejected([&] { tree.radius(qs, -0.1); }, "radius");
+  expect_rejected([&] { tree.radius(qs, kNaN); }, "radius");
+  expect_rejected([&] { tree.radius_count(qs, kInf); }, "radius_count");
+  EXPECT_NO_THROW(tree.radius(qs, 0.0));
+}
+
+// --- Config validation, per tree type -------------------------------------------
+
+TEST(ConfigValidation, PimKdTreeRejectsBadFields) {
+  {
+    auto cfg = small_cfg();
+    cfg.dim = 0;
+    EXPECT_THROW(core::PimKdTree{cfg}, std::invalid_argument);
+  }
+  {
+    auto cfg = small_cfg();
+    cfg.dim = kMaxDim + 1;
+    EXPECT_THROW(core::PimKdTree{cfg}, std::invalid_argument);
+  }
+  {
+    auto cfg = small_cfg();
+    cfg.alpha = 0.0;
+    EXPECT_THROW(core::PimKdTree{cfg}, std::invalid_argument);
+  }
+  {
+    auto cfg = small_cfg();
+    cfg.beta = kNaN;
+    EXPECT_THROW(core::PimKdTree{cfg}, std::invalid_argument);
+  }
+  {
+    auto cfg = small_cfg();
+    cfg.leaf_cap = 0;
+    EXPECT_THROW(core::PimKdTree{cfg}, std::invalid_argument);
+  }
+  {
+    auto cfg = small_cfg();
+    cfg.sigma = 0;
+    EXPECT_THROW(core::PimKdTree{cfg}, std::invalid_argument);
+  }
+  {
+    auto cfg = small_cfg();
+    cfg.push_pull_c = -1.0;
+    EXPECT_THROW(core::PimKdTree{cfg}, std::invalid_argument);
+  }
+  {
+    auto cfg = small_cfg();
+    cfg.cached_groups = -2;
+    EXPECT_THROW(core::PimKdTree{cfg}, std::invalid_argument);
+  }
+  {
+    auto cfg = small_cfg();
+    cfg.delayed_finish_multiplier = 0;
+    EXPECT_THROW(core::PimKdTree{cfg}, std::invalid_argument);
+  }
+  {
+    auto cfg = small_cfg();
+    cfg.system.num_modules = 0;
+    EXPECT_THROW(core::PimKdTree{cfg}, std::invalid_argument);
+  }
+  {
+    auto cfg = small_cfg();
+    cfg.system.cache_words = 0;
+    EXPECT_THROW(core::PimKdTree{cfg}, std::invalid_argument);
+  }
+  EXPECT_NO_THROW(core::PimKdTree{small_cfg()});
+}
+
+TEST(ConfigValidation, ValidationErrorNamesTheField) {
+  auto cfg = small_cfg();
+  cfg.alpha = -3.0;
+  try {
+    cfg.validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("alpha"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ConfigValidation, PkdTreeRejectsBadFields) {
+  PkdTree::Config cfg;
+  EXPECT_NO_THROW(PkdTree{cfg});
+  cfg.dim = 0;
+  EXPECT_THROW(PkdTree{cfg}, std::invalid_argument);
+  cfg.dim = 2;
+  cfg.alpha = kNaN;
+  EXPECT_THROW(PkdTree{cfg}, std::invalid_argument);
+  cfg.alpha = 1.0;
+  cfg.leaf_cap = 0;
+  EXPECT_THROW(PkdTree{cfg}, std::invalid_argument);
+  cfg.leaf_cap = 16;
+  cfg.sigma = 0;
+  EXPECT_THROW(PkdTree{cfg}, std::invalid_argument);
+}
+
+TEST(ConfigValidation, StaticKdTreeRejectsBadFields) {
+  const auto pts = gen_uniform({.n = 32, .dim = 2, .seed = 5});
+  StaticKdTree::Config cfg;
+  EXPECT_NO_THROW((StaticKdTree{cfg, pts}));
+  cfg.dim = kMaxDim + 1;
+  EXPECT_THROW((StaticKdTree{cfg, pts}), std::invalid_argument);
+  cfg.dim = 2;
+  cfg.leaf_cap = 0;
+  EXPECT_THROW((StaticKdTree{cfg, pts}), std::invalid_argument);
+}
+
+TEST(ConfigValidation, PimBTreeRejectsBadFields) {
+  btree::BTreeConfig cfg;
+  cfg.system.num_modules = 4;
+  EXPECT_NO_THROW(btree::PimBTree{cfg});
+  cfg.fanout = 3;  // minimum is 4
+  EXPECT_THROW(btree::PimBTree{cfg}, std::invalid_argument);
+  cfg.fanout = 16;
+  cfg.push_pull_c = 0.0;
+  EXPECT_THROW(btree::PimBTree{cfg}, std::invalid_argument);
+  cfg.push_pull_c = 2.0;
+  cfg.cached_groups = -2;
+  EXPECT_THROW(btree::PimBTree{cfg}, std::invalid_argument);
+  cfg.cached_groups = -1;
+  cfg.system.num_modules = 0;
+  EXPECT_THROW(btree::PimBTree{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pimkd

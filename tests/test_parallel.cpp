@@ -95,6 +95,94 @@ TEST(RunBulk, PoolUsableAfterException) {
   EXPECT_EQ(count.load(), 100);
 }
 
+TEST(RunBulk, NestedBulkPropagatesInnerException) {
+  ThreadPool pool(2);
+  // The inner (re-entrant) bulk runs inline in the worker; its exception must
+  // surface through the outer chunk to the original caller.
+  try {
+    pool.run_bulk(8, [&](std::size_t outer) {
+      pool.run_bulk(8, [outer](std::size_t inner) {
+        if (outer == 2 && inner == 3) throw std::runtime_error("inner 2/3");
+      });
+    });
+    FAIL() << "expected the inner exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "inner 2/3");
+  }
+  // The pool survives the nested failure.
+  std::atomic<int> count{0};
+  pool.run_bulk(16, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(RunBulk, NestedBulkInnerFailureDoesNotPoisonSiblings) {
+  ThreadPool pool(4);
+  // Only one outer chunk hosts a failing inner bulk; the others run their own
+  // (successful) inner bulks to completion. One failure must not leak into a
+  // sibling's bulk state.
+  std::atomic<int> ok_chunks{0};
+  EXPECT_THROW(
+      pool.run_bulk(6,
+                    [&](std::size_t outer) {
+                      if (outer == 1) {
+                        pool.run_bulk(4, [](std::size_t) {
+                          throw std::runtime_error("poison");
+                        });
+                      } else {
+                        pool.run_bulk(4, [&](std::size_t) {
+                          ok_chunks.fetch_add(1);
+                        });
+                      }
+                    }),
+      std::runtime_error);
+  // The surviving outer chunks each completed all 4 inner chunks.
+  EXPECT_EQ(ok_chunks.load() % 4, 0);
+  EXPECT_GT(ok_chunks.load(), 0);
+}
+
+TEST(RunBulk, ConcurrentThrowersRaceCleanly) {
+  ThreadPool pool(4);
+  // Every chunk throws "simultaneously": exactly one exception wins the race
+  // and reaches the caller, and repeating the experiment never wedges or
+  // crashes the pool.
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> started{0};
+    try {
+      pool.run_bulk(64, [&](std::size_t i) {
+        started.fetch_add(1);
+        throw std::runtime_error("chunk " + std::to_string(i));
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      // The winner is one of the chunks that actually started.
+      EXPECT_EQ(std::string(e.what()).rfind("chunk ", 0), 0u);
+    }
+    EXPECT_GE(started.load(), 1);
+  }
+  std::atomic<int> count{0};
+  pool.run_bulk(100, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(RunBulk, MixedThrowersAndWorkersConcurrently) {
+  ThreadPool pool(4);
+  // Throwing and non-throwing chunks interleave under contention; the
+  // completed work is consistent (no double-executed or torn chunks).
+  for (int round = 0; round < 10; ++round) {
+    std::vector<std::atomic<int>> hits(256);
+    try {
+      pool.run_bulk(256, [&](std::size_t i) {
+        if (i % 17 == 3) throw std::invalid_argument("thrower");
+        hits[i].fetch_add(1);
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::invalid_argument&) {
+    }
+    for (std::size_t i = 0; i < hits.size(); ++i)
+      EXPECT_LE(hits[i].load(), 1) << "chunk " << i << " ran twice";
+  }
+}
+
 TEST(ParallelFor, PropagatesException) {
   EXPECT_THROW(parallel_for(0, 1000,
                             [](std::size_t i) {
