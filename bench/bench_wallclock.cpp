@@ -6,7 +6,10 @@
 // visible independently of the model counters.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+
 #include "bench_util.hpp"
+#include "parallel/thread_pool.hpp"
 #include "clustering/dbscan.hpp"
 #include "clustering/dpc.hpp"
 #include "core/pim_kdtree.hpp"
@@ -87,6 +90,35 @@ void BM_PimKdBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_PimKdBuild)->Arg(1 << 12)->Arg(1 << 14);
 
+void BM_PimKdKnn(benchmark::State& state) {
+  const auto pts = data(1 << 14);
+  core::PimKdConfig cfg;
+  cfg.dim = 2;
+  cfg.system.num_modules = 64;
+  core::PimKdTree tree(cfg, pts);
+  const auto qs = gen_uniform_queries(pts, 2, 1024, 5);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        tree.knn(qs, static_cast<std::size_t>(state.range(0))));
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_PimKdKnn)->Arg(8);
+
+// Latency of one run_bulk dispatch with near-empty chunks: isolates the
+// submission/claim/join overhead of the pool from any useful work.
+void BM_BulkDispatch(benchmark::State& state) {
+  ThreadPool& pool = ThreadPool::instance();
+  const auto chunks = static_cast<std::size_t>(state.range(0));
+  std::atomic<std::uint64_t> sink{0};
+  for (auto _ : state)
+    pool.run_bulk(chunks, [&](std::size_t i) {
+      sink.fetch_add(i, std::memory_order_relaxed);
+    });
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(state.iterations() * chunks);
+}
+BENCHMARK(BM_BulkDispatch)->Arg(4)->Arg(64);
+
 void BM_PimKdLeafSearch(benchmark::State& state) {
   const auto pts = data(1 << 14);
   core::PimKdConfig cfg;
@@ -119,23 +151,55 @@ void BM_DpcShared(benchmark::State& state) {
 }
 BENCHMARK(BM_DpcShared)->Arg(1 << 12)->Arg(1 << 14);
 
+// Forwards every finished run into the BenchReport as a structured row
+// (name, real/cpu ns, iterations, throughput) while keeping the normal
+// console output, so scripts/reproduce.sh lands the wall-clock timings in
+// BENCH_results.json next to the cost-model benches.
+class RowReporter : public ::benchmark::ConsoleReporter {
+ public:
+  // Plain tabular output (no ANSI color): the console stream is routinely
+  // captured into bench_output.txt by scripts/reproduce.sh.
+  explicit RowReporter(pimkd::bench::BenchReport& rep)
+      : ConsoleReporter(OO_Tabular), rep_(rep) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      pimkd::bench::Json row;
+      row.set("name", run.benchmark_name())
+          .set("real_time_ns", run.GetAdjustedRealTime())
+          .set("cpu_time_ns", run.GetAdjustedCPUTime())
+          .set("iterations", static_cast<std::uint64_t>(run.iterations));
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end())
+        row.set("items_per_second", static_cast<double>(it->second));
+      rep_.add_row(row);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  pimkd::bench::BenchReport& rep_;
+};
+
 }  // namespace
 
-// Custom main instead of BENCHMARK_MAIN(): after the google-benchmark run,
-// emit the structured result stub so scripts/reproduce.sh finds one JSON
-// file per bench binary. Wall-clock numbers are machine-dependent, so only
-// the run metadata is recorded — the timings stay in the stdout report
-// (or --benchmark_out for machine-readable timings).
+// Custom main instead of BENCHMARK_MAIN(): route runs through RowReporter so
+// the structured result file carries the real timings (machine-dependent by
+// nature — BENCH_results.json records them together with the thread count so
+// comparisons stay apples-to-apples).
 int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  const std::size_t ran = ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
   pimkd::bench::BenchReport rep("bench_wallclock");
+  RowReporter reporter(rep);
+  const std::size_t ran = ::benchmark::RunSpecifiedBenchmarks(&reporter);
+  ::benchmark::Shutdown();
   pimkd::bench::Json m;
   m.set("benchmarks_run", static_cast<std::uint64_t>(ran))
-      .set("note", "wall-clock timings are machine-dependent; see stdout or "
-                   "--benchmark_out");
+      .set("threads",
+           static_cast<std::uint64_t>(pimkd::ThreadPool::instance().size()))
+      .set("note", "wall-clock timings are machine-dependent");
   rep.meta(m);
   return 0;
 }

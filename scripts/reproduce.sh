@@ -54,6 +54,16 @@ if [ "$fail" -ne 0 ]; then
 fi
 echo "all Table-1 bound checks passed"
 
+# Wall-clock regression gate: the timing rows must actually have landed in
+# the aggregate (an empty bench_wallclock report means the reporter wiring
+# broke and timings silently stopped being tracked).
+wc_json="$PIMKD_BENCH_JSON_DIR/bench_wallclock.json"
+if [ ! -f "$wc_json" ] || ! grep -q '"real_time_ns"' "$wc_json"; then
+  echo "bench_wallclock produced no timing rows; wall-clock tracking is broken." >&2
+  exit 1
+fi
+echo "wall-clock timings recorded ($(grep -o '"real_time_ns"' "$wc_json" | wc -l) rows)"
+
 echo "Examples:"
 for e in build/examples/*; do
   if [ -f "$e" ] && [ -x "$e" ]; then echo "--- $e"; "$e"; fi

@@ -6,12 +6,33 @@
 #include <unordered_set>
 
 #include "core/pim_kdtree.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace pimkd::core {
 
 namespace {
 double log2c(double x) { return std::log2(std::max(x, 2.0)); }
+
+// Below this many points a subtree is built sequentially: the TmpNode
+// detour is pure overhead when there is nothing to fan out.
+constexpr std::size_t kParallelBuildCutoff = 8192;
 }  // namespace
+
+// Shape + aggregates of a subtree under construction, before any pool node
+// exists. Workers build these concurrently; NodeIds, which the cost model
+// hashes for module placement, are only assigned by the sequential flatten,
+// so the id order (and hence every Metrics charge) is byte-identical to the
+// sequential build.
+struct PimKdTree::TmpNode {
+  Box box;
+  Coord split_val = 0;
+  std::int16_t split_dim = -1;  // -1 => leaf
+  std::uint64_t size = 0;
+  double max_priority = 0;
+  PointId max_priority_id = kInvalidPoint;
+  std::vector<PointId> leaf_pts;
+  std::unique_ptr<TmpNode> left, right;
+};
 
 bool PimKdTree::choose_split(const std::vector<PointId>& ids, const Box& box,
                              Rng& rng, int& out_dim, Coord& out_val) const {
@@ -81,13 +102,14 @@ NodeId PimKdTree::build_subtree(std::vector<PointId> ids, NodeId parent,
   for (const PointId id : ids) n.box.extend(all_points_[id], cfg_.dim);
   // Priority aggregates (DPC priority-search kd-tree, §6.1).
   if (!priorities_.empty()) {
-    n.max_priority_id = kInvalidPoint;
+    NodeCold& nc = pool_.cold(nid);
+    nc.max_priority_id = kInvalidPoint;
     for (const PointId id : ids) {
-      if (n.max_priority_id == kInvalidPoint ||
-          priorities_[id] > n.max_priority ||
-          (priorities_[id] == n.max_priority && id > n.max_priority_id)) {
-        n.max_priority = priorities_[id];
-        n.max_priority_id = id;
+      if (nc.max_priority_id == kInvalidPoint ||
+          priorities_[id] > nc.max_priority ||
+          (priorities_[id] == nc.max_priority && id > nc.max_priority_id)) {
+        nc.max_priority = priorities_[id];
+        nc.max_priority_id = id;
       }
     }
   }
@@ -105,7 +127,7 @@ NodeId PimKdTree::build_subtree(std::vector<PointId> ids, NodeId parent,
   int d = 0;
   Coord val = 0;
   if (ids.size() <= cfg_.leaf_cap || !choose_split(ids, n.box, rng, d, val)) {
-    n.leaf_pts = std::move(ids);
+    pool_.cold(nid).leaf_pts = std::move(ids);
     return nid;
   }
   const auto mid = std::partition(ids.begin(), ids.end(), [&](PointId id) {
@@ -129,6 +151,149 @@ NodeId PimKdTree::build_subtree(std::vector<PointId> ids, NodeId parent,
   return nid;
 }
 
+bool PimKdTree::tmp_split(TmpNode& t, std::vector<PointId>& ids,
+                          Rng& rng) const {
+  t.size = ids.size();
+  t.box = Box::empty(cfg_.dim);
+  for (const PointId id : ids) t.box.extend(all_points_[id], cfg_.dim);
+  if (!priorities_.empty()) {
+    t.max_priority_id = kInvalidPoint;
+    for (const PointId id : ids) {
+      if (t.max_priority_id == kInvalidPoint ||
+          priorities_[id] > t.max_priority ||
+          (priorities_[id] == t.max_priority && id > t.max_priority_id)) {
+        t.max_priority = priorities_[id];
+        t.max_priority_id = id;
+      }
+    }
+  }
+  int d = 0;
+  Coord val = 0;
+  if (ids.size() <= cfg_.leaf_cap || !choose_split(ids, t.box, rng, d, val))
+    return false;
+  t.split_dim = static_cast<std::int16_t>(d);
+  t.split_val = val;
+  return true;
+}
+
+std::unique_ptr<PimKdTree::TmpNode> PimKdTree::build_tmp(
+    std::vector<PointId> ids, Rng rng) const {
+  auto t = std::make_unique<TmpNode>();
+  if (!tmp_split(*t, ids, rng)) {
+    t->leaf_pts = std::move(ids);
+    return t;
+  }
+  // The per-node partition stays sequential even here: choose_split samples
+  // by index into the post-partition permutation, so reproducing the
+  // sequential tree (and thus the sequential cost ledger) requires exactly
+  // std::partition's arrangement. Parallelism comes from disjoint subtrees.
+  const int d = t->split_dim;
+  const Coord val = t->split_val;
+  const auto mid = std::partition(ids.begin(), ids.end(), [&](PointId id) {
+    return all_points_[id][d] < val;
+  });
+  std::vector<PointId> left_ids(ids.begin(), mid);
+  std::vector<PointId> right_ids(mid, ids.end());
+  ids.clear();
+  ids.shrink_to_fit();
+  t->left = build_tmp(std::move(left_ids), rng.split(1));
+  t->right = build_tmp(std::move(right_ids), rng.split(2));
+  return t;
+}
+
+std::unique_ptr<PimKdTree::TmpNode> PimKdTree::build_tmp_parallel(
+    std::vector<PointId> ids, Rng rng) const {
+  ThreadPool& pool = ThreadPool::instance();
+  // Expand the top of the tree on the calling thread until the remaining
+  // subtrees are small enough to spread, then build those concurrently.
+  // (Nested run_bulk executes inline, so forking from inside build_tmp would
+  // gain nothing; an explicit frontier keeps every worker busy.)
+  const std::size_t grain = std::max<std::size_t>(
+      ids.size() / (4 * pool.size()), kParallelBuildCutoff / 4);
+  struct Fork {
+    std::unique_ptr<TmpNode>* slot;
+    std::vector<PointId> ids;
+    Rng rng;
+  };
+  std::unique_ptr<TmpNode> root;
+  std::vector<Fork> frontier;
+  auto expand = [&](auto&& self, std::unique_ptr<TmpNode>& slot,
+                    std::vector<PointId> part, Rng prng) -> void {
+    if (part.size() <= grain) {
+      frontier.push_back(Fork{&slot, std::move(part), prng});
+      return;
+    }
+    slot = std::make_unique<TmpNode>();
+    TmpNode& t = *slot;
+    if (!tmp_split(t, part, prng)) {
+      t.leaf_pts = std::move(part);
+      return;
+    }
+    const int d = t.split_dim;
+    const Coord val = t.split_val;
+    const auto mid = std::partition(part.begin(), part.end(), [&](PointId id) {
+      return all_points_[id][d] < val;
+    });
+    std::vector<PointId> lp(part.begin(), mid);
+    std::vector<PointId> rp(mid, part.end());
+    part.clear();
+    part.shrink_to_fit();
+    self(self, t.left, std::move(lp), prng.split(1));
+    self(self, t.right, std::move(rp), prng.split(2));
+  };
+  expand(expand, root, std::move(ids), rng);
+  pool.run_bulk(frontier.size(), [&](std::size_t i) {
+    *frontier[i].slot = build_tmp(std::move(frontier[i].ids), frontier[i].rng);
+  });
+  return root;
+}
+
+NodeId PimKdTree::flatten_tmp(TmpNode& t, NodeId parent, std::uint32_t depth,
+                              std::size_t work_module) {
+  const NodeId nid = pool_.create();
+  NodeRec& n = pool_.at(nid);
+  n.parent = parent;
+  n.depth = depth;
+  n.exact_size = t.size;
+  n.counter = static_cast<double>(t.size);
+  n.box = t.box;
+  if (!priorities_.empty()) {
+    NodeCold& nc = pool_.cold(nid);
+    nc.max_priority = t.max_priority;
+    nc.max_priority_id = t.max_priority_id;
+  }
+  const std::uint64_t level_work = std::max<std::uint64_t>(t.size, 1);
+  std::size_t wm = work_module;
+  if (wm == kWorkByHash) wm = sys_.module_of(nid);
+  if (wm == kWorkCpu || !sys_.module_alive(wm)) {
+    sys_.metrics().add_cpu_work(level_work);
+  } else {
+    sys_.metrics().add_module_work(wm, level_work);
+  }
+  if (t.split_dim < 0) {
+    pool_.cold(nid).leaf_pts = std::move(t.leaf_pts);
+    return nid;
+  }
+  const NodeId left = flatten_tmp(*t.left, nid, depth + 1, work_module);
+  const NodeId right = flatten_tmp(*t.right, nid, depth + 1, work_module);
+  NodeRec& n2 = pool_.at(nid);
+  n2.split_dim = t.split_dim;
+  n2.split_val = t.split_val;
+  n2.left = left;
+  n2.right = right;
+  return nid;
+}
+
+NodeId PimKdTree::build_subtree_parallel(std::vector<PointId> ids,
+                                         NodeId parent, std::uint32_t depth,
+                                         Rng rng, std::size_t work_module) {
+  if (ids.size() < kParallelBuildCutoff ||
+      ThreadPool::instance().size() <= 1 || ThreadPool::in_worker())
+    return build_subtree(std::move(ids), parent, depth, rng, work_module);
+  auto tmp = build_tmp_parallel(std::move(ids), rng);
+  return flatten_tmp(*tmp, parent, depth, work_module);
+}
+
 void PimKdTree::full_build(std::vector<PointId> ids) {
   if (ids.empty()) {
     root_ = kNoNode;
@@ -148,8 +313,8 @@ void PimKdTree::full_build(std::vector<PointId> ids) {
     // the n' = O(M) case), then distribute.
     sys_.metrics().add_cpu_work(
         static_cast<std::uint64_t>(static_cast<double>(n) * log2c(double(n))));
-    built = build_subtree(std::move(ids), kNoNode, 0,
-                          rng_.split(rng_.next_u64()), kWorkCpu);
+    built = build_subtree_parallel(std::move(ids), kNoNode, 0,
+                                   rng_.split(rng_.next_u64()), kWorkCpu);
     sys_.metrics().end_round();
   } else {
     // Sketch: sample P*sigma points, build the top of the tree on the CPU
@@ -224,12 +389,30 @@ void PimKdTree::full_build(std::vector<PointId> ids) {
 
     // Round 2: every module builds its subtree locally (Alg. 2, 7-8).
     sys_.metrics().begin_round();
+    // Host-parallel mirror of the per-module builds: shapes are computed
+    // concurrently (bucket point sets are disjoint), then flattened into the
+    // pool bucket-by-bucket so NodeIds — and with them module placement and
+    // every ledger charge — match the sequential order exactly. Rng::split
+    // is const, so precollecting the per-bucket streams changes nothing.
+    std::vector<std::unique_ptr<TmpNode>> shapes(buckets.size());
+    if (!buckets.empty() && ThreadPool::instance().size() > 1 &&
+        !ThreadPool::in_worker() && n >= kParallelBuildCutoff) {
+      std::vector<Rng> rngs;
+      rngs.reserve(buckets.size());
+      for (std::size_t b = 0; b < buckets.size(); ++b)
+        rngs.push_back(rng_.split(0xb00 + b));
+      ThreadPool::instance().run_bulk(buckets.size(), [&](std::size_t b) {
+        shapes[b] = build_tmp(std::move(buckets[b].ids), rngs[b]);
+      });
+    }
     for (std::size_t b = 0; b < buckets.size(); ++b) {
       Bucket& bk = buckets[b];
       const std::size_t m = b % P;
       const std::size_t before = pool_.size();
-      const NodeId sub = build_subtree(std::move(bk.ids), bk.parent, bk.depth,
-                                       rng_.split(0xb00 + b), m);
+      const NodeId sub =
+          shapes[b] ? flatten_tmp(*shapes[b], bk.parent, bk.depth, m)
+                    : build_subtree(std::move(bk.ids), bk.parent, bk.depth,
+                                    rng_.split(0xb00 + b), m);
       if (bk.parent == kNoNode) {
         root_ = sub;
       } else if (bk.left_child) {
@@ -290,8 +473,8 @@ NodeId PimKdTree::rebuild_subtree(NodeId old_subtree,
   // land on hash-random modules, so rebuild work is spread whp. An empty
   // point set still builds an (empty) leaf so interior nodes always have two
   // children.
-  const NodeId fresh = build_subtree(std::move(pts), parent, depth,
-                                     rng_.split(rng_.next_u64()), kWorkByHash);
+  const NodeId fresh = build_subtree_parallel(
+      std::move(pts), parent, depth, rng_.split(rng_.next_u64()), kWorkByHash);
   splice(parent, old_subtree, fresh);
   assign_groups_subtree(fresh);
   assign_components_subtree(fresh);
@@ -577,11 +760,12 @@ void PimKdTree::collect_subtree_points(NodeId subtree,
                                        bool charge) {
   const NodeRec& rec = pool_.at(subtree);
   if (rec.is_leaf()) {
-    out.insert(out.end(), rec.leaf_pts.begin(), rec.leaf_pts.end());
+    const std::vector<PointId>& pts = pool_.cold(subtree).leaf_pts;
+    out.insert(out.end(), pts.begin(), pts.end());
     if (charge) {
       const std::size_t m = store_.master_of(subtree);
-      const auto words = static_cast<std::uint64_t>(rec.leaf_pts.size()) *
-                         point_words(cfg_.dim);
+      const auto words =
+          static_cast<std::uint64_t>(pts.size()) * point_words(cfg_.dim);
       if (sys_.module_alive(m))
         sys_.metrics().add_comm(m, words);
       else  // master down: the payload comes from the host mirror

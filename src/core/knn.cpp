@@ -41,8 +41,9 @@ void PimKdTree::knn_rec(Cursor& cur, NodeId nid, const Point& q,
     return;
   }
   if (n.is_leaf()) {
-    cur.charge_work(n.leaf_pts.size());
-    for (const PointId id : n.leaf_pts) {
+    const std::vector<PointId>& pts = pool_.cold(nid).leaf_pts;
+    cur.charge_work(pts.size());
+    for (const PointId id : pts) {
       if (!alive_[id]) continue;
       const Neighbor cand{id, sq_dist(all_points_[id], q, cfg_.dim)};
       if (heap.size() < k) {
@@ -119,15 +120,16 @@ void PimKdTree::dep_rec(Cursor& cur, NodeId nid, const Point& q, double q_prio,
   cur.visit(nid);
   const NodeRec& n = pool_.at(nid);
   // Priority pruning: skip subtrees with no higher-priority point.
-  if (n.max_priority_id == kInvalidPoint ||
-      !higher(n.max_priority, n.max_priority_id, q_prio, self) ||
+  const NodeCold& nc = pool_.cold(nid);
+  if (nc.max_priority_id == kInvalidPoint ||
+      !higher(nc.max_priority, nc.max_priority_id, q_prio, self) ||
       n.box.sq_dist_to(q, cfg_.dim) >= best.sq_dist) {
     cur.release(mark);
     return;
   }
   if (n.is_leaf()) {
-    cur.charge_work(n.leaf_pts.size());
-    for (const PointId id : n.leaf_pts) {
+    cur.charge_work(nc.leaf_pts.size());
+    for (const PointId id : nc.leaf_pts) {
       if (!alive_[id] || !higher(priorities_[id], id, q_prio, self)) continue;
       const Coord d2 = sq_dist(all_points_[id], q, cfg_.dim);
       if (d2 < best.sq_dist || (d2 == best.sq_dist && id < best.id))
@@ -182,25 +184,26 @@ void PimKdTree::set_priorities(std::span<const double> priority_by_id) {
   // Recompute per-node (max-priority, id) aggregates bottom-up and refresh
   // every copy — two words per copy, charged like a counter broadcast.
   auto rec = [&](auto&& self, NodeId nid) -> void {
-    NodeRec& n = pool_.at(nid);
-    n.max_priority = 0;
-    n.max_priority_id = kInvalidPoint;
+    const NodeRec& n = pool_.at(nid);
+    NodeCold& nc = pool_.cold(nid);
+    nc.max_priority = 0;
+    nc.max_priority_id = kInvalidPoint;
     auto fold = [&](double prio, PointId id) {
       if (id == kInvalidPoint) return;
-      if (n.max_priority_id == kInvalidPoint || prio > n.max_priority ||
-          (prio == n.max_priority && id > n.max_priority_id)) {
-        n.max_priority = prio;
-        n.max_priority_id = id;
+      if (nc.max_priority_id == kInvalidPoint || prio > nc.max_priority ||
+          (prio == nc.max_priority && id > nc.max_priority_id)) {
+        nc.max_priority = prio;
+        nc.max_priority_id = id;
       }
     };
     if (n.is_leaf()) {
-      for (const PointId id : n.leaf_pts)
+      for (const PointId id : nc.leaf_pts)
         if (alive_[id]) fold(priorities_[id], id);
     } else {
       self(self, n.left);
       self(self, n.right);
-      const NodeRec& l = pool_.at(n.left);
-      const NodeRec& r = pool_.at(n.right);
+      const NodeCold& l = pool_.cold(n.left);
+      const NodeCold& r = pool_.cold(n.right);
       fold(l.max_priority, l.max_priority_id);
       fold(r.max_priority, r.max_priority_id);
     }

@@ -142,19 +142,20 @@ bool PimKdTree::check_node_invariants(NodeId nid, std::uint64_t& size_out) const
     if (it->second.counter != n.counter) PIMKD_FAIL("copy counter desync");
     if (n.is_leaf()) {
       const auto lp = st.leaf_points.find(nid);
-      if (lp == st.leaf_points.end() || lp->second != n.leaf_pts)
+      if (lp == st.leaf_points.end() || lp->second != pool_.cold(nid).leaf_pts)
         PIMKD_FAIL("leaf payload desync");
     }
   }
   if (!master_seen && !g0) PIMKD_FAIL("master copy absent");
 
   if (n.is_leaf()) {
-    for (const PointId id : n.leaf_pts) {
+    const std::vector<PointId>& pts = pool_.cold(nid).leaf_pts;
+    for (const PointId id : pts) {
       if (!alive_[id]) return false;
       if (!n.box.contains(all_points_[id], cfg_.dim)) return false;
     }
-    if (n.exact_size != n.leaf_pts.size()) PIMKD_FAIL("leaf exact_size");
-    size_out = n.leaf_pts.size();
+    if (n.exact_size != pts.size()) PIMKD_FAIL("leaf exact_size");
+    size_out = pts.size();
     return true;
   }
   const NodeRec& l = pool_.at(n.left);

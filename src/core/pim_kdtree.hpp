@@ -190,6 +190,22 @@ class PimKdTree {
   // --- Construction machinery (build.cpp) ------------------------------------
   NodeId build_subtree(std::vector<PointId> ids, NodeId parent,
                        std::uint32_t depth, Rng rng, std::size_t work_module);
+  // Parallel twin of build_subtree: identical tree, identical NodeId
+  // assignment order, identical Metrics charges. Shape and aggregates are
+  // computed into a thread-private TmpNode tree by the pool workers; a
+  // sequential DFS-preorder flatten then creates the pool nodes and charges
+  // the ledger. Falls back to build_subtree for small inputs, a single-thread
+  // pool, or when already running on a pool worker.
+  struct TmpNode;
+  NodeId build_subtree_parallel(std::vector<PointId> ids, NodeId parent,
+                                std::uint32_t depth, Rng rng,
+                                std::size_t work_module);
+  std::unique_ptr<TmpNode> build_tmp(std::vector<PointId> ids, Rng rng) const;
+  std::unique_ptr<TmpNode> build_tmp_parallel(std::vector<PointId> ids,
+                                              Rng rng) const;
+  bool tmp_split(TmpNode& t, std::vector<PointId>& ids, Rng& rng) const;
+  NodeId flatten_tmp(TmpNode& t, NodeId parent, std::uint32_t depth,
+                     std::size_t work_module);
   bool choose_split(const std::vector<PointId>& ids, const Box& box, Rng& rng,
                     int& out_dim, Coord& out_val) const;
   void full_build(std::vector<PointId> ids);

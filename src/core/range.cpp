@@ -23,8 +23,9 @@ void PimKdTree::range_rec(Cursor& cur, NodeId nid, const Box& box,
     return;
   }
   if (n.is_leaf()) {
-    cur.charge_work(n.leaf_pts.size());
-    for (const PointId id : n.leaf_pts)
+    const std::vector<PointId>& pts = pool_.cold(nid).leaf_pts;
+    cur.charge_work(pts.size());
+    for (const PointId id : pts)
       if (alive_[id] && box.contains(all_points_[id], cfg_.dim))
         out.push_back(id);
     cur.release(mark);
@@ -76,8 +77,9 @@ void PimKdTree::radius_rec(Cursor& cur, NodeId nid, const Point& q, Coord r2,
     return;
   }
   if (n.is_leaf()) {
-    cur.charge_work(n.leaf_pts.size());
-    for (const PointId id : n.leaf_pts) {
+    const std::vector<PointId>& pts = pool_.cold(nid).leaf_pts;
+    cur.charge_work(pts.size());
+    for (const PointId id : pts) {
       if (!alive_[id]) continue;
       if (sq_dist(all_points_[id], q, cfg_.dim) <= r2) {
         ++cnt;

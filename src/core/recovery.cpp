@@ -135,8 +135,9 @@ PimKdTree::IntegrityReport PimKdTree::check_integrity() const {
       if (m == store_.master_of(id)) master_seen = true;
       expect_words[m] += static_cast<std::uint64_t>(r) * node_words(cfg_.dim);
       if (rec.is_leaf())
-        expect_words[m] += static_cast<std::uint64_t>(rec.leaf_pts.size()) *
-                           point_words(cfg_.dim);
+        expect_words[m] +=
+            static_cast<std::uint64_t>(pool_.cold(id).leaf_pts.size()) *
+            point_words(cfg_.dim);
       if (!sys_.module_alive(m)) continue;  // missing by design; flagged above
       const ModuleState& st = sys_.module(m);
       const auto cit = st.nodes.find(id);
@@ -162,7 +163,8 @@ PimKdTree::IntegrityReport PimKdTree::check_integrity() const {
       }
       if (rec.is_leaf()) {
         const auto lit = st.leaf_points.find(id);
-        if (lit == st.leaf_points.end() || lit->second != rec.leaf_pts) {
+        if (lit == st.leaf_points.end() ||
+            lit->second != pool_.cold(id).leaf_pts) {
           std::ostringstream os;
           os << "leaf " << id << " payload on m" << m
              << (lit == st.leaf_points.end() ? " missing" : " desynced");
@@ -257,8 +259,9 @@ void PimKdTree::host_knn_rec(pim::Metrics& led, NodeId nid, const Point& q,
                              : heap.front().sq_dist;
   if (n.box.sq_dist_to(q, cfg_.dim) * prune >= worst_in) return;
   if (n.is_leaf()) {
-    led.add_cpu_work(n.leaf_pts.size());
-    for (const PointId id : n.leaf_pts) {
+    const std::vector<PointId>& pts = pool_.cold(nid).leaf_pts;
+    led.add_cpu_work(pts.size());
+    for (const PointId id : pts) {
       if (!alive_[id]) continue;
       const Neighbor cand{id, sq_dist(all_points_[id], q, cfg_.dim)};
       if (heap.size() < k) {
@@ -287,13 +290,14 @@ void PimKdTree::host_dep_rec(pim::Metrics& led, NodeId nid, const Point& q,
                              Neighbor& best) const {
   led.add_cpu_work(1);
   const NodeRec& n = pool_.at(nid);
-  if (n.max_priority_id == kInvalidPoint ||
-      !higher(n.max_priority, n.max_priority_id, q_prio, self) ||
+  const NodeCold& nc = pool_.cold(nid);
+  if (nc.max_priority_id == kInvalidPoint ||
+      !higher(nc.max_priority, nc.max_priority_id, q_prio, self) ||
       n.box.sq_dist_to(q, cfg_.dim) >= best.sq_dist)
     return;
   if (n.is_leaf()) {
-    led.add_cpu_work(n.leaf_pts.size());
-    for (const PointId id : n.leaf_pts) {
+    led.add_cpu_work(nc.leaf_pts.size());
+    for (const PointId id : nc.leaf_pts) {
       if (!alive_[id] || !higher(priorities_[id], id, q_prio, self)) continue;
       const Coord d2 = sq_dist(all_points_[id], q, cfg_.dim);
       if (d2 < best.sq_dist || (d2 == best.sq_dist && id < best.id))
@@ -315,8 +319,9 @@ void PimKdTree::host_range_rec(pim::Metrics& led, NodeId nid, const Box& box,
   const NodeRec& n = pool_.at(nid);
   if (!box.intersects(n.box, cfg_.dim)) return;
   if (n.is_leaf()) {
-    led.add_cpu_work(n.leaf_pts.size());
-    for (const PointId id : n.leaf_pts)
+    const std::vector<PointId>& pts = pool_.cold(nid).leaf_pts;
+    led.add_cpu_work(pts.size());
+    for (const PointId id : pts)
       if (alive_[id] && box.contains(all_points_[id], cfg_.dim))
         out.push_back(id);
     return;
@@ -332,8 +337,9 @@ void PimKdTree::host_radius_rec(pim::Metrics& led, NodeId nid, const Point& q,
   const NodeRec& n = pool_.at(nid);
   if (!n.box.intersects_ball(q, r2, cfg_.dim)) return;
   if (n.is_leaf()) {
-    led.add_cpu_work(n.leaf_pts.size());
-    for (const PointId id : n.leaf_pts) {
+    const std::vector<PointId>& pts = pool_.cold(nid).leaf_pts;
+    led.add_cpu_work(pts.size());
+    for (const PointId id : pts) {
       if (!alive_[id]) continue;
       if (sq_dist(all_points_[id], q, cfg_.dim) <= r2) {
         ++cnt;

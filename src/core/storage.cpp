@@ -27,9 +27,9 @@ void DistStore::add_copy(NodeId id, std::size_t module) {
   copy.counter = rec.counter;
   std::uint64_t words = copy_words(rec);
   if (rec.is_leaf() && copy.refs == 1) {
-    st.leaf_points[id] = rec.leaf_pts;
-    words += static_cast<std::uint64_t>(rec.leaf_pts.size()) *
-             point_words(cfg_.dim);
+    const std::vector<PointId>& pts = pool_.cold(id).leaf_pts;
+    st.leaf_points[id] = pts;
+    words += static_cast<std::uint64_t>(pts.size()) * point_words(cfg_.dim);
   }
   sys_.metrics().add_comm(module, words);
   sys_.metrics().add_storage(module, static_cast<std::int64_t>(words));
@@ -141,8 +141,7 @@ void DistStore::write_counter_copies(NodeId id, bool charge_comm) {
 
 void DistStore::refresh_leaf_payload(NodeId leaf, std::uint64_t words_changed) {
   assert(sys_.metrics().in_round());
-  const NodeRec& rec = pool_.at(leaf);
-  assert(rec.is_leaf());
+  assert(pool_.at(leaf).is_leaf());
   const auto& mods = copy_modules(leaf);
   // Deduplicate modules: the payload is stored once per module.
   std::vector<std::uint32_t> uniq(mods.begin(), mods.end());
@@ -154,7 +153,7 @@ void DistStore::refresh_leaf_payload(NodeId leaf, std::uint64_t words_changed) {
     auto& stored = st.leaf_points[leaf];
     const auto old_words = static_cast<std::int64_t>(stored.size()) *
                            static_cast<std::int64_t>(point_words(cfg_.dim));
-    stored = rec.leaf_pts;
+    stored = pool_.cold(leaf).leaf_pts;
     const auto new_words = static_cast<std::int64_t>(stored.size()) *
                            static_cast<std::int64_t>(point_words(cfg_.dim));
     sys_.metrics().add_comm(module, words_changed);
@@ -189,9 +188,9 @@ DistStore::RecoverySummary DistStore::rebuild_module(std::size_t m) {
     std::uint64_t words =
         static_cast<std::uint64_t>(refs_here) * copy_words(rec);
     if (rec.is_leaf()) {
-      st.leaf_points[id] = rec.leaf_pts;
-      words += static_cast<std::uint64_t>(rec.leaf_pts.size()) *
-               point_words(cfg_.dim);
+      const std::vector<PointId>& pts = pool_.cold(id).leaf_pts;
+      st.leaf_points[id] = pts;
+      words += static_cast<std::uint64_t>(pts.size()) * point_words(cfg_.dim);
     }
     if (src != m) {
       sys_.metrics().add_comm(src, words);  // read side of the transfer
@@ -243,8 +242,8 @@ std::uint64_t DistStore::node_storage_words(NodeId id) const {
     std::vector<std::uint32_t> uniq(it->second.begin(), it->second.end());
     std::sort(uniq.begin(), uniq.end());
     uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
-    words += static_cast<std::uint64_t>(uniq.size()) * rec.leaf_pts.size() *
-             point_words(cfg_.dim);
+    words += static_cast<std::uint64_t>(uniq.size()) *
+             pool_.cold(id).leaf_pts.size() * point_words(cfg_.dim);
   }
   return words;
 }

@@ -6,11 +6,24 @@
 // oracle; the per-copy approximate counters and leaf payloads live in module
 // storage (core/storage.hpp), which is the ground the cost accounting stands
 // on. NodeIds are never reused, so stale references are detectable.
+//
+// Storage layout: a flat slab. Records live in contiguous vectors indexed by
+// a slot; `slot_of_[id]` maps the never-reused NodeId to its current slot and
+// freed slots go on a free-list. `at()` is two array indexations instead of a
+// hash probe, and the traversal-hot fields (children, split, box, group /
+// component metadata) are split from the cold per-leaf payload (`leaf_pts`,
+// DPC priorities) so the query/update recursions walk dense cache lines.
+//
+// Reference stability: unlike the previous unordered_map-backed pool,
+// references returned by at() / cold() are INVALIDATED by create() (the
+// backing vectors may reallocate). Never hold a NodeRec& across a call that
+// can create nodes; re-fetch via at(id) instead. destroy() never moves
+// records, so references to *other* nodes survive it.
+
 #pragma once
 
 #include <cassert>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "util/geometry.hpp"
@@ -20,62 +33,113 @@ namespace pimkd::core {
 using NodeId = std::uint64_t;
 inline constexpr NodeId kNoNode = 0;
 
+// Hot traversal record: everything the knn/range/update recursions touch per
+// visit. The cold payload (leaf point lists, DPC priority aggregates) lives
+// in a parallel NodeCold slab reached through NodePool::cold().
 struct NodeRec {
   NodeId id = kNoNode;
   NodeId parent = kNoNode;
   NodeId left = kNoNode;
   NodeId right = kNoNode;
-  Box box;
-  Coord split_val = 0;
-  std::int16_t split_dim = -1;  // -1 => leaf
+  NodeId comp_root = kNoNode;   // root of this node's intra-group component
   std::uint64_t exact_size = 0; // ground truth (oracle; not used by algorithms)
   double counter = 0;           // canonical approximate-counter value
-  int group = 0;                // log-star group (recomputed from counter)
-  NodeId comp_root = kNoNode;   // root of this node's intra-group component
+  Coord split_val = 0;
+  std::int16_t split_dim = -1;  // -1 => leaf
   bool comp_finished = true;    // false while delayed construction is pending
+  int group = 0;                // log-star group (recomputed from counter)
   std::uint32_t depth = 0;      // distance from the tree root (ancestry tests)
-  double max_priority = 0;      // max point priority in subtree (DPC, §6.1)
-  PointId max_priority_id = kInvalidPoint;
-  std::vector<PointId> leaf_pts;  // orchestration copy of the leaf payload
+  Box box;
   bool is_leaf() const { return split_dim < 0; }
+};
+
+struct NodeCold {
+  std::vector<PointId> leaf_pts;  // orchestration copy of the leaf payload
+  double max_priority = 0;        // max point priority in subtree (DPC, §6.1)
+  PointId max_priority_id = kInvalidPoint;
 };
 
 class NodePool {
  public:
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  NodePool() { slot_of_.push_back(kNoSlot); }  // id 0 is kNoNode
+
   NodeId create() {
     const NodeId id = next_id_++;
-    nodes_.emplace(id, NodeRec{});
-    nodes_[id].id = id;
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+      hot_[slot] = NodeRec{};
+      cold_[slot] = NodeCold{};
+    } else {
+      slot = static_cast<std::uint32_t>(hot_.size());
+      hot_.emplace_back();
+      cold_.emplace_back();
+    }
+    hot_[slot].id = id;
+    assert(slot_of_.size() == id);
+    slot_of_.push_back(slot);
+    ++live_;
     return id;
   }
 
   void destroy(NodeId id) {
-    const auto erased = nodes_.erase(id);
-    assert(erased == 1);
-    (void)erased;
+    assert(contains(id));
+    const std::uint32_t slot = slot_of_[id];
+    slot_of_[id] = kNoSlot;
+    hot_[slot] = NodeRec{};
+    cold_[slot] = NodeCold{};  // releases the leaf payload allocation
+    free_slots_.push_back(slot);
+    --live_;
   }
 
   NodeRec& at(NodeId id) {
-    const auto it = nodes_.find(id);
-    assert(it != nodes_.end());
-    return it->second;
+    assert(contains(id));
+    return hot_[slot_of_[id]];
   }
   const NodeRec& at(NodeId id) const {
-    const auto it = nodes_.find(id);
-    assert(it != nodes_.end());
-    return it->second;
+    assert(contains(id));
+    return hot_[slot_of_[id]];
   }
-  bool contains(NodeId id) const { return nodes_.count(id) != 0; }
-  std::size_t size() const { return nodes_.size(); }
+  NodeCold& cold(NodeId id) {
+    assert(contains(id));
+    return cold_[slot_of_[id]];
+  }
+  const NodeCold& cold(NodeId id) const {
+    assert(contains(id));
+    return cold_[slot_of_[id]];
+  }
 
+  bool contains(NodeId id) const {
+    return id < slot_of_.size() && slot_of_[id] != kNoSlot;
+  }
+  std::size_t size() const { return live_; }
+
+  // Grow the slabs ahead of a bulk build so create() cannot reallocate
+  // mid-construction (capacity only; size/ids are unaffected).
+  void reserve(std::size_t extra_nodes) {
+    hot_.reserve(hot_.size() + extra_nodes);
+    cold_.reserve(cold_.size() + extra_nodes);
+    slot_of_.reserve(slot_of_.size() + extra_nodes);
+  }
+
+  // Deterministic: visits live nodes in ascending id order regardless of the
+  // pool's creation/destruction history (ids are never reused).
   template <class Fn>
   void for_each(Fn&& fn) const {
-    for (const auto& [id, rec] : nodes_) fn(rec);
+    for (NodeId id = 1; id < slot_of_.size(); ++id)
+      if (slot_of_[id] != kNoSlot) fn(hot_[slot_of_[id]]);
   }
 
  private:
-  std::unordered_map<NodeId, NodeRec> nodes_;
+  std::vector<NodeRec> hot_;
+  std::vector<NodeCold> cold_;
+  std::vector<std::uint32_t> slot_of_;  // NodeId -> slot, kNoSlot when dead
+  std::vector<std::uint32_t> free_slots_;
   NodeId next_id_ = 1;
+  std::size_t live_ = 0;
 };
 
 }  // namespace pimkd::core

@@ -138,7 +138,7 @@ std::vector<PimKdTree::RouteStop> PimKdTree::route_batch(
         // keeps an adversarial all-one-leaf batch off any single module.
         std::uint64_t words = node_words(cfg_.dim);
         if (rec.is_leaf())
-          words += static_cast<std::uint64_t>(rec.leaf_pts.size()) *
+          words += static_cast<std::uint64_t>(pool_.cold(nid).leaf_pts.size()) *
                    point_words(cfg_.dim);
         const std::size_t m = store_.master_of(nid);
         if (sys_.module_alive(m)) {
@@ -443,13 +443,12 @@ std::vector<PointId> PimKdTree::insert(std::span<const Point> pts) {
     if (imbalanced) {
       touched = rebuild_subtree(node, std::move(batch_ids), /*drop_dead=*/true);
     } else {
-      NodeRec& leaf = pool_.at(node);
-      leaf.leaf_pts.insert(leaf.leaf_pts.end(), batch_ids.begin(),
-                           batch_ids.end());
-      leaf.exact_size = leaf.leaf_pts.size();
+      std::vector<PointId>& leaf_pts = pool_.cold(node).leaf_pts;
+      leaf_pts.insert(leaf_pts.end(), batch_ids.begin(), batch_ids.end());
+      pool_.at(node).exact_size = leaf_pts.size();
       store_.refresh_leaf_payload(
           node, batch_ids.size() * point_words(cfg_.dim));
-      if (leaf.leaf_pts.size() > cfg_.leaf_cap) {
+      if (leaf_pts.size() > cfg_.leaf_cap) {
         touched = rebuild_subtree(node, {}, /*drop_dead=*/true);
       } else {
         touched = node;
@@ -499,15 +498,15 @@ void PimKdTree::erase(std::span<const PointId> ids) {
     if (imbalanced) {
       touched = rebuild_subtree(node, {}, /*drop_dead=*/true);
     } else {
-      NodeRec& leaf = pool_.at(node);
+      std::vector<PointId>& leaf_pts = pool_.cold(node).leaf_pts;
       std::unordered_set<PointId> victim_set;
       for (const std::uint32_t qi : qis) victim_set.insert(victims[qi]);
-      const std::size_t before = leaf.leaf_pts.size();
-      std::erase_if(leaf.leaf_pts,
+      const std::size_t before = leaf_pts.size();
+      std::erase_if(leaf_pts,
                     [&](PointId id) { return victim_set.count(id) != 0; });
-      assert(before - leaf.leaf_pts.size() == qis.size());
+      assert(before - leaf_pts.size() == qis.size());
       (void)before;
-      leaf.exact_size = leaf.leaf_pts.size();
+      pool_.at(node).exact_size = leaf_pts.size();
       store_.refresh_leaf_payload(node, qis.size() * point_words(cfg_.dim));
       touched = node;
     }

@@ -3,8 +3,32 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <unordered_map>
+
+#include "parallel/thread_pool.hpp"
 
 namespace pimkd {
+
+namespace {
+// Number of nodes a subtree over `count` points produces. The split point is
+// always count/2, so the shape — and with it the whole postorder index
+// layout — is a function of count alone. Each recursion level contains at
+// most two distinct counts, so the memoised recursion is O(log^2 n).
+std::uint32_t subtree_node_count(
+    std::size_t count, std::size_t leaf_cap,
+    std::unordered_map<std::size_t, std::uint32_t>& memo) {
+  if (count <= leaf_cap) return 1;
+  const auto it = memo.find(count);
+  if (it != memo.end()) return it->second;
+  const std::uint32_t v =
+      1 + subtree_node_count(count / 2, leaf_cap, memo) +
+      subtree_node_count(count - count / 2, leaf_cap, memo);
+  memo.emplace(count, v);
+  return v;
+}
+
+constexpr std::size_t kParallelBuildCutoff = 8192;
+}  // namespace
 
 void StaticKdTree::Config::validate() const {
   if (dim < 1 || dim > kMaxDim)
@@ -30,27 +54,40 @@ StaticKdTree::StaticKdTree(const Config& cfg, std::span<const Point> pts,
   perm_.resize(pts_.size());
   for (std::size_t i = 0; i < perm_.size(); ++i)
     perm_[i] = static_cast<std::uint32_t>(i);
-  nodes_.reserve(pts_.empty() ? 1 : 2 * pts_.size() / cfg_.leaf_cap + 2);
   if (pts_.empty()) {
     Node leaf;
     leaf.box = Box::empty(cfg_.dim);
     nodes_.push_back(leaf);
     root_ = 0;
   } else {
-    root_ = build(perm_.data(), perm_.data() + perm_.size());
+    // The split is always at count/2, so the node count — and the postorder
+    // index of every node — is a function of subtree size alone. Sizing the
+    // array up front lets disjoint subtrees be built concurrently into their
+    // precomputed slots; the indices are identical to the sequential
+    // push_back build's for any thread count.
+    std::unordered_map<std::size_t, std::uint32_t> memo;
+    nodes_.resize(subtree_node_count(pts_.size(), cfg_.leaf_cap, memo));
+    root_ = static_cast<std::uint32_t>(nodes_.size() - 1);
+    build(perm_.data(), perm_.data() + perm_.size(), 0, memo);
   }
 }
 
-std::uint32_t StaticKdTree::build(std::uint32_t* first, std::uint32_t* last) {
+// Builds the subtree over [first, last) into the postorder block starting at
+// `base`: [left block][right block][this node]. Returns nothing — the node's
+// own index is base + subtree_node_count - 1 by construction.
+void StaticKdTree::build(std::uint32_t* first, std::uint32_t* last,
+                         std::uint32_t base,
+                         std::unordered_map<std::size_t, std::uint32_t>& memo) {
   const auto count = static_cast<std::size_t>(last - first);
+  const std::uint32_t self = base + subtree_node_count(count, cfg_.leaf_cap, memo) - 1;
   Node node;
   node.box = Box::empty(cfg_.dim);
   for (auto* it = first; it != last; ++it) node.box.extend(pts_[*it], cfg_.dim);
   if (count <= cfg_.leaf_cap) {
     node.begin = static_cast<std::uint32_t>(first - perm_.data());
     node.count = static_cast<std::uint32_t>(count);
-    nodes_.push_back(node);
-    return static_cast<std::uint32_t>(nodes_.size() - 1);
+    nodes_[self] = node;
+    return;
   }
   const int d = node.box.widest_dim(cfg_.dim);
   auto* mid = first + count / 2;
@@ -59,12 +96,28 @@ std::uint32_t StaticKdTree::build(std::uint32_t* first, std::uint32_t* last) {
   });
   node.split_dim = static_cast<std::int16_t>(d);
   node.split_val = pts_[*mid][d];
-  const std::uint32_t left = build(first, mid);
-  const std::uint32_t right = build(mid, last);
-  node.left = left;
-  node.right = right;
-  nodes_.push_back(node);
-  return static_cast<std::uint32_t>(nodes_.size() - 1);
+  const std::uint32_t left_nodes =
+      subtree_node_count(count / 2, cfg_.leaf_cap, memo);
+  node.left = base + left_nodes - 1;
+  node.right = self - 1;
+  nodes_[self] = node;
+  // Fork the two disjoint halves onto the pool when both are substantial;
+  // each task gets a private memo (the shared one is not thread-safe).
+  ThreadPool& pool = ThreadPool::instance();
+  if (count >= kParallelBuildCutoff && pool.size() > 1 &&
+      !ThreadPool::in_worker()) {
+    auto* m = mid;
+    pool.run_bulk(2, [&, m, base](std::size_t half) {
+      std::unordered_map<std::size_t, std::uint32_t> local;
+      if (half == 0)
+        build(first, m, base, local);
+      else
+        build(m, last, base + left_nodes, local);
+    });
+    return;
+  }
+  build(first, mid, base, memo);
+  build(mid, last, base + left_nodes, memo);
 }
 
 std::size_t StaticKdTree::height() const { return height_rec(root_); }

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "kdtree/bruteforce.hpp"
@@ -67,7 +68,11 @@ class StaticKdTree {
     bool is_leaf() const { return split_dim < 0; }
   };
 
-  std::uint32_t build(std::uint32_t* first, std::uint32_t* last);
+  // Writes the subtree over [first, last) into the postorder index block
+  // starting at `base` (see static_kdtree.cpp); disjoint blocks let subtree
+  // builds run concurrently with sequential-identical indices.
+  void build(std::uint32_t* first, std::uint32_t* last, std::uint32_t base,
+             std::unordered_map<std::size_t, std::uint32_t>& memo);
   void knn_rec(std::uint32_t nid, const Point& q,
                std::vector<Neighbor>& heap, std::size_t k,
                double prune_factor) const;

@@ -2,7 +2,6 @@
 
 #include <atomic>
 #include <cstdlib>
-#include <memory>
 
 namespace pimkd {
 
@@ -17,12 +16,33 @@ std::size_t default_thread_count() {
 }
 
 thread_local bool tls_in_pool = false;
+thread_local std::size_t tls_ledger_slot = 0;
 }  // namespace
 
-ThreadPool::ThreadPool(std::size_t threads) {
+// One descriptor per run_bulk call, shared by every participant. The chunk
+// function is referenced, not copied: a chunk index is only ever claimed
+// while the submitting run_bulk is still blocked in its wait (done < chunks),
+// so `*fn` is alive for the whole execution of every chunk.
+struct ThreadPool::Bulk {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t chunks = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;  // first exception; guarded by done_mu
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  bool exhausted() const {
+    return next.load(std::memory_order_relaxed) >= chunks;
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads, bool ledger_slots) {
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back(
+        [this, slot = ledger_slots ? i + 1 : 0] { worker_loop(slot); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -34,18 +54,54 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
-  tls_in_pool = true;
+void ThreadPool::drain(Bulk& b) {
   for (;;) {
-    std::function<void()> task;
+    const std::size_t i = b.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= b.chunks) return;
+    // After a failure, remaining chunks are claimed but skipped: `done`
+    // must still reach `chunks` so the submitter's wait terminates.
+    if (!b.failed.load(std::memory_order_acquire)) {
+      try {
+        (*b.fn)(i);
+      } catch (...) {
+        {
+          std::lock_guard lk(b.done_mu);
+          if (!b.error) b.error = std::current_exception();
+        }
+        b.failed.store(true, std::memory_order_release);
+      }
+    }
+    if (b.done.fetch_add(1, std::memory_order_acq_rel) + 1 == b.chunks) {
+      std::lock_guard lk(b.done_mu);
+      b.done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t slot) {
+  tls_in_pool = true;
+  tls_ledger_slot = slot;
+  for (;;) {
+    std::shared_ptr<Bulk> bulk;
     {
       std::unique_lock lk(mu_);
-      cv_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
-      if (stop_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
-      tasks_.pop();
+      for (;;) {
+        // Drop fully-claimed bulks so an exhausted descriptor at the front
+        // can't make workers spin instead of sleeping. (Remaining claimed
+        // chunks may still be executing; the shared_ptr of each executing
+        // participant keeps the descriptor alive.)
+        std::erase_if(bulks_, [](const std::shared_ptr<Bulk>& b) {
+          return b->exhausted();
+        });
+        if (!bulks_.empty()) {
+          bulk = bulks_.front();
+          break;
+        }
+        if (stop_) return;
+        cv_.wait(lk);
+      }
     }
-    task();
+    drain(*bulk);
   }
 }
 
@@ -58,62 +114,31 @@ void ThreadPool::run_bulk(std::size_t chunks,
     for (std::size_t i = 0; i < chunks; ++i) fn(i);
     return;
   }
-  // Shared state outlives this call: queued drain tasks may execute after we
-  // return (when the caller drained every chunk itself), so they must own it.
-  struct State {
-    std::atomic<std::size_t> next{0};
-    std::atomic<std::size_t> done{0};
-    std::atomic<bool> failed{false};
-    std::exception_ptr error;  // first exception; guarded by done_mu
-    std::mutex done_mu;
-    std::condition_variable done_cv;
-    std::size_t chunks;
-    std::function<void(std::size_t)> fn;
-  };
-  auto st = std::make_shared<State>();
-  st->chunks = chunks;
-  st->fn = fn;
-  const std::size_t fanout = std::min(chunks, workers_.size());
-  auto drain = [st] {
-    for (;;) {
-      const std::size_t i = st->next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= st->chunks) break;
-      // After a failure, remaining chunks are claimed but skipped: `done`
-      // must still reach `chunks` so the caller's wait terminates.
-      if (!st->failed.load(std::memory_order_acquire)) {
-        try {
-          st->fn(i);
-        } catch (...) {
-          {
-            std::lock_guard lk(st->done_mu);
-            if (!st->error) st->error = std::current_exception();
-          }
-          st->failed.store(true, std::memory_order_release);
-        }
-      }
-      if (st->done.fetch_add(1, std::memory_order_acq_rel) + 1 == st->chunks) {
-        std::lock_guard lk(st->done_mu);
-        st->done_cv.notify_all();
-      }
-    }
-  };
+  auto b = std::make_shared<Bulk>();
+  b->fn = &fn;
+  b->chunks = chunks;
   {
     std::lock_guard lk(mu_);
-    for (std::size_t i = 0; i < fanout; ++i) tasks_.push(drain);
+    bulks_.push_back(b);
   }
   cv_.notify_all();
-  drain();  // caller participates
-  std::unique_lock lk(st->done_mu);
-  st->done_cv.wait(
-      lk, [&] { return st->done.load(std::memory_order_acquire) == chunks; });
+  drain(*b);  // the caller participates
+  std::unique_lock lk(b->done_mu);
+  b->done_cv.wait(lk, [&] {
+    return b->done.load(std::memory_order_acquire) == b->chunks;
+  });
   // Rethrow the first captured exception on the calling thread (the inline
   // fast paths above propagate naturally).
-  if (st->error) std::rethrow_exception(st->error);
+  if (b->error) std::rethrow_exception(b->error);
 }
 
 ThreadPool& ThreadPool::instance() {
-  static ThreadPool pool(default_thread_count());
+  static ThreadPool pool(default_thread_count(), /*ledger_slots=*/true);
   return pool;
 }
+
+bool ThreadPool::in_worker() { return tls_in_pool; }
+
+std::size_t ThreadPool::ledger_slot() { return tls_ledger_slot; }
 
 }  // namespace pimkd

@@ -5,13 +5,20 @@
 // submission (parallel_for grain scheduling), which preserves the work bounds
 // and is far simpler. The pool is a process-wide singleton sized from
 // hardware_concurrency, overridable for tests via PIMKD_THREADS.
+//
+// Dispatch path: run_bulk publishes ONE heap-allocated Bulk descriptor per
+// call (the chunk function is referenced, never copied) onto a deque; workers
+// and the calling thread claim chunk indices from it with a single fetch_add
+// each. No per-chunk or per-worker std::function allocations happen on the
+// submission path.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
@@ -19,7 +26,11 @@ namespace pimkd {
 
 class ThreadPool {
  public:
-  explicit ThreadPool(std::size_t threads);
+  // `ledger_slots` grants each worker a stable 1-based slot id (read back via
+  // ledger_slot()) used by pim::Metrics for contention-free sharded charging.
+  // Only the process-wide singleton enables it; ad-hoc pools charge through
+  // the shared slot 0 like any foreign thread.
+  explicit ThreadPool(std::size_t threads, bool ledger_slots = false);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -38,14 +49,23 @@ class ThreadPool {
   // Process-wide pool.
   static ThreadPool& instance();
 
+  // True when the calling thread is a pool worker (of any ThreadPool).
+  static bool in_worker();
+
+  // Ledger shard of the calling thread: 1..size() for workers of the
+  // slot-enabled singleton (single-writer shards), 0 for everything else —
+  // the control thread, run_bulk callers, and foreign/ad-hoc pool threads.
+  static std::size_t ledger_slot();
+
  private:
   struct Bulk;
-  void worker_loop();
+  void worker_loop(std::size_t slot);
+  void drain(Bulk& b);
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable cv_;
-  std::queue<std::function<void()>> tasks_;
+  std::deque<std::shared_ptr<Bulk>> bulks_;  // live bulks, oldest first
   bool stop_ = false;
 };
 

@@ -4,9 +4,28 @@
 #include <cassert>
 #include <sstream>
 
+#include "parallel/thread_pool.hpp"
 #include "pim/trace.hpp"
 
 namespace pimkd::pim {
+
+namespace {
+// 64-byte lines; a shard's stride is rounded up so no two shards share one.
+constexpr std::size_t kCellsPerLine = 64 / sizeof(std::uint64_t);
+
+// Shard 0 is shared by the control thread and every foreign thread and needs
+// real RMW adds; shards >= 1 are single-writer (exactly one pool worker), so
+// a relaxed load+store is enough and stays TSan-clean because the cell is
+// still an atomic.
+inline void bump(std::atomic<std::uint64_t>& cell, std::uint64_t v,
+                 bool shared) {
+  if (shared)
+    cell.fetch_add(v, std::memory_order_relaxed);
+  else
+    cell.store(cell.load(std::memory_order_relaxed) + v,
+               std::memory_order_relaxed);
+}
+}  // namespace
 
 std::string Snapshot::to_string() const {
   std::ostringstream os;
@@ -17,26 +36,35 @@ std::string Snapshot::to_string() const {
 }
 
 Metrics::Metrics(std::size_t num_modules, std::size_t cache_words)
-    : cache_words_(std::max<std::size_t>(cache_words, 1)),
-      round_work_(num_modules),
-      round_comm_(num_modules),
-      lifetime_work_(num_modules),
-      lifetime_comm_(num_modules),
+    : num_modules_(num_modules),
+      cache_words_(std::max<std::size_t>(cache_words, 1)),
+      // Sizing the shard array forces singleton creation here, so the worker
+      // count (and thus PIMKD_THREADS) is locked in before any charging.
+      shard_count_(ThreadPool::instance().size() + 1),
+      shard_stride_((kCellWorkBase + 2 * num_modules + kCellsPerLine - 1) /
+                    kCellsPerLine * kCellsPerLine),
+      shards_(shard_count_ * shard_stride_),
+      last_round_work_(num_modules, 0),
+      last_round_comm_(num_modules, 0),
+      lifetime_work_(num_modules, 0),
+      lifetime_comm_(num_modules, 0),
       storage_(num_modules) {
-  for (std::size_t m = 0; m < num_modules; ++m) {
-    round_work_[m] = 0;
-    round_comm_[m] = 0;
-    lifetime_work_[m] = 0;
-    lifetime_comm_[m] = 0;
-    storage_[m] = 0;
-  }
+  for (auto& c : shards_) c.store(0, std::memory_order_relaxed);
+  for (auto& s : storage_) s.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t Metrics::shard_sum(std::size_t cell) const {
+  std::uint64_t t = 0;
+  for (std::size_t s = 0; s < shard_count_; ++s)
+    t += shard(s)[cell].load(std::memory_order_relaxed);
+  return t;
 }
 
 void Metrics::begin_round() {
   assert(!in_round_);
   in_round_ = true;
-  for (auto& v : round_work_) v.store(0, std::memory_order_relaxed);
-  for (auto& v : round_comm_) v.store(0, std::memory_order_relaxed);
+  // Shards were zeroed by the previous end_round (and start zeroed), so the
+  // new round's in-flight cells already read 0 here.
   // Scheduled faults fire at the barrier, before any kernel of the round.
   if (round_observer_) round_observer_->on_round_begin(round_seq_);
 }
@@ -44,15 +72,34 @@ void Metrics::begin_round() {
 void Metrics::end_round() {
   assert(in_round_);
   in_round_ = false;
+  // Fold the shards into this round's per-module loads. Workers that charged
+  // during the round have synchronized with us through the run_bulk join, so
+  // relaxed reads see every charge; the result is a sum of commutative adds
+  // and identical for any thread count.
   std::uint64_t max_work = 0;
   std::uint64_t max_comm = 0;
+  std::uint64_t sum_work = 0;
   std::uint64_t sum_comm = 0;
-  for (std::size_t m = 0; m < round_work_.size(); ++m) {
-    const auto w = round_work_[m].load(std::memory_order_relaxed);
-    const auto c = round_comm_[m].load(std::memory_order_relaxed);
+  const std::size_t comm_base = cell_comm_base();
+  for (std::size_t m = 0; m < num_modules_; ++m) {
+    const std::uint64_t w = shard_sum(kCellWorkBase + m);
+    const std::uint64_t c = shard_sum(comm_base + m);
+    last_round_work_[m] = w;
+    last_round_comm_[m] = c;
+    lifetime_work_[m] += w;
+    lifetime_comm_[m] += c;
     max_work = std::max(max_work, w);
     max_comm = std::max(max_comm, c);
+    sum_work += w;
     sum_comm += c;
+  }
+  cpu_flushed_ += shard_sum(kCellCpu);
+  pim_work_flushed_ += sum_work;
+  comm_flushed_ += sum_comm;
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    auto* cells = shard(s);
+    for (std::size_t i = 0; i < kCellWorkBase + 2 * num_modules_; ++i)
+      cells[i].store(0, std::memory_order_relaxed);
   }
   pim_time_ += max_work;
   comm_time_ += max_comm;
@@ -62,29 +109,32 @@ void Metrics::end_round() {
       std::max<std::uint64_t>(1, (sum_comm + cache_words_ - 1) / cache_words_);
   rounds_ += charged;
   if (trace_) {
-    const auto w = load_all(round_work_);
-    const auto c = load_all(round_comm_);
-    std::uint64_t sum_work = 0;
-    for (const auto v : w) sum_work += v;
     trace_->record_round(round_seq_, trace_label(), sum_work,
-                         summarize_load(w), sum_comm, summarize_load(c),
-                         charged);
+                         summarize_load(last_round_work_), sum_comm,
+                         summarize_load(last_round_comm_), charged);
   }
   ++round_seq_;
 }
 
+void Metrics::add_cpu_work(std::uint64_t w) {
+  const std::size_t s = ThreadPool::ledger_slot();
+  bump(shard(s < shard_count_ ? s : 0)[kCellCpu], w, s == 0);
+}
+
 void Metrics::add_module_work(std::size_t m, std::uint64_t w) {
-  assert(in_round_ && m < round_work_.size());
-  round_work_[m].fetch_add(w, std::memory_order_relaxed);
-  lifetime_work_[m].fetch_add(w, std::memory_order_relaxed);
-  pim_work_total_.fetch_add(w, std::memory_order_relaxed);
+  assert(in_round_ && m < num_modules_);
+  const std::size_t s = ThreadPool::ledger_slot();
+  auto* cells = shard(s < shard_count_ ? s : 0);
+  bump(cells[kCellWorkTotal], w, s == 0);
+  bump(cells[kCellWorkBase + m], w, s == 0);
 }
 
 void Metrics::add_comm(std::size_t m, std::uint64_t words) {
-  assert(in_round_ && m < round_comm_.size());
-  round_comm_[m].fetch_add(words, std::memory_order_relaxed);
-  lifetime_comm_[m].fetch_add(words, std::memory_order_relaxed);
-  comm_total_.fetch_add(words, std::memory_order_relaxed);
+  assert(in_round_ && m < num_modules_);
+  const std::size_t s = ThreadPool::ledger_slot();
+  auto* cells = shard(s < shard_count_ ? s : 0);
+  bump(cells[kCellCommTotal], words, s == 0);
+  bump(cells[cell_comm_base() + m], words, s == 0);
 }
 
 void Metrics::add_storage(std::size_t m, std::int64_t words) {
@@ -116,17 +166,50 @@ LoadSummary Metrics::storage_balance() const {
 }
 
 Snapshot Metrics::snapshot() const {
-  return Snapshot{cpu_work_.load(std::memory_order_relaxed),
-                  pim_work_total_.load(std::memory_order_relaxed),
+  return Snapshot{cpu_flushed_ + shard_sum(kCellCpu),
+                  pim_work_flushed_ + shard_sum(kCellWorkTotal),
                   pim_time_,
-                  comm_total_.load(std::memory_order_relaxed),
+                  comm_flushed_ + shard_sum(kCellCommTotal),
                   comm_time_,
                   rounds_};
 }
 
+std::vector<std::uint64_t> Metrics::lifetime_module_work() const {
+  std::vector<std::uint64_t> v(lifetime_work_);
+  for (std::size_t m = 0; m < num_modules_; ++m)
+    v[m] += shard_sum(kCellWorkBase + m);  // in-flight round, zero otherwise
+  return v;
+}
+
+std::vector<std::uint64_t> Metrics::lifetime_module_comm() const {
+  std::vector<std::uint64_t> v(lifetime_comm_);
+  const std::size_t comm_base = cell_comm_base();
+  for (std::size_t m = 0; m < num_modules_; ++m)
+    v[m] += shard_sum(comm_base + m);
+  return v;
+}
+
+std::vector<std::uint64_t> Metrics::round_module_work() const {
+  if (!in_round_) return last_round_work_;
+  std::vector<std::uint64_t> v(num_modules_);
+  for (std::size_t m = 0; m < num_modules_; ++m)
+    v[m] = shard_sum(kCellWorkBase + m);
+  return v;
+}
+
+std::vector<std::uint64_t> Metrics::round_module_comm() const {
+  if (!in_round_) return last_round_comm_;
+  std::vector<std::uint64_t> v(num_modules_);
+  const std::size_t comm_base = cell_comm_base();
+  for (std::size_t m = 0; m < num_modules_; ++m)
+    v[m] = shard_sum(comm_base + m);
+  return v;
+}
+
 void Metrics::reset_module_loads() {
-  for (auto& v : lifetime_work_) v.store(0, std::memory_order_relaxed);
-  for (auto& v : lifetime_comm_) v.store(0, std::memory_order_relaxed);
+  assert(!in_round_);
+  std::fill(lifetime_work_.begin(), lifetime_work_.end(), 0);
+  std::fill(lifetime_comm_.begin(), lifetime_comm_.end(), 0);
 }
 
 }  // namespace pimkd::pim

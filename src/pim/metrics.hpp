@@ -9,11 +9,16 @@
 // Round complexity follows §7: a round that moves more than the CPU cache M
 // words counts as ceil(words / M) rounds.
 //
-// Charging is thread-safe (relaxed atomics): the host is a multicore in the
-// PIM Model, so independent queries of one batch may charge concurrently
-// from the thread pool. Totals are sums of commutative adds and therefore
-// deterministic. Round boundaries (begin/end) are control points and must be
-// called from a single thread.
+// Charging is thread-safe AND contention-free: each worker thread of the
+// process-wide ThreadPool owns a cache-line-padded ledger shard (single
+// writer, relaxed atomics), while the control thread and foreign threads
+// share shard 0 (fetch_add). Shards are flushed into the round counters at
+// end_round() on the control thread; every read (snapshot, round/lifetime
+// module loads) folds the in-flight shard values in, so mid-round
+// introspection sees exactly what the old shared-atomic ledger did. Totals
+// are sums of commutative adds and therefore deterministic across thread
+// counts. Round boundaries (begin/end) are control points and must be called
+// from a single thread.
 //
 // Every algorithm in this library runs against a Metrics instance; benches
 // diff Snapshots taken before/after an operation batch.
@@ -63,7 +68,7 @@ class Metrics {
  public:
   Metrics(std::size_t num_modules, std::size_t cache_words);
 
-  std::size_t num_modules() const { return round_work_.size(); }
+  std::size_t num_modules() const { return num_modules_; }
   std::size_t cache_words() const { return cache_words_; }
 
   // --- Round structure (single-threaded control points) ----------------------
@@ -72,9 +77,7 @@ class Metrics {
   bool in_round() const { return in_round_; }
 
   // --- Charging (safe from any thread) ---------------------------------------
-  void add_cpu_work(std::uint64_t w) {
-    cpu_work_.fetch_add(w, std::memory_order_relaxed);
-  }
+  void add_cpu_work(std::uint64_t w);
   // Work executed by PIM core m in the current round.
   void add_module_work(std::size_t m, std::uint64_t w);
   // Off-chip words moved to or from module m in the current round.
@@ -96,27 +99,19 @@ class Metrics {
 
   // --- Reading -------------------------------------------------------------------
   Snapshot snapshot() const;
-  std::vector<std::uint64_t> lifetime_module_work() const {
-    return load_all(lifetime_work_);
-  }
-  std::vector<std::uint64_t> lifetime_module_comm() const {
-    return load_all(lifetime_comm_);
-  }
-  // Per-module loads accumulated in the *current* round (test introspection).
-  std::vector<std::uint64_t> round_module_work() const {
-    return load_all(round_work_);
-  }
-  std::vector<std::uint64_t> round_module_comm() const {
-    return load_all(round_comm_);
-  }
+  std::vector<std::uint64_t> lifetime_module_work() const;
+  std::vector<std::uint64_t> lifetime_module_comm() const;
+  // Per-module loads accumulated in the *current* round while one is open,
+  // or the finished loads of the previous round between rounds (test
+  // introspection; matches the pre-sharding ledger's behavior).
+  std::vector<std::uint64_t> round_module_work() const;
+  std::vector<std::uint64_t> round_module_comm() const;
 
   LoadSummary work_balance() const {
-    const auto v = load_all(lifetime_work_);
-    return summarize_load(v);
+    return summarize_load(lifetime_module_work());
   }
   LoadSummary comm_balance() const {
-    const auto v = load_all(lifetime_comm_);
-    return summarize_load(v);
+    return summarize_load(lifetime_module_comm());
   }
 
   // Zeroes ONLY the per-module lifetime work/comm vectors that feed
@@ -124,7 +119,7 @@ class Metrics {
   // (cpu_work, pim_work, pim_time, communication, comm_time, rounds) and the
   // storage ledger are untouched. Use it to scope a balance measurement to
   // the operations that follow; snapshot() diffs remain the way to scope the
-  // aggregate counters.
+  // aggregate counters. Control point: call it outside rounds.
   void reset_module_loads();
 
   // --- Tracing (pim/trace.hpp) -----------------------------------------------
@@ -149,28 +144,49 @@ class Metrics {
   }
 
  private:
-  using AtomicVec = std::vector<std::atomic<std::uint64_t>>;
-  static std::vector<std::uint64_t> load_all(const AtomicVec& v) {
-    std::vector<std::uint64_t> out(v.size());
-    for (std::size_t i = 0; i < v.size(); ++i)
-      out[i] = v[i].load(std::memory_order_relaxed);
-    return out;
-  }
+  // Shard cell layout (offsets into one shard's stride):
+  //   [0] cpu work, [1] module-work total, [2] comm total,
+  //   [3 .. 3+P)      per-module round work,
+  //   [3+P .. 3+2P)   per-module round comm.
+  static constexpr std::size_t kCellCpu = 0;
+  static constexpr std::size_t kCellWorkTotal = 1;
+  static constexpr std::size_t kCellCommTotal = 2;
+  static constexpr std::size_t kCellWorkBase = 3;
+  std::size_t cell_comm_base() const { return kCellWorkBase + num_modules_; }
 
+  std::atomic<std::uint64_t>* shard(std::size_t s) {
+    return shards_.data() + s * shard_stride_;
+  }
+  const std::atomic<std::uint64_t>* shard(std::size_t s) const {
+    return shards_.data() + s * shard_stride_;
+  }
+  // Sum of one cell across all shards (relaxed; exact once the charging
+  // threads have synchronized with the reader, e.g. after a run_bulk join).
+  std::uint64_t shard_sum(std::size_t cell) const;
+
+  std::size_t num_modules_;
   std::size_t cache_words_;
   bool in_round_ = false;
 
-  std::atomic<std::uint64_t> cpu_work_{0};
-  std::atomic<std::uint64_t> pim_work_total_{0};
+  // Flushed (control-thread-owned) aggregates; the live value of any counter
+  // is its flushed part plus the matching in-flight shard cells.
+  std::uint64_t cpu_flushed_ = 0;
+  std::uint64_t pim_work_flushed_ = 0;
+  std::uint64_t comm_flushed_ = 0;
   std::uint64_t pim_time_ = 0;
-  std::atomic<std::uint64_t> comm_total_{0};
   std::uint64_t comm_time_ = 0;
   std::uint64_t rounds_ = 0;
 
-  AtomicVec round_work_;
-  AtomicVec round_comm_;
-  AtomicVec lifetime_work_;
-  AtomicVec lifetime_comm_;
+  std::size_t shard_count_;
+  std::size_t shard_stride_;  // cells per shard, cache-line padded
+  std::vector<std::atomic<std::uint64_t>> shards_;
+
+  // Finished loads of the most recently ended round (what round_module_*
+  // report between rounds) and the lifetime accumulations.
+  std::vector<std::uint64_t> last_round_work_;
+  std::vector<std::uint64_t> last_round_comm_;
+  std::vector<std::uint64_t> lifetime_work_;
+  std::vector<std::uint64_t> lifetime_comm_;
   std::vector<std::atomic<std::int64_t>> storage_;
 
   TraceSink* trace_ = nullptr;

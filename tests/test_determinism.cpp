@@ -1,0 +1,170 @@
+// Determinism guarantees of the host execution engine:
+//   * NodePool::for_each visits live nodes in ascending NodeId order — space
+//     and trace accounting that iterates the pool cannot depend on any hash
+//     iteration order (the pre-flat-pool unordered_map had no such order).
+//   * The cost ledger is thread-count-invariant: the same workload run with
+//     PIMKD_THREADS=1 and PIMKD_THREADS=8 produces identical Metrics
+//     snapshots, identical per-module loads, and byte-identical JSONL traces.
+//     The thread count is locked in when the pool singleton is created, so
+//     the cross-thread-count check re-executes this binary as a subprocess.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/pim_kdtree.hpp"
+#include "core/tree.hpp"
+#include "util/generators.hpp"
+
+namespace {
+
+using namespace pimkd;
+using namespace pimkd::core;
+
+TEST(NodePoolOrder, ForEachVisitsAscendingIds) {
+  NodePool pool;
+  std::vector<NodeId> created;
+  for (int i = 0; i < 100; ++i) created.push_back(pool.create());
+  for (std::size_t i = 0; i < created.size(); i += 3) pool.destroy(created[i]);
+  // Recycled slots must not disturb the id order either.
+  for (int i = 0; i < 20; ++i) created.push_back(pool.create());
+
+  std::vector<NodeId> visited;
+  pool.for_each([&](const NodeRec& rec) { visited.push_back(rec.id); });
+  ASSERT_EQ(visited.size(), pool.size());
+  for (std::size_t i = 1; i < visited.size(); ++i)
+    EXPECT_LT(visited[i - 1], visited[i]);
+  for (const NodeId id : visited) EXPECT_TRUE(pool.contains(id));
+}
+
+TEST(NodePoolOrder, OrderIndependentOfDestroyPattern) {
+  // Two pools reach the same live id set through different destroy orders
+  // (and thus different free-slot recycling); iteration must agree.
+  NodePool a, b;
+  for (int i = 0; i < 64; ++i) {
+    a.create();
+    b.create();
+  }
+  for (NodeId id = 2; id <= 64; id += 2) a.destroy(id);
+  for (NodeId id = 64; id >= 2; id -= 2) b.destroy(id);
+  std::vector<NodeId> va, vb;
+  a.for_each([&](const NodeRec& r) { va.push_back(r.id); });
+  b.for_each([&](const NodeRec& r) { vb.push_back(r.id); });
+  EXPECT_EQ(va, vb);
+}
+
+// --- Cross-thread-count ledger determinism -----------------------------------
+
+std::string self_exe() {
+  char buf[4096];
+  const ssize_t n = readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n <= 0) return {};
+  buf[n] = '\0';
+  return std::string(buf);
+}
+
+std::string run_child(const std::string& exe, int threads,
+                      const std::string& trace_path) {
+  const std::string cmd = "PIMKD_THREADS=" + std::to_string(threads) + " '" +
+                          exe + "' --determinism-child '" + trace_path + "'";
+  std::FILE* p = popen(cmd.c_str(), "r");
+  if (!p) return {};
+  std::string out;
+  char buf[512];
+  while (std::fgets(buf, sizeof buf, p)) out += buf;
+  const int rc = pclose(p);
+  EXPECT_EQ(rc, 0) << "child failed: " << cmd;
+  return out;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(ThreadCountDeterminism, SnapshotAndTraceIdenticalAcrossThreadCounts) {
+  const std::string exe = self_exe();
+  ASSERT_FALSE(exe.empty());
+  const std::string dir = ::testing::TempDir();
+  const std::string t1 = dir + "pimkd_det_t1.jsonl";
+  const std::string t8 = dir + "pimkd_det_t8.jsonl";
+  const std::string out1 = run_child(exe, 1, t1);
+  const std::string out8 = run_child(exe, 8, t8);
+  ASSERT_FALSE(out1.empty());
+  EXPECT_EQ(out1, out8) << "ledger diverged across thread counts";
+  const std::string trace1 = slurp(t1);
+  const std::string trace8 = slurp(t8);
+  ASSERT_FALSE(trace1.empty());
+  EXPECT_EQ(trace1, trace8) << "JSONL traces diverged across thread counts";
+  std::remove(t1.c_str());
+  std::remove(t8.c_str());
+}
+
+// Mixed workload covering parallel build, bucketed full_build, rebuilds,
+// batched queries, and the priority path; prints every ledger aggregate that
+// must be thread-count-invariant.
+int determinism_child(const char* trace_path) {
+  PimKdConfig cfg;
+  cfg.dim = 2;
+  cfg.leaf_cap = 8;
+  cfg.sigma = 64;
+  cfg.system.num_modules = 32;
+  cfg.system.cache_words = 1 << 22;
+  cfg.system.seed = 2024;
+  cfg.trace_path = trace_path;
+
+  const auto pts = gen_uniform({.n = 14000, .dim = 2, .seed = 11});
+  PimKdTree tree(cfg, std::span<const Point>(pts.data(), 12000));
+  (void)tree.insert(std::span<const Point>(pts.data() + 12000, 2000));
+  std::vector<PointId> dead;
+  for (PointId i = 0; i < 4000; i += 3) dead.push_back(i);
+  tree.erase(dead);
+
+  std::vector<Point> qs(pts.begin(), pts.begin() + 256);
+  std::uint64_t qh = 0;
+  for (const auto& v : tree.knn(qs, 8))
+    for (const auto& nb : v) qh = qh * 1000003u + nb.id;
+  for (const auto c : tree.radius_count(qs, 0.05)) qh = qh * 31 + c;
+  std::vector<double> prio(14000);
+  for (std::size_t i = 0; i < prio.size(); ++i)
+    prio[i] = static_cast<double>((i * 2654435761ull) % 99991);
+  tree.set_priorities(prio);
+
+  const auto s = tree.metrics().snapshot();
+  std::printf("cpu=%llu pim_work=%llu pim_time=%llu comm=%llu comm_time=%llu "
+              "rounds=%llu qh=%llu nodes=%zu\n",
+              (unsigned long long)s.cpu_work, (unsigned long long)s.pim_work,
+              (unsigned long long)s.pim_time,
+              (unsigned long long)s.communication,
+              (unsigned long long)s.comm_time, (unsigned long long)s.rounds,
+              (unsigned long long)qh, tree.num_nodes());
+  std::uint64_t wh = 0, ch = 0;
+  const auto lw = tree.metrics().lifetime_module_work();
+  const auto lc = tree.metrics().lifetime_module_comm();
+  for (std::size_t m = 0; m < lw.size(); ++m) {
+    wh = wh * 1000003u + lw[m];
+    ch = ch * 1000003u + lc[m];
+  }
+  std::printf("work_hash=%llu comm_hash=%llu storage=%llu inv=%d\n",
+              (unsigned long long)wh, (unsigned long long)ch,
+              (unsigned long long)tree.metrics().total_storage(),
+              tree.check_invariants() ? 1 : 0);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "--determinism-child")
+    return determinism_child(argc >= 3 ? argv[2] : "");
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

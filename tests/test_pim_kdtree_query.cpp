@@ -89,7 +89,7 @@ TEST(Query, LeafSearchReturnsContainingLeaf) {
     const NodeRec& leaf = tree.pool().at(leaves[i]);
     ASSERT_TRUE(leaf.is_leaf());
     bool found = false;
-    for (const PointId id : leaf.leaf_pts)
+    for (const PointId id : tree.pool().cold(leaves[i]).leaf_pts)
       found |= tree.point(id).equals(qs[i], 2);
     EXPECT_TRUE(found) << "query " << i;
   }

@@ -234,9 +234,8 @@ TEST(Update, LeafSearchAfterUpdates) {
   for (PointId i = 1; i < 200; i += 2) qs.push_back(pts[i]);
   const auto leaves = tree.leaf_search(qs);
   for (std::size_t i = 0; i < qs.size(); ++i) {
-    const NodeRec& leaf = tree.pool().at(leaves[i]);
     bool found = false;
-    for (const PointId id : leaf.leaf_pts)
+    for (const PointId id : tree.pool().cold(leaves[i]).leaf_pts)
       found |= tree.point(id).equals(qs[i], 2);
     EXPECT_TRUE(found);
   }
