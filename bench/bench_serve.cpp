@@ -1,0 +1,213 @@
+// E14 — online serving layer: latency / throughput under YCSB-style mixes.
+//
+// Drives the serve::BatchScheduler in front of a PimKdTree with generated
+// request streams (read-heavy / update-heavy / scan-heavy, uniform and
+// Zipfian key choice) across the batching policies, and reports wall-clock
+// p50/p95/p99/p999 request latency plus throughput from the scheduler's
+// util::LatencyHistogram. One leg runs multi-threaded producers against the
+// background scheduler thread to exercise the MPSC path.
+//
+// PIMKD_SERVE_SMOKE=1 shrinks the stream for CI smoke runs (~2s).
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/workload.hpp"
+
+using namespace pimkd;
+using namespace pimkd::bench;
+using namespace pimkd::serve;
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct Leg {
+  MixKind mix;
+  double theta;  // 0 = uniform keys
+  Policy policy;
+};
+
+}  // namespace
+
+int main() {
+  banner("E14 bench_serve",
+         "online serving: adaptive batching over the batch-dynamic tree",
+         "read-heavy mixes batch near the tradeoff target; p99 stays within "
+         "the per-mix SLO; throughput tracks batch size");
+
+  const bool smoke = [] {
+    const char* e = std::getenv("PIMKD_SERVE_SMOKE");
+    return e && *e && *e != '0';
+  }();
+  const std::size_t n = smoke ? 4096 : 32768;
+  const std::size_t requests = smoke ? 4000 : 30000;
+  const std::size_t P = 64;
+  const double slo_p99_us = 50'000.0;  // generous: regression tripwire only
+
+  BenchReport rep("bench_serve");
+  {
+    Json m;
+    m.set("n", static_cast<std::uint64_t>(n))
+        .set("requests", static_cast<std::uint64_t>(requests))
+        .set("P", static_cast<std::uint64_t>(P))
+        .set("smoke", smoke);
+    rep.meta(m);
+  }
+
+  Table t({"mix", "policy", "zipf", "reqs", "batches", "mean batch", "epochs",
+           "kreq/s", "p50 us", "p95 us", "p99 us", "p999 us"});
+
+  const Leg legs[] = {
+      {MixKind::kReadHeavy, 0.0, Policy::kTradeoff},
+      {MixKind::kReadHeavy, 0.99, Policy::kTradeoff},
+      {MixKind::kUpdateHeavy, 0.0, Policy::kFixedSize},
+      {MixKind::kScanHeavy, 0.0, Policy::kDeadline},
+  };
+
+  for (const Leg& leg : legs) {
+    WorkloadSpec spec = mix_spec(leg.mix);
+    spec.initial_points = n;
+    spec.requests = requests;
+    spec.seed = 7;
+    spec.zipf_theta = leg.theta;
+    const ServeWorkload w = gen_serve_workload(spec);
+
+    auto cfg = default_cfg(P);
+    core::PimKdTree tree(cfg, w.initial);
+
+    SchedulerConfig sc;
+    sc.policy = leg.policy;
+    sc.batch_size = 256;
+    sc.max_batch = 4096;
+    sc.deadline_ticks = 200'000;  // 200us oldest-waiter bound (ns ticks)
+    sc.clock = now_ns;
+    BatchScheduler sched(tree, sc);
+
+    const auto before = tree.metrics().snapshot();
+    const std::uint64_t t0 = now_ns();
+    for (const WorkloadOp& op : w.ops) {
+      (void)sched.submit(to_request(op), now_ns());
+      sched.pump(now_ns());
+    }
+    sched.flush(now_ns());
+    const double secs = double(now_ns() - t0) * 1e-9;
+    const auto d = tree.metrics().snapshot() - before;
+
+    const ServeStats st = sched.stats();
+    const auto& h = st.service_latency;
+    const double mean_batch =
+        st.batches ? double(st.completed) / double(st.batches) : 0.0;
+    const double rps = secs > 0 ? double(st.completed) / secs : 0.0;
+    const double p50 = double(h.percentile(50)) / 1000.0;
+    const double p95 = double(h.percentile(95)) / 1000.0;
+    const double p99 = double(h.percentile(99)) / 1000.0;
+    const double p999 = double(h.percentile(99.9)) / 1000.0;
+
+    t.row({mix_name(leg.mix), policy_name(leg.policy), num(leg.theta),
+           num(double(st.completed)), num(double(st.batches)), num(mean_batch),
+           num(double(st.epochs)), num(rps / 1000.0), num(p50), num(p95),
+           num(p99), num(p999)});
+
+    Json row;
+    row.set("mix", mix_name(leg.mix))
+        .set("policy", policy_name(leg.policy))
+        .set("zipf_theta", leg.theta)
+        .set("requests", st.completed)
+        .set("batches", st.batches)
+        .set("mean_batch", mean_batch)
+        .set("epochs", st.epochs)
+        .set("target_batch", static_cast<std::uint64_t>(sched.target_batch_size()))
+        .set("throughput_rps", rps)
+        .set("p50_us", p50)
+        .set("p95_us", p95)
+        .set("p99_us", p99)
+        .set("p999_us", p999)
+        .set("max_us", double(h.max()) / 1000.0)
+        .set("comm_per_op",
+             st.completed ? double(d.communication) / double(st.completed) : 0.0)
+        .set("slo_p99_us", slo_p99_us)
+        .set("slo_ok", p99 <= slo_p99_us);
+    rep.add_row(row);
+  }
+
+  // Multi-threaded producers against the background scheduler thread: the
+  // MPSC ingestion path under real contention (also the TSan smoke target).
+  {
+    WorkloadSpec spec = mix_spec(MixKind::kUpdateHeavy);
+    spec.initial_points = n;
+    spec.requests = requests;
+    spec.seed = 11;
+    const ServeWorkload w = gen_serve_workload(spec);
+
+    auto cfg = default_cfg(P);
+    core::PimKdTree tree(cfg, w.initial);
+    SchedulerConfig sc;
+    sc.policy = Policy::kDeadline;
+    sc.max_batch = 4096;
+    sc.deadline_ticks = 100'000;
+    BatchScheduler sched(tree, sc);
+    sched.start();
+
+    const std::size_t kProducers = 4;
+    const std::uint64_t t0 = now_ns();
+    std::vector<std::thread> producers;
+    for (std::size_t p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        for (std::size_t i = p; i < w.ops.size(); i += kProducers)
+          (void)sched.submit(to_request(w.ops[i]), now_ns());
+      });
+    }
+    for (auto& th : producers) th.join();
+    sched.stop();
+    const double secs = double(now_ns() - t0) * 1e-9;
+
+    const ServeStats st = sched.stats();
+    const auto& h = st.service_latency;
+    const double rps = secs > 0 ? double(st.completed) / secs : 0.0;
+    t.row({"mixed_mt4", policy_name(sc.policy), "0", num(double(st.completed)),
+           num(double(st.batches)),
+           num(st.batches ? double(st.completed) / double(st.batches) : 0.0),
+           num(double(st.epochs)), num(rps / 1000.0),
+           num(double(h.percentile(50)) / 1000.0),
+           num(double(h.percentile(95)) / 1000.0),
+           num(double(h.percentile(99)) / 1000.0),
+           num(double(h.percentile(99.9)) / 1000.0)});
+    Json row;
+    row.set("mix", "mixed_mt4")
+        .set("policy", policy_name(sc.policy))
+        .set("zipf_theta", 0.0)
+        .set("requests", st.completed)
+        .set("batches", st.batches)
+        .set("mean_batch",
+             st.batches ? double(st.completed) / double(st.batches) : 0.0)
+        .set("epochs", st.epochs)
+        .set("throughput_rps", rps)
+        .set("p50_us", double(h.percentile(50)) / 1000.0)
+        .set("p95_us", double(h.percentile(95)) / 1000.0)
+        .set("p99_us", double(h.percentile(99)) / 1000.0)
+        .set("p999_us", double(h.percentile(99.9)) / 1000.0)
+        .set("max_us", double(h.max()) / 1000.0);
+    // No SLO verdict here: all producers enqueue at once (burst, not paced),
+    // so this leg measures contention-safety and liveness, not latency.
+    rep.add_row(row);
+
+    if (st.completed + st.rejected != st.submitted) {
+      std::printf("LOST REQUESTS: submitted=%llu completed=%llu rejected=%llu\n",
+                  (unsigned long long)st.submitted,
+                  (unsigned long long)st.completed,
+                  (unsigned long long)st.rejected);
+      return 1;
+    }
+  }
+
+  t.print();
+  return 0;
+}

@@ -64,6 +64,15 @@ if [ ! -f "$wc_json" ] || ! grep -q '"real_time_ns"' "$wc_json"; then
 fi
 echo "wall-clock timings recorded ($(grep -o '"real_time_ns"' "$wc_json" | wc -l) rows)"
 
+# Serving-layer gate: bench_serve must have emitted latency rows (p50/p99 +
+# throughput) for at least 3 workload mixes.
+serve_json="$PIMKD_BENCH_JSON_DIR/bench_serve.json"
+if [ ! -f "$serve_json" ] || [ "$(grep -o '"p99_us"' "$serve_json" | wc -l)" -lt 3 ]; then
+  echo "bench_serve produced fewer than 3 latency rows; serving bench is broken." >&2
+  exit 1
+fi
+echo "serving latency rows recorded ($(grep -o '"p99_us"' "$serve_json" | wc -l) mixes)"
+
 echo "Examples:"
 for e in build/examples/*; do
   if [ -f "$e" ] && [ -x "$e" ]; then echo "--- $e"; "$e"; fi

@@ -52,6 +52,13 @@ class PimKdTree {
   const pim::Metrics& metrics() const { return sys_.metrics(); }
   const Point& point(PointId id) const { return all_points_[id]; }
   bool is_live(PointId id) const { return id < alive_.size() && alive_[id]; }
+  // Monotone version of the query-visible state: bumped by every batch that
+  // changes what reads can observe (insert, erase, set_priorities,
+  // finish_delayed_components). The serving layer (src/serve/) uses it as a
+  // const-correct snapshot hook: reads admitted in an epoch assert the
+  // version is unchanged across their execution, i.e. the live host mirror
+  // really was the epoch's snapshot.
+  std::uint64_t mutation_epoch() const { return mutation_epoch_; }
 
   // --- Batch-dynamic updates (§4.2) -----------------------------------------
   // Inserts a batch; returns the stable PointIds assigned.
@@ -315,6 +322,7 @@ class PimKdTree {
   std::size_t live_ = 0;
   std::size_t peak_live_ = 0;  // high-water mark since the last full rebuild
   std::vector<NodeId> unfinished_;  // delayed-construction component roots
+  std::uint64_t mutation_epoch_ = 0;
   OpStats op_stats_;
 
   // Degraded-mode event counters (atomic: queries charge them from the pool).

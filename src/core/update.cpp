@@ -410,6 +410,7 @@ std::vector<PointId> PimKdTree::insert(std::span<const Point> pts) {
   pim::TraceScope span(sys_.metrics(), "insert", pts.size());
   std::vector<PointId> new_ids;
   new_ids.reserve(pts.size());
+  if (!pts.empty()) ++mutation_epoch_;
   for (const Point& p : pts) {
     const auto id = static_cast<PointId>(all_points_.size());
     all_points_.push_back(p);
@@ -477,6 +478,7 @@ void PimKdTree::erase(std::span<const PointId> ids) {
     }
   }
   if (victims.empty()) return;
+  ++mutation_epoch_;
   live_ -= victims.size();
   pim::RoundGuard round(sys_.metrics());
   if (root_ == kNoNode) return;

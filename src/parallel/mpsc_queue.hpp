@@ -1,0 +1,89 @@
+// Lock-free multi-producer / single-consumer queue.
+//
+// Producers push with one allocation and a CAS loop onto a Treiber stack;
+// the consumer takes the whole stack with a single exchange and reverses it
+// into a private FIFO, so pop() preserves per-producer submission order (and
+// total order under a single producer — what the deterministic serving
+// tests rely on). The consumer side (pop / drain) must be called from one
+// thread at a time; the serving scheduler serializes it behind its pump
+// mutex.
+//
+// approx_size() is a relaxed counter for batching heuristics only: it may
+// momentarily disagree with the number of elements pop() can observe.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+
+namespace pimkd {
+
+template <class T>
+class MpscQueue {
+ public:
+  MpscQueue() = default;
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  ~MpscQueue() {
+    delete_list(incoming_.exchange(nullptr, std::memory_order_acquire));
+    delete_list(fifo_);
+  }
+
+  // Producer side: any thread.
+  void push(T&& v) {
+    Node* n = new Node{std::move(v), incoming_.load(std::memory_order_relaxed)};
+    while (!incoming_.compare_exchange_weak(n->next, n,
+                                            std::memory_order_release,
+                                            std::memory_order_relaxed)) {
+    }
+    size_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Consumer side: one thread at a time.
+  bool pop(T& out) {
+    if (!fifo_) refill();
+    if (!fifo_) return false;
+    Node* n = fifo_;
+    fifo_ = n->next;
+    out = std::move(n->value);
+    delete n;
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  std::size_t approx_size() const {
+    return size_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Node {
+    T value;
+    Node* next;
+  };
+
+  void refill() {
+    Node* grabbed = incoming_.exchange(nullptr, std::memory_order_acquire);
+    // Reverse the LIFO grab into FIFO order.
+    while (grabbed) {
+      Node* next = grabbed->next;
+      grabbed->next = fifo_;
+      fifo_ = grabbed;
+      grabbed = next;
+    }
+  }
+
+  static void delete_list(Node* n) {
+    while (n) {
+      Node* next = n->next;
+      delete n;
+      n = next;
+    }
+  }
+
+  std::atomic<Node*> incoming_{nullptr};
+  std::atomic<std::size_t> size_{0};
+  Node* fifo_ = nullptr;  // consumer-owned, oldest first
+};
+
+}  // namespace pimkd

@@ -1,0 +1,491 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/stats.hpp"
+
+namespace pimkd::serve {
+
+namespace {
+
+// Ticks come from the caller (virtual time) or a clock; neither is
+// guaranteed monotone w.r.t. a given request's submit stamp, so latency
+// differences saturate at 0 instead of wrapping.
+std::uint64_t sat_sub(std::uint64_t a, std::uint64_t b) {
+  return a >= b ? a - b : 0;
+}
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void validate_request(const Request& r, int dim) {
+  switch (r.kind) {
+    case OpKind::kInsert:
+      validate_point(r.point, dim, "serve.insert");
+      break;
+    case OpKind::kErase:
+      if (r.id == kInvalidPoint)
+        throw std::invalid_argument("serve.erase: invalid point id");
+      break;
+    case OpKind::kKnn:
+      validate_point(r.point, dim, "serve.knn");
+      if (r.k == 0) throw std::invalid_argument("serve.knn: k must be >= 1");
+      if (!(r.eps >= 0.0))
+        throw std::invalid_argument("serve.knn: eps must be >= 0");
+      break;
+    case OpKind::kRange:
+      validate_box(r.box, dim, "serve.range");
+      break;
+    case OpKind::kRadius:
+      validate_point(r.point, dim, "serve.radius");
+      validate_radius(r.radius, "serve.radius");
+      break;
+    case OpKind::kRadiusCount:
+      validate_point(r.point, dim, "serve.radius_count");
+      validate_radius(r.radius, "serve.radius_count");
+      break;
+  }
+}
+
+}  // namespace
+
+std::string BatchLog::to_string() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "e=%llu t=%llu r=%c i=%u d=%u k=%u g=%u a=%u c=%u",
+                static_cast<unsigned long long>(epoch),
+                static_cast<unsigned long long>(tick), reason, inserts, erases,
+                knns, ranges, radii, radius_counts);
+  return std::string(buf);
+}
+
+BatchScheduler::BatchScheduler(core::PimKdTree& tree, SchedulerConfig cfg)
+    : tree_(tree), cfg_(std::move(cfg)) {
+  if (cfg_.batch_size == 0) cfg_.batch_size = 1;
+  if (cfg_.max_batch == 0) cfg_.max_batch = 1;
+  cfg_.batch_size = std::min(cfg_.batch_size, cfg_.max_batch);
+}
+
+BatchScheduler::~BatchScheduler() { stop(); }
+
+void BatchScheduler::reject(Request&& r, std::uint64_t now_tick,
+                            const char* why) {
+  Response resp;
+  resp.kind = r.kind;
+  resp.error = why;
+  resp.submit_tick = now_tick;
+  resp.dispatch_tick = now_tick;
+  resp.complete_tick = now_tick;
+  r.promise.set_value(std::move(resp));
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::future<Response> BatchScheduler::submit(Request r,
+                                             std::uint64_t now_tick) {
+  r.submit_tick = now_tick;
+  std::future<Response> fut = r.promise.get_future();
+  try {
+    validate_request(r, tree_.config().dim);
+  } catch (const std::exception& ex) {
+    reject(std::move(r), now_tick, ex.what());
+    return fut;
+  }
+  if (closed_.load(std::memory_order_acquire)) {
+    reject(std::move(r), now_tick, "serve: scheduler stopped");
+    return fut;
+  }
+  queue_.push(std::move(r));
+  submitted_.fetch_add(1, std::memory_order_release);
+  return fut;
+}
+
+std::size_t BatchScheduler::pump(std::uint64_t now_tick) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return pump_locked(now_tick, /*flush_all=*/false);
+}
+
+std::size_t BatchScheduler::flush(std::uint64_t now_tick) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return pump_locked(now_tick, /*flush_all=*/true);
+}
+
+std::size_t BatchScheduler::pump_locked(std::uint64_t now, bool flush_all) {
+  last_tick_ = std::max(last_tick_, now);
+  Request r;
+  while (queue_.pop(r)) pending_.push_back(std::move(r));
+  std::size_t completed = 0;
+  for (;;) {
+    char reason = '?';
+    const std::size_t take = due_batch(now, flush_all, reason);
+    if (take == 0) break;
+    completed += dispatch(take, now, reason);
+  }
+  return completed;
+}
+
+std::size_t BatchScheduler::tradeoff_target(const core::PimKdConfig& cfg,
+                                            std::size_t P, std::size_t n,
+                                            std::size_t lo, std::size_t hi) {
+  const int logstar = log_star2(static_cast<double>(std::max<std::size_t>(P, 2)));
+  const int G = cfg.cached_groups < 0 ? logstar
+                                      : std::min(cfg.cached_groups, logstar);
+  // Per-query search communication floor of the G-group variant (Thm 5.1):
+  // hops ~ G + log^(G) P. Batches below n / 2^hops still pay the
+  // log2(n/S) > hops LeafSearch alternative, so grow to S*; batches above it
+  // buy no further per-query communication, only latency.
+  const double hops = static_cast<double>(G) +
+                      ilog2(static_cast<double>(std::max<std::size_t>(P, 2)), G);
+  const double nn = static_cast<double>(std::max<std::size_t>(n, 1));
+  const double star = nn / std::pow(2.0, hops);
+  const auto target = static_cast<std::size_t>(std::max(1.0, star));
+  return std::clamp(target, std::min(lo, hi), hi);
+}
+
+std::size_t BatchScheduler::target_batch_size() const {
+  // Serialized with dispatch: the tradeoff target reads the live tree size.
+  std::lock_guard<std::mutex> lk(mu_);
+  switch (cfg_.policy) {
+    case Policy::kFixedSize:
+      return cfg_.batch_size;
+    case Policy::kDeadline:
+      return cfg_.max_batch;
+    case Policy::kTradeoff:
+      return tradeoff_target(tree_.config(), tree_.P(), tree_.size(),
+                             cfg_.batch_size, cfg_.max_batch);
+  }
+  return cfg_.batch_size;
+}
+
+std::size_t BatchScheduler::due_batch(std::uint64_t now, bool flush_all,
+                                      char& reason) const {
+  if (pending_.empty()) return 0;
+  if (flush_all) {
+    reason = 'f';
+    return std::min(pending_.size(), cfg_.max_batch);
+  }
+  std::size_t target = cfg_.max_batch;
+  switch (cfg_.policy) {
+    case Policy::kFixedSize:
+      target = cfg_.batch_size;
+      break;
+    case Policy::kDeadline:
+      target = cfg_.max_batch;
+      break;
+    case Policy::kTradeoff:
+      target = tradeoff_target(tree_.config(), tree_.P(), tree_.size(),
+                               cfg_.batch_size, cfg_.max_batch);
+      break;
+  }
+  if (pending_.size() >= target) {
+    reason = 's';
+    return target;
+  }
+  if (cfg_.deadline_ticks > 0 || cfg_.policy == Policy::kDeadline) {
+    // Oldest-waiter deadline (deadline_ticks == 0 under kDeadline means
+    // "dispatch whatever is pending on every pump").
+    if (sat_sub(now, pending_.front().submit_tick) >= cfg_.deadline_ticks) {
+      reason = 'd';
+      return std::min(pending_.size(), cfg_.max_batch);
+    }
+  }
+  return 0;
+}
+
+void BatchScheduler::run_reads(std::vector<Request>& batch,
+                               std::vector<Response>& resp,
+                               std::uint64_t epoch) {
+  // The "snapshot" of epoch e is the live tree itself: updates admitted in
+  // this epoch have not been applied yet, so the host mirror *is* the
+  // epoch-e state, byte-exact, and every read charges the ledger exactly as
+  // a hand-issued batch would. The mutation-epoch hook pins this down.
+  const std::uint64_t mver = tree_.mutation_epoch();
+
+  // Groups execute in a canonical order so the round/ledger sequence is a
+  // pure function of the batch contents: kNN groups keyed by (k, eps) in
+  // first-appearance order, then range, then radius / radius_count groups
+  // keyed by r in first-appearance order.
+  struct KnnKey {
+    std::size_t k;
+    double eps;
+  };
+  std::vector<KnnKey> knn_keys;
+  std::vector<std::vector<std::size_t>> knn_members;
+  std::vector<std::size_t> range_members;
+  std::vector<Coord> radius_keys, rcount_keys;
+  std::vector<std::vector<std::size_t>> radius_members, rcount_members;
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Request& r = batch[i];
+    switch (r.kind) {
+      case OpKind::kKnn: {
+        std::size_t g = 0;
+        for (; g < knn_keys.size(); ++g)
+          if (knn_keys[g].k == r.k && knn_keys[g].eps == r.eps) break;
+        if (g == knn_keys.size()) {
+          knn_keys.push_back({r.k, r.eps});
+          knn_members.emplace_back();
+        }
+        knn_members[g].push_back(i);
+        break;
+      }
+      case OpKind::kRange:
+        range_members.push_back(i);
+        break;
+      case OpKind::kRadius: {
+        std::size_t g = 0;
+        for (; g < radius_keys.size(); ++g)
+          if (radius_keys[g] == r.radius) break;
+        if (g == radius_keys.size()) {
+          radius_keys.push_back(r.radius);
+          radius_members.emplace_back();
+        }
+        radius_members[g].push_back(i);
+        break;
+      }
+      case OpKind::kRadiusCount: {
+        std::size_t g = 0;
+        for (; g < rcount_keys.size(); ++g)
+          if (rcount_keys[g] == r.radius) break;
+        if (g == rcount_keys.size()) {
+          rcount_keys.push_back(r.radius);
+          rcount_members.emplace_back();
+        }
+        rcount_members[g].push_back(i);
+        break;
+      }
+      case OpKind::kInsert:
+      case OpKind::kErase:
+        break;  // applied after the reads (run_updates)
+    }
+  }
+
+  auto fail_group = [&](const std::vector<std::size_t>& members,
+                        const char* what) {
+    for (const std::size_t i : members) resp[i].error = what;
+  };
+
+  for (std::size_t g = 0; g < knn_keys.size(); ++g) {
+    std::vector<Point> qs;
+    qs.reserve(knn_members[g].size());
+    for (const std::size_t i : knn_members[g]) qs.push_back(batch[i].point);
+    try {
+      auto res = tree_.knn(qs, knn_keys[g].k, knn_keys[g].eps);
+      for (std::size_t j = 0; j < knn_members[g].size(); ++j)
+        resp[knn_members[g][j]].neighbors = std::move(res[j]);
+    } catch (const std::exception& ex) {
+      fail_group(knn_members[g], ex.what());
+    }
+  }
+  if (!range_members.empty()) {
+    std::vector<Box> boxes;
+    boxes.reserve(range_members.size());
+    for (const std::size_t i : range_members) boxes.push_back(batch[i].box);
+    try {
+      auto res = tree_.range(boxes);
+      for (std::size_t j = 0; j < range_members.size(); ++j)
+        resp[range_members[j]].ids = std::move(res[j]);
+    } catch (const std::exception& ex) {
+      fail_group(range_members, ex.what());
+    }
+  }
+  for (std::size_t g = 0; g < radius_keys.size(); ++g) {
+    std::vector<Point> cs;
+    cs.reserve(radius_members[g].size());
+    for (const std::size_t i : radius_members[g]) cs.push_back(batch[i].point);
+    try {
+      auto res = tree_.radius(cs, radius_keys[g]);
+      for (std::size_t j = 0; j < radius_members[g].size(); ++j)
+        resp[radius_members[g][j]].ids = std::move(res[j]);
+    } catch (const std::exception& ex) {
+      fail_group(radius_members[g], ex.what());
+    }
+  }
+  for (std::size_t g = 0; g < rcount_keys.size(); ++g) {
+    std::vector<Point> cs;
+    cs.reserve(rcount_members[g].size());
+    for (const std::size_t i : rcount_members[g]) cs.push_back(batch[i].point);
+    try {
+      auto res = tree_.radius_count(cs, rcount_keys[g]);
+      for (std::size_t j = 0; j < rcount_members[g].size(); ++j)
+        resp[rcount_members[g][j]].count = res[j];
+    } catch (const std::exception& ex) {
+      fail_group(rcount_members[g], ex.what());
+    }
+  }
+
+  // Reads never mutate; if this fires, something outside the scheduler
+  // touched the tree mid-epoch and the snapshot promise is broken.
+  assert(tree_.mutation_epoch() == mver &&
+         "tree mutated during an epoch's read phase");
+  (void)mver;
+  (void)epoch;
+}
+
+void BatchScheduler::run_updates(std::vector<Request>& batch,
+                                 std::vector<Response>& resp, BatchLog& log) {
+  std::vector<std::size_t> ins_members;
+  std::vector<std::size_t> del_members;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].kind == OpKind::kInsert) ins_members.push_back(i);
+    if (batch[i].kind == OpKind::kErase) del_members.push_back(i);
+  }
+  bool changed = false;
+  if (!ins_members.empty()) {
+    std::vector<Point> pts;
+    pts.reserve(ins_members.size());
+    for (const std::size_t i : ins_members) pts.push_back(batch[i].point);
+    try {
+      const std::vector<PointId> ids = tree_.insert(pts);
+      for (std::size_t j = 0; j < ins_members.size(); ++j)
+        resp[ins_members[j]].inserted_id = ids[j];
+      changed = true;
+    } catch (const std::exception& ex) {
+      for (const std::size_t i : ins_members) resp[i].error = ex.what();
+    }
+  }
+  if (!del_members.empty()) {
+    std::vector<PointId> ids;
+    ids.reserve(del_members.size());
+    // Per-request verdict: the first claim of a live id in the batch wins
+    // (duplicates of the same id in one epoch erase it once).
+    std::unordered_set<PointId> claimed;
+    for (const std::size_t i : del_members) {
+      const PointId id = batch[i].id;
+      resp[i].erased = tree_.is_live(id) && claimed.insert(id).second;
+      ids.push_back(id);
+    }
+    try {
+      tree_.erase(ids);
+      changed = changed || !claimed.empty();
+    } catch (const std::exception& ex) {
+      for (const std::size_t i : del_members) resp[i].error = ex.what();
+    }
+  }
+  if (changed) {
+    ++epoch_;
+    ++stats_.epochs;
+  }
+  // Updates become visible in the (possibly unchanged) current epoch.
+  for (const std::size_t i : ins_members) resp[i].epoch = epoch_;
+  for (const std::size_t i : del_members) resp[i].epoch = epoch_;
+  log.inserts = static_cast<std::uint32_t>(ins_members.size());
+  log.erases = static_cast<std::uint32_t>(del_members.size());
+}
+
+std::size_t BatchScheduler::dispatch(std::size_t take, std::uint64_t now,
+                                     char reason) {
+  std::vector<Request> batch;
+  batch.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    batch.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+  }
+
+  const std::uint64_t e = epoch_;
+  BatchLog log;
+  log.epoch = e;
+  log.tick = now;
+  log.reason = reason;
+
+  std::vector<Response> resp(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    resp[i].kind = batch[i].kind;
+    resp[i].epoch = e;  // reads keep this; run_updates overwrites for writes
+    resp[i].submit_tick = batch[i].submit_tick;
+    resp[i].dispatch_tick = now;
+    stats_.queue_latency.record(sat_sub(now, batch[i].submit_tick));
+    switch (batch[i].kind) {
+      case OpKind::kKnn: ++log.knns; break;
+      case OpKind::kRange: ++log.ranges; break;
+      case OpKind::kRadius: ++log.radii; break;
+      case OpKind::kRadiusCount: ++log.radius_counts; break;
+      default: break;  // update counts set by run_updates
+    }
+  }
+
+  run_reads(batch, resp, e);
+  run_updates(batch, resp, log);
+
+  const std::uint64_t done = cfg_.clock ? cfg_.clock() : now;
+  last_tick_ = std::max(last_tick_, done);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    resp[i].complete_tick = done;
+    stats_.service_latency.record(sat_sub(done, resp[i].submit_tick));
+    if (is_update(batch[i].kind)) ++stats_.updates;
+    else ++stats_.reads;
+    batch[i].promise.set_value(std::move(resp[i]));
+  }
+
+  ++stats_.batches;
+  switch (reason) {
+    case 's': ++stats_.dispatch_size; break;
+    case 'd': ++stats_.dispatch_deadline; break;
+    case 'f': ++stats_.dispatch_flush; break;
+    default: break;
+  }
+  stats_.completed += batch.size();
+  if (cfg_.record_batches) log_.push_back(log);
+  return batch.size();
+}
+
+void BatchScheduler::start() {
+  if (worker_.joinable()) return;
+  if (!cfg_.clock) cfg_.clock = [] { return steady_ns(); };
+  stop_worker_.store(false, std::memory_order_release);
+  worker_ = std::thread([this] { background_loop(); });
+}
+
+void BatchScheduler::background_loop() {
+  while (!stop_worker_.load(std::memory_order_acquire)) {
+    pump(cfg_.clock());
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+void BatchScheduler::stop() {
+  closed_.store(true, std::memory_order_release);
+  if (worker_.joinable()) {
+    stop_worker_.store(true, std::memory_order_release);
+    worker_.join();
+  }
+  // Graceful drain: everything already accepted is executed and resolved.
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::uint64_t now = cfg_.clock ? cfg_.clock() : last_tick_;
+    pump_locked(now, /*flush_all=*/true);
+  }
+  // Safety net for submissions that raced the close: resolve, never leak a
+  // broken promise.
+  Request r;
+  while (queue_.pop(r))
+    reject(std::move(r), last_tick_, "serve: scheduler stopped");
+}
+
+std::uint64_t BatchScheduler::epoch() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return epoch_;
+}
+
+ServeStats BatchScheduler::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  ServeStats s = stats_;
+  s.submitted = submitted_.load(std::memory_order_acquire);
+  s.rejected = rejected_.load(std::memory_order_acquire);
+  return s;
+}
+
+std::vector<BatchLog> BatchScheduler::batch_log() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return log_;
+}
+
+}  // namespace pimkd::serve

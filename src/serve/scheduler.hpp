@@ -1,0 +1,183 @@
+// Adaptive batch scheduler: the online front-end of the PIM-kd-tree.
+//
+// The paper's interface is batch-dynamic — its Table-1 bounds are stated per
+// batch — but a production index serves a stream of single operations, so
+// someone must decide when and how to form the batches. This scheduler:
+//
+//   * accepts single Insert/Erase/Knn/Range/Radius ops from any number of
+//     client threads through a lock-free MPSC queue, one future per request;
+//   * drains the queue and forms batches under a pluggable policy —
+//     fixed-size, oldest-waiter deadline, or the §5-aware "tradeoff" policy
+//     that targets the batch size at which the Theorem-5.1 communication/
+//     space trade-off predicts per-query communication stops improving;
+//   * executes each admitted batch against the tree with *epoch-versioned
+//     read semantics*: all reads admitted in epoch e run first, against the
+//     tree exactly as of epoch e (the live host mirror doubles as the
+//     snapshot, byte-exact and ledger-charged — no state is copied), then
+//     the epoch's updates are applied as one insert batch + one erase batch,
+//     advancing the epoch. Reads admitted together with an erase of id X
+//     therefore still see X — snapshot isolation at epoch granularity.
+//
+// Determinism: batch formation is a pure function of the submission order
+// and ticks (the scheduler never reads a clock; callers pass `now` ticks),
+// and the dispatch calls are exactly the tree's public batch entry points —
+// so a fixed workload produces the same batch sequence, the same results,
+// and a byte-identical cost ledger as an equivalent hand-batched run, at
+// any PIMKD_THREADS (tests/test_serve.cpp pins both down).
+//
+// Threading contract: submit() from any thread; pump()/flush() from one
+// consumer at a time (a mutex also lets the optional background thread and
+// manual pumps coexist). submit() must not race with stop()/destruction.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pim_kdtree.hpp"
+#include "parallel/mpsc_queue.hpp"
+#include "serve/request.hpp"
+#include "util/latency_histogram.hpp"
+
+namespace pimkd::serve {
+
+enum class Policy : std::uint8_t {
+  kFixedSize,  // dispatch exactly batch_size requests when available
+  kDeadline,   // dispatch all pending when the oldest has waited deadline_ticks
+  kTradeoff,   // dispatch at the §5-derived target size (deadline fallback)
+};
+
+inline const char* policy_name(Policy p) {
+  switch (p) {
+    case Policy::kFixedSize: return "fixed";
+    case Policy::kDeadline: return "deadline";
+    case Policy::kTradeoff: return "tradeoff";
+  }
+  return "?";
+}
+
+struct SchedulerConfig {
+  Policy policy = Policy::kFixedSize;
+  // kFixedSize: the exact batch size. kTradeoff: lower clamp on the target.
+  std::size_t batch_size = 256;
+  // Oldest-waiter deadline in ticks. Primary trigger for kDeadline; fallback
+  // trigger for the size-based policies when > 0 (0 = no deadline there).
+  std::uint64_t deadline_ticks = 0;
+  // Hard cap on a single dispatch (all policies).
+  std::size_t max_batch = 8192;
+  // Keep the per-batch BatchLog history (sizes + op mixes; tests/benches).
+  bool record_batches = true;
+  // Completion-time clock. When set, completion ticks and service latency
+  // re-read it after execution (wall-clock mode); when null, completion
+  // ticks equal the pump tick (virtual-time mode, fully deterministic).
+  std::function<std::uint64_t()> clock;
+};
+
+// One formed batch: its epoch, dispatch tick, trigger, and op mix.
+struct BatchLog {
+  std::uint64_t epoch = 0;
+  std::uint64_t tick = 0;
+  char reason = '?';  // 's'ize target, 'd'eadline, 'f'lush
+  std::uint32_t inserts = 0, erases = 0, knns = 0, ranges = 0, radii = 0,
+                radius_counts = 0;
+  std::uint32_t size() const {
+    return inserts + erases + knns + ranges + radii + radius_counts;
+  }
+  std::string to_string() const;
+};
+
+struct ServeStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;  // invalid at submit, or submitted after stop
+  std::uint64_t batches = 0;
+  std::uint64_t epochs = 0;  // update boundaries crossed
+  std::uint64_t reads = 0, updates = 0;
+  std::uint64_t dispatch_size = 0, dispatch_deadline = 0, dispatch_flush = 0;
+  util::LatencyHistogram queue_latency;    // submit -> dispatch, ticks
+  util::LatencyHistogram service_latency;  // submit -> completion, ticks
+};
+
+class BatchScheduler {
+ public:
+  BatchScheduler(core::PimKdTree& tree, SchedulerConfig cfg);
+  ~BatchScheduler();  // stop(): drains and resolves everything pending
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  // --- Producer side (any thread) --------------------------------------------
+  // Stamps `now_tick`, validates the payload (a malformed request fails alone,
+  // immediately, without poisoning its batch) and enqueues. The returned
+  // future is resolved exactly once.
+  std::future<Response> submit(Request r, std::uint64_t now_tick);
+
+  // --- Consumer side (one thread at a time) -----------------------------------
+  // Drains the queue and dispatches every batch the policy says is due at
+  // `now_tick`. Returns the number of requests completed.
+  std::size_t pump(std::uint64_t now_tick);
+  // pump(), then dispatch all remaining pending requests regardless of policy.
+  std::size_t flush(std::uint64_t now_tick);
+
+  // Background mode: a thread that pumps on cfg.clock (defaults to a
+  // steady_clock nanosecond tick when unset). stop() joins it, closes the
+  // queue and flushes; requests submitted afterwards are rejected.
+  void start();
+  void stop();
+
+  // --- Introspection -----------------------------------------------------------
+  std::uint64_t epoch() const;
+  // The size trigger currently in force (kTradeoff: recomputed from the live
+  // tree size and the configured G; see tradeoff_target()).
+  std::size_t target_batch_size() const;
+  ServeStats stats() const;
+  std::vector<BatchLog> batch_log() const;
+
+  // The §5 target: per-query search communication is Θ(G + log^(G) P) words
+  // once batches are large enough that the Table-1 LeafSearch alternative
+  // log(n/S) no longer dominates; solving log2(n/S) = G + log^(G) P gives
+  // S* = n / 2^(G + log^(G) P), the smallest batch that reaches the
+  // trade-off's communication floor. Clamped to [batch_size, max_batch].
+  static std::size_t tradeoff_target(const core::PimKdConfig& cfg,
+                                     std::size_t P, std::size_t n,
+                                     std::size_t lo, std::size_t hi);
+
+ private:
+  struct Pending;  // Request + bookkeeping
+
+  std::size_t pump_locked(std::uint64_t now, bool flush_all);
+  // Size of the batch due now (0 = none); sets `reason`.
+  std::size_t due_batch(std::uint64_t now, bool flush_all, char& reason) const;
+  std::size_t dispatch(std::size_t take, std::uint64_t now, char reason);
+  void reject(Request&& r, std::uint64_t now_tick, const char* why);
+  void run_reads(std::vector<Request>& batch, std::vector<Response>& resp,
+                 std::uint64_t epoch);
+  void run_updates(std::vector<Request>& batch, std::vector<Response>& resp,
+                   BatchLog& log);
+  void background_loop();
+
+  core::PimKdTree& tree_;
+  SchedulerConfig cfg_;
+
+  MpscQueue<Request> queue_;
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<bool> closed_{false};
+
+  mutable std::mutex mu_;  // consumer state below
+  std::deque<Request> pending_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t last_tick_ = 0;
+  ServeStats stats_;
+  std::vector<BatchLog> log_;
+
+  std::thread worker_;
+  std::atomic<bool> stop_worker_{false};
+};
+
+}  // namespace pimkd::serve

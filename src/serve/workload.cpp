@@ -1,0 +1,154 @@
+#include "serve/workload.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/random.hpp"
+
+namespace pimkd::serve {
+
+const char* mix_name(MixKind m) {
+  switch (m) {
+    case MixKind::kReadHeavy: return "read_heavy";
+    case MixKind::kUpdateHeavy: return "update_heavy";
+    case MixKind::kScanHeavy: return "scan_heavy";
+    case MixKind::kReadOnly: return "read_only";
+  }
+  return "?";
+}
+
+WorkloadSpec mix_spec(MixKind mix) {
+  WorkloadSpec s;
+  s.mix = mix;
+  switch (mix) {
+    case MixKind::kReadHeavy:
+      s.f_knn = 0.95;
+      s.f_range = s.f_radius = s.f_radius_count = 0.0;
+      s.f_insert = s.f_erase = 0.025;
+      break;
+    case MixKind::kUpdateHeavy:
+      s.f_knn = 0.50;
+      s.f_range = s.f_radius = s.f_radius_count = 0.0;
+      s.f_insert = s.f_erase = 0.25;
+      break;
+    case MixKind::kScanHeavy:
+      s.f_knn = 0.15;
+      s.f_range = 0.60;
+      s.f_radius = 0.15;
+      s.f_radius_count = 0.0;
+      s.f_insert = s.f_erase = 0.05;
+      break;
+    case MixKind::kReadOnly:
+      s.f_knn = 0.80;
+      s.f_range = 0.10;
+      s.f_radius = 0.0;
+      s.f_radius_count = 0.10;
+      s.f_insert = s.f_erase = 0.0;
+      break;
+  }
+  return s;
+}
+
+Request to_request(const WorkloadOp& op) {
+  switch (op.kind) {
+    case OpKind::kInsert: return Request::insert(op.point);
+    case OpKind::kErase: return Request::erase(op.id);
+    case OpKind::kKnn: return Request::knn(op.point, op.k, op.eps);
+    case OpKind::kRange: return Request::range(op.box);
+    case OpKind::kRadius: return Request::radius_report(op.point, op.radius);
+    case OpKind::kRadiusCount:
+      return Request::radius_count(op.point, op.radius);
+  }
+  return Request::knn(op.point, 1, 0.0);
+}
+
+ServeWorkload gen_serve_workload(const WorkloadSpec& spec) {
+  ServeWorkload w;
+  w.spec = spec;
+  w.initial = gen_uniform(
+      {.n = spec.initial_points, .dim = spec.dim, .seed = spec.seed});
+  w.ops.reserve(spec.requests);
+
+  Rng rng(spec.seed ^ 0x5e17e5e17eULL);
+  // Coordinates of every id the stream can reference, in the order the tree
+  // will assign ids (initial build, then inserts in arrival order).
+  std::vector<Point> coords = w.initial;
+  std::vector<PointId> live(spec.initial_points);
+  for (std::size_t i = 0; i < live.size(); ++i)
+    live[i] = static_cast<PointId>(i);
+
+  // Zipf ranks over a fixed key space; mapped into the live set modulo its
+  // current size, so hot keys stay hot as the set churns.
+  const std::size_t key_space = std::max<std::size_t>(spec.initial_points, 1024);
+  ZipfPicker zipf(key_space, spec.zipf_theta > 0 ? spec.zipf_theta : 0.99,
+                  spec.seed + 17);
+
+  auto pick_live_index = [&]() -> std::size_t {
+    assert(!live.empty());
+    if (spec.zipf_theta > 0) return zipf.pick(rng) % live.size();
+    return static_cast<std::size_t>(rng.next_below(live.size()));
+  };
+
+  const double sum = spec.f_knn + spec.f_range + spec.f_radius +
+                     spec.f_radius_count + spec.f_insert + spec.f_erase;
+  const double c_knn = spec.f_knn / sum;
+  const double c_range = c_knn + spec.f_range / sum;
+  const double c_radius = c_range + spec.f_radius / sum;
+  const double c_rcount = c_radius + spec.f_radius_count / sum;
+  const double c_insert = c_rcount + spec.f_insert / sum;
+
+  PointId next_id = static_cast<PointId>(spec.initial_points);
+  for (std::size_t i = 0; i < spec.requests; ++i) {
+    WorkloadOp op;
+    op.tick = static_cast<std::uint64_t>(i) * spec.arrival_gap;
+    double u = rng.next_double();
+    if (live.empty() && u >= c_insert) u = c_rcount;  // erase w/o live -> insert
+    if (u < c_rcount) {
+      // A read around a (possibly hot) live key, jittered so queries don't
+      // degenerate to exact point lookups.
+      const Point& key = coords[live.empty()
+                                    ? rng.next_below(coords.size())
+                                    : live[pick_live_index()]];
+      Point q = key;
+      for (int d = 0; d < spec.dim; ++d)
+        q[d] += 0.01 * rng.next_gaussian();
+      if (u < c_knn) {
+        op.kind = OpKind::kKnn;
+        op.point = q;
+        op.k = spec.knn_k;
+        op.eps = spec.knn_eps;
+      } else if (u < c_range) {
+        op.kind = OpKind::kRange;
+        op.box = Box::empty(spec.dim);
+        for (int d = 0; d < spec.dim; ++d) {
+          op.box.lo[d] = q[d] - spec.scan_halfwidth;
+          op.box.hi[d] = q[d] + spec.scan_halfwidth;
+        }
+      } else if (u < c_radius) {
+        op.kind = OpKind::kRadius;
+        op.point = q;
+        op.radius = spec.radius;
+      } else {
+        op.kind = OpKind::kRadiusCount;
+        op.point = q;
+        op.radius = spec.radius;
+      }
+    } else if (u < c_insert) {
+      op.kind = OpKind::kInsert;
+      for (int d = 0; d < spec.dim; ++d) op.point[d] = rng.next_double();
+      op.id = next_id;  // the id the tree will assign (informational)
+      coords.push_back(op.point);
+      live.push_back(next_id++);
+    } else {
+      const std::size_t at = pick_live_index();
+      op.kind = OpKind::kErase;
+      op.id = live[at];
+      live[at] = live.back();  // deterministic swap-remove
+      live.pop_back();
+    }
+    w.ops.push_back(op);
+  }
+  return w;
+}
+
+}  // namespace pimkd::serve

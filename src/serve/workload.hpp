@@ -1,0 +1,85 @@
+// YCSB-style workload generation for the serving layer.
+//
+// A workload is a deterministic function of its spec (seed included): an
+// initial dataset to build the tree from, plus a stream of single
+// operations with virtual arrival ticks. Key choice is either uniform over
+// the currently-live points or Zipfian (hot keys) via the library's
+// ZipfPicker; the generator tracks the live set the same way the tree will
+// assign PointIds (sequential, in insert arrival order), so erase targets
+// and oracle checks line up exactly when the stream is submitted in order.
+//
+// Mixes (fractions of the request stream, YCSB lettering for orientation):
+//   read_heavy   — 95% knn / 2.5% insert / 2.5% erase            (YCSB-B)
+//   update_heavy — 50% knn / 25% insert / 25% erase              (YCSB-A)
+//   scan_heavy   — 60% range / 15% radius / 15% knn / 10% upd    (YCSB-E)
+//   read_only    — 80% knn / 10% range / 10% radius_count        (YCSB-C)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "serve/request.hpp"
+#include "util/generators.hpp"
+
+namespace pimkd::serve {
+
+enum class MixKind : std::uint8_t {
+  kReadHeavy,
+  kUpdateHeavy,
+  kScanHeavy,
+  kReadOnly,
+};
+
+const char* mix_name(MixKind m);
+
+struct WorkloadSpec {
+  MixKind mix = MixKind::kReadHeavy;
+  std::size_t initial_points = 1u << 14;
+  std::size_t requests = 1u << 14;
+  int dim = 2;
+  std::uint64_t seed = 1;
+  // 0 => uniform key choice; > 0 => Zipfian with this theta (hot keys).
+  double zipf_theta = 0.0;
+  std::size_t knn_k = 8;
+  double knn_eps = 0.0;
+  Coord scan_halfwidth = 0.02;  // range box half-width (data lives in [0,1)^d)
+  Coord radius = 0.03;
+  std::uint64_t arrival_gap = 1;  // virtual ticks between consecutive arrivals
+
+  // Op mix fractions (normalized over their sum); mix_spec() presets these.
+  double f_knn = 0.95;
+  double f_range = 0.0;
+  double f_radius = 0.0;
+  double f_radius_count = 0.0;
+  double f_insert = 0.025;
+  double f_erase = 0.025;
+};
+
+// Preset spec for a named mix (fractions + sensible defaults; the caller
+// then adjusts sizes / seed / zipf_theta).
+WorkloadSpec mix_spec(MixKind mix);
+
+// One generated operation; `tick` is its virtual arrival time.
+struct WorkloadOp {
+  OpKind kind{};
+  Point point;                 // insert payload / query center
+  Box box;                     // range
+  PointId id = kInvalidPoint;  // erase target
+  std::size_t k = 0;           // knn
+  double eps = 0.0;
+  Coord radius = 0;
+  std::uint64_t tick = 0;
+};
+
+Request to_request(const WorkloadOp& op);
+
+struct ServeWorkload {
+  WorkloadSpec spec;
+  std::vector<Point> initial;   // build the tree from these (ids 0..n-1)
+  std::vector<WorkloadOp> ops;  // the request stream, arrival order
+};
+
+ServeWorkload gen_serve_workload(const WorkloadSpec& spec);
+
+}  // namespace pimkd::serve

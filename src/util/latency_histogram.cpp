@@ -1,0 +1,89 @@
+#include "util/latency_histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace pimkd::util {
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t v) {
+  if (v < kSubBuckets) return static_cast<std::size_t>(v);
+  // v in [2^b, 2^(b+1)): keep the top kSubBucketBits bits below the MSB.
+  const int b = std::bit_width(v) - 1;  // >= kSubBucketBits
+  const int row = b - kSubBucketBits;
+  const std::uint64_t sub = (v >> row) - kSubBuckets;  // in [0, kSubBuckets)
+  return kSubBuckets + static_cast<std::size_t>(row) * kSubBuckets +
+         static_cast<std::size_t>(sub);
+}
+
+std::uint64_t LatencyHistogram::bucket_low(std::size_t idx) {
+  if (idx < kSubBuckets) return idx;
+  const std::size_t row = (idx - kSubBuckets) / kSubBuckets;
+  const std::uint64_t sub = (idx - kSubBuckets) % kSubBuckets;
+  return (kSubBuckets + sub) << row;
+}
+
+std::uint64_t LatencyHistogram::bucket_high(std::size_t idx) {
+  if (idx < kSubBuckets) return idx;
+  const std::size_t row = (idx - kSubBuckets) / kSubBuckets;
+  return bucket_low(idx) + ((1ull << row) - 1);
+}
+
+void LatencyHistogram::record(std::uint64_t v) { record_n(v, 1); }
+
+void LatencyHistogram::record_n(std::uint64_t v, std::uint64_t n) {
+  if (n == 0) return;
+  counts_[bucket_index(v)] += n;
+  count_ += n;
+  sum_ += v * n;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& o) {
+  if (o.count_ == 0) return;
+  for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += o.counts_[i];
+  count_ += o.count_;
+  sum_ += o.sum_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+void LatencyHistogram::clear() { *this = LatencyHistogram{}; }
+
+std::uint64_t LatencyHistogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the target recording, 1-based; p=0 maps to the first.
+  const double exact = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(exact));
+  rank = std::clamp<std::uint64_t>(rank, 1, count_);
+  // Rank 1 is the smallest recording and rank count_ the largest — both are
+  // tracked exactly, so don't widen them to a bucket bound.
+  if (rank == 1) return min_;
+  if (rank == count_) return max_;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cum += counts_[i];
+    if (cum >= rank)
+      return std::clamp<std::uint64_t>(bucket_high(i), min_, max_);
+  }
+  return max_;
+}
+
+std::string LatencyHistogram::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "n=%llu mean=%.1f p50=%llu p95=%llu p99=%llu p999=%llu "
+                "max=%llu",
+                static_cast<unsigned long long>(count_), mean(),
+                static_cast<unsigned long long>(percentile(50)),
+                static_cast<unsigned long long>(percentile(95)),
+                static_cast<unsigned long long>(percentile(99)),
+                static_cast<unsigned long long>(percentile(99.9)),
+                static_cast<unsigned long long>(max_));
+  return std::string(buf);
+}
+
+}  // namespace pimkd::util

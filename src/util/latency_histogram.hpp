@@ -1,0 +1,65 @@
+// Log-bucketed latency histogram (HdrHistogram-style, fixed footprint).
+//
+// Values (ticks: nanoseconds in wall-clock mode, virtual ticks in
+// deterministic serving tests) are binned into 32 linear sub-buckets per
+// power of two, so every recorded value is resolved with <= 1/32 (~3.2%)
+// relative error while the whole table is a flat 15 KiB array. The
+// histogram is a plain value type: copyable, mergeable with merge() (each
+// recording thread owns one and the collector folds them — no atomics on
+// the hot path), and comparable across runs.
+//
+// Used by the serving layer (serve::ServeStats) and bench_serve for
+// p50/p95/p99/p999 latency reporting.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace pimkd::util {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBucketBits = 5;  // 32 sub-buckets per octave
+  static constexpr std::uint64_t kSubBuckets = 1ull << kSubBucketBits;
+  // Rows cover MSB positions kSubBucketBits..63 (59 rows for 5 sub-bucket
+  // bits), preceded by the exact range [0, kSubBuckets).
+  static constexpr std::size_t kBuckets =
+      kSubBuckets + (64 - kSubBucketBits) * kSubBuckets;
+
+  void record(std::uint64_t v);
+  // Record the same value `n` times (bulk import; n == 0 is a no-op).
+  void record_n(std::uint64_t v, std::uint64_t n);
+  void merge(const LatencyHistogram& o);
+  void clear();
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+  }
+
+  // Value at quantile p in [0, 100]. Returns the highest value equivalent to
+  // the bucket holding the p-th ranked recording, clamped to [min, max], so
+  // percentile(0) == min() and percentile(100) == max() exactly. 0 when
+  // empty.
+  std::uint64_t percentile(double p) const;
+
+  // "n=… mean=… p50=… p95=… p99=… p999=… max=…" (ticks), for logs.
+  std::string summary() const;
+
+  // Bucket geometry (exposed for tests and JSON export).
+  static std::size_t bucket_index(std::uint64_t v);
+  static std::uint64_t bucket_low(std::size_t idx);
+  static std::uint64_t bucket_high(std::size_t idx);
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ull;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace pimkd::util

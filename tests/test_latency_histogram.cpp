@@ -1,0 +1,150 @@
+// util::LatencyHistogram — log-bucketed percentile sketch used by the
+// serving layer (scheduler stats + bench_serve SLO reporting).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/latency_histogram.hpp"
+
+namespace {
+
+using pimkd::util::LatencyHistogram;
+
+TEST(LatencyHistogram, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(50), 0u);
+  EXPECT_EQ(h.percentile(99.9), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  // Values below one sub-bucket row (< 32) land in unit-width buckets, so
+  // percentiles are exact, not approximate.
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 32; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 32u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 31u);
+  EXPECT_EQ(h.percentile(0), 0u);
+  EXPECT_EQ(h.percentile(50), 15u);
+  EXPECT_EQ(h.percentile(100), 31u);
+  EXPECT_DOUBLE_EQ(h.mean(), 15.5);
+}
+
+TEST(LatencyHistogram, SingleValue) {
+  LatencyHistogram h;
+  h.record(123456);
+  EXPECT_EQ(h.percentile(0), 123456u);
+  EXPECT_EQ(h.percentile(50), 123456u);
+  EXPECT_EQ(h.percentile(99.9), 123456u);
+  EXPECT_EQ(h.percentile(100), 123456u);
+}
+
+TEST(LatencyHistogram, BucketBoundsRoundTrip) {
+  // Every recorded value must fall inside the bucket it indexes to, and the
+  // bucket width bounds the relative error: width / low <= 1/32.
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v = rng() >> (rng() % 60);
+    const std::size_t idx = LatencyHistogram::bucket_index(v);
+    const std::uint64_t lo = LatencyHistogram::bucket_low(idx);
+    const std::uint64_t hi = LatencyHistogram::bucket_high(idx);
+    ASSERT_LE(lo, v);
+    ASSERT_LE(v, hi);
+    if (lo >= 32) {
+      const double rel = double(hi - lo) / double(lo);
+      ASSERT_LE(rel, 1.0 / 32.0 + 1e-12);
+    }
+  }
+}
+
+TEST(LatencyHistogram, ExtremeValuesStayInBounds) {
+  // The top row covers MSB position 63; recording UINT64_MAX must index
+  // inside the table (regression: the row count was off by one).
+  EXPECT_LT(LatencyHistogram::bucket_index(~0ull), LatencyHistogram::kBuckets);
+  LatencyHistogram h;
+  h.record(~0ull);
+  h.record(1ull << 63);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), ~0ull);
+  EXPECT_EQ(h.percentile(100), ~0ull);
+  EXPECT_EQ(h.percentile(0), 1ull << 63);
+}
+
+TEST(LatencyHistogram, PercentileRelativeErrorBounded) {
+  // Against the exact empirical percentile of a heavy-tailed sample, the
+  // sketch must stay within the bucket resolution (~3.2% relative error; use
+  // 4% headroom for boundary effects).
+  std::mt19937_64 rng(42);
+  std::lognormal_distribution<double> dist(10.0, 2.0);
+  std::vector<std::uint64_t> vals;
+  LatencyHistogram h;
+  for (int i = 0; i < 50000; ++i) {
+    const auto v = static_cast<std::uint64_t>(dist(rng)) + 1;
+    vals.push_back(v);
+    h.record(v);
+  }
+  std::sort(vals.begin(), vals.end());
+  for (const double p : {10.0, 50.0, 90.0, 95.0, 99.0, 99.9}) {
+    const std::size_t rank = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(p / 100.0 * vals.size())));
+    const double exact = double(vals[rank - 1]);
+    const double approx = double(h.percentile(p));
+    EXPECT_NEAR(approx, exact, exact * 0.04)
+        << "p" << p << " exact=" << exact << " approx=" << approx;
+  }
+}
+
+TEST(LatencyHistogram, PercentileClampedToObservedRange) {
+  LatencyHistogram h;
+  h.record(1000);
+  h.record(1000000);
+  EXPECT_EQ(h.percentile(0), h.min());
+  EXPECT_EQ(h.percentile(100), h.max());
+  EXPECT_LE(h.percentile(50), h.max());
+  EXPECT_GE(h.percentile(50), h.min());
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedRecording) {
+  // Merging per-thread histograms must equal recording into one — the
+  // property bench_serve relies on when producers shard their stats.
+  std::mt19937_64 rng(3);
+  LatencyHistogram a, b, all;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng() % 1000000;
+    ((i % 2) ? a : b).record(v);
+    all.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  EXPECT_DOUBLE_EQ(a.mean(), all.mean());
+  for (const double p : {1.0, 25.0, 50.0, 75.0, 99.0, 99.9})
+    EXPECT_EQ(a.percentile(p), all.percentile(p)) << "p" << p;
+}
+
+TEST(LatencyHistogram, RecordNAndClear) {
+  LatencyHistogram h;
+  h.record_n(100, 5);
+  h.record_n(200, 0);  // no-op
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.mean(), 100.0);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(50), 0u);
+}
+
+TEST(LatencyHistogram, SummaryMentionsCount) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 100; ++i) h.record(i);
+  const std::string s = h.summary();
+  EXPECT_NE(s.find("n=100"), std::string::npos) << s;
+}
+
+}  // namespace

@@ -1,0 +1,567 @@
+// Online serving layer: MPSC ingestion, batch-forming policies, epoch-
+// versioned read semantics, shutdown guarantees, and the two acceptance
+// invariants of DESIGN.md §8:
+//   * a served stream produces a cost ledger byte-identical to the
+//     equivalent hand-batched run against a fresh tree;
+//   * the whole serving pipeline is thread-count-invariant — the binary
+//     re-executes itself under PIMKD_THREADS=1 and 8 and compares batch
+//     sequences, results, and ledger hashes (custom main, like
+//     test_determinism.cpp).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "parallel/mpsc_queue.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/workload.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace pimkd;
+using namespace pimkd::serve;
+
+core::PimKdConfig small_cfg(std::size_t P = 8) {
+  core::PimKdConfig cfg;
+  cfg.dim = 2;
+  cfg.leaf_cap = 8;
+  cfg.sigma = 64;
+  cfg.system.num_modules = P;
+  cfg.system.cache_words = 1 << 22;
+  cfg.system.seed = 3;
+  return cfg;
+}
+
+Point pt(Coord x, Coord y) {
+  Point p;
+  p[0] = x;
+  p[1] = y;
+  return p;
+}
+
+// --- MPSC queue ---------------------------------------------------------------
+
+TEST(MpscQueue, FifoUnderSingleProducer) {
+  MpscQueue<int> q;
+  EXPECT_EQ(q.approx_size(), 0u);
+  int v = -1;
+  EXPECT_FALSE(q.pop(v));
+  for (int i = 0; i < 100; ++i) q.push(int(i));
+  EXPECT_EQ(q.approx_size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(q.pop(v));
+    EXPECT_EQ(v, i);  // total order under a single producer
+  }
+  EXPECT_FALSE(q.pop(v));
+  EXPECT_EQ(q.approx_size(), 0u);
+}
+
+TEST(MpscQueue, ConcurrentProducersLoseNothing) {
+  MpscQueue<std::uint64_t> q;
+  const std::uint64_t kProducers = 8, kPer = 5000;
+  std::vector<std::thread> ts;
+  for (std::uint64_t p = 0; p < kProducers; ++p)
+    ts.emplace_back([&q, p] {
+      for (std::uint64_t i = 0; i < kPer; ++i) q.push(p * kPer + i);
+    });
+  std::vector<std::uint64_t> last(kProducers, 0);  // per-producer FIFO check
+  std::uint64_t seen = 0, sum = 0;
+  std::uint64_t v = 0;
+  while (seen < kProducers * kPer) {
+    if (!q.pop(v)) continue;
+    const std::uint64_t p = v / kPer;
+    ASSERT_LT(p, kProducers);
+    ASSERT_GE(v + 1, last[p]) << "per-producer order violated";
+    last[p] = v + 1;
+    sum += v;
+    ++seen;
+  }
+  for (auto& t : ts) t.join();
+  const std::uint64_t total = kProducers * kPer;
+  EXPECT_EQ(sum, total * (total - 1) / 2);  // every value exactly once
+  EXPECT_FALSE(q.pop(v));
+}
+
+// --- Scheduler: policies and edge cases ---------------------------------------
+
+TEST(Scheduler, EmptyQueueTicksAreFree) {
+  auto cfg = small_cfg();
+  const auto pts = gen_uniform({.n = 256, .dim = 2, .seed = 1});
+  core::PimKdTree tree(cfg, pts);
+
+  SchedulerConfig sc;
+  sc.policy = Policy::kDeadline;
+  BatchScheduler sched(tree, sc);
+  const auto before = tree.metrics().snapshot();
+  for (std::uint64_t t = 0; t < 100; ++t) EXPECT_EQ(sched.pump(t), 0u);
+  EXPECT_EQ(sched.flush(100), 0u);
+  const auto d = tree.metrics().snapshot() - before;
+  EXPECT_EQ(d.cpu_work, 0u);
+  EXPECT_EQ(d.communication, 0u);
+  EXPECT_EQ(d.rounds, 0u);
+  const ServeStats st = sched.stats();
+  EXPECT_EQ(st.batches, 0u);
+  EXPECT_EQ(st.completed, 0u);
+  EXPECT_EQ(sched.epoch(), 0u);
+}
+
+TEST(Scheduler, FixedSizePolicyFormsExactBatches) {
+  auto cfg = small_cfg();
+  const auto pts = gen_uniform({.n = 256, .dim = 2, .seed = 1});
+  core::PimKdTree tree(cfg, pts);
+
+  SchedulerConfig sc;
+  sc.policy = Policy::kFixedSize;
+  sc.batch_size = 4;
+  BatchScheduler sched(tree, sc);
+
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 10; ++i)
+    futs.push_back(sched.submit(Request::knn(pts[i], 3), /*now=*/i));
+  EXPECT_EQ(sched.pump(10), 8u);  // two full batches of 4; 2 stay pending
+  EXPECT_EQ(sched.flush(11), 2u);
+
+  const auto log = sched.batch_log();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0].size(), 4u);
+  EXPECT_EQ(log[0].reason, 's');
+  EXPECT_EQ(log[1].size(), 4u);
+  EXPECT_EQ(log[1].reason, 's');
+  EXPECT_EQ(log[2].size(), 2u);
+  EXPECT_EQ(log[2].reason, 'f');
+  for (auto& f : futs) {
+    const Response r = f.get();
+    EXPECT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.neighbors.size(), 3u);
+    EXPECT_EQ(r.epoch, 0u);  // read-only stream: epoch never advances
+  }
+  EXPECT_EQ(sched.epoch(), 0u);
+}
+
+TEST(Scheduler, DeadlineExpirySingleRequest) {
+  auto cfg = small_cfg();
+  const auto pts = gen_uniform({.n = 128, .dim = 2, .seed = 2});
+  core::PimKdTree tree(cfg, pts);
+
+  SchedulerConfig sc;
+  sc.policy = Policy::kDeadline;
+  sc.deadline_ticks = 100;
+  BatchScheduler sched(tree, sc);
+
+  auto fut = sched.submit(Request::knn(pts[0], 1), /*now=*/0);
+  EXPECT_EQ(sched.pump(50), 0u);  // not due yet
+  EXPECT_EQ(sched.pump(99), 0u);
+  EXPECT_EQ(sched.pump(100), 1u);  // oldest waiter hits the deadline
+  const auto log = sched.batch_log();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].reason, 'd');
+  const Response r = fut.get();
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.submit_tick, 0u);
+  EXPECT_EQ(r.dispatch_tick, 100u);
+  EXPECT_EQ(r.complete_tick, 100u);  // virtual-time mode: completion == pump
+}
+
+TEST(Scheduler, EraseThenKnnSameEpochSeesSnapshot) {
+  auto cfg = small_cfg(4);
+  std::vector<Point> pts = {pt(0.1, 0.1), pt(0.2, 0.2), pt(0.8, 0.8),
+                            pt(0.9, 0.9)};
+  core::PimKdTree tree(cfg, pts);
+
+  SchedulerConfig sc;
+  sc.policy = Policy::kDeadline;  // dispatch everything pending on pump
+  BatchScheduler sched(tree, sc);
+
+  // One epoch admits both the erase of id 0 and a knn at id 0's location:
+  // the read must observe the epoch-0 snapshot, i.e. still see id 0.
+  auto f_erase = sched.submit(Request::erase(0), 0);
+  auto f_knn = sched.submit(Request::knn(pt(0.1, 0.1), 1), 0);
+  EXPECT_EQ(sched.pump(1), 2u);
+
+  const Response rk = f_knn.get();
+  ASSERT_TRUE(rk.ok()) << rk.error;
+  ASSERT_EQ(rk.neighbors.size(), 1u);
+  EXPECT_EQ(rk.neighbors[0].id, 0u) << "same-epoch read must see the snapshot";
+  EXPECT_EQ(rk.epoch, 0u);
+
+  const Response re = f_erase.get();
+  EXPECT_TRUE(re.ok());
+  EXPECT_TRUE(re.erased);
+  EXPECT_EQ(re.epoch, 1u);  // effect first visible in the next epoch
+  EXPECT_EQ(sched.epoch(), 1u);
+  EXPECT_FALSE(tree.is_live(0));
+
+  // Next epoch: the same query no longer sees the erased point.
+  auto f_knn2 = sched.submit(Request::knn(pt(0.1, 0.1), 1), 2);
+  EXPECT_EQ(sched.pump(3), 1u);
+  const Response rk2 = f_knn2.get();
+  ASSERT_EQ(rk2.neighbors.size(), 1u);
+  EXPECT_NE(rk2.neighbors[0].id, 0u);
+  EXPECT_EQ(rk2.epoch, 1u);
+}
+
+TEST(Scheduler, ShutdownResolvesEverything) {
+  auto cfg = small_cfg();
+  const auto pts = gen_uniform({.n = 256, .dim = 2, .seed = 5});
+  core::PimKdTree tree(cfg, pts);
+
+  SchedulerConfig sc;
+  sc.policy = Policy::kFixedSize;
+  sc.batch_size = 1000;  // never reached: stop() must flush the remainder
+  BatchScheduler sched(tree, sc);
+
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 7; ++i)
+    futs.push_back(sched.submit(Request::knn(pts[i], 2), i));
+  futs.push_back(sched.submit(Request::insert(pt(0.5, 0.5)), 7));
+  sched.stop();
+
+  for (auto& f : futs) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready)
+        << "stop() left a future unresolved";
+    const Response r = f.get();
+    EXPECT_TRUE(r.ok()) << r.error;  // accepted work is executed, not dropped
+  }
+  const ServeStats st = sched.stats();
+  EXPECT_EQ(st.completed, 8u);
+  EXPECT_EQ(st.dispatch_flush, 1u);
+
+  // After stop, new submissions are rejected — but still resolved.
+  auto late = sched.submit(Request::knn(pts[0], 1), 99);
+  const Response r = late.get();
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("stopped"), std::string::npos);
+  EXPECT_EQ(sched.stats().rejected, 1u);
+}
+
+TEST(Scheduler, InvalidRequestFailsAlone) {
+  auto cfg = small_cfg();
+  const auto pts = gen_uniform({.n = 128, .dim = 2, .seed = 6});
+  core::PimKdTree tree(cfg, pts);
+  SchedulerConfig sc;
+  sc.policy = Policy::kDeadline;
+  BatchScheduler sched(tree, sc);
+
+  auto bad = sched.submit(
+      Request::knn(pt(std::numeric_limits<Coord>::quiet_NaN(), 0.5), 3), 0);
+  auto bad_k = sched.submit(Request::knn(pts[0], 0), 0);
+  auto good = sched.submit(Request::knn(pts[0], 3), 0);
+
+  // Malformed requests are rejected at submit — before batching — so they
+  // can neither poison a batch nor occupy a slot in one.
+  ASSERT_EQ(bad.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_FALSE(bad.get().ok());
+  ASSERT_EQ(bad_k.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_FALSE(bad_k.get().ok());
+
+  EXPECT_EQ(sched.pump(1), 1u);
+  const Response r = good.get();
+  EXPECT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.neighbors.size(), 3u);
+  EXPECT_EQ(sched.stats().rejected, 2u);
+}
+
+TEST(Scheduler, InsertIdsRoundTrip) {
+  auto cfg = small_cfg();
+  const auto pts = gen_uniform({.n = 100, .dim = 2, .seed = 8});
+  core::PimKdTree tree(cfg, pts);
+  SchedulerConfig sc;
+  sc.policy = Policy::kDeadline;
+  BatchScheduler sched(tree, sc);
+
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 5; ++i)
+    futs.push_back(
+        sched.submit(Request::insert(pt(0.91 + 0.01 * i, 0.91)), i));
+  sched.pump(1);
+  for (int i = 0; i < 5; ++i) {
+    const Response r = futs[i].get();
+    ASSERT_TRUE(r.ok()) << r.error;
+    // The tree assigns sequential ids in arrival order — the generator's
+    // id model (workload.cpp) and exactly-once accounting both rest on this.
+    EXPECT_EQ(r.inserted_id, static_cast<PointId>(100 + i));
+    EXPECT_TRUE(tree.is_live(r.inserted_id));
+  }
+  auto q = sched.submit(Request::knn(pt(0.91, 0.91), 1), 2);
+  sched.pump(3);
+  const Response rq = q.get();
+  ASSERT_TRUE(rq.ok()) << rq.error;
+  ASSERT_EQ(rq.neighbors.size(), 1u);
+  EXPECT_EQ(rq.neighbors[0].id, 100u);
+}
+
+TEST(Scheduler, TradeoffPolicyTargetsTheoryOptimum) {
+  // S* = n / 2^(G + log^(G) P): the smallest batch at which Theorem 5.1's
+  // per-query communication floor is reached (DESIGN.md §8).
+  auto cfg = small_cfg(64);
+  const std::size_t P = 64;
+  const int logstar = log_star2(double(P));
+  const int G = cfg.cached_groups < 0 ? logstar
+                                      : std::min(cfg.cached_groups, logstar);
+  const double hops = double(G) + ilog2(double(P), G);
+  const std::size_t n = 1u << 15;
+  const auto expect =
+      static_cast<std::size_t>(std::max(1.0, double(n) / std::pow(2.0, hops)));
+
+  EXPECT_EQ(BatchScheduler::tradeoff_target(cfg, P, n, 1, 1u << 20), expect);
+  // Clamps: never below the configured floor or above the cap.
+  EXPECT_EQ(BatchScheduler::tradeoff_target(cfg, P, n, expect + 100, 1u << 20),
+            expect + 100);
+  EXPECT_EQ(BatchScheduler::tradeoff_target(cfg, P, n, 1, expect - 100),
+            expect - 100);
+  // Monotone in n: bigger trees want bigger batches.
+  EXPECT_GE(BatchScheduler::tradeoff_target(cfg, P, 4 * n, 1, 1u << 20),
+            expect);
+
+  // And the live scheduler reports it.
+  const auto pts = gen_uniform({.n = n, .dim = 2, .seed = 9});
+  core::PimKdTree tree(cfg, pts);
+  SchedulerConfig sc;
+  sc.policy = Policy::kTradeoff;
+  sc.batch_size = 1;
+  sc.max_batch = 1u << 20;
+  BatchScheduler sched(tree, sc);
+  EXPECT_EQ(sched.target_batch_size(), expect);
+}
+
+TEST(Scheduler, ConcurrentProducersAllServed) {
+  auto cfg = small_cfg();
+  const auto pts = gen_uniform({.n = 1024, .dim = 2, .seed = 10});
+  core::PimKdTree tree(cfg, pts);
+  SchedulerConfig sc;
+  sc.policy = Policy::kDeadline;
+  sc.deadline_ticks = 10'000;  // ns; background clock
+  BatchScheduler sched(tree, sc);
+  sched.start();
+
+  const std::size_t kProducers = 4, kPer = 200;
+  std::atomic<std::size_t> ok{0};
+  std::vector<std::thread> ts;
+  for (std::size_t p = 0; p < kProducers; ++p)
+    ts.emplace_back([&, p] {
+      for (std::size_t i = 0; i < kPer; ++i) {
+        auto f = sched.submit(Request::knn(pts[(p * kPer + i) % 1024], 4), 0);
+        const Response r = f.get();
+        if (r.ok() && r.neighbors.size() == 4) ok.fetch_add(1);
+      }
+    });
+  for (auto& t : ts) t.join();
+  sched.stop();
+  EXPECT_EQ(ok.load(), kProducers * kPer);
+  const ServeStats st = sched.stats();
+  EXPECT_EQ(st.completed, kProducers * kPer);
+  EXPECT_EQ(st.rejected, 0u);
+  EXPECT_EQ(st.completed + st.rejected, st.submitted);
+}
+
+// --- Ledger equivalence: served vs hand-batched --------------------------------
+
+std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
+  return h * 1000003ull + v;
+}
+
+std::uint64_t ledger_hash(const core::PimKdTree& tree) {
+  const auto s = tree.metrics().snapshot();
+  std::uint64_t h = 0;
+  h = mix64(h, s.cpu_work);
+  h = mix64(h, s.pim_work);
+  h = mix64(h, s.pim_time);
+  h = mix64(h, s.communication);
+  h = mix64(h, s.comm_time);
+  h = mix64(h, s.rounds);
+  for (const auto w : tree.metrics().lifetime_module_work()) h = mix64(h, w);
+  for (const auto c : tree.metrics().lifetime_module_comm()) h = mix64(h, c);
+  h = mix64(h, tree.metrics().total_storage());
+  return h;
+}
+
+TEST(Scheduler, LedgerMatchesHandBatchedRun) {
+  // The serving layer must add zero model cost: dispatching a stream through
+  // the scheduler charges the ledger exactly as hand-issuing the same groups
+  // against a fresh tree would (acceptance criterion; DESIGN.md §8).
+  WorkloadSpec spec = mix_spec(MixKind::kUpdateHeavy);
+  spec.initial_points = 2000;
+  spec.requests = 600;
+  spec.seed = 21;
+  const ServeWorkload w = gen_serve_workload(spec);
+
+  auto cfg = small_cfg(16);
+  const std::size_t kBatch = 64;
+
+  // Served run.
+  std::uint64_t served_hash = 0;
+  std::vector<BatchLog> log;
+  {
+    core::PimKdTree tree(cfg, w.initial);
+    SchedulerConfig sc;
+    sc.policy = Policy::kFixedSize;
+    sc.batch_size = kBatch;
+    BatchScheduler sched(tree, sc);
+    std::vector<std::future<Response>> futs;
+    futs.reserve(w.ops.size());
+    for (const WorkloadOp& op : w.ops)
+      futs.push_back(sched.submit(to_request(op), op.tick));
+    sched.pump(w.ops.size());
+    sched.flush(w.ops.size());
+    for (auto& f : futs) ASSERT_TRUE(f.get().ok());
+    log = sched.batch_log();
+    served_hash = ledger_hash(tree);
+  }
+
+  // Hand-batched run: slice the same stream at the logged batch boundaries
+  // and issue each epoch's groups directly, in the scheduler's canonical
+  // order (knn groups by (k,eps) first appearance; reads before updates).
+  {
+    core::PimKdTree tree(cfg, w.initial);
+    std::size_t at = 0;
+    for (const BatchLog& b : log) {
+      const std::size_t take = b.size();
+      ASSERT_LE(at + take, w.ops.size());
+      std::vector<Point> knn_q;
+      std::vector<Point> ins;
+      std::vector<PointId> del;
+      for (std::size_t i = at; i < at + take; ++i) {
+        const WorkloadOp& op = w.ops[i];
+        switch (op.kind) {
+          case OpKind::kKnn: knn_q.push_back(op.point); break;
+          case OpKind::kInsert: ins.push_back(op.point); break;
+          case OpKind::kErase: del.push_back(op.id); break;
+          default: FAIL() << "unexpected op in update_heavy mix";
+        }
+      }
+      // update_heavy has a single knn group (one (k,eps) key).
+      if (!knn_q.empty()) (void)tree.knn(knn_q, spec.knn_k, spec.knn_eps);
+      if (!ins.empty()) (void)tree.insert(ins);
+      if (!del.empty()) tree.erase(del);
+      at += take;
+    }
+    ASSERT_EQ(at, w.ops.size());
+    EXPECT_EQ(ledger_hash(tree), served_hash)
+        << "serving layer changed the cost ledger vs hand-batched execution";
+  }
+}
+
+// --- Cross-thread-count determinism (subprocess) ------------------------------
+
+std::string self_exe() {
+  char buf[4096];
+  const ssize_t n = readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n <= 0) return {};
+  buf[n] = '\0';
+  return std::string(buf);
+}
+
+std::string run_child(const std::string& exe, int threads) {
+  const std::string cmd = "PIMKD_THREADS=" + std::to_string(threads) + " '" +
+                          exe + "' --serve-child";
+  std::FILE* p = popen(cmd.c_str(), "r");
+  if (!p) return {};
+  std::string out;
+  char buf[512];
+  while (std::fgets(buf, sizeof buf, p)) out += buf;
+  const int rc = pclose(p);
+  EXPECT_EQ(rc, 0) << "child failed: " << cmd;
+  return out;
+}
+
+TEST(ServeDeterminism, BatchesResultsAndLedgerInvariantAcrossThreadCounts) {
+  const std::string exe = self_exe();
+  ASSERT_FALSE(exe.empty());
+  const std::string out1 = run_child(exe, 1);
+  const std::string out8 = run_child(exe, 8);
+  ASSERT_FALSE(out1.empty());
+  EXPECT_EQ(out1, out8)
+      << "served batch sequence / results / ledger diverged across "
+         "PIMKD_THREADS";
+}
+
+// Full pipeline at fixed submission order and virtual ticks: every op kind,
+// a Zipfian key stream, and the tradeoff policy with a deadline fallback.
+// Prints the batch log, a result hash, and the ledger hashes — all of which
+// must be invariant under PIMKD_THREADS.
+int serve_child() {
+  WorkloadSpec spec;
+  spec.mix = MixKind::kScanHeavy;
+  spec.initial_points = 6000;
+  spec.requests = 1500;
+  spec.seed = 33;
+  spec.zipf_theta = 0.99;
+  spec.f_knn = 0.35;
+  spec.f_range = 0.20;
+  spec.f_radius = 0.10;
+  spec.f_radius_count = 0.10;
+  spec.f_insert = 0.15;
+  spec.f_erase = 0.10;
+  const ServeWorkload w = gen_serve_workload(spec);
+
+  core::PimKdConfig cfg;
+  cfg.dim = 2;
+  cfg.leaf_cap = 8;
+  cfg.sigma = 64;
+  cfg.system.num_modules = 32;
+  cfg.system.cache_words = 1 << 22;
+  cfg.system.seed = 33;
+  core::PimKdTree tree(cfg, w.initial);
+
+  SchedulerConfig sc;
+  sc.policy = Policy::kTradeoff;
+  sc.batch_size = 32;
+  sc.max_batch = 512;
+  sc.deadline_ticks = 200;
+  BatchScheduler sched(tree, sc);
+
+  std::vector<std::future<Response>> futs;
+  futs.reserve(w.ops.size());
+  for (const WorkloadOp& op : w.ops) {
+    futs.push_back(sched.submit(to_request(op), op.tick));
+    sched.pump(op.tick);
+  }
+  sched.flush(w.ops.size());
+
+  std::uint64_t rh = 0;
+  for (auto& f : futs) {
+    const Response r = f.get();
+    rh = mix64(rh, static_cast<std::uint64_t>(r.kind));
+    rh = mix64(rh, r.epoch);
+    rh = mix64(rh, r.ok() ? 1 : 0);
+    rh = mix64(rh, r.inserted_id == kInvalidPoint ? 0 : r.inserted_id + 1);
+    rh = mix64(rh, r.erased ? 1 : 0);
+    for (const auto& nb : r.neighbors) rh = mix64(rh, nb.id);
+    for (const auto id : r.ids) rh = mix64(rh, id);
+    rh = mix64(rh, r.count);
+  }
+  std::string batches;
+  for (const BatchLog& b : sched.batch_log()) {
+    batches += b.to_string();
+    batches += '\n';
+  }
+  const ServeStats st = sched.stats();
+  std::printf("%s", batches.c_str());
+  std::printf("completed=%llu batches=%llu epochs=%llu results=%llu "
+              "ledger=%llu size=%zu nodes=%zu inv=%d\n",
+              (unsigned long long)st.completed,
+              (unsigned long long)st.batches, (unsigned long long)st.epochs,
+              (unsigned long long)rh, (unsigned long long)ledger_hash(tree),
+              tree.size(), tree.num_nodes(), tree.check_invariants() ? 1 : 0);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "--serve-child")
+    return serve_child();
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
