@@ -73,6 +73,21 @@ if [ ! -f "$serve_json" ] || [ "$(grep -o '"p99_us"' "$serve_json" | wc -l)" -lt
 fi
 echo "serving latency rows recorded ($(grep -o '"p99_us"' "$serve_json" | wc -l) mixes)"
 
+# Adaptive-replication gate: bench_fig2_caching's mix sweep must show the
+# adaptive controller landing within 1.15x of the best static mode on every
+# mix (>= 3 mixes), re-replication cost included.
+fig2_json="$PIMKD_BENCH_JSON_DIR/bench_fig2_caching.json"
+if [ ! -f "$fig2_json" ] || \
+   [ "$(grep -o '"adaptive_pass":true' "$fig2_json" | wc -l)" -lt 3 ]; then
+  echo "bench_fig2_caching reported fewer than 3 passing adaptive mixes." >&2
+  exit 1
+fi
+if grep -q '"adaptive_pass":false' "$fig2_json"; then
+  echo "adaptive replication exceeded 1.15x best static comm on some mix." >&2
+  exit 1
+fi
+echo "adaptive replication gate passed ($(grep -o '"adaptive_pass":true' "$fig2_json" | wc -l) mixes)"
+
 echo "Examples:"
 for e in build/examples/*; do
   if [ -f "$e" ] && [ -x "$e" ]; then echo "--- $e"; "$e"; fi

@@ -583,13 +583,14 @@ void PimKdTree::materialize_component(NodeId comp_root) {
   materialize_pair_caches(comp_root);
 }
 
-PimKdTree::CacheFlags PimKdTree::cache_flags(int group) const {
+PimKdTree::CacheFlags PimKdTree::cache_flags(int group,
+                                             CachingMode mode) const {
   const bool cached = cfg_.cached_groups < 0 || group < cfg_.cached_groups;
   CacheFlags f;
-  f.topdown = cached && (cfg_.caching == CachingMode::kTopDown ||
-                         cfg_.caching == CachingMode::kDual);
-  f.bottomup = cached && (cfg_.caching == CachingMode::kBottomUp ||
-                          cfg_.caching == CachingMode::kDual);
+  f.topdown = cached && (mode == CachingMode::kTopDown ||
+                         mode == CachingMode::kDual);
+  f.bottomup = cached && (mode == CachingMode::kBottomUp ||
+                          mode == CachingMode::kDual);
   return f;
 }
 

@@ -11,12 +11,25 @@ namespace pimkd::core {
 
 // Which intra-group replication strategy is active (Figure 2). The paper's
 // design is kDual; the others exist to regenerate Figure 2's comparison.
+// The mode set at construction is not final: PimKdTree::set_caching_mode()
+// retrofits a live tree to a different mode (core/replication.hpp drives
+// this adaptively from the observed read/write mix).
 enum class CachingMode {
   kNone,      // masters only (Fig. 2a) — every tree edge is an off-chip hop
   kTopDown,   // Fig. 2c — each master also stores its in-group descendants
   kBottomUp,  // Fig. 2d — each master also stores its in-group ancestor chain
   kDual,      // Fig. 2b — both (the PIM-kd-tree design)
 };
+
+inline const char* caching_mode_name(CachingMode m) {
+  switch (m) {
+    case CachingMode::kNone: return "none";
+    case CachingMode::kTopDown: return "topdown";
+    case CachingMode::kBottomUp: return "bottomup";
+    case CachingMode::kDual: return "dual";
+  }
+  return "?";
+}
 
 struct PimKdConfig {
   int dim = 2;                 // D

@@ -26,9 +26,11 @@
 #include "core/config.hpp"
 #include "core/cursor.hpp"
 #include "core/decomposition.hpp"
+#include "core/query.hpp"
 #include "core/storage.hpp"
 #include "core/tree.hpp"
 #include "kdtree/bruteforce.hpp"
+#include "pim/status.hpp"
 #include "pim/system.hpp"
 #include "pim/trace.hpp"
 #include "util/random.hpp"
@@ -80,6 +82,35 @@ class PimKdTree {
   std::vector<std::size_t> radius_count(std::span<const Point> centers,
                                         Coord r);
 
+  // --- Unified batch facade (core/query.hpp) ---------------------------------
+  // THE canonical grouping/dispatch path for heterogeneous read batches:
+  // kKnn requests are grouped by (k, eps) in first-appearance order, then
+  // ranges, then kRadius and kRadiusCount groups by radius in
+  // first-appearance order, each group executed through the public batch
+  // entry point above — so the cost ledger is byte-identical to a
+  // hand-batched run and thread-count-invariant. A group that throws fails
+  // alone: its members get Response::error, other groups still execute.
+  // Update kinds (kInsert/kErase) are returned untouched (kind set, no
+  // payload): batch updates belong to insert()/erase(), which assign ids and
+  // arbitrate duplicate erases. serve::BatchScheduler's read dispatch is a
+  // thin wrapper over this call.
+  std::vector<Response> query(std::span<const Request> reqs);
+
+  // --- Status-based error surface -------------------------------------------
+  // Non-throwing twins of insert/erase/query for callers that prefer
+  // pimkd::Status over the throw-on-invalid-input path (the signatures above
+  // stay the primary API; these are thin shims over them). Mapping:
+  // std::invalid_argument -> kInvalidArgument, PimError -> its own status,
+  // any other exception -> kUnavailable. The serve layer keeps using the
+  // throwing entry points: it validates at submit() and converts in-dispatch
+  // exceptions to per-request Response::error itself (serve/scheduler.cpp).
+  Status try_insert(std::span<const Point> pts, std::vector<PointId>& ids_out);
+  Status try_erase(std::span<const PointId> ids);
+  // Runs query(); additionally folds per-request failures into the returned
+  // Status (the first failing request's message, kInvalidArgument). All
+  // responses are produced either way.
+  Status try_query(std::span<const Request> reqs, std::vector<Response>& out);
+
   // --- Priority search (DPC §6.1) --------------------------------------------
   // Attaches a priority to every live point and rebuilds the per-node
   // (max-priority) aggregates bottom-up; must be called before
@@ -95,6 +126,27 @@ class PimKdTree {
   // --- Delayed construction (§3.4) -------------------------------------------
   std::size_t unfinished_components() const { return unfinished_.size(); }
   void finish_delayed_components();
+
+  // --- Adaptive replication (core/replication.hpp) ---------------------------
+  struct ReplicationReport {
+    CachingMode from{};
+    CachingMode to{};
+    std::uint64_t copies_added = 0;
+    std::uint64_t copies_removed = 0;
+    std::uint64_t words = 0;  // re-replication communication charged
+  };
+  // Switches the intra-group replication strategy (Figure 2) *online*: every
+  // finished, non-Group-0-replicated component has its pair caches
+  // incrementally retrofitted — copies a direction no longer active held are
+  // dropped, copies the new direction requires are shipped (charging comm,
+  // work and storage to the ledger inside a "replication" trace span). After
+  // the call the distributed state is exactly what a fresh build under
+  // `mode` would produce (check_invariants() holds), and the query-visible
+  // version (mutation_epoch) is bumped so epoch-versioned serve reads never
+  // straddle a switch. A same-mode call is a free no-op. Not thread-safe
+  // against concurrent queries — call it between batches (the serve
+  // scheduler switches only at epoch boundaries).
+  ReplicationReport set_caching_mode(CachingMode mode);
 
   // --- Fault handling & recovery (ISSUE: fault-injection subsystem) ----------
   // The underlying simulated system (fault surface: crash/revive, health(),
@@ -169,6 +221,7 @@ class PimKdTree {
     std::uint64_t words_counters = 0;
     std::uint64_t words_route = 0;
     std::uint64_t words_payload = 0;
+    std::uint64_t words_replication = 0;  // online caching-mode switches
   };
   const OpStats& op_stats() const { return op_stats_; }
   void reset_op_stats() { op_stats_ = OpStats{}; }
@@ -231,7 +284,9 @@ class PimKdTree {
     bool topdown = false;
     bool bottomup = false;
   };
-  CacheFlags cache_flags(int group) const;
+  CacheFlags cache_flags(int group) const { return cache_flags(group, cfg_.caching); }
+  // Same rule under a hypothetical mode (set_caching_mode diffs old vs new).
+  CacheFlags cache_flags(int group, CachingMode mode) const;
   // Incremental component maintenance: v joins / leaves a component as a
   // member without same-group descendants. Only the pair copies incident to
   // v move; the rest of the component is untouched. Far cheaper than

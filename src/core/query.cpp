@@ -1,0 +1,184 @@
+// PimKdTree::query — the canonical grouping/dispatch path for heterogeneous
+// read batches (core/query.hpp) — plus the Status-returning try_* shims.
+//
+// The grouping here used to live in serve::BatchScheduler::run_reads; it was
+// promoted so every front-end (the scheduler, benches, embedders) batches
+// identically. The ledger contract is strict: query() adds no rounds, spans
+// or charges of its own — the sequence of Metrics events is exactly the one
+// the underlying knn()/range()/radius()/radius_count() calls produce, in the
+// canonical group order, so a scheduler dispatch and a hand-batched run stay
+// byte-identical.
+#include <exception>
+#include <stdexcept>
+
+#include "core/pim_kdtree.hpp"
+
+namespace pimkd::core {
+
+std::vector<Response> PimKdTree::query(std::span<const Request> reqs) {
+  std::vector<Response> resp(reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) resp[i].kind = reqs[i].kind;
+
+  // Canonical grouping: kNN by (k, eps) in first-appearance order, then
+  // range, then kRadius and kRadiusCount by radius in first-appearance
+  // order. The round/ledger sequence is a pure function of batch contents.
+  struct KnnKey {
+    std::size_t k;
+    double eps;
+  };
+  std::vector<KnnKey> knn_keys;
+  std::vector<std::vector<std::size_t>> knn_members;
+  std::vector<std::size_t> range_members;
+  std::vector<Coord> radius_keys, rcount_keys;
+  std::vector<std::vector<std::size_t>> radius_members, rcount_members;
+
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const Request& r = reqs[i];
+    switch (r.kind) {
+      case OpKind::kKnn: {
+        std::size_t g = 0;
+        for (; g < knn_keys.size(); ++g)
+          if (knn_keys[g].k == r.k && knn_keys[g].eps == r.eps) break;
+        if (g == knn_keys.size()) {
+          knn_keys.push_back({r.k, r.eps});
+          knn_members.emplace_back();
+        }
+        knn_members[g].push_back(i);
+        break;
+      }
+      case OpKind::kRange:
+        range_members.push_back(i);
+        break;
+      case OpKind::kRadius: {
+        std::size_t g = 0;
+        for (; g < radius_keys.size(); ++g)
+          if (radius_keys[g] == r.radius) break;
+        if (g == radius_keys.size()) {
+          radius_keys.push_back(r.radius);
+          radius_members.emplace_back();
+        }
+        radius_members[g].push_back(i);
+        break;
+      }
+      case OpKind::kRadiusCount: {
+        std::size_t g = 0;
+        for (; g < rcount_keys.size(); ++g)
+          if (rcount_keys[g] == r.radius) break;
+        if (g == rcount_keys.size()) {
+          rcount_keys.push_back(r.radius);
+          rcount_members.emplace_back();
+        }
+        rcount_members[g].push_back(i);
+        break;
+      }
+      case OpKind::kInsert:
+      case OpKind::kErase:
+        break;  // update kinds pass through untouched (see header)
+    }
+  }
+
+  auto fail_group = [&](const std::vector<std::size_t>& members,
+                        const char* what) {
+    for (const std::size_t i : members) resp[i].error = what;
+  };
+
+  for (std::size_t g = 0; g < knn_keys.size(); ++g) {
+    std::vector<Point> qs;
+    qs.reserve(knn_members[g].size());
+    for (const std::size_t i : knn_members[g]) qs.push_back(reqs[i].point);
+    try {
+      auto res = knn(qs, knn_keys[g].k, knn_keys[g].eps);
+      for (std::size_t j = 0; j < knn_members[g].size(); ++j)
+        resp[knn_members[g][j]].neighbors = std::move(res[j]);
+    } catch (const std::exception& ex) {
+      fail_group(knn_members[g], ex.what());
+    }
+  }
+  if (!range_members.empty()) {
+    std::vector<Box> boxes;
+    boxes.reserve(range_members.size());
+    for (const std::size_t i : range_members) boxes.push_back(reqs[i].box);
+    try {
+      auto res = range(boxes);
+      for (std::size_t j = 0; j < range_members.size(); ++j)
+        resp[range_members[j]].ids = std::move(res[j]);
+    } catch (const std::exception& ex) {
+      fail_group(range_members, ex.what());
+    }
+  }
+  for (std::size_t g = 0; g < radius_keys.size(); ++g) {
+    std::vector<Point> cs;
+    cs.reserve(radius_members[g].size());
+    for (const std::size_t i : radius_members[g]) cs.push_back(reqs[i].point);
+    try {
+      auto res = radius(cs, radius_keys[g]);
+      for (std::size_t j = 0; j < radius_members[g].size(); ++j)
+        resp[radius_members[g][j]].ids = std::move(res[j]);
+    } catch (const std::exception& ex) {
+      fail_group(radius_members[g], ex.what());
+    }
+  }
+  for (std::size_t g = 0; g < rcount_keys.size(); ++g) {
+    std::vector<Point> cs;
+    cs.reserve(rcount_members[g].size());
+    for (const std::size_t i : rcount_members[g]) cs.push_back(reqs[i].point);
+    try {
+      auto res = radius_count(cs, rcount_keys[g]);
+      for (std::size_t j = 0; j < rcount_members[g].size(); ++j)
+        resp[rcount_members[g][j]].count = res[j];
+    } catch (const std::exception& ex) {
+      fail_group(rcount_members[g], ex.what());
+    }
+  }
+  return resp;
+}
+
+namespace {
+// Shared exception -> Status mapping for the try_* surface (pim_kdtree.hpp
+// documents it as part of the API contract).
+Status status_from_current_exception() {
+  try {
+    throw;
+  } catch (const PimError& ex) {
+    return ex.status();
+  } catch (const std::invalid_argument& ex) {
+    return Status::Error(StatusCode::kInvalidArgument, ex.what());
+  } catch (const std::exception& ex) {
+    return Status::Error(StatusCode::kUnavailable, ex.what());
+  }
+}
+}  // namespace
+
+Status PimKdTree::try_insert(std::span<const Point> pts,
+                             std::vector<PointId>& ids_out) {
+  try {
+    ids_out = insert(pts);
+    return Status::Ok();
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+Status PimKdTree::try_erase(std::span<const PointId> ids) {
+  try {
+    erase(ids);
+    return Status::Ok();
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+Status PimKdTree::try_query(std::span<const Request> reqs,
+                            std::vector<Response>& out) {
+  try {
+    out = query(reqs);
+  } catch (...) {
+    return status_from_current_exception();
+  }
+  for (const Response& r : out)
+    if (!r.ok())
+      return Status::Error(StatusCode::kInvalidArgument, r.error);
+  return Status::Ok();
+}
+
+}  // namespace pimkd::core

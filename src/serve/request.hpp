@@ -1,12 +1,15 @@
 // Single-operation requests for the online serving layer.
 //
-// The tree's native API is batch-dynamic (insert/erase/knn/... over spans);
-// a serving front-end accepts *single* operations from many client threads
-// and lets the scheduler decide how to batch them (src/serve/scheduler.hpp).
-// Each Request carries a std::promise whose future the submitting client
-// keeps; the scheduler resolves every future exactly once — with a result,
-// or with Response::error set when the request was malformed or the
-// scheduler shut down.
+// The request/response *vocabulary* (OpKind, payload fields, Response) is
+// shared library-wide and lives in core/query.hpp; this header re-exports it
+// and adds the delivery bookkeeping a serving front-end needs. The tree's
+// native API is batch-dynamic (insert/erase/knn/... over spans); a serving
+// front-end accepts *single* operations from many client threads and lets
+// the scheduler decide how to batch them (src/serve/scheduler.hpp). Each
+// serve::Request extends the core payload with a std::promise whose future
+// the submitting client keeps; the scheduler resolves every future exactly
+// once — with a result, or with Response::error set when the request was
+// malformed or the scheduler shut down.
 //
 // Ticks are the serving layer's time unit: nanoseconds when driven by a
 // wall clock (bench_serve), or virtual logical time when driven by the
@@ -15,112 +18,43 @@
 
 #include <cstdint>
 #include <future>
-#include <string>
-#include <vector>
 
-#include "kdtree/bruteforce.hpp"  // Neighbor
-#include "util/geometry.hpp"
+#include "core/query.hpp"
 
 namespace pimkd::serve {
 
-enum class OpKind : std::uint8_t {
-  kInsert,
-  kErase,
-  kKnn,
-  kRange,
-  kRadius,
-  kRadiusCount,
-};
+using core::OpKind;
+using core::Response;
+using core::is_update;
+using core::op_name;
 
-inline const char* op_name(OpKind k) {
-  switch (k) {
-    case OpKind::kInsert: return "insert";
-    case OpKind::kErase: return "erase";
-    case OpKind::kKnn: return "knn";
-    case OpKind::kRange: return "range";
-    case OpKind::kRadius: return "radius";
-    case OpKind::kRadiusCount: return "radius_count";
-  }
-  return "?";
-}
-
-inline bool is_update(OpKind k) {
-  return k == OpKind::kInsert || k == OpKind::kErase;
-}
-
-struct Response {
-  OpKind kind{};
-  // For reads: the epoch whose snapshot the operation observed. For
-  // updates: the first epoch in which the effect is visible (admission
-  // epoch + 1). See DESIGN.md §8.
-  std::uint64_t epoch = 0;
-  std::string error;  // empty on success
-  bool ok() const { return error.empty(); }
-
-  // Result payload (the field matching `kind` is set).
-  PointId inserted_id = kInvalidPoint;      // kInsert
-  bool erased = false;                      // kErase: id was live and removed
-  std::vector<Neighbor> neighbors;          // kKnn
-  std::vector<PointId> ids;                 // kRange / kRadius
-  std::size_t count = 0;                    // kRadiusCount
-
-  // Latency bookkeeping (ticks; see file comment).
-  std::uint64_t submit_tick = 0;
-  std::uint64_t dispatch_tick = 0;
-  std::uint64_t complete_tick = 0;
-};
-
-struct Request {
-  OpKind kind{};
-  Point point;                  // kInsert / kKnn / kRadius* payload
-  PointId id = kInvalidPoint;   // kErase
-  Box box;                      // kRange
-  std::size_t k = 1;            // kKnn
-  double eps = 0.0;             // kKnn: (1+eps)-approximate
-  Coord radius = 0;             // kRadius / kRadiusCount
-
+// A core::Request payload plus serving-layer delivery state. The base
+// subobject is what the scheduler hands to PimKdTree::query() (the single
+// grouping/dispatch path for read kinds).
+struct Request : core::Request {
   std::uint64_t submit_tick = 0;  // stamped by BatchScheduler::submit
   std::promise<Response> promise;
 
+  Request() = default;
+  explicit Request(const core::Request& op) : core::Request(op) {}
+
   static Request insert(const Point& p) {
-    Request r;
-    r.kind = OpKind::kInsert;
-    r.point = p;
-    return r;
+    return Request(core::Request::insert(p));
   }
   static Request erase(PointId id) {
-    Request r;
-    r.kind = OpKind::kErase;
-    r.id = id;
-    return r;
+    return Request(core::Request::erase(id));
   }
   static Request knn(const Point& q, std::size_t k, double eps = 0.0) {
-    Request r;
-    r.kind = OpKind::kKnn;
-    r.point = q;
-    r.k = k;
-    r.eps = eps;
-    return r;
+    return Request(core::Request::knn(q, k, eps));
   }
   static Request range(const Box& b) {
-    Request r;
-    r.kind = OpKind::kRange;
-    r.box = b;
-    return r;
+    return Request(core::Request::range(b));
   }
   static Request radius_report(const Point& c, Coord rad) {
-    Request r;
-    r.kind = OpKind::kRadius;
-    r.point = c;
-    r.radius = rad;
-    return r;
+    return Request(core::Request::radius_report(c, rad));
   }
   static Request radius_count(const Point& c, Coord rad) {
-    Request r;
-    r.kind = OpKind::kRadiusCount;
-    r.point = c;
-    r.radius = rad;
-    return r;
+    return Request(core::Request::radius_count(c, rad));
   }
 };
 

@@ -61,10 +61,11 @@ void validate_request(const Request& r, int dim) {
 std::string BatchLog::to_string() const {
   char buf[128];
   std::snprintf(buf, sizeof buf,
-                "e=%llu t=%llu r=%c i=%u d=%u k=%u g=%u a=%u c=%u",
+                "e=%llu t=%llu r=%c i=%u d=%u k=%u g=%u a=%u c=%u m=%u",
                 static_cast<unsigned long long>(epoch),
                 static_cast<unsigned long long>(tick), reason, inserts, erases,
-                knns, ranges, radii, radius_counts);
+                knns, ranges, radii, radius_counts,
+                mode_switch ? 1u : 0u);
   return std::string(buf);
 }
 
@@ -73,6 +74,9 @@ BatchScheduler::BatchScheduler(core::PimKdTree& tree, SchedulerConfig cfg)
   if (cfg_.batch_size == 0) cfg_.batch_size = 1;
   if (cfg_.max_batch == 0) cfg_.max_batch = 1;
   cfg_.batch_size = std::min(cfg_.batch_size, cfg_.max_batch);
+  if (cfg_.policy == Policy::kAdaptive)
+    controller_ = std::make_unique<core::AdaptiveReplicationController>(
+        tree_, cfg_.replication);
 }
 
 BatchScheduler::~BatchScheduler() { stop(); }
@@ -159,6 +163,7 @@ std::size_t BatchScheduler::target_batch_size() const {
     case Policy::kDeadline:
       return cfg_.max_batch;
     case Policy::kTradeoff:
+    case Policy::kAdaptive:
       return tradeoff_target(tree_.config(), tree_.P(), tree_.size(),
                              cfg_.batch_size, cfg_.max_batch);
   }
@@ -181,6 +186,7 @@ std::size_t BatchScheduler::due_batch(std::uint64_t now, bool flush_all,
       target = cfg_.max_batch;
       break;
     case Policy::kTradeoff:
+    case Policy::kAdaptive:
       target = tradeoff_target(tree_.config(), tree_.P(), tree_.size(),
                                cfg_.batch_size, cfg_.max_batch);
       break;
@@ -209,117 +215,21 @@ void BatchScheduler::run_reads(std::vector<Request>& batch,
   // a hand-issued batch would. The mutation-epoch hook pins this down.
   const std::uint64_t mver = tree_.mutation_epoch();
 
-  // Groups execute in a canonical order so the round/ledger sequence is a
-  // pure function of the batch contents: kNN groups keyed by (k, eps) in
-  // first-appearance order, then range, then radius / radius_count groups
-  // keyed by r in first-appearance order.
-  struct KnnKey {
-    std::size_t k;
-    double eps;
-  };
-  std::vector<KnnKey> knn_keys;
-  std::vector<std::vector<std::size_t>> knn_members;
-  std::vector<std::size_t> range_members;
-  std::vector<Coord> radius_keys, rcount_keys;
-  std::vector<std::vector<std::size_t>> radius_members, rcount_members;
+  // Canonical grouping and dispatch live in PimKdTree::query() (promoted
+  // from this function — the ledger sequence is unchanged); here we only
+  // slice off the delivery bookkeeping and merge the result payloads back.
+  std::vector<core::Request> ops;
+  ops.reserve(batch.size());
+  for (const Request& r : batch)
+    ops.push_back(static_cast<const core::Request&>(r));
+  std::vector<Response> out = tree_.query(ops);
 
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    const Request& r = batch[i];
-    switch (r.kind) {
-      case OpKind::kKnn: {
-        std::size_t g = 0;
-        for (; g < knn_keys.size(); ++g)
-          if (knn_keys[g].k == r.k && knn_keys[g].eps == r.eps) break;
-        if (g == knn_keys.size()) {
-          knn_keys.push_back({r.k, r.eps});
-          knn_members.emplace_back();
-        }
-        knn_members[g].push_back(i);
-        break;
-      }
-      case OpKind::kRange:
-        range_members.push_back(i);
-        break;
-      case OpKind::kRadius: {
-        std::size_t g = 0;
-        for (; g < radius_keys.size(); ++g)
-          if (radius_keys[g] == r.radius) break;
-        if (g == radius_keys.size()) {
-          radius_keys.push_back(r.radius);
-          radius_members.emplace_back();
-        }
-        radius_members[g].push_back(i);
-        break;
-      }
-      case OpKind::kRadiusCount: {
-        std::size_t g = 0;
-        for (; g < rcount_keys.size(); ++g)
-          if (rcount_keys[g] == r.radius) break;
-        if (g == rcount_keys.size()) {
-          rcount_keys.push_back(r.radius);
-          rcount_members.emplace_back();
-        }
-        rcount_members[g].push_back(i);
-        break;
-      }
-      case OpKind::kInsert:
-      case OpKind::kErase:
-        break;  // applied after the reads (run_updates)
-    }
-  }
-
-  auto fail_group = [&](const std::vector<std::size_t>& members,
-                        const char* what) {
-    for (const std::size_t i : members) resp[i].error = what;
-  };
-
-  for (std::size_t g = 0; g < knn_keys.size(); ++g) {
-    std::vector<Point> qs;
-    qs.reserve(knn_members[g].size());
-    for (const std::size_t i : knn_members[g]) qs.push_back(batch[i].point);
-    try {
-      auto res = tree_.knn(qs, knn_keys[g].k, knn_keys[g].eps);
-      for (std::size_t j = 0; j < knn_members[g].size(); ++j)
-        resp[knn_members[g][j]].neighbors = std::move(res[j]);
-    } catch (const std::exception& ex) {
-      fail_group(knn_members[g], ex.what());
-    }
-  }
-  if (!range_members.empty()) {
-    std::vector<Box> boxes;
-    boxes.reserve(range_members.size());
-    for (const std::size_t i : range_members) boxes.push_back(batch[i].box);
-    try {
-      auto res = tree_.range(boxes);
-      for (std::size_t j = 0; j < range_members.size(); ++j)
-        resp[range_members[j]].ids = std::move(res[j]);
-    } catch (const std::exception& ex) {
-      fail_group(range_members, ex.what());
-    }
-  }
-  for (std::size_t g = 0; g < radius_keys.size(); ++g) {
-    std::vector<Point> cs;
-    cs.reserve(radius_members[g].size());
-    for (const std::size_t i : radius_members[g]) cs.push_back(batch[i].point);
-    try {
-      auto res = tree_.radius(cs, radius_keys[g]);
-      for (std::size_t j = 0; j < radius_members[g].size(); ++j)
-        resp[radius_members[g][j]].ids = std::move(res[j]);
-    } catch (const std::exception& ex) {
-      fail_group(radius_members[g], ex.what());
-    }
-  }
-  for (std::size_t g = 0; g < rcount_keys.size(); ++g) {
-    std::vector<Point> cs;
-    cs.reserve(rcount_members[g].size());
-    for (const std::size_t i : rcount_members[g]) cs.push_back(batch[i].point);
-    try {
-      auto res = tree_.radius_count(cs, rcount_keys[g]);
-      for (std::size_t j = 0; j < rcount_members[g].size(); ++j)
-        resp[rcount_members[g][j]].count = res[j];
-    } catch (const std::exception& ex) {
-      fail_group(rcount_members[g], ex.what());
-    }
+    if (is_update(batch[i].kind)) continue;  // applied later (run_updates)
+    resp[i].error = std::move(out[i].error);
+    resp[i].neighbors = std::move(out[i].neighbors);
+    resp[i].ids = std::move(out[i].ids);
+    resp[i].count = out[i].count;
   }
 
   // Reads never mutate; if this fires, something outside the scheduler
@@ -414,6 +324,27 @@ std::size_t BatchScheduler::dispatch(std::size_t take, std::uint64_t now,
 
   run_reads(batch, resp, e);
   run_updates(batch, resp, log);
+
+  if (controller_) {
+    // Epoch boundary: updates are applied, the next batch's reads have not
+    // started — the only point where re-replication cannot invalidate an
+    // in-flight snapshot. Feeding batch op counts (not wall time) keeps the
+    // controller a pure function of the request stream, so virtual-tick
+    // runs stay deterministic at any PIMKD_THREADS.
+    std::uint64_t reads = 0, writes = 0;
+    for (const Request& r : batch)
+      (is_update(r.kind) ? writes : reads) += 1;
+    const auto decision = controller_->on_epoch(reads, writes);
+    if (decision.switched) {
+      // The tree's query-visible version moved (set_caching_mode bumped
+      // mutation_epoch); advance the serve epoch so the invariant "one serve
+      // epoch = one tree version" holds for the next batch's reads.
+      ++epoch_;
+      ++stats_.epochs;
+      ++stats_.mode_switches;
+      log.mode_switch = true;
+    }
+  }
 
   const std::uint64_t done = cfg_.clock ? cfg_.clock() : now;
   last_tick_ = std::max(last_tick_, done);

@@ -34,12 +34,14 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/pim_kdtree.hpp"
+#include "core/replication.hpp"
 #include "parallel/mpsc_queue.hpp"
 #include "serve/request.hpp"
 #include "util/latency_histogram.hpp"
@@ -50,6 +52,8 @@ enum class Policy : std::uint8_t {
   kFixedSize,  // dispatch exactly batch_size requests when available
   kDeadline,   // dispatch all pending when the oldest has waited deadline_ticks
   kTradeoff,   // dispatch at the §5-derived target size (deadline fallback)
+  kAdaptive,   // kTradeoff admission + an AdaptiveReplicationController that
+               // may switch the tree's CachingMode at epoch boundaries
 };
 
 inline const char* policy_name(Policy p) {
@@ -57,6 +61,7 @@ inline const char* policy_name(Policy p) {
     case Policy::kFixedSize: return "fixed";
     case Policy::kDeadline: return "deadline";
     case Policy::kTradeoff: return "tradeoff";
+    case Policy::kAdaptive: return "adaptive";
   }
   return "?";
 }
@@ -76,6 +81,8 @@ struct SchedulerConfig {
   // re-read it after execution (wall-clock mode); when null, completion
   // ticks equal the pump tick (virtual-time mode, fully deterministic).
   std::function<std::uint64_t()> clock;
+  // kAdaptive only: tuning of the replication controller (core/replication.hpp).
+  core::ReplicationConfig replication{};
 };
 
 // One formed batch: its epoch, dispatch tick, trigger, and op mix.
@@ -83,6 +90,7 @@ struct BatchLog {
   std::uint64_t epoch = 0;
   std::uint64_t tick = 0;
   char reason = '?';  // 's'ize target, 'd'eadline, 'f'lush
+  bool mode_switch = false;  // kAdaptive switched CachingMode after this batch
   std::uint32_t inserts = 0, erases = 0, knns = 0, ranges = 0, radii = 0,
                 radius_counts = 0;
   std::uint32_t size() const {
@@ -98,6 +106,7 @@ struct ServeStats {
   std::uint64_t batches = 0;
   std::uint64_t epochs = 0;  // update boundaries crossed
   std::uint64_t reads = 0, updates = 0;
+  std::uint64_t mode_switches = 0;  // kAdaptive caching-mode changes
   std::uint64_t dispatch_size = 0, dispatch_deadline = 0, dispatch_flush = 0;
   util::LatencyHistogram queue_latency;    // submit -> dispatch, ticks
   util::LatencyHistogram service_latency;  // submit -> completion, ticks
@@ -137,6 +146,11 @@ class BatchScheduler {
   std::size_t target_batch_size() const;
   ServeStats stats() const;
   std::vector<BatchLog> batch_log() const;
+  // kAdaptive only (nullptr otherwise). The controller is consulted at epoch
+  // boundaries inside dispatch(); reading it between pumps is safe.
+  const core::AdaptiveReplicationController* replication_controller() const {
+    return controller_.get();
+  }
 
   // The §5 target: per-query search communication is Θ(G + log^(G) P) words
   // once batches are large enough that the Table-1 LeafSearch alternative
@@ -171,6 +185,7 @@ class BatchScheduler {
 
   mutable std::mutex mu_;  // consumer state below
   std::deque<Request> pending_;
+  std::unique_ptr<core::AdaptiveReplicationController> controller_;
   std::uint64_t epoch_ = 0;
   std::uint64_t last_tick_ = 0;
   ServeStats stats_;

@@ -335,6 +335,49 @@ TEST(Scheduler, TradeoffPolicyTargetsTheoryOptimum) {
   EXPECT_EQ(sched.target_batch_size(), expect);
 }
 
+TEST(Scheduler, AdaptivePolicyRunsControllerAtEpochBoundaries) {
+  auto cfg = small_cfg(16);
+  cfg.caching = core::CachingMode::kNone;  // wrong for a read-only stream
+  const auto pts = gen_uniform({.n = 4000, .dim = 2, .seed = 17});
+  core::PimKdTree tree(cfg, pts);
+  SchedulerConfig sc;
+  sc.policy = Policy::kAdaptive;
+  sc.deadline_ticks = 1;  // dispatch everything pending at each pump
+  BatchScheduler sched(tree, sc);
+  ASSERT_NE(sched.replication_controller(), nullptr);
+
+  std::vector<std::future<Response>> futs;
+  std::uint64_t tick = 0;
+  for (int e = 0; e < 6; ++e) {
+    for (int i = 0; i < 120; ++i)
+      futs.push_back(sched.submit(Request::knn(pts[(e * 120 + i) % 4000], 4),
+                                  tick));
+    tick += 10;
+    sched.pump(tick);
+  }
+  sched.stop();
+  for (auto& f : futs) EXPECT_TRUE(f.get().ok());
+
+  // A persistently read-only stream must have pulled the tree out of kNone,
+  // flagged the switch in the stats and in exactly that batch's log entry.
+  const ServeStats st = sched.stats();
+  EXPECT_GE(st.mode_switches, 1u);
+  EXPECT_NE(tree.config().caching, core::CachingMode::kNone);
+  EXPECT_EQ(sched.replication_controller()->switches(), st.mode_switches);
+  std::uint64_t flagged = 0;
+  for (const BatchLog& b : sched.batch_log())
+    if (b.mode_switch) ++flagged;
+  EXPECT_EQ(flagged, st.mode_switches);
+  EXPECT_GT(tree.op_stats().words_replication, 0u);
+
+  // Non-adaptive policies never instantiate a controller.
+  core::PimKdTree plain(small_cfg(), pts);
+  SchedulerConfig sc2;
+  sc2.policy = Policy::kTradeoff;
+  BatchScheduler sched2(plain, sc2);
+  EXPECT_EQ(sched2.replication_controller(), nullptr);
+}
+
 TEST(Scheduler, ConcurrentProducersAllServed) {
   auto cfg = small_cfg();
   const auto pts = gen_uniform({.n = 1024, .dim = 2, .seed = 10});
