@@ -138,14 +138,109 @@ int main() {
     rep.add_row(row);
   }
 
+  // Serial vs pipelined epoch execution on the read-heavy Zipfian stream
+  // (the §8.5 acceptance leg): sustained throughput and p99 under both
+  // engines, then a regression gate on their ratio. On few-core hosts the
+  // stages time-share the cores with the producer, so wall-clock overlap is
+  // limited — the gate is a tripwire against the pipelined engine
+  // *regressing* sustained throughput, not a speedup claim (EXPERIMENTS.md
+  // records the honest caveat; on parallel hardware the overlap is the win).
+  double pipe_speedup = 0.0;
+  {
+    WorkloadSpec spec = mix_spec(MixKind::kReadHeavy);
+    spec.initial_points = n;
+    spec.requests = requests;
+    spec.seed = 7;
+    spec.zipf_theta = 0.99;
+    const ServeWorkload w = gen_serve_workload(spec);
+
+    double rps_eng[2] = {0.0, 0.0};
+    for (int eng = 0; eng < 2; ++eng) {
+      auto cfg = default_cfg(P);
+      core::PimKdTree tree(cfg, w.initial);
+      SchedulerConfig sc;
+      sc.policy = Policy::kTradeoff;
+      sc.batch_size = 256;
+      sc.max_batch = 4096;
+      sc.deadline_ticks = 200'000;
+      sc.clock = now_ns;
+      sc.pipeline = eng == 1;
+      sc.pipeline_depth = 4;
+      BatchScheduler sched(tree, sc);
+
+      const std::uint64_t t0 = now_ns();
+      for (const WorkloadOp& op : w.ops) {
+        (void)sched.submit(to_request(op), now_ns());
+        sched.pump(now_ns());
+      }
+      sched.flush(now_ns());  // pipelined: drains — all requests resolved
+      const double secs = double(now_ns() - t0) * 1e-9;
+
+      const ServeStats st = sched.stats();
+      const auto& h = st.service_latency;
+      const double rps = secs > 0 ? double(st.completed) / secs : 0.0;
+      rps_eng[eng] = rps;
+      const char* name = eng ? "read_heavy_pipelined" : "read_heavy_serial";
+      t.row({name, policy_name(sc.policy), num(spec.zipf_theta),
+             num(double(st.completed)), num(double(st.batches)),
+             num(st.batches ? double(st.completed) / double(st.batches) : 0.0),
+             num(double(st.epochs)), num(rps / 1000.0),
+             num(double(h.percentile(50)) / 1000.0),
+             num(double(h.percentile(95)) / 1000.0),
+             num(double(h.percentile(99)) / 1000.0),
+             num(double(h.percentile(99.9)) / 1000.0)});
+      Json row;
+      row.set("mix", name)
+          .set("engine", eng ? "pipelined" : "serial")
+          .set("policy", policy_name(sc.policy))
+          .set("zipf_theta", spec.zipf_theta)
+          .set("requests", st.completed)
+          .set("batches", st.batches)
+          .set("epochs", st.epochs)
+          .set("throughput_rps", rps)
+          .set("p50_us", double(h.percentile(50)) / 1000.0)
+          .set("p95_us", double(h.percentile(95)) / 1000.0)
+          .set("p99_us", double(h.percentile(99)) / 1000.0)
+          .set("p999_us", double(h.percentile(99.9)) / 1000.0)
+          .set("pipeline_stalls", st.pipeline_stalls)
+          .set("read_straddles", st.read_straddles)
+          .set("slo_p99_us", slo_p99_us)
+          .set("slo_ok", double(h.percentile(99)) / 1000.0 <= slo_p99_us);
+      rep.add_row(row);
+      if (st.completed + st.rejected != st.submitted) {
+        std::printf("LOST REQUESTS (%s)\n", name);
+        return 1;
+      }
+    }
+
+    pipe_speedup = rps_eng[0] > 0 ? rps_eng[1] / rps_eng[0] : 0.0;
+    // Floor calibrated on the 1-core CI container: the pipelined engine pays
+    // two extra thread handoffs per epoch with no spare core to absorb them;
+    // anything below 0.6x sustained throughput is a real regression, not
+    // scheduling noise (observed ~0.78-0.96x there, >1x on multi-core).
+    const double gate_floor = 0.6;
+    Json g;
+    g.set("mix", "pipeline_gate")
+        .set("pipeline_speedup", pipe_speedup)
+        .set("gate_floor", gate_floor)
+        .set("pipeline_gate_ok", pipe_speedup >= gate_floor);
+    rep.add_row(g);
+    t.row({"pipeline_gate", num(pipe_speedup) + "x", "", "", "", "", "", "", "",
+           "", "", pipe_speedup >= gate_floor ? "ok" : "FAIL"});
+  }
+
   // Multi-threaded producers against the background scheduler thread: the
   // MPSC ingestion path under real contention (also the TSan smoke target).
+  // The stream comes from the sharded generator — each producer submits
+  // exactly its own shard, so the workload bytes are identical no matter how
+  // the producers interleave or how many threads generated them.
   {
     WorkloadSpec spec = mix_spec(MixKind::kUpdateHeavy);
     spec.initial_points = n;
     spec.requests = requests;
     spec.seed = 11;
-    const ServeWorkload w = gen_serve_workload(spec);
+    const std::size_t kProducers = 4;
+    const ServeWorkload w = gen_sharded_workload(spec, kProducers);
 
     auto cfg = default_cfg(P);
     core::PimKdTree tree(cfg, w.initial);
@@ -153,10 +248,10 @@ int main() {
     sc.policy = Policy::kDeadline;
     sc.max_batch = 4096;
     sc.deadline_ticks = 100'000;
+    sc.pipeline = true;  // burst ingestion through the staged engine (TSan leg)
     BatchScheduler sched(tree, sc);
     sched.start();
 
-    const std::size_t kProducers = 4;
     const std::uint64_t t0 = now_ns();
     std::vector<std::thread> producers;
     for (std::size_t p = 0; p < kProducers; ++p) {

@@ -73,6 +73,23 @@ if [ ! -f "$serve_json" ] || [ "$(grep -o '"p99_us"' "$serve_json" | wc -l)" -lt
 fi
 echo "serving latency rows recorded ($(grep -o '"p99_us"' "$serve_json" | wc -l) mixes)"
 
+# Pipelined-engine gate: the serial-vs-pipelined read-heavy legs must have
+# run (both engines report sustained throughput + p99) and the pipelined
+# engine must clear the regression floor on this host (DESIGN.md §8.5: the
+# floor is a tripwire against regressing sustained throughput on few-core
+# hosts, not a speedup claim).
+if ! grep -q '"engine":"pipelined"' "$serve_json" || \
+   ! grep -q '"pipeline_speedup"' "$serve_json"; then
+  echo "bench_serve is missing the serial-vs-pipelined legs." >&2
+  exit 1
+fi
+if grep -q '"pipeline_gate_ok":false' "$serve_json"; then
+  echo "pipelined serve engine fell below the throughput regression floor:" >&2
+  grep -o '"pipeline_speedup":[0-9.eE+-]*' "$serve_json" >&2
+  exit 1
+fi
+echo "pipelined serve gate passed ($(grep -o '"pipeline_speedup":[0-9.eE+-]*' "$serve_json" | head -1))"
+
 # Adaptive-replication gate: bench_fig2_caching's mix sweep must show the
 # adaptive controller landing within 1.15x of the best static mode on every
 # mix (>= 3 mixes), re-replication cost included.

@@ -719,6 +719,7 @@ void PimKdTree::materialize_pair_caches(NodeId comp_root) {
 }
 
 void PimKdTree::finish_delayed_components() {
+  const WriteGate gate(*this);  // wait out in-flight pinned read phases
   if (!unfinished_.empty()) ++mutation_epoch_;
   pim::TraceScope span(sys_.metrics(), "finish_delayed", unfinished_.size());
   pim::RoundGuard round(sys_.metrics());

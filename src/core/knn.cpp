@@ -178,6 +178,7 @@ std::vector<Neighbor> PimKdTree::dependent_points(
 
 void PimKdTree::set_priorities(std::span<const double> priority_by_id) {
   assert(priority_by_id.size() >= all_points_.size());
+  const WriteGate gate(*this);  // wait out in-flight pinned read phases
   ++mutation_epoch_;
   priorities_.assign(priority_by_id.begin(), priority_by_id.end());
   pim::TraceScope span(sys_.metrics(), "set_priorities", priority_by_id.size());

@@ -16,9 +16,12 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <memory>
@@ -61,6 +64,58 @@ class PimKdTree {
   // version is unchanged across their execution, i.e. the live host mirror
   // really was the epoch's snapshot.
   std::uint64_t mutation_epoch() const { return mutation_epoch_; }
+  // Total PointIds ever assigned (live + dead) == the id the next insert
+  // will hand out. The pipelined serve scheduler mirrors id assignment with
+  // this so batch formation never has to read the (possibly mid-mutation)
+  // tree itself.
+  std::size_t next_point_id() const { return all_points_.size(); }
+
+  // --- Epoch-pinned reads (serve pipelining, DESIGN.md §8.5) -----------------
+  // A ReadPin brackets a read phase: while any pin is held, every mutating
+  // batch entry point (insert, erase, set_priorities,
+  // finish_delayed_components, set_caching_mode, recover) blocks at its
+  // write gate until the pins drop, and pin acquisition blocks while a
+  // mutator is inside the gate. valid() re-reads mutation_epoch(): false
+  // means a mutation slipped past the gate (an external writer that predates
+  // the pin design, or a same-thread mutation) and every result produced
+  // under the pin must be discarded — the pipelined scheduler converts such
+  // reads to per-request errors instead of returning torn data.
+  //
+  // Do NOT mutate the tree on a thread that holds a pin: the write gate
+  // would wait for the pin forever. Same-thread reentrancy of the gate
+  // itself (a mutator calling another mutator) is allowed.
+  class ReadPin {
+   public:
+    ReadPin() = default;
+    ReadPin(ReadPin&& o) noexcept : tree_(o.tree_), epoch_(o.epoch_) {
+      o.tree_ = nullptr;
+    }
+    ReadPin& operator=(ReadPin&& o) noexcept {
+      if (this != &o) {
+        release();
+        tree_ = o.tree_;
+        epoch_ = o.epoch_;
+        o.tree_ = nullptr;
+      }
+      return *this;
+    }
+    ReadPin(const ReadPin&) = delete;
+    ReadPin& operator=(const ReadPin&) = delete;
+    ~ReadPin() { release(); }
+
+    // The mutation_epoch captured at acquisition.
+    std::uint64_t epoch() const { return epoch_; }
+    // True while no mutation has been applied since the pin was taken.
+    bool valid() const { return tree_ && tree_->mutation_epoch() == epoch_; }
+    void release();
+
+   private:
+    friend class PimKdTree;
+    explicit ReadPin(const PimKdTree* t);
+    const PimKdTree* tree_ = nullptr;
+    std::uint64_t epoch_ = 0;
+  };
+  ReadPin pin_reads() const { return ReadPin(this); }
 
   // --- Batch-dynamic updates (§4.2) -----------------------------------------
   // Inserts a batch; returns the stable PointIds assigned.
@@ -243,6 +298,22 @@ class PimKdTree {
   bool check_invariants() const;
 
  private:
+  // --- Write gate (epoch-pinned reads) ---------------------------------------
+  // RAII bracket placed at the top of every mutating batch entry point:
+  // waits until no ReadPin is held, then marks a writer active so new pins
+  // wait in turn. Reentrant on the owning thread (a mutator may call another
+  // mutator; only the outermost gate blocks/unblocks).
+  struct WriteGate {
+    explicit WriteGate(const PimKdTree& t);
+    ~WriteGate();
+    WriteGate(const WriteGate&) = delete;
+    WriteGate& operator=(const WriteGate&) = delete;
+    const PimKdTree& tree;
+    bool outermost = false;
+  };
+  friend struct WriteGate;
+  friend class ReadPin;
+
   // Work-charging targets for build_subtree.
   static constexpr std::size_t kWorkCpu = static_cast<std::size_t>(-1);
   static constexpr std::size_t kWorkByHash = static_cast<std::size_t>(-2);
@@ -384,6 +455,14 @@ class PimKdTree {
   mutable std::atomic<std::uint64_t> deg_queries_{0};
   mutable std::atomic<std::uint64_t> deg_subtrees_{0};
   mutable std::atomic<std::uint64_t> deg_routes_{0};
+
+  // Read-pin / write-gate coordination (see ReadPin above). The members are
+  // mutable because pinning is logically const: it observes, never mutates.
+  mutable std::mutex pin_mu_;
+  mutable std::condition_variable pin_cv_;
+  mutable std::size_t read_pins_ = 0;
+  mutable bool writer_active_ = false;
+  mutable std::thread::id writer_thread_{};
 };
 
 }  // namespace pimkd::core

@@ -1,0 +1,137 @@
+// StageQueue — a single-threaded FIFO stage executor for pipelined epoch
+// execution (serve::BatchScheduler, DESIGN.md §8.5).
+//
+// Each pipeline stage owns one StageQueue: one dedicated worker thread that
+// runs submitted closures strictly in submission order. That serial-per-stage
+// discipline is what makes the pipelined scheduler's determinism argument go
+// through — every ledger charge and trace record of stage S happens on S's
+// one thread, in the exact order the formation stage handed work over, so the
+// observable sequence is identical to the serial engine and only wall-clock
+// overlap between *different* stages changes.
+//
+// submit() is wait-free for the producer apart from the queue mutex; the
+// handoff (mutex release/acquire) provides the happens-before edge between a
+// stage and its successor. drain() blocks until every closure submitted so
+// far has finished; stop() drains, then joins the worker. A closure that
+// throws poisons the queue: the first exception is captured and rethrown from
+// the next drain()/stop() on the control thread (later closures still run —
+// the scheduler's stages are exception-free by construction and this is a
+// debugging backstop, not a recovery path).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace pimkd::parallel {
+
+class StageQueue {
+ public:
+  explicit StageQueue(std::string name) : name_(std::move(name)) {
+    worker_ = std::thread([this] { loop(); });
+  }
+  ~StageQueue() {
+    try {
+      stop();
+    } catch (...) {
+      // A poisoned queue rethrows from stop(); never from the destructor.
+    }
+  }
+
+  StageQueue(const StageQueue&) = delete;
+  StageQueue& operator=(const StageQueue&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // Enqueue a closure; it runs on the worker after everything submitted
+  // before it. Rejects submissions once stop() has begun (the pipelined
+  // scheduler drains before stopping, so this firing means a logic bug).
+  void submit(std::function<void()> fn) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (stopping_)
+        throw std::logic_error("StageQueue(" + name_ + "): submit after stop");
+      tasks_.push_back(std::move(fn));
+    }
+    cv_.notify_one();
+  }
+
+  // Block until the queue is empty and the worker is idle, then rethrow the
+  // first captured closure exception, if any.
+  void drain() {
+    std::unique_lock<std::mutex> lk(mu_);
+    idle_cv_.wait(lk, [this] { return tasks_.empty() && !busy_; });
+    rethrow_locked();
+  }
+
+  // drain(), then shut the worker down. Idempotent.
+  void stop() {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      idle_cv_.wait(lk, [this] { return tasks_.empty() && !busy_; });
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    if (worker_.joinable()) worker_.join();
+    std::lock_guard<std::mutex> lk(mu_);
+    rethrow_locked();
+  }
+
+  // Closures queued but not yet started (diagnostic; racy by nature).
+  std::size_t depth() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return tasks_.size() + (busy_ ? 1 : 0);
+  }
+
+ private:
+  void loop() {
+    for (;;) {
+      std::function<void()> fn;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [this] { return stopping_ || !tasks_.empty(); });
+        if (tasks_.empty()) return;  // stopping_ && empty
+        fn = std::move(tasks_.front());
+        tasks_.pop_front();
+        busy_ = true;
+      }
+      try {
+        fn();
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (!pending_error_) pending_error_ = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        busy_ = false;
+        if (tasks_.empty()) idle_cv_.notify_all();
+      }
+    }
+  }
+
+  void rethrow_locked() {
+    if (!pending_error_) return;
+    std::exception_ptr e = pending_error_;
+    pending_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+
+  std::string name_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;       // worker wakeup
+  std::condition_variable idle_cv_;  // drain/stop wakeup
+  std::deque<std::function<void()>> tasks_;
+  bool busy_ = false;
+  bool stopping_ = false;
+  std::exception_ptr pending_error_;
+  std::thread worker_;
+};
+
+}  // namespace pimkd::parallel

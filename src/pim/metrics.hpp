@@ -18,7 +18,13 @@
 // introspection sees exactly what the old shared-atomic ledger did. Totals
 // are sums of commutative adds and therefore deterministic across thread
 // counts. Round boundaries (begin/end) are control points and must be called
-// from a single thread.
+// from a single thread. "A single thread" is a serialization requirement,
+// not a thread-identity one: the pipelined serve scheduler (DESIGN.md §8.5)
+// moves all tree execution — and therefore all round control — onto its one
+// EXEC stage thread, with the StageQueue handoff providing the
+// happens-before edge from the thread that ran the build. Per-stage
+// attribution stays byte-identical because the charge sequence is a pure
+// function of the executed batch sequence, never of which thread issues it.
 //
 // Every algorithm in this library runs against a Metrics instance; benches
 // diff Snapshots taken before/after an operation batch.

@@ -1,7 +1,6 @@
 #include "serve/scheduler.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <chrono>
 #include <cstdio>
 #include <stdexcept>
@@ -13,9 +12,11 @@ namespace pimkd::serve {
 
 namespace {
 
-// Ticks come from the caller (virtual time) or a clock; neither is
-// guaranteed monotone w.r.t. a given request's submit stamp, so latency
-// differences saturate at 0 instead of wrapping.
+// Submit stamps are producer-provided and may lag the consumer tick (or the
+// wall clock may be read on another core), so latency differences saturate
+// at 0 instead of wrapping. Consumer-tick monotonicity itself is enforced in
+// pump_guarded — garbage ages from a backwards *pump* tick are a rejected
+// call, not a saturated subtraction.
 std::uint64_t sat_sub(std::uint64_t a, std::uint64_t b) {
   return a >= b ? a - b : 0;
 }
@@ -77,9 +78,20 @@ BatchScheduler::BatchScheduler(core::PimKdTree& tree, SchedulerConfig cfg)
   if (cfg_.policy == Policy::kAdaptive)
     controller_ = std::make_unique<core::AdaptiveReplicationController>(
         tree_, cfg_.replication);
+  if (cfg_.pipeline) {
+    if (cfg_.pipeline_depth == 0) cfg_.pipeline_depth = 1;
+    exec_stage_ = std::make_unique<parallel::StageQueue>("serve-exec");
+    resolve_stage_ = std::make_unique<parallel::StageQueue>("serve-resolve");
+  }
 }
 
-BatchScheduler::~BatchScheduler() { stop(); }
+BatchScheduler::~BatchScheduler() {
+  try {
+    stop();
+  } catch (...) {
+    // stop() rethrows stage poison (a bug backstop); never from the dtor.
+  }
+}
 
 void BatchScheduler::reject(Request&& r, std::uint64_t now_tick,
                             const char* why) {
@@ -113,27 +125,74 @@ std::future<Response> BatchScheduler::submit(Request r,
 }
 
 std::size_t BatchScheduler::pump(std::uint64_t now_tick) {
-  std::lock_guard<std::mutex> lk(mu_);
-  return pump_locked(now_tick, /*flush_all=*/false);
+  std::size_t n = 0;
+  const Status s = pump_guarded(now_tick, /*flush_all=*/false, &n);
+  if (!s.ok()) throw PimError(s);
+  return n;
+}
+
+Status BatchScheduler::try_pump(std::uint64_t now_tick, std::size_t* completed) {
+  return pump_guarded(now_tick, /*flush_all=*/false, completed);
 }
 
 std::size_t BatchScheduler::flush(std::uint64_t now_tick) {
+  std::size_t n = 0;
+  const Status s = pump_guarded(now_tick, /*flush_all=*/true, &n);
+  if (!s.ok()) throw PimError(s);
+  return n;
+}
+
+Status BatchScheduler::try_flush(std::uint64_t now_tick,
+                                 std::size_t* completed) {
+  return pump_guarded(now_tick, /*flush_all=*/true, completed);
+}
+
+Status BatchScheduler::pump_guarded(std::uint64_t now, bool flush_all,
+                                    std::size_t* out) {
+  if (out) *out = 0;
   std::lock_guard<std::mutex> lk(mu_);
-  return pump_locked(now_tick, /*flush_all=*/true);
+  if (now < last_pump_tick_) {
+    // A backwards consumer tick would make every queued request look
+    // infinitely old (sat_sub clamps to 0 but deadline comparisons still
+    // misfire) — reject instead of computing garbage ages.
+    ticks_rejected_.fetch_add(1, std::memory_order_relaxed);
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "serve: non-monotonic consumer tick %llu < %llu",
+                  static_cast<unsigned long long>(now),
+                  static_cast<unsigned long long>(last_pump_tick_));
+    return Status::Error(StatusCode::kFailedPrecondition, buf);
+  }
+  const std::size_t n = pump_locked(now, flush_all);
+  if (out) *out = n;
+  return Status::Ok();
 }
 
 std::size_t BatchScheduler::pump_locked(std::uint64_t now, bool flush_all) {
-  last_tick_ = std::max(last_tick_, now);
+  last_pump_tick_ = now;
+  if (cfg_.pipeline) init_projection_locked();
   Request r;
-  while (queue_.pop(r)) pending_.push_back(std::move(r));
-  std::size_t completed = 0;
+  while (queue_.pop(r)) {
+    const std::uint64_t t = r.submit_tick;
+    while (!oldest_.empty() && oldest_.back() > t) oldest_.pop_back();
+    oldest_.push_back(t);
+    pending_.push_back(std::move(r));
+  }
+  std::size_t total = 0;
   for (;;) {
     char reason = '?';
     const std::size_t take = due_batch(now, flush_all, reason);
     if (take == 0) break;
-    completed += dispatch(take, now, reason);
+    std::shared_ptr<EpochTask> t = form_task(take, now, reason);
+    if (cfg_.pipeline) {
+      total += t->batch.size();
+      enqueue_pipelined(std::move(t));
+    } else {
+      total += dispatch_serial(t);
+    }
   }
-  return completed;
+  if (flush_all && cfg_.pipeline) drain_pipeline();
+  return total;
 }
 
 std::size_t BatchScheduler::tradeoff_target(const core::PimKdConfig& cfg,
@@ -154,8 +213,26 @@ std::size_t BatchScheduler::tradeoff_target(const core::PimKdConfig& cfg,
   return std::clamp(target, std::min(lo, hi), hi);
 }
 
+std::size_t BatchScheduler::live_size_locked() const {
+  // The pipelined FORM stage must not read the tree (EXEC may be mid-write);
+  // its projection is what tree_.size() will be once every formed batch has
+  // applied — exactly the value the serial engine would see at this point.
+  return cfg_.pipeline && proj_init_ ? proj_live_ : tree_.size();
+}
+
+void BatchScheduler::init_projection_locked() {
+  if (proj_init_) return;
+  // First pump: nothing is in flight yet, so the tree is quiescent and safe
+  // to mirror. From here on the projection advances with each formed batch.
+  const std::size_t ids = tree_.next_point_id();
+  proj_alive_.resize(ids);
+  for (std::size_t i = 0; i < ids; ++i)
+    proj_alive_[i] = tree_.is_live(static_cast<PointId>(i)) ? 1 : 0;
+  proj_live_ = tree_.size();
+  proj_init_ = true;
+}
+
 std::size_t BatchScheduler::target_batch_size() const {
-  // Serialized with dispatch: the tradeoff target reads the live tree size.
   std::lock_guard<std::mutex> lk(mu_);
   switch (cfg_.policy) {
     case Policy::kFixedSize:
@@ -164,7 +241,7 @@ std::size_t BatchScheduler::target_batch_size() const {
       return cfg_.max_batch;
     case Policy::kTradeoff:
     case Policy::kAdaptive:
-      return tradeoff_target(tree_.config(), tree_.P(), tree_.size(),
+      return tradeoff_target(tree_.config(), tree_.P(), live_size_locked(),
                              cfg_.batch_size, cfg_.max_batch);
   }
   return cfg_.batch_size;
@@ -187,7 +264,7 @@ std::size_t BatchScheduler::due_batch(std::uint64_t now, bool flush_all,
       break;
     case Policy::kTradeoff:
     case Policy::kAdaptive:
-      target = tradeoff_target(tree_.config(), tree_.P(), tree_.size(),
+      target = tradeoff_target(tree_.config(), tree_.P(), live_size_locked(),
                                cfg_.batch_size, cfg_.max_batch);
       break;
   }
@@ -197,8 +274,11 @@ std::size_t BatchScheduler::due_batch(std::uint64_t now, bool flush_all,
   }
   if (cfg_.deadline_ticks > 0 || cfg_.policy == Policy::kDeadline) {
     // Oldest-waiter deadline (deadline_ticks == 0 under kDeadline means
-    // "dispatch whatever is pending on every pump").
-    if (sat_sub(now, pending_.front().submit_tick) >= cfg_.deadline_ticks) {
+    // "dispatch whatever is pending on every pump"). oldest_.front() is the
+    // minimum submit tick over all of pending_, not the queue-order front —
+    // producers can interleave out of tick order, and the batch is due on
+    // the tick the true oldest waiter reaches the deadline.
+    if (sat_sub(now, oldest_.front()) >= cfg_.deadline_ticks) {
       reason = 'd';
       return std::min(pending_.size(), cfg_.max_batch);
     }
@@ -206,18 +286,139 @@ std::size_t BatchScheduler::due_batch(std::uint64_t now, bool flush_all,
   return 0;
 }
 
-void BatchScheduler::run_reads(std::vector<Request>& batch,
-                               std::vector<Response>& resp,
-                               std::uint64_t epoch) {
+std::shared_ptr<BatchScheduler::EpochTask> BatchScheduler::form_task(
+    std::size_t take, std::uint64_t now, char reason) {
+  auto t = std::make_shared<EpochTask>();
+  t->form_tick = now;
+  t->log.tick = now;
+  t->log.reason = reason;
+  t->batch.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    t->batch.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+    if (!oldest_.empty() && oldest_.front() == t->batch.back().submit_tick)
+      oldest_.pop_front();
+  }
+  t->resp.resize(t->batch.size());
+  for (std::size_t i = 0; i < t->batch.size(); ++i) {
+    t->resp[i].kind = t->batch[i].kind;
+    t->resp[i].submit_tick = t->batch[i].submit_tick;
+    t->resp[i].dispatch_tick = now;
+    if (is_update(t->batch[i].kind))
+      t->updates.push_back(static_cast<std::uint32_t>(i));
+    else
+      t->reads.push_back(static_cast<std::uint32_t>(i));
+    switch (t->batch[i].kind) {
+      case OpKind::kInsert: ++t->log.inserts; break;
+      case OpKind::kErase: ++t->log.erases; break;
+      case OpKind::kKnn: ++t->log.knns; break;
+      case OpKind::kRange: ++t->log.ranges; break;
+      case OpKind::kRadius: ++t->log.radii; break;
+      case OpKind::kRadiusCount: ++t->log.radius_counts; break;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> sl(state_mu_);
+    for (const Request& r : t->batch)
+      stats_.queue_latency.record(sat_sub(now, r.submit_tick));
+  }
+  return t;
+}
+
+void BatchScheduler::enqueue_pipelined(std::shared_ptr<EpochTask> t) {
+  // Advance the projection as if this batch had already applied, so the next
+  // due_batch() decision matches what the serial engine would compute after
+  // dispatching it. First-claim-wins duplicate-erase semantics mirror
+  // run_updates exactly.
+  for (const std::uint32_t i : t->updates) {
+    const Request& r = t->batch[i];
+    if (r.kind == OpKind::kInsert) {
+      proj_alive_.push_back(1);
+      ++proj_live_;
+    } else if (r.id < proj_alive_.size() && proj_alive_[r.id]) {
+      proj_alive_[r.id] = 0;
+      --proj_live_;
+    }
+  }
+  {
+    std::unique_lock<std::mutex> pl(pipe_mu_);
+    if (in_flight_ >= cfg_.pipeline_depth) {
+      pipeline_stalls_.fetch_add(1, std::memory_order_relaxed);
+      pipe_cv_.wait(pl, [this] { return in_flight_ < cfg_.pipeline_depth; });
+    }
+    ++in_flight_;
+  }
+  exec_stage_->submit([this, t] {
+    // Stage discipline: after the read handoff below, this thread only
+    // touches update-indexed responses; RESOLVE only read-indexed ones.
+    try {
+      execute_task(*t);
+    } catch (const std::exception& ex) {
+      fail_requests(*t, t->reads, ex.what());
+    }
+    resolve_stage_->submit(
+        [this, t] { resolve_reads(*t, completion_tick(t->form_tick)); });
+    try {
+      apply_task(*t);
+    } catch (const std::exception& ex) {
+      fail_requests(*t, t->updates, ex.what());
+    }
+    resolve_stage_->submit(
+        [this, t] { finalize_task(*t, completion_tick(t->form_tick)); });
+  });
+}
+
+std::size_t BatchScheduler::dispatch_serial(
+    const std::shared_ptr<EpochTask>& t) {
+  try {
+    execute_task(*t);
+  } catch (const std::exception& ex) {
+    fail_requests(*t, t->reads, ex.what());
+  }
+  try {
+    apply_task(*t);
+  } catch (const std::exception& ex) {
+    fail_requests(*t, t->updates, ex.what());
+  }
+  const std::uint64_t done = completion_tick(t->form_tick);
+  resolve_reads(*t, done);
+  finalize_task(*t, done);
+  return t->batch.size();
+}
+
+void BatchScheduler::execute_task(EpochTask& t) {
+  std::uint64_t e = 0;
+  {
+    std::lock_guard<std::mutex> sl(state_mu_);
+    e = epoch_;
+  }
+  t.log.epoch = e;
+  for (Response& r : t.resp) r.epoch = e;  // run_updates overwrites for writes
+
   // The "snapshot" of epoch e is the live tree itself: updates admitted in
   // this epoch have not been applied yet, so the host mirror *is* the
   // epoch-e state, byte-exact, and every read charges the ledger exactly as
-  // a hand-issued batch would. The mutation-epoch hook pins this down.
-  const std::uint64_t mver = tree_.mutation_epoch();
+  // a hand-issued batch would. The pin blocks the tree's write gate for the
+  // duration and validates afterwards that no mutation slipped past it.
+  core::PimKdTree::ReadPin pin = tree_.pin_reads();
+  run_reads(t.batch, t.resp);
+  if (!pin.valid()) {
+    read_straddles_.fetch_add(t.reads.size(), std::memory_order_relaxed);
+    for (const std::uint32_t i : t.reads) {
+      t.resp[i].error = "serve: read straddled a mutation (epoch snapshot "
+                        "invalidated mid-read)";
+      t.resp[i].neighbors.clear();
+      t.resp[i].ids.clear();
+      t.resp[i].count = 0;
+    }
+  }
+}
 
-  // Canonical grouping and dispatch live in PimKdTree::query() (promoted
-  // from this function — the ledger sequence is unchanged); here we only
-  // slice off the delivery bookkeeping and merge the result payloads back.
+void BatchScheduler::run_reads(std::vector<Request>& batch,
+                               std::vector<Response>& resp) {
+  // Canonical grouping and dispatch live in PimKdTree::query() (the ledger
+  // sequence matches a hand-batched run); here we only slice off the
+  // delivery bookkeeping and merge the result payloads back.
   std::vector<core::Request> ops;
   ops.reserve(batch.size());
   for (const Request& r : batch)
@@ -231,35 +432,52 @@ void BatchScheduler::run_reads(std::vector<Request>& batch,
     resp[i].ids = std::move(out[i].ids);
     resp[i].count = out[i].count;
   }
-
-  // Reads never mutate; if this fires, something outside the scheduler
-  // touched the tree mid-epoch and the snapshot promise is broken.
-  assert(tree_.mutation_epoch() == mver &&
-         "tree mutated during an epoch's read phase");
-  (void)mver;
-  (void)epoch;
 }
 
-void BatchScheduler::run_updates(std::vector<Request>& batch,
-                                 std::vector<Response>& resp, BatchLog& log) {
+void BatchScheduler::apply_task(EpochTask& t) {
+  run_updates(t);
+  if (controller_) {
+    // Epoch boundary: updates are applied, the next batch's reads have not
+    // started — the only point where re-replication cannot invalidate an
+    // in-flight snapshot (under pipelining EXEC runs epochs back-to-back, so
+    // this still sits between epoch e's writes and epoch e+1's reads).
+    // Feeding batch op counts (not wall time) keeps the controller a pure
+    // function of the request stream, so virtual-tick runs stay
+    // deterministic at any PIMKD_THREADS.
+    const auto decision =
+        controller_->on_epoch(t.reads.size(), t.updates.size());
+    if (decision.switched) {
+      // The tree's query-visible version moved (set_caching_mode bumped
+      // mutation_epoch); advance the serve epoch so the invariant "one serve
+      // epoch = one tree version" holds for the next batch's reads.
+      std::lock_guard<std::mutex> sl(state_mu_);
+      ++epoch_;
+      ++stats_.epochs;
+      ++stats_.mode_switches;
+      t.log.mode_switch = true;
+    }
+  }
+}
+
+void BatchScheduler::run_updates(EpochTask& t) {
   std::vector<std::size_t> ins_members;
   std::vector<std::size_t> del_members;
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    if (batch[i].kind == OpKind::kInsert) ins_members.push_back(i);
-    if (batch[i].kind == OpKind::kErase) del_members.push_back(i);
+  for (const std::uint32_t i : t.updates) {
+    if (t.batch[i].kind == OpKind::kInsert) ins_members.push_back(i);
+    else del_members.push_back(i);
   }
   bool changed = false;
   if (!ins_members.empty()) {
     std::vector<Point> pts;
     pts.reserve(ins_members.size());
-    for (const std::size_t i : ins_members) pts.push_back(batch[i].point);
+    for (const std::size_t i : ins_members) pts.push_back(t.batch[i].point);
     try {
       const std::vector<PointId> ids = tree_.insert(pts);
       for (std::size_t j = 0; j < ins_members.size(); ++j)
-        resp[ins_members[j]].inserted_id = ids[j];
+        t.resp[ins_members[j]].inserted_id = ids[j];
       changed = true;
     } catch (const std::exception& ex) {
-      for (const std::size_t i : ins_members) resp[i].error = ex.what();
+      for (const std::size_t i : ins_members) t.resp[i].error = ex.what();
     }
   }
   if (!del_members.empty()) {
@@ -269,103 +487,99 @@ void BatchScheduler::run_updates(std::vector<Request>& batch,
     // (duplicates of the same id in one epoch erase it once).
     std::unordered_set<PointId> claimed;
     for (const std::size_t i : del_members) {
-      const PointId id = batch[i].id;
-      resp[i].erased = tree_.is_live(id) && claimed.insert(id).second;
+      const PointId id = t.batch[i].id;
+      t.resp[i].erased = tree_.is_live(id) && claimed.insert(id).second;
       ids.push_back(id);
     }
     try {
       tree_.erase(ids);
       changed = changed || !claimed.empty();
     } catch (const std::exception& ex) {
-      for (const std::size_t i : del_members) resp[i].error = ex.what();
+      for (const std::size_t i : del_members) t.resp[i].error = ex.what();
     }
   }
-  if (changed) {
-    ++epoch_;
-    ++stats_.epochs;
-  }
-  // Updates become visible in the (possibly unchanged) current epoch.
-  for (const std::size_t i : ins_members) resp[i].epoch = epoch_;
-  for (const std::size_t i : del_members) resp[i].epoch = epoch_;
-  log.inserts = static_cast<std::uint32_t>(ins_members.size());
-  log.erases = static_cast<std::uint32_t>(del_members.size());
-}
-
-std::size_t BatchScheduler::dispatch(std::size_t take, std::uint64_t now,
-                                     char reason) {
-  std::vector<Request> batch;
-  batch.reserve(take);
-  for (std::size_t i = 0; i < take; ++i) {
-    batch.push_back(std::move(pending_.front()));
-    pending_.pop_front();
-  }
-
-  const std::uint64_t e = epoch_;
-  BatchLog log;
-  log.epoch = e;
-  log.tick = now;
-  log.reason = reason;
-
-  std::vector<Response> resp(batch.size());
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    resp[i].kind = batch[i].kind;
-    resp[i].epoch = e;  // reads keep this; run_updates overwrites for writes
-    resp[i].submit_tick = batch[i].submit_tick;
-    resp[i].dispatch_tick = now;
-    stats_.queue_latency.record(sat_sub(now, batch[i].submit_tick));
-    switch (batch[i].kind) {
-      case OpKind::kKnn: ++log.knns; break;
-      case OpKind::kRange: ++log.ranges; break;
-      case OpKind::kRadius: ++log.radii; break;
-      case OpKind::kRadiusCount: ++log.radius_counts; break;
-      default: break;  // update counts set by run_updates
-    }
-  }
-
-  run_reads(batch, resp, e);
-  run_updates(batch, resp, log);
-
-  if (controller_) {
-    // Epoch boundary: updates are applied, the next batch's reads have not
-    // started — the only point where re-replication cannot invalidate an
-    // in-flight snapshot. Feeding batch op counts (not wall time) keeps the
-    // controller a pure function of the request stream, so virtual-tick
-    // runs stay deterministic at any PIMKD_THREADS.
-    std::uint64_t reads = 0, writes = 0;
-    for (const Request& r : batch)
-      (is_update(r.kind) ? writes : reads) += 1;
-    const auto decision = controller_->on_epoch(reads, writes);
-    if (decision.switched) {
-      // The tree's query-visible version moved (set_caching_mode bumped
-      // mutation_epoch); advance the serve epoch so the invariant "one serve
-      // epoch = one tree version" holds for the next batch's reads.
+  std::uint64_t e = 0;
+  {
+    std::lock_guard<std::mutex> sl(state_mu_);
+    if (changed) {
       ++epoch_;
       ++stats_.epochs;
-      ++stats_.mode_switches;
-      log.mode_switch = true;
+    }
+    e = epoch_;
+  }
+  // Updates become visible in the (possibly unchanged) current epoch.
+  for (const std::size_t i : ins_members) t.resp[i].epoch = e;
+  for (const std::size_t i : del_members) t.resp[i].epoch = e;
+}
+
+std::uint64_t BatchScheduler::completion_tick(std::uint64_t form_tick) {
+  if (!cfg_.clock) return form_tick;  // virtual time: deterministic
+  const std::uint64_t c = cfg_.clock();
+  if (c < form_tick) {
+    // A regressing clock must not produce completion ticks before dispatch
+    // (service ages would silently saturate); clamp and count.
+    clock_regressions_.fetch_add(1, std::memory_order_relaxed);
+    return form_tick;
+  }
+  return c;
+}
+
+void BatchScheduler::resolve_reads(EpochTask& t, std::uint64_t done) {
+  {
+    std::lock_guard<std::mutex> sl(state_mu_);
+    for (const std::uint32_t i : t.reads) {
+      t.resp[i].complete_tick = done;
+      stats_.service_latency.record(sat_sub(done, t.resp[i].submit_tick));
+      ++stats_.reads;
     }
   }
+  for (const std::uint32_t i : t.reads)
+    t.batch[i].promise.set_value(std::move(t.resp[i]));
+}
 
-  const std::uint64_t done = cfg_.clock ? cfg_.clock() : now;
-  last_tick_ = std::max(last_tick_, done);
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    resp[i].complete_tick = done;
-    stats_.service_latency.record(sat_sub(done, resp[i].submit_tick));
-    if (is_update(batch[i].kind)) ++stats_.updates;
-    else ++stats_.reads;
-    batch[i].promise.set_value(std::move(resp[i]));
+void BatchScheduler::finalize_task(EpochTask& t, std::uint64_t done) {
+  {
+    std::lock_guard<std::mutex> sl(state_mu_);
+    for (const std::uint32_t i : t.updates) {
+      t.resp[i].complete_tick = done;
+      stats_.service_latency.record(sat_sub(done, t.resp[i].submit_tick));
+      ++stats_.updates;
+    }
+    ++stats_.batches;
+    switch (t.log.reason) {
+      case 's': ++stats_.dispatch_size; break;
+      case 'd': ++stats_.dispatch_deadline; break;
+      case 'f': ++stats_.dispatch_flush; break;
+      default: break;
+    }
+    stats_.completed += t.batch.size();
+    if (cfg_.record_batches) log_.push_back(t.log);
   }
+  for (const std::uint32_t i : t.updates)
+    t.batch[i].promise.set_value(std::move(t.resp[i]));
+  if (cfg_.pipeline) {
+    {
+      std::lock_guard<std::mutex> pl(pipe_mu_);
+      --in_flight_;
+    }
+    pipe_cv_.notify_all();
+  }
+}
 
-  ++stats_.batches;
-  switch (reason) {
-    case 's': ++stats_.dispatch_size; break;
-    case 'd': ++stats_.dispatch_deadline; break;
-    case 'f': ++stats_.dispatch_flush; break;
-    default: break;
+void BatchScheduler::fail_requests(EpochTask& t,
+                                   const std::vector<std::uint32_t>& idx,
+                                   const char* why) {
+  for (const std::uint32_t i : idx) {
+    t.resp[i].error = why;
+    t.resp[i].neighbors.clear();
+    t.resp[i].ids.clear();
+    t.resp[i].count = 0;
   }
-  stats_.completed += batch.size();
-  if (cfg_.record_batches) log_.push_back(log);
-  return batch.size();
+}
+
+void BatchScheduler::drain_pipeline() {
+  std::unique_lock<std::mutex> pl(pipe_mu_);
+  pipe_cv_.wait(pl, [this] { return in_flight_ == 0; });
 }
 
 void BatchScheduler::start() {
@@ -377,7 +591,9 @@ void BatchScheduler::start() {
 
 void BatchScheduler::background_loop() {
   while (!stop_worker_.load(std::memory_order_acquire)) {
-    pump(cfg_.clock());
+    // A clock that regresses across cores yields a rejected (counted) tick,
+    // not garbage ages; the next in-order reading pumps normally.
+    (void)try_pump(cfg_.clock());
     std::this_thread::sleep_for(std::chrono::microseconds(50));
   }
 }
@@ -388,34 +604,43 @@ void BatchScheduler::stop() {
     stop_worker_.store(true, std::memory_order_release);
     worker_.join();
   }
-  // Graceful drain: everything already accepted is executed and resolved.
+  // Graceful drain: everything already accepted is executed and resolved
+  // (under pipelining pump_locked's flush path also drains the stages).
+  std::uint64_t drain_tick = 0;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    const std::uint64_t now = cfg_.clock ? cfg_.clock() : last_tick_;
-    pump_locked(now, /*flush_all=*/true);
+    drain_tick = last_pump_tick_;
+    if (cfg_.clock) drain_tick = std::max(drain_tick, cfg_.clock());
+    pump_locked(drain_tick, /*flush_all=*/true);
   }
+  if (exec_stage_) exec_stage_->stop();
+  if (resolve_stage_) resolve_stage_->stop();
   // Safety net for submissions that raced the close: resolve, never leak a
   // broken promise.
   Request r;
   while (queue_.pop(r))
-    reject(std::move(r), last_tick_, "serve: scheduler stopped");
+    reject(std::move(r), drain_tick, "serve: scheduler stopped");
 }
 
 std::uint64_t BatchScheduler::epoch() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::mutex> lk(state_mu_);
   return epoch_;
 }
 
 ServeStats BatchScheduler::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::mutex> lk(state_mu_);
   ServeStats s = stats_;
   s.submitted = submitted_.load(std::memory_order_acquire);
   s.rejected = rejected_.load(std::memory_order_acquire);
+  s.ticks_rejected = ticks_rejected_.load(std::memory_order_relaxed);
+  s.clock_regressions = clock_regressions_.load(std::memory_order_relaxed);
+  s.read_straddles = read_straddles_.load(std::memory_order_relaxed);
+  s.pipeline_stalls = pipeline_stalls_.load(std::memory_order_relaxed);
   return s;
 }
 
 std::vector<BatchLog> BatchScheduler::batch_log() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::mutex> lk(state_mu_);
   return log_;
 }
 

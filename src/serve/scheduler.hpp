@@ -18,6 +18,29 @@
 //     advancing the epoch. Reads admitted together with an erase of id X
 //     therefore still see X — snapshot isolation at epoch granularity.
 //
+// Pipelined epoch execution (cfg.pipeline, DESIGN.md §8.5): the serial
+// engine runs FORM -> READ -> WRITE of each epoch to completion on the
+// consumer thread before forming the next. The pipelined engine splits the
+// epoch into three stages on dedicated serial stage threads:
+//
+//   FORM    (consumer thread)  drain queue, cut batches, stamp responses;
+//   EXEC    (one stage thread) epoch-e reads under a ReadPin, then epoch-e
+//                              writes — while FORM is already cutting e+1;
+//   RESOLVE (one stage thread) deliver read futures of epoch e while EXEC is
+//                              still applying e's writes, then finalize.
+//
+// FORM never reads the (possibly mid-mutation) tree: it mirrors live-set
+// size and id assignment in a projection, so policy decisions match the
+// serial engine exactly. EXEC guards its read phase with
+// PimKdTree::pin_reads(): any mutation that slips past the write gate
+// invalidates the pin and the straddled reads are failed per-request instead
+// of returning torn data. Because each stage is a single thread consuming a
+// FIFO, every ledger charge, trace record, and batch-log append happens in
+// the same order as the serial engine — in virtual-tick mode the two engines
+// are byte-identical (tests/test_serve.cpp pins this via subprocesses); only
+// wall-clock overlap differs. In pipelined mode the scheduler must be the
+// tree's only mutator.
+//
 // Determinism: batch formation is a pure function of the submission order
 // and ticks (the scheduler never reads a clock; callers pass `now` ticks),
 // and the dispatch calls are exactly the tree's public batch entry points —
@@ -27,9 +50,13 @@
 //
 // Threading contract: submit() from any thread; pump()/flush() from one
 // consumer at a time (a mutex also lets the optional background thread and
-// manual pumps coexist). submit() must not race with stop()/destruction.
+// manual pumps coexist). Consumer ticks must be non-decreasing: a backwards
+// tick is rejected with kFailedPrecondition (try_pump/try_flush) instead of
+// silently saturating every age computation. submit() must not race with
+// stop()/destruction.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -43,6 +70,8 @@
 #include "core/pim_kdtree.hpp"
 #include "core/replication.hpp"
 #include "parallel/mpsc_queue.hpp"
+#include "parallel/stage_queue.hpp"
+#include "pim/status.hpp"
 #include "serve/request.hpp"
 #include "util/latency_histogram.hpp"
 
@@ -72,15 +101,30 @@ struct SchedulerConfig {
   std::size_t batch_size = 256;
   // Oldest-waiter deadline in ticks. Primary trigger for kDeadline; fallback
   // trigger for the size-based policies when > 0 (0 = no deadline there).
+  // "Oldest" means the minimum submit tick over everything pending, not the
+  // queue-order front: multi-producer stamping can interleave out of tick
+  // order, and a batch must dispatch on the tick the oldest waiter *reaches*
+  // the deadline.
   std::uint64_t deadline_ticks = 0;
   // Hard cap on a single dispatch (all policies).
   std::size_t max_batch = 8192;
   // Keep the per-batch BatchLog history (sizes + op mixes; tests/benches).
   bool record_batches = true;
   // Completion-time clock. When set, completion ticks and service latency
-  // re-read it after execution (wall-clock mode); when null, completion
-  // ticks equal the pump tick (virtual-time mode, fully deterministic).
+  // re-read it after execution (wall-clock mode; reads from a pipelined
+  // epoch complete earlier than its writes); when null, completion ticks
+  // equal the pump tick (virtual-time mode, fully deterministic). A clock
+  // reading behind the dispatch tick is clamped (counted in
+  // stats().clock_regressions), never subtracted into garbage.
   std::function<std::uint64_t()> clock;
+  // Pipelined epoch execution (header comment / DESIGN.md §8.5). Changes
+  // pump()/flush() return-value semantics to "requests admitted"; everything
+  // observable (logs, ledger, traces, results) stays byte-identical in
+  // virtual-tick mode.
+  bool pipeline = false;
+  // Max epochs formed but not yet finalized before FORM blocks (bounds the
+  // futures + batches held in flight; stalls counted in pipeline_stalls).
+  std::size_t pipeline_depth = 4;
   // kAdaptive only: tuning of the replication controller (core/replication.hpp).
   core::ReplicationConfig replication{};
 };
@@ -108,6 +152,10 @@ struct ServeStats {
   std::uint64_t reads = 0, updates = 0;
   std::uint64_t mode_switches = 0;  // kAdaptive caching-mode changes
   std::uint64_t dispatch_size = 0, dispatch_deadline = 0, dispatch_flush = 0;
+  std::uint64_t ticks_rejected = 0;     // non-monotonic pump/flush ticks refused
+  std::uint64_t clock_regressions = 0;  // completion clock read behind dispatch
+  std::uint64_t read_straddles = 0;     // reads failed by ReadPin validation
+  std::uint64_t pipeline_stalls = 0;    // FORM blocked on pipeline_depth
   util::LatencyHistogram queue_latency;    // submit -> dispatch, ticks
   util::LatencyHistogram service_latency;  // submit -> completion, ticks
 };
@@ -128,10 +176,18 @@ class BatchScheduler {
 
   // --- Consumer side (one thread at a time) -----------------------------------
   // Drains the queue and dispatches every batch the policy says is due at
-  // `now_tick`. Returns the number of requests completed.
+  // `now_tick`. Returns the number of requests completed (serial engine) or
+  // admitted to the pipeline (pipelined engine). `now_tick` must be >= every
+  // tick previously passed to pump()/flush(): try_pump rejects a backwards
+  // tick with kFailedPrecondition (counted in stats().ticks_rejected); the
+  // legacy pump() throws PimError for the same condition.
   std::size_t pump(std::uint64_t now_tick);
+  Status try_pump(std::uint64_t now_tick, std::size_t* completed = nullptr);
   // pump(), then dispatch all remaining pending requests regardless of policy.
+  // Under pipelining this also drains the pipeline: on return every admitted
+  // request is resolved.
   std::size_t flush(std::uint64_t now_tick);
+  Status try_flush(std::uint64_t now_tick, std::size_t* completed = nullptr);
 
   // Background mode: a thread that pumps on cfg.clock (defaults to a
   // steady_clock nanosecond tick when unset). stop() joins it, closes the
@@ -142,12 +198,14 @@ class BatchScheduler {
   // --- Introspection -----------------------------------------------------------
   std::uint64_t epoch() const;
   // The size trigger currently in force (kTradeoff: recomputed from the live
-  // tree size and the configured G; see tradeoff_target()).
+  // size — the projection under pipelining, the tree otherwise). May block
+  // while a flush() is draining the pipeline.
   std::size_t target_batch_size() const;
   ServeStats stats() const;
   std::vector<BatchLog> batch_log() const;
   // kAdaptive only (nullptr otherwise). The controller is consulted at epoch
-  // boundaries inside dispatch(); reading it between pumps is safe.
+  // boundaries on the EXEC stage; reading it between pumps is safe in serial
+  // mode, and after flush()/stop() in pipelined mode.
   const core::AdaptiveReplicationController* replication_controller() const {
     return controller_.get();
   }
@@ -162,17 +220,40 @@ class BatchScheduler {
                                      std::size_t lo, std::size_t hi);
 
  private:
-  struct Pending;  // Request + bookkeeping
+  // One epoch in flight: the batch, its responses, the index split, and the
+  // log entry — shared between FORM, EXEC and RESOLVE. Disjoint-write
+  // discipline: after EXEC hands the read indices to RESOLVE it only touches
+  // update-indexed responses, so the two stages never write the same slot.
+  struct EpochTask {
+    std::vector<Request> batch;
+    std::vector<Response> resp;
+    std::vector<std::uint32_t> reads, updates;  // indices into batch
+    BatchLog log;
+    std::uint64_t form_tick = 0;
+  };
 
+  Status pump_guarded(std::uint64_t now, bool flush_all, std::size_t* out);
   std::size_t pump_locked(std::uint64_t now, bool flush_all);
   // Size of the batch due now (0 = none); sets `reason`.
   std::size_t due_batch(std::uint64_t now, bool flush_all, char& reason) const;
-  std::size_t dispatch(std::size_t take, std::uint64_t now, char reason);
+  std::size_t live_size_locked() const;  // projection (pipelined) or tree
+  void init_projection_locked();
+  std::shared_ptr<EpochTask> form_task(std::size_t take, std::uint64_t now,
+                                       char reason);
+  std::size_t dispatch_serial(const std::shared_ptr<EpochTask>& t);
+  void enqueue_pipelined(std::shared_ptr<EpochTask> t);
+  void drain_pipeline();
+  void execute_task(EpochTask& t);  // stamp epoch; pinned + validated reads
+  void apply_task(EpochTask& t);    // updates + replication controller
+  void run_reads(std::vector<Request>& batch, std::vector<Response>& resp);
+  void run_updates(EpochTask& t);
+  void resolve_reads(EpochTask& t, std::uint64_t done);
+  void finalize_task(EpochTask& t, std::uint64_t done);
+  std::uint64_t completion_tick(std::uint64_t form_tick);
+  static void fail_requests(EpochTask& t,
+                            const std::vector<std::uint32_t>& idx,
+                            const char* why);
   void reject(Request&& r, std::uint64_t now_tick, const char* why);
-  void run_reads(std::vector<Request>& batch, std::vector<Response>& resp,
-                 std::uint64_t epoch);
-  void run_updates(std::vector<Request>& batch, std::vector<Response>& resp,
-                   BatchLog& log);
   void background_loop();
 
   core::PimKdTree& tree_;
@@ -182,14 +263,38 @@ class BatchScheduler {
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<bool> closed_{false};
+  std::atomic<std::uint64_t> ticks_rejected_{0};
+  std::atomic<std::uint64_t> clock_regressions_{0};
+  std::atomic<std::uint64_t> read_straddles_{0};
+  std::atomic<std::uint64_t> pipeline_stalls_{0};
 
-  mutable std::mutex mu_;  // consumer state below
+  // Formation state (consumer side), guarded by mu_.
+  mutable std::mutex mu_;
   std::deque<Request> pending_;
-  std::unique_ptr<core::AdaptiveReplicationController> controller_;
+  // Sliding-window minimum of pending submit ticks (the "oldest waiter"):
+  // monotone deque, O(1) amortized per push/pop.
+  std::deque<std::uint64_t> oldest_;
+  std::uint64_t last_pump_tick_ = 0;
+  // Pipelined FORM's mirror of the live set: what tree_.size() /
+  // next_point_id() will be once every formed batch has been applied.
+  bool proj_init_ = false;
+  std::vector<char> proj_alive_;
+  std::size_t proj_live_ = 0;
+
+  // Execution-visible state shared by the serial engine, EXEC, RESOLVE and
+  // the accessors, guarded by state_mu_ (leaf lock; acquired after mu_).
+  mutable std::mutex state_mu_;
   std::uint64_t epoch_ = 0;
-  std::uint64_t last_tick_ = 0;
   ServeStats stats_;
   std::vector<BatchLog> log_;
+  std::unique_ptr<core::AdaptiveReplicationController> controller_;
+
+  // Pipeline stages + in-flight accounting (pipe_mu_ is a leaf lock).
+  std::unique_ptr<parallel::StageQueue> exec_stage_;
+  std::unique_ptr<parallel::StageQueue> resolve_stage_;
+  std::mutex pipe_mu_;
+  std::condition_variable pipe_cv_;
+  std::size_t in_flight_ = 0;
 
   std::thread worker_;
   std::atomic<bool> stop_worker_{false};

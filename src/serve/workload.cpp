@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "parallel/primitives.hpp"
 #include "util/random.hpp"
 
 namespace pimkd::serve {
@@ -141,6 +142,127 @@ ServeWorkload gen_serve_workload(const WorkloadSpec& spec) {
       live.push_back(next_id++);
     } else {
       const std::size_t at = pick_live_index();
+      op.kind = OpKind::kErase;
+      op.id = live[at];
+      live[at] = live.back();  // deterministic swap-remove
+      live.pop_back();
+    }
+    w.ops.push_back(op);
+  }
+  return w;
+}
+
+namespace {
+
+// Stage-1 output: every random draw an op will ever need, taken from the
+// producer's private stream. The draw count per op is fixed (every op draws
+// a kind selector, an insert payload, a read jitter and a key pick even if
+// its kind uses only some of them), so shard content depends only on
+// (seed, producer, position) — never on the other shards.
+struct ShardOp {
+  double u = 0.0;            // kind selector in [0, 1)
+  Point ins{};               // insert payload (uniform in [0,1)^d)
+  Point jitter{};            // per-dim gaussian read jitter
+  std::uint64_t pick = 0;    // key pick: zipf rank, or raw u64 (uniform)
+};
+
+}  // namespace
+
+ServeWorkload gen_sharded_workload(const WorkloadSpec& spec,
+                                   std::size_t producers) {
+  if (producers == 0) producers = 1;
+  ServeWorkload w;
+  w.spec = spec;
+  w.initial = gen_uniform(
+      {.n = spec.initial_points, .dim = spec.dim, .seed = spec.seed});
+  w.ops.reserve(spec.requests);
+
+  const std::size_t key_space = std::max<std::size_t>(spec.initial_points, 1024);
+  // pick() is const over precomputed tables, so one picker serves all
+  // producer streams without coupling their draws.
+  const ZipfPicker zipf(key_space, spec.zipf_theta > 0 ? spec.zipf_theta : 0.99,
+                        spec.seed + 17);
+
+  // Stage 1 — draw the shards. Order-independent by construction: shard p
+  // touches only shards[p] and its own Rng, so running this loop on any
+  // thread count (or in reverse) yields identical bytes.
+  std::vector<std::vector<ShardOp>> shards(producers);
+  pimkd::parallel_for(0, producers, [&](std::size_t p) {
+    const std::size_t count =
+        spec.requests / producers + (p < spec.requests % producers ? 1 : 0);
+    Rng rng(spec.seed + 0x9e3779b97f4a7c15ull * (p + 1));
+    auto& shard = shards[p];
+    shard.reserve(count);
+    for (std::size_t j = 0; j < count; ++j) {
+      ShardOp so;
+      so.u = rng.next_double();
+      for (int d = 0; d < spec.dim; ++d) so.ins[d] = rng.next_double();
+      for (int d = 0; d < spec.dim; ++d) so.jitter[d] = rng.next_gaussian();
+      so.pick = spec.zipf_theta > 0
+                    ? static_cast<std::uint64_t>(zipf.pick(rng))
+                    : rng.next_u64();
+      shard.push_back(so);
+    }
+  }, /*grain=*/1);
+
+  // Stage 2 — deterministic round-robin interleave + sequential resolution
+  // against the live-set model (no random draws: ids and erase targets are
+  // pure functions of the interleaved shard content).
+  const double sum = spec.f_knn + spec.f_range + spec.f_radius +
+                     spec.f_radius_count + spec.f_insert + spec.f_erase;
+  const double c_knn = spec.f_knn / sum;
+  const double c_range = c_knn + spec.f_range / sum;
+  const double c_radius = c_range + spec.f_radius / sum;
+  const double c_rcount = c_radius + spec.f_radius_count / sum;
+  const double c_insert = c_rcount + spec.f_insert / sum;
+
+  std::vector<Point> coords = w.initial;
+  std::vector<PointId> live(spec.initial_points);
+  for (std::size_t i = 0; i < live.size(); ++i)
+    live[i] = static_cast<PointId>(i);
+  PointId next_id = static_cast<PointId>(spec.initial_points);
+
+  for (std::size_t i = 0; i < spec.requests; ++i) {
+    const ShardOp& so = shards[i % producers][i / producers];
+    WorkloadOp op;
+    op.tick = static_cast<std::uint64_t>(i) * spec.arrival_gap;
+    double u = so.u;
+    if (live.empty() && u >= c_insert) u = c_rcount;  // erase w/o live -> insert
+    if (u < c_rcount) {
+      const Point& key =
+          live.empty() ? coords[so.pick % coords.size()]
+                       : coords[live[so.pick % live.size()]];
+      Point q = key;
+      for (int d = 0; d < spec.dim; ++d) q[d] += 0.01 * so.jitter[d];
+      if (u < c_knn) {
+        op.kind = OpKind::kKnn;
+        op.point = q;
+        op.k = spec.knn_k;
+        op.eps = spec.knn_eps;
+      } else if (u < c_range) {
+        op.kind = OpKind::kRange;
+        op.box = Box::empty(spec.dim);
+        for (int d = 0; d < spec.dim; ++d) {
+          op.box.lo[d] = q[d] - spec.scan_halfwidth;
+          op.box.hi[d] = q[d] + spec.scan_halfwidth;
+        }
+      } else if (u < c_radius) {
+        op.kind = OpKind::kRadius;
+        op.point = q;
+        op.radius = spec.radius;
+      } else {
+        op.kind = OpKind::kRadiusCount;
+        op.point = q;
+        op.radius = spec.radius;
+      }
+    } else if (u < c_insert) {
+      op.kind = OpKind::kInsert;
+      op.point = so.ins;
+      op.id = next_id;  // the id the tree will assign (informational)
+      coords.push_back(op.point);
+      live.push_back(next_id++);
+    } else {
+      const std::size_t at = so.pick % live.size();
       op.kind = OpKind::kErase;
       op.id = live[at];
       live[at] = live.back();  // deterministic swap-remove

@@ -82,4 +82,17 @@ struct ServeWorkload {
 
 ServeWorkload gen_serve_workload(const WorkloadSpec& spec);
 
+// Seed-stable sharded generation for multi-producer benches. Producer p's
+// random draws come from a private RNG stream that is a pure function of
+// (spec.seed, p) — shards can be generated on any number of threads, in any
+// order, and the draws never change. The shards are then interleaved
+// round-robin (op i belongs to producer i % producers) and resolved against
+// the live-set model in one sequential, draw-free pass that assigns ticks,
+// insert ids and erase targets exactly like the tree will. The result is
+// byte-identical at any PIMKD_THREADS (test_serve pins this via
+// subprocesses). producers == 1 is deterministic too, but a different
+// stream than gen_serve_workload (which interleaves draws with resolution).
+ServeWorkload gen_sharded_workload(const WorkloadSpec& spec,
+                                   std::size_t producers);
+
 }  // namespace pimkd::serve

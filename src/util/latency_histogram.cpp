@@ -54,7 +54,10 @@ void LatencyHistogram::clear() { *this = LatencyHistogram{}; }
 
 std::uint64_t LatencyHistogram::percentile(double p) const {
   if (count_ == 0) return 0;
-  p = std::clamp(p, 0.0, 100.0);
+  // Non-finite p (NaN propagated from an upstream ratio) would flow through
+  // clamp/ceil into an undefined float->int cast; treat it as p=0 -> min().
+  if (!(p >= 0.0)) p = 0.0;
+  if (p > 100.0) p = 100.0;
   // Rank of the target recording, 1-based; p=0 maps to the first.
   const double exact = p / 100.0 * static_cast<double>(count_);
   std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(exact));

@@ -42,8 +42,9 @@ class LatencyHistogram {
 
   // Value at quantile p in [0, 100]. Returns the highest value equivalent to
   // the bucket holding the p-th ranked recording, clamped to [min, max], so
-  // percentile(0) == min() and percentile(100) == max() exactly. 0 when
-  // empty.
+  // percentile(0) == min() and percentile(100) == max() exactly (single
+  // sample: every p returns it). 0 when empty. Out-of-range p clamps;
+  // non-finite p (NaN, +-inf) is treated as 0 / 100, never UB.
   std::uint64_t percentile(double p) const;
 
   // "n=… mean=… p50=… p95=… p99=… p999=… max=…" (ticks), for logs.

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <random>
 #include <vector>
 
@@ -108,6 +109,37 @@ TEST(LatencyHistogram, PercentileClampedToObservedRange) {
   EXPECT_EQ(h.percentile(100), h.max());
   EXPECT_LE(h.percentile(50), h.max());
   EXPECT_GE(h.percentile(50), h.min());
+}
+
+TEST(LatencyHistogram, OutOfRangeAndNonFinitePercentilesAreSafe) {
+  // p outside [0, 100] clamps; NaN / ±inf (e.g. a percentile computed from a
+  // garbage ratio upstream) must behave like the nearest clamp, never flow
+  // into an undefined float->int conversion.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+
+  LatencyHistogram empty;
+  for (const double p : {-5.0, 0.0, 50.0, 100.0, 150.0, nan, inf, -inf})
+    EXPECT_EQ(empty.percentile(p), 0u) << p;
+
+  LatencyHistogram h;
+  h.record(10);
+  h.record(20);
+  h.record(30);
+  EXPECT_EQ(h.percentile(-5.0), h.min());
+  EXPECT_EQ(h.percentile(150.0), h.max());
+  EXPECT_EQ(h.percentile(nan), h.min());
+  EXPECT_EQ(h.percentile(-inf), h.min());
+  EXPECT_EQ(h.percentile(inf), h.max());
+}
+
+TEST(LatencyHistogram, SingleSampleEveryPercentileIsIt) {
+  LatencyHistogram h;
+  h.record_n(777, 1);
+  for (const double p : {0.0, 0.1, 25.0, 50.0, 99.9, 100.0})
+    EXPECT_EQ(h.percentile(p), 777u) << p;
+  EXPECT_EQ(h.min(), 777u);
+  EXPECT_EQ(h.max(), 777u);
 }
 
 TEST(LatencyHistogram, MergeMatchesCombinedRecording) {
