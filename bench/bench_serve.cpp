@@ -8,11 +8,16 @@
 // background scheduler thread to exercise the MPSC path.
 //
 // PIMKD_SERVE_SMOKE=1 shrinks the stream for CI smoke runs (~2s).
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdlib>
+#include <memory>
+#include <string>
 #include <thread>
 
 #include "bench_util.hpp"
+#include "durability/manager.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/workload.hpp"
 
@@ -227,6 +232,107 @@ int main() {
     rep.add_row(g);
     t.row({"pipeline_gate", num(pipe_speedup) + "x", "", "", "", "", "", "", "",
            "", "", pipe_speedup >= gate_floor ? "ok" : "FAIL"});
+  }
+
+  // Durability cost (DESIGN.md §10): the same update-heavy stream served
+  // with no WAL, with the WAL at kNone (append, no explicit sync), and at
+  // kEveryBatch (fdatasync before every ack — the acked => durable
+  // guarantee). The WAL-off row is the regression gate leg; the ratio rows
+  // quantify what crash consistency costs on this host (EXPERIMENTS.md).
+  {
+    WorkloadSpec spec = mix_spec(MixKind::kUpdateHeavy);
+    spec.initial_points = n;
+    spec.requests = requests;
+    spec.seed = 13;
+    const ServeWorkload w = gen_serve_workload(spec);
+
+    struct WalLeg {
+      const char* name;
+      bool wal;
+      durability::SyncPolicy sync;
+    };
+    const WalLeg wal_legs[] = {
+        {"update_heavy_wal_off", false, durability::SyncPolicy::kNone},
+        {"update_heavy_wal_nosync", true, durability::SyncPolicy::kNone},
+        {"update_heavy_wal_epoch", true, durability::SyncPolicy::kEveryEpoch},
+        {"update_heavy_wal_sync", true, durability::SyncPolicy::kEveryBatch},
+    };
+    double rps_off = 0.0;
+    for (const WalLeg& leg : wal_legs) {
+      auto cfg = default_cfg(P);
+      core::PimKdTree tree(cfg, w.initial);
+
+      const std::string dir =
+          "/tmp/pimkd_bench_wal_" + std::to_string(::getpid());
+      std::unique_ptr<durability::Manager> mgr;
+      if (leg.wal) {
+        std::system(("rm -rf '" + dir + "'").c_str());
+        durability::ManagerConfig mc;
+        mc.dir = dir;
+        mc.sync = leg.sync;
+        if (!durability::Manager::create(mc, tree, mgr).ok()) {
+          std::printf("WAL MANAGER CREATE FAILED (%s)\n", leg.name);
+          return 1;
+        }
+      }
+
+      SchedulerConfig sc;
+      sc.policy = Policy::kFixedSize;
+      sc.batch_size = 256;
+      sc.max_batch = 4096;
+      sc.deadline_ticks = 200'000;
+      sc.clock = now_ns;
+      sc.pipeline = true;
+      sc.durability = mgr.get();
+      const std::uint64_t t0 = now_ns();
+      ServeStats st;
+      {
+        BatchScheduler sched(tree, sc);
+        for (const WorkloadOp& op : w.ops) {
+          (void)sched.submit(to_request(op), now_ns());
+          sched.pump(now_ns());
+        }
+        sched.flush(now_ns());
+        st = sched.stats();
+        if (st.wal_failures != 0) {
+          std::printf("WAL FAILURES (%s)\n", leg.name);
+          return 1;
+        }
+      }
+      const double secs = double(now_ns() - t0) * 1e-9;
+      const double rps = secs > 0 ? double(st.completed) / secs : 0.0;
+      if (!leg.wal) rps_off = rps;
+      const auto& h = st.service_latency;
+
+      t.row({leg.name, "fixed", "0", num(double(st.completed)),
+             num(double(st.batches)),
+             num(st.batches ? double(st.completed) / double(st.batches) : 0.0),
+             num(double(st.epochs)), num(rps / 1000.0),
+             num(double(h.percentile(50)) / 1000.0),
+             num(double(h.percentile(95)) / 1000.0),
+             num(double(h.percentile(99)) / 1000.0),
+             num(double(h.percentile(99.9)) / 1000.0)});
+      Json row;
+      row.set("mix", leg.name)
+          .set("wal", leg.wal)
+          .set("sync_policy",
+               leg.wal ? durability::sync_policy_name(leg.sync) : "off")
+          .set("requests", st.completed)
+          .set("batches", st.batches)
+          .set("wal_frames", st.wal_frames)
+          .set("throughput_rps", rps)
+          .set("overhead_vs_off", rps_off > 0 ? rps_off / rps : 0.0)
+          .set("p50_us", double(h.percentile(50)) / 1000.0)
+          .set("p95_us", double(h.percentile(95)) / 1000.0)
+          .set("p99_us", double(h.percentile(99)) / 1000.0)
+          .set("p999_us", double(h.percentile(99.9)) / 1000.0);
+      if (leg.wal) {
+        const auto ms = mgr->stats();
+        row.set("wal_bytes", ms.wal_bytes).set("wal_syncs", ms.syncs);
+      }
+      rep.add_row(row);
+      if (leg.wal) std::system(("rm -rf '" + dir + "'").c_str());
+    }
   }
 
   // Multi-threaded producers against the background scheduler thread: the

@@ -38,6 +38,10 @@
 #include "pim/trace.hpp"
 #include "util/random.hpp"
 
+namespace pimkd::durability {
+class Checkpoint;
+}
+
 namespace pimkd::core {
 
 class PimKdTree {
@@ -313,6 +317,11 @@ class PimKdTree {
   };
   friend struct WriteGate;
   friend class ReadPin;
+  // Crash-consistent snapshots (src/durability/): serializes / rehydrates the
+  // private state below in a canonical order. Lives outside core so the
+  // on-disk format stays in one place; the friend grant is the entire
+  // core<->durability surface.
+  friend class pimkd::durability::Checkpoint;
 
   // Work-charging targets for build_subtree.
   static constexpr std::size_t kWorkCpu = static_cast<std::size_t>(-1);

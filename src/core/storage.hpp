@@ -35,6 +35,10 @@
 #include "pim/system.hpp"
 #include "util/geometry.hpp"
 
+namespace pimkd::durability {
+class Checkpoint;
+}
+
 namespace pimkd::core {
 
 struct Copy {
@@ -127,6 +131,12 @@ class DistStore {
   std::uint64_t node_storage_words(NodeId id) const;
 
  private:
+  // Checkpointing (src/durability/checkpoint.cpp) serializes the registry —
+  // the durable intent — directly and rehydrates physical module state from
+  // it on load, charging storage (not communication: a restore is host-side
+  // rehydration, not a PIM transfer).
+  friend class pimkd::durability::Checkpoint;
+
   std::uint64_t copy_words(const NodeRec& rec) const;
   void write_counter_copies(NodeId id, bool charge_comm);
 

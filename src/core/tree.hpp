@@ -133,6 +133,37 @@ class NodePool {
       if (slot_of_[id] != kNoSlot) fn(hot_[slot_of_[id]]);
   }
 
+  // The id the next create() will hand out (checkpointed so a restored pool
+  // continues the never-reused id sequence exactly where the original was).
+  NodeId next_id() const { return next_id_; }
+
+  // --- Checkpoint restore (durability::Checkpoint) ---------------------------
+  // Recreates a node under its original id. Ids must arrive in ascending
+  // order; skipped ids were destroyed before the checkpoint and stay dead
+  // (contains() is false for them). Only valid on a pool that has never
+  // created a node. Returns the record to fill in; the matching cold slab
+  // entry is reachable via cold(id) afterwards.
+  NodeRec& restore_node(NodeId id) {
+    assert(free_slots_.empty());
+    assert(id >= slot_of_.size());
+    while (slot_of_.size() < id) slot_of_.push_back(kNoSlot);
+    const auto slot = static_cast<std::uint32_t>(hot_.size());
+    hot_.emplace_back();
+    cold_.emplace_back();
+    hot_[slot].id = id;
+    slot_of_.push_back(slot);
+    ++live_;
+    return hot_[slot];
+  }
+  // After the last restore_node: re-establish next_id so freshly created
+  // nodes continue the original id sequence (ids in [last restored + 1,
+  // next_id) were live at some point and destroyed; they stay dead).
+  void finish_restore(NodeId next_id) {
+    assert(next_id >= slot_of_.size());
+    while (slot_of_.size() < next_id) slot_of_.push_back(kNoSlot);
+    next_id_ = next_id;
+  }
+
  private:
   std::vector<NodeRec> hot_;
   std::vector<NodeCold> cold_;

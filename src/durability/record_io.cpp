@@ -1,0 +1,125 @@
+#include "durability/record_io.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace pimkd::durability {
+
+namespace {
+
+Status io_error(const std::string& what, const std::string& path) {
+  return Status::Error(StatusCode::kUnavailable,
+                       "durability: " + what + " '" + path +
+                           "': " + std::strerror(errno));
+}
+
+Status write_all(int fd, const std::uint8_t* data, std::size_t n,
+                 const std::string& path) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return io_error("write", path);
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status read_file(const std::string& path, std::vector<std::uint8_t>& out) {
+  out.clear();
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return io_error("open", path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const Status s = io_error("stat", path);
+    ::close(fd);
+    return s;
+  }
+  out.resize(static_cast<std::size_t>(st.st_size));
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t r = ::read(fd, out.data() + off, out.size() - off);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      const Status s = io_error("read", path);
+      ::close(fd);
+      return s;
+    }
+    if (r == 0) break;  // shrank under us; keep what we got
+    off += static_cast<std::size_t>(r);
+  }
+  out.resize(off);
+  ::close(fd);
+  return Status::Ok();
+}
+
+Status write_file_atomic(const std::string& path,
+                         const std::vector<std::uint8_t>& bytes) {
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return io_error("open", tmp);
+  if (Status s = write_all(fd, bytes.data(), bytes.size(), tmp); !s.ok()) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  if (::fsync(fd) != 0) {
+    const Status s = io_error("fsync", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status s = io_error("rename", path);
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  const auto slash = path.find_last_of('/');
+  return sync_dir(slash == std::string::npos ? "." : path.substr(0, slash));
+}
+
+Status truncate_file(const std::string& path, std::uint64_t size) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) return io_error("open", path);
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    const Status s = io_error("truncate", path);
+    ::close(fd);
+    return s;
+  }
+  if (::fsync(fd) != 0) {
+    const Status s = io_error("fsync", path);
+    ::close(fd);
+    return s;
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+Status sync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return io_error("open dir", dir);
+  if (::fsync(fd) != 0) {
+    const Status s = io_error("fsync dir", dir);
+    ::close(fd);
+    return s;
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace pimkd::durability

@@ -1,0 +1,141 @@
+// Shared on-disk record framing for the durability layer (checkpoints,
+// write-ahead log, manifest).
+//
+// Every durable file is a sequence of length-prefixed, CRC32C-framed records:
+//
+//   [u32 tag][u64 len][len bytes of body][u32 crc32c(tag|len|body)]
+//
+// The CRC covers the 12-byte header too, so a record whose length field was
+// itself torn cannot point the reader at a plausible-looking tail. All
+// integers are little-endian (the simulator targets x86-64; ByteWriter
+// memcpys native representations, which the format documents as LE).
+//
+// File-level atomicity helpers: write_file_atomic (tmp + fsync + rename +
+// directory fsync) gives all-or-nothing installs for checkpoints and the
+// manifest; the WAL instead appends in place and relies on the per-record
+// CRC to cut torn tails on recovery.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "pim/status.hpp"
+#include "util/crc32.hpp"
+
+namespace pimkd::durability {
+
+class ByteWriter {
+ public:
+  std::vector<std::uint8_t>& bytes() { return buf_; }
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::size_t size() const { return buf_.size(); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void i32(std::int32_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  bool u8(std::uint8_t& v) { return raw(&v, sizeof v); }
+  bool u32(std::uint32_t& v) { return raw(&v, sizeof v); }
+  bool u64(std::uint64_t& v) { return raw(&v, sizeof v); }
+  bool i32(std::int32_t& v) { return raw(&v, sizeof v); }
+  bool f64(double& v) { return raw(&v, sizeof v); }
+  bool raw(void* p, std::size_t n) {
+    if (n > size_ - pos_) return false;
+    std::memcpy(p, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  std::size_t remaining() const { return size_ - pos_; }
+  std::size_t pos() const { return pos_; }
+
+ private:
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t pos_ = 0;
+};
+
+// Appends one framed record (tag/len/body/crc) to `out`.
+inline void append_record(std::vector<std::uint8_t>& out, std::uint32_t tag,
+                          const std::vector<std::uint8_t>& body) {
+  ByteWriter hdr;
+  hdr.u32(tag);
+  hdr.u64(static_cast<std::uint64_t>(body.size()));
+  std::uint32_t crc = util::crc32c(0, hdr.bytes().data(), hdr.size());
+  crc = util::crc32c(crc, body.data(), body.size());
+  out.insert(out.end(), hdr.bytes().begin(), hdr.bytes().end());
+  out.insert(out.end(), body.begin(), body.end());
+  ByteWriter tail;
+  tail.u32(crc);
+  out.insert(out.end(), tail.bytes().begin(), tail.bytes().end());
+}
+
+// One parsed record: the body is a view into the caller's buffer.
+struct Record {
+  std::uint32_t tag = 0;
+  const std::uint8_t* body = nullptr;
+  std::size_t len = 0;
+};
+
+// Reads the record starting at `pos`; on success advances `pos` past it.
+// Returns false (leaving `pos` unchanged) on a short read or CRC mismatch —
+// the caller decides whether that is a torn tail (WAL) or corruption
+// (checkpoint).
+inline bool read_record(const std::vector<std::uint8_t>& buf, std::size_t& pos,
+                        Record& out) {
+  constexpr std::size_t kHdr = 12;  // u32 tag + u64 len
+  if (buf.size() - pos < kHdr + 4) return false;
+  std::uint32_t tag = 0;
+  std::uint64_t len = 0;
+  std::memcpy(&tag, buf.data() + pos, 4);
+  std::memcpy(&len, buf.data() + pos + 4, 8);
+  if (len > buf.size() - pos - kHdr - 4) return false;
+  const std::size_t body_off = pos + kHdr;
+  std::uint32_t want = 0;
+  std::memcpy(&want, buf.data() + body_off + len, 4);
+  std::uint32_t crc = util::crc32c(0, buf.data() + pos, kHdr);
+  crc = util::crc32c(crc, buf.data() + body_off, static_cast<std::size_t>(len));
+  if (crc != want) return false;
+  out.tag = tag;
+  out.body = buf.data() + body_off;
+  out.len = static_cast<std::size_t>(len);
+  pos = body_off + static_cast<std::size_t>(len) + 4;
+  return true;
+}
+
+// --- File helpers (POSIX; definitions in record_io.cpp) -----------------------
+
+// Reads the whole file. kUnavailable when it cannot be opened/read.
+Status read_file(const std::string& path, std::vector<std::uint8_t>& out);
+
+// Writes `bytes` to `path` all-or-nothing: <path>.tmp + fsync + rename +
+// fsync of the containing directory. A crash anywhere leaves either the old
+// file or the new one, never a mix.
+Status write_file_atomic(const std::string& path,
+                         const std::vector<std::uint8_t>& bytes);
+
+// Truncates `path` to `size` bytes and fsyncs (torn-tail repair).
+Status truncate_file(const std::string& path, std::uint64_t size);
+
+// fsyncs the directory entry list (after create/rename/unlink inside it).
+Status sync_dir(const std::string& dir);
+
+bool file_exists(const std::string& path);
+
+}  // namespace pimkd::durability

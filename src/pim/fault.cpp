@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -12,28 +13,40 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kModuleCrash: return "crash";
     case FaultKind::kStall: return "stall";
     case FaultKind::kMessageLoss: return "lose";
+    case FaultKind::kTornTail: return "torn";
   }
   return "unknown";
 }
 
 namespace {
 
-[[noreturn]] void bad_token(const std::string& token, const char* why) {
-  throw std::invalid_argument("pimkd: bad fault event '" + token + "': " + why);
+Status bad_token(const std::string& token, const char* why) {
+  return Status::Error(StatusCode::kInvalidArgument,
+                       "pimkd: bad fault event '" + token + "': " + why);
 }
 
-std::uint64_t parse_u64(const std::string& token, const std::string& s) {
+// Digits-only u64 with overflow detection (strtoull would silently saturate
+// at ULLONG_MAX, turning a typo into a far-future event that never fires).
+Status parse_u64(const std::string& token, const std::string& s,
+                 std::uint64_t& out) {
   if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos)
-    bad_token(token, "expected a non-negative integer");
-  return std::strtoull(s.c_str(), nullptr, 10);
+    return bad_token(token, "expected a non-negative integer");
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    const auto d = static_cast<std::uint64_t>(c - '0');
+    if (v > (kMax - d) / 10) return bad_token(token, "integer overflows u64");
+    v = v * 10 + d;
+  }
+  out = v;
+  return Status::Ok();
 }
 
-FaultEvent parse_event(const std::string& token) {
-  // kind@round:mMODULE[:ARG]
+Status parse_event(const std::string& token, FaultEvent& ev) {
+  // kind@round:mMODULE[:ARG]   |   torn@BYTE[:cut|:flip]
   const auto at = token.find('@');
-  if (at == std::string::npos) bad_token(token, "missing '@round'");
+  if (at == std::string::npos) return bad_token(token, "missing '@round'");
   const std::string kind_str = token.substr(0, at);
-  FaultEvent ev;
   bool wants_arg = false;
   if (kind_str == "crash") {
     ev.kind = FaultKind::kModuleCrash;
@@ -43,34 +56,71 @@ FaultEvent parse_event(const std::string& token) {
   } else if (kind_str == "lose") {
     ev.kind = FaultKind::kMessageLoss;
     wants_arg = true;
+  } else if (kind_str == "torn") {
+    ev.kind = FaultKind::kTornTail;
   } else {
-    bad_token(token, "unknown kind (want crash|stall|lose)");
+    return bad_token(token, "unknown kind (want crash|stall|lose|torn)");
   }
+
+  if (ev.kind == FaultKind::kTornTail) {
+    // torn@BYTE[:cut|:flip] — no module; the target is the WAL file.
+    std::string off_str = token.substr(at + 1);
+    std::string mode = "cut";
+    if (const auto colon = off_str.find(':'); colon != std::string::npos) {
+      mode = off_str.substr(colon + 1);
+      off_str = off_str.substr(0, colon);
+    }
+    if (Status s = parse_u64(token, off_str, ev.round); !s.ok()) return s;
+    if (mode == "cut") ev.arg = 0;
+    else if (mode == "flip") ev.arg = 1;
+    else return bad_token(token, "torn mode must be 'cut' or 'flip'");
+    ev.module = 0;
+    return Status::Ok();
+  }
+
   const auto colon = token.find(':', at + 1);
-  if (colon == std::string::npos) bad_token(token, "missing ':mMODULE'");
-  ev.round = parse_u64(token, token.substr(at + 1, colon - at - 1));
+  if (colon == std::string::npos) return bad_token(token, "missing ':mMODULE'");
+  if (Status s = parse_u64(token, token.substr(at + 1, colon - at - 1),
+                           ev.round);
+      !s.ok())
+    return s;
   std::string rest = token.substr(colon + 1);
   std::string arg_str;
   if (const auto colon2 = rest.find(':'); colon2 != std::string::npos) {
     arg_str = rest.substr(colon2 + 1);
     rest = rest.substr(0, colon2);
   }
-  if (rest.empty() || rest[0] != 'm') bad_token(token, "module must be 'mN'");
-  ev.module = static_cast<std::size_t>(parse_u64(token, rest.substr(1)));
+  if (rest.empty() || rest[0] != 'm') return bad_token(token, "module must be 'mN'");
+  std::uint64_t module = 0;
+  if (Status s = parse_u64(token, rest.substr(1), module); !s.ok()) return s;
+  ev.module = static_cast<std::size_t>(module);
   if (!arg_str.empty()) {
-    ev.arg = parse_u64(token, arg_str);
+    if (!wants_arg) return bad_token(token, "kind takes no ':ARG' value");
+    if (Status s = parse_u64(token, arg_str, ev.arg); !s.ok()) return s;
   } else if (wants_arg) {
-    bad_token(token, "kind requires an ':ARG' value");
+    return bad_token(token, "kind requires an ':ARG' value");
   }
   if (ev.kind == FaultKind::kMessageLoss && ev.arg > 1000)
-    bad_token(token, "loss rate is permille (0..1000)");
-  return ev;
+    return bad_token(token, "loss rate is permille (0..1000)");
+  return Status::Ok();
 }
 
 }  // namespace
 
-FaultPlan FaultPlan::parse(const std::string& spec) {
-  FaultPlan plan;
+std::string FaultEvent::to_string() const {
+  std::ostringstream os;
+  os << fault_kind_name(kind) << '@' << round;
+  if (kind == FaultKind::kTornTail) {
+    if (arg) os << ":flip";
+  } else {
+    os << ":m" << module;
+    if (kind != FaultKind::kModuleCrash) os << ':' << arg;
+  }
+  return os.str();
+}
+
+Status FaultPlan::try_parse(const std::string& spec, FaultPlan& out) {
+  out.events.clear();
   std::string token;
   std::istringstream in(spec);
   while (std::getline(in, token, ';')) {
@@ -78,12 +128,24 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
     const auto b = token.find_first_not_of(" \t");
     const auto e = token.find_last_not_of(" \t");
     if (b == std::string::npos) continue;
-    plan.events.push_back(parse_event(token.substr(b, e - b + 1)));
+    FaultEvent ev;
+    if (Status s = parse_event(token.substr(b, e - b + 1), ev); !s.ok()) {
+      out.events.clear();
+      return s;
+    }
+    out.events.push_back(ev);
   }
-  std::stable_sort(plan.events.begin(), plan.events.end(),
+  std::stable_sort(out.events.begin(), out.events.end(),
                    [](const FaultEvent& a, const FaultEvent& b) {
                      return a.round < b.round;
                    });
+  return Status::Ok();
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  if (Status s = try_parse(spec, plan); !s.ok())
+    throw std::invalid_argument(s.message);
   return plan;
 }
 
@@ -93,22 +155,37 @@ FaultPlan FaultPlan::resolve(const std::string& spec) {
   return FaultPlan{};
 }
 
+Status FaultPlan::validate_modules(std::size_t num_modules) const {
+  for (const FaultEvent& ev : events) {
+    if (ev.kind == FaultKind::kTornTail) continue;
+    if (ev.module >= num_modules) {
+      std::ostringstream os;
+      os << "pimkd: fault event '" << ev.to_string() << "' targets module m"
+         << ev.module << " but the system has " << num_modules
+         << " module(s)";
+      return Status::Error(StatusCode::kInvalidArgument, os.str());
+    }
+  }
+  return Status::Ok();
+}
+
 std::string FaultPlan::to_string() const {
   std::ostringstream os;
   for (std::size_t i = 0; i < events.size(); ++i) {
-    const FaultEvent& ev = events[i];
     if (i) os << ';';
-    os << fault_kind_name(ev.kind) << '@' << ev.round << ":m" << ev.module;
-    if (ev.kind != FaultKind::kModuleCrash) os << ':' << ev.arg;
+    os << events[i].to_string();
   }
   return os.str();
 }
 
 FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed,
                              std::size_t num_modules)
-    : events_(std::move(plan.events)),
-      loss_permille_(num_modules, 0),
-      rng_(seed ^ 0xfa017ULL) {}
+    : loss_permille_(num_modules, 0), rng_(seed ^ 0xfa017ULL) {
+  for (FaultEvent& ev : plan.events) {
+    if (ev.kind == FaultKind::kTornTail) torn_.push_back(ev);
+    else events_.push_back(ev);
+  }
+}
 
 std::vector<FaultEvent> FaultInjector::take_events(std::uint64_t round) {
   std::vector<FaultEvent> fired;
@@ -119,6 +196,13 @@ std::vector<FaultEvent> FaultInjector::take_events(std::uint64_t round) {
     ++next_;
   }
   return fired;
+}
+
+bool FaultInjector::take_torn(std::uint64_t end, FaultEvent& ev) {
+  if (torn_next_ >= torn_.size() || torn_[torn_next_].round >= end)
+    return false;
+  ev = torn_[torn_next_++];
+  return true;
 }
 
 void FaultInjector::set_loss_permille(std::size_t module,

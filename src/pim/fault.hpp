@@ -3,7 +3,7 @@
 // Real PIM hardware (UPMEM-class) exhibits module crashes, transient stalls
 // and lost transfers; the simulator reproduces them as *scheduled events at
 // BSP-round barriers* so every faulty run is exactly replayable from (seed,
-// plan). Three fault kinds:
+// plan). Three round-barrier fault kinds:
 //   * crash  — the module's local state is wiped and it is marked dead until
 //              explicitly recovered (PimKdTree::recover). Messages addressed
 //              to a dead module are suppressed by the orchestrator.
@@ -15,12 +15,24 @@
 //              canonical host-side value is unaffected). arg = 0 clears the
 //              loss rate. Drops draw from the injector's private RNG on the
 //              control thread only, so the drop sequence is deterministic.
+// Plus one *durability* fault kind that fires on write-ahead-log appends
+// instead of round barriers (src/durability/wal.cpp consumes it):
+//   * torn   — the WAL write that would cover byte offset N of the log file
+//              is cut short at N (default) or lands with the bit at N
+//              flipped ("torn@N:flip"), simulating a crash mid-append /
+//              sector corruption. Fires once; recovery must truncate.
 //
 // Plans are written as a ';'-separated event list, e.g.
-//   PIMKD_FAULTS="crash@12:m3;stall@20:m1:5000;lose@8:m2:250"
-// (kind@round:mMODULE[:ARG]) and parse into a FaultPlan. The plan is applied
-// by PimSystem at the beginning of the matching Metrics round; events for
-// rounds that never run simply do not fire.
+//   PIMKD_FAULTS="crash@12:m3;stall@20:m1:5000;lose@8:m2:250;torn@4096"
+// (kind@round:mMODULE[:ARG], torn@BYTE[:cut|:flip]) and parse into a
+// FaultPlan. The plan is applied by PimSystem at the beginning of the
+// matching Metrics round; events for rounds that never run simply do not
+// fire. Malformed tokens are a structured error: try_parse returns a Status
+// naming the offending token (parse throws the same message as
+// std::invalid_argument), and validate_modules rejects events aimed past the
+// system's module count — PimSystem applies that check to explicit
+// SystemConfig::fault_spec plans (a PIMKD_FAULTS env plan targets every tree
+// in the process, so out-of-range events there are inert per tree by design).
 #pragma once
 
 #include <cstddef>
@@ -28,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "pim/status.hpp"
 #include "util/random.hpp"
 
 namespace pimkd::pim {
@@ -36,18 +49,25 @@ enum class FaultKind {
   kModuleCrash,
   kStall,
   kMessageLoss,
+  kTornTail,
 };
 
 const char* fault_kind_name(FaultKind kind);
 
 struct FaultEvent {
   std::uint64_t round = 0;  // BSP round (Metrics round sequence) at whose
-                            // begin-barrier the event fires
+                            // begin-barrier the event fires; for kTornTail:
+                            // the WAL byte offset the tear lands on
   FaultKind kind = FaultKind::kModuleCrash;
-  std::size_t module = 0;
-  std::uint64_t arg = 0;    // stall: extra work units; lose: permille rate
+  std::size_t module = 0;   // unused (0) for kTornTail
+  std::uint64_t arg = 0;    // stall: extra work units; lose: permille rate;
+                            // torn: 0 = cut short at the offset, 1 = flip a
+                            // bit at the offset
 
   bool operator==(const FaultEvent&) const = default;
+
+  // The parse() token form ("crash@12:m3", "torn@4096:flip", ...).
+  std::string to_string() const;
 };
 
 struct FaultPlan {
@@ -55,27 +75,44 @@ struct FaultPlan {
 
   bool empty() const { return events.empty(); }
 
-  // Parses the "kind@round:mMODULE[:ARG]" ';'-list format. Throws
-  // std::invalid_argument naming the offending token on malformed input.
+  // Parses the "kind@round:mMODULE[:ARG]" / "torn@BYTE[:cut|:flip]" ';'-list
+  // format into `out` (cleared first). On malformed input returns
+  // kInvalidArgument naming the offending token; `out` is left empty.
+  static Status try_parse(const std::string& spec, FaultPlan& out);
+
+  // try_parse, throwing std::invalid_argument with the Status message.
   static FaultPlan parse(const std::string& spec);
 
   // `spec` if non-empty, else the PIMKD_FAULTS environment variable, else an
-  // empty plan.
+  // empty plan. Throws like parse().
   static FaultPlan resolve(const std::string& spec);
+
+  // kInvalidArgument naming the first event whose module index is >=
+  // num_modules (such an event could never fire and was historically ignored
+  // silently). kTornTail events carry no module and always pass.
+  Status validate_modules(std::size_t num_modules) const;
 
   // Re-serializes to the parse() format (round-trips).
   std::string to_string() const;
 };
 
 // Holds the plan plus the per-module message-loss state; owned by PimSystem
-// and consulted at round barriers (events) and on counter-sync sends (drops).
+// and consulted at round barriers (events), on counter-sync sends (drops) and
+// on WAL appends (torn tails).
 class FaultInjector {
  public:
   FaultInjector(FaultPlan plan, std::uint64_t seed, std::size_t num_modules);
 
-  // All events scheduled for `round`, in plan order. Consumes them: each
-  // event fires at most once.
+  // All round-barrier events scheduled for `round`, in plan order. Consumes
+  // them: each event fires at most once. Never returns kTornTail events
+  // (those fire on WAL appends via take_torn).
   std::vector<FaultEvent> take_events(std::uint64_t round);
+
+  // Durability hook: the next unfired kTornTail event whose byte offset is
+  // below `end` (the WAL size the current append would reach). Consumes it.
+  // Returns false when no torn event is due.
+  bool take_torn(std::uint64_t end, FaultEvent& ev);
+  std::size_t pending_torn() const { return torn_.size() - torn_next_; }
 
   // Message-loss draw for one counter-sync word to `module`. Control-thread
   // only (the draw sequence is part of the deterministic trace).
@@ -90,8 +127,10 @@ class FaultInjector {
   std::size_t pending_events() const { return events_.size() - next_; }
 
  private:
-  std::vector<FaultEvent> events_;  // stably sorted by round
+  std::vector<FaultEvent> events_;  // round events, stably sorted by round
   std::size_t next_ = 0;
+  std::vector<FaultEvent> torn_;    // kTornTail events, sorted by offset
+  std::size_t torn_next_ = 0;
   std::vector<std::uint64_t> loss_permille_;
   std::size_t active_loss_modules_ = 0;
   Rng rng_;

@@ -54,6 +54,14 @@ class PimSystem : private RoundObserver {
         states_(cfg.num_modules),
         alive_(cfg.num_modules, 1) {
     FaultPlan plan = FaultPlan::resolve(cfg.fault_spec);
+    if (!cfg.fault_spec.empty()) {
+      // An explicit plan that names a module this system does not have could
+      // never fire — reject it up front instead of ignoring it silently. Env
+      // (PIMKD_FAULTS) plans are process-wide and target heterogeneous
+      // trees, so out-of-range events there stay inert per tree by design.
+      if (Status s = plan.validate_modules(cfg.num_modules); !s.ok())
+        throw std::invalid_argument(s.message);
+    }
     if (!plan.empty()) {
       faults_ = std::make_unique<FaultInjector>(std::move(plan), cfg.seed,
                                                 cfg.num_modules);
@@ -169,6 +177,10 @@ class PimSystem : private RoundObserver {
           faults_->set_loss_permille(ev.module, ev.arg);
           if (TraceSink* t = metrics_.trace_sink())
             t->record_fault(round_seq, "lose", ev.module, ev.arg, 0);
+          break;
+        case FaultKind::kTornTail:
+          // Fires on WAL appends (FaultInjector::take_torn), never at a
+          // round barrier; the injector filters these out of take_events.
           break;
       }
     }

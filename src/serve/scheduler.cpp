@@ -436,6 +436,7 @@ void BatchScheduler::run_reads(std::vector<Request>& batch,
 
 void BatchScheduler::apply_task(EpochTask& t) {
   run_updates(t);
+  bool mode_switched = false;
   if (controller_) {
     // Epoch boundary: updates are applied, the next batch's reads have not
     // started — the only point where re-replication cannot invalidate an
@@ -455,11 +456,58 @@ void BatchScheduler::apply_task(EpochTask& t) {
       ++stats_.epochs;
       ++stats_.mode_switches;
       t.log.mode_switch = true;
+      mode_switched = true;
     }
   }
+  if (cfg_.durability && !wal_failed_.load(std::memory_order_acquire))
+    log_durable(t, mode_switched);
+}
+
+void BatchScheduler::log_durable(EpochTask& t, bool mode_switched) {
+  durability::Manager& d = *cfg_.durability;
+  // Append + sync BEFORE finalize_task resolves the update futures (which
+  // runs strictly after apply_task returns, on both engines): an acked write
+  // is on disk. A crash between tree apply and this append loses only a
+  // batch whose clients were never acked — by design, the WAL records the
+  // exactly-applied history.
+  Status s = Status::Ok();
+  if (t.wal_log)
+    s = d.log_batch(t.wal_epoch, t.wal_base, std::move(t.wal_inserts),
+                    std::move(t.wal_erases));
+  if (s.ok() && mode_switched)
+    s = d.log_mode_switch(tree_.mutation_epoch(), tree_.config().caching);
+  bool took_checkpoint = false;
+  if (s.ok()) s = d.maybe_checkpoint(tree_, &took_checkpoint);
+  if (!s.ok()) {
+    wal_failed_.store(true, std::memory_order_release);
+    for (const std::uint32_t i : t.updates)
+      if (t.resp[i].error.empty())
+        t.resp[i].error = "durability: " + s.message +
+                          " (write applied but NOT durable)";
+    std::lock_guard<std::mutex> sl(state_mu_);
+    ++stats_.wal_failures;
+    return;
+  }
+  std::lock_guard<std::mutex> sl(state_mu_);
+  if (t.wal_log) ++stats_.wal_frames;
+  if (mode_switched) ++stats_.wal_frames;
+  if (took_checkpoint) ++stats_.checkpoints;
 }
 
 void BatchScheduler::run_updates(EpochTask& t) {
+  if (cfg_.durability && wal_failed_.load(std::memory_order_acquire)) {
+    // Fail-stop: the log can no longer record what we would apply, so the
+    // write is rejected *before* mutating the tree — otherwise recovery
+    // would silently miss it.
+    for (const std::uint32_t i : t.updates)
+      t.resp[i].error =
+          "durability: write-ahead log failed; write rejected (fail-stop)";
+    if (!t.updates.empty()) {
+      std::lock_guard<std::mutex> sl(state_mu_);
+      ++stats_.wal_failures;
+    }
+    return;
+  }
   std::vector<std::size_t> ins_members;
   std::vector<std::size_t> del_members;
   for (const std::uint32_t i : t.updates) {
@@ -467,6 +515,7 @@ void BatchScheduler::run_updates(EpochTask& t) {
     else del_members.push_back(i);
   }
   bool changed = false;
+  t.wal_base = tree_.next_point_id();
   if (!ins_members.empty()) {
     std::vector<Point> pts;
     pts.reserve(ins_members.size());
@@ -476,6 +525,7 @@ void BatchScheduler::run_updates(EpochTask& t) {
       for (std::size_t j = 0; j < ins_members.size(); ++j)
         t.resp[ins_members[j]].inserted_id = ids[j];
       changed = true;
+      t.wal_inserts = std::move(pts);  // applied: goes to the WAL
     } catch (const std::exception& ex) {
       for (const std::size_t i : ins_members) t.resp[i].error = ex.what();
     }
@@ -494,10 +544,16 @@ void BatchScheduler::run_updates(EpochTask& t) {
     try {
       tree_.erase(ids);
       changed = changed || !claimed.empty();
+      // WAL: only the ids this batch actually erased (dead-id no-ops and
+      // duplicate claims are excluded, so replay is an exact re-application).
+      for (const std::size_t i : del_members)
+        if (t.resp[i].erased) t.wal_erases.push_back(t.batch[i].id);
     } catch (const std::exception& ex) {
       for (const std::size_t i : del_members) t.resp[i].error = ex.what();
     }
   }
+  t.wal_epoch = tree_.mutation_epoch();
+  t.wal_log = !t.wal_inserts.empty() || !t.wal_erases.empty();
   std::uint64_t e = 0;
   {
     std::lock_guard<std::mutex> sl(state_mu_);
@@ -615,6 +671,10 @@ void BatchScheduler::stop() {
   }
   if (exec_stage_) exec_stage_->stop();
   if (resolve_stage_) resolve_stage_->stop();
+  // Everything applied is now logged; make the tail durable regardless of
+  // the sync policy so a clean shutdown never loses an acked write.
+  if (cfg_.durability && !wal_failed_.load(std::memory_order_acquire))
+    (void)cfg_.durability->sync();
   // Safety net for submissions that raced the close: resolve, never leak a
   // broken promise.
   Request r;
@@ -636,7 +696,7 @@ ServeStats BatchScheduler::stats() const {
   s.clock_regressions = clock_regressions_.load(std::memory_order_relaxed);
   s.read_straddles = read_straddles_.load(std::memory_order_relaxed);
   s.pipeline_stalls = pipeline_stalls_.load(std::memory_order_relaxed);
-  return s;
+  return s;  // wal_frames / wal_failures / checkpoints copied with stats_
 }
 
 std::vector<BatchLog> BatchScheduler::batch_log() const {

@@ -69,6 +69,7 @@
 
 #include "core/pim_kdtree.hpp"
 #include "core/replication.hpp"
+#include "durability/manager.hpp"
 #include "parallel/mpsc_queue.hpp"
 #include "parallel/stage_queue.hpp"
 #include "pim/status.hpp"
@@ -127,6 +128,17 @@ struct SchedulerConfig {
   std::size_t pipeline_depth = 4;
   // kAdaptive only: tuning of the replication controller (core/replication.hpp).
   core::ReplicationConfig replication{};
+  // Crash consistency (src/durability/, DESIGN.md §10). When set, every
+  // applied write batch is appended to the write-ahead log — and synced per
+  // the manager's policy — on the EXEC stage *before* the batch's futures
+  // resolve on RESOLVE, so an acked write is a durable write. Caching-mode
+  // switches are logged too, and the manager's checkpoint cadence runs at
+  // epoch boundaries. Fail-stop: if an append or sync fails, the batch's
+  // update futures carry the error and every later write is rejected before
+  // touching the tree (stats().wal_failures counts both). Non-owning; the
+  // manager must outlive the scheduler and is not shared with another
+  // scheduler.
+  durability::Manager* durability = nullptr;
 };
 
 // One formed batch: its epoch, dispatch tick, trigger, and op mix.
@@ -156,6 +168,9 @@ struct ServeStats {
   std::uint64_t clock_regressions = 0;  // completion clock read behind dispatch
   std::uint64_t read_straddles = 0;     // reads failed by ReadPin validation
   std::uint64_t pipeline_stalls = 0;    // FORM blocked on pipeline_depth
+  std::uint64_t wal_frames = 0;         // applied batches appended to the WAL
+  std::uint64_t wal_failures = 0;       // WAL errors + writes rejected after
+  std::uint64_t checkpoints = 0;        // cadence checkpoints taken
   util::LatencyHistogram queue_latency;    // submit -> dispatch, ticks
   util::LatencyHistogram service_latency;  // submit -> completion, ticks
 };
@@ -230,6 +245,12 @@ class BatchScheduler {
     std::vector<std::uint32_t> reads, updates;  // indices into batch
     BatchLog log;
     std::uint64_t form_tick = 0;
+    // WAL payload gathered by run_updates (applied sub-batches only).
+    bool wal_log = false;
+    std::uint64_t wal_epoch = 0;  // tree mutation_epoch after applying
+    std::uint64_t wal_base = 0;   // next_point_id before the inserts
+    std::vector<Point> wal_inserts;
+    std::vector<PointId> wal_erases;
   };
 
   Status pump_guarded(std::uint64_t now, bool flush_all, std::size_t* out);
@@ -244,7 +265,8 @@ class BatchScheduler {
   void enqueue_pipelined(std::shared_ptr<EpochTask> t);
   void drain_pipeline();
   void execute_task(EpochTask& t);  // stamp epoch; pinned + validated reads
-  void apply_task(EpochTask& t);    // updates + replication controller
+  void apply_task(EpochTask& t);    // updates + controller + WAL/checkpoint
+  void log_durable(EpochTask& t, bool mode_switched);
   void run_reads(std::vector<Request>& batch, std::vector<Response>& resp);
   void run_updates(EpochTask& t);
   void resolve_reads(EpochTask& t, std::uint64_t done);
@@ -267,6 +289,10 @@ class BatchScheduler {
   std::atomic<std::uint64_t> clock_regressions_{0};
   std::atomic<std::uint64_t> read_straddles_{0};
   std::atomic<std::uint64_t> pipeline_stalls_{0};
+  // Sticky fail-stop: set on the first WAL append/sync error; later writes
+  // are rejected before touching the tree (an unlogged mutation could never
+  // be recovered, so applying it would silently widen the durability gap).
+  std::atomic<bool> wal_failed_{false};
 
   // Formation state (consumer side), guarded by mu_.
   mutable std::mutex mu_;

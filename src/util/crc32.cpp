@@ -1,0 +1,39 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace pimkd::util {
+
+namespace {
+
+// Reflected CRC32C table for the Castagnoli polynomial 0x1EDC6F41
+// (reflected form 0x82F63B78), built once at static-init time.
+struct Crc32cTable {
+  std::array<std::uint32_t, 256> t{};
+  Crc32cTable() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? (0x82F63B78u ^ (c >> 1)) : (c >> 1);
+      t[i] = c;
+    }
+  }
+};
+
+const Crc32cTable kTable;
+
+}  // namespace
+
+std::uint32_t crc32c(std::uint32_t crc, const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i)
+    c = kTable.t[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32c(const void* data, std::size_t len) {
+  return crc32c(0, data, len);
+}
+
+}  // namespace pimkd::util

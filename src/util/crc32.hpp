@@ -1,0 +1,28 @@
+// CRC32C (Castagnoli) — the frame checksum of the durability layer.
+//
+// The WAL and checkpoint formats (src/durability/) frame every record with a
+// CRC so a torn or bit-rotted tail is detected, truncated and reported rather
+// than deserialized into garbage. CRC32C is the iSCSI polynomial (RFC 3720
+// §B.4, reflected 0x82F63B78): its known-answer vectors are published there,
+// which is what the unit tests pin, and hardware implementations exist should
+// a future pass want them — this one is a plain slice-by-1 table, fast enough
+// for checkpoint/WAL volumes and trivially portable.
+//
+// Incremental use: crc = crc32c(crc, chunk, len) over consecutive chunks
+// equals the one-shot value over the concatenation. The empty message has
+// CRC 0.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pimkd::util {
+
+// One-shot CRC32C of `len` bytes.
+std::uint32_t crc32c(const void* data, std::size_t len);
+
+// Incremental: extend `crc` (a previous return value, or 0 to start) with
+// `len` more bytes.
+std::uint32_t crc32c(std::uint32_t crc, const void* data, std::size_t len);
+
+}  // namespace pimkd::util

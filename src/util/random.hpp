@@ -78,6 +78,12 @@ class Rng {
   // Sample k distinct indices from [0, n) (k <= n), order unspecified.
   std::vector<std::uint32_t> sample_indices(std::uint32_t n, std::uint32_t k);
 
+  // Checkpoint hooks (src/durability/): the raw splitmix64 state. A restored
+  // tree must reproduce the original's *future* draws (counter attempts,
+  // rebuild splits) exactly, so the generator state is part of a snapshot.
+  std::uint64_t state() const { return state_; }
+  void set_state(std::uint64_t s) { state_ = s; }
+
  private:
   std::uint64_t state_;
 };

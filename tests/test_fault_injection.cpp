@@ -64,6 +64,62 @@ TEST(FaultPlan, RejectsMalformedTokens) {
   EXPECT_NO_THROW(FaultPlan::parse("lose@3:m0:1000"));
 }
 
+TEST(FaultPlan, TryParseNamesTheOffendingToken) {
+  // A malformed plan used to be silently ignored from the env path; the
+  // structured path must say exactly which token is wrong and why.
+  struct Case {
+    const char* spec;
+    const char* expect_in_message;
+  };
+  const Case cases[] = {
+      {"melt@3:m0", "melt@3:m0"},              // unknown kind
+      {"crash@x:m0", "crash@x:m0"},            // bad round
+      {"crash@3:module0", "module0"},          // module must be mN
+      {"crash@3:m", "crash@3:m"},              // empty module index
+      {"crash@3:m0:7", "crash@3:m0:7"},        // crash takes no ARG
+      {"stall@3:m0", "stall@3:m0"},            // stall requires ARG
+      {"lose@3:m0:1001", "permille"},          // loss rate bound
+      {"crash@99999999999999999999:m0", "overflow"},
+      {"torn@4096:melt", "torn@4096:melt"},    // torn arg is cut|flip
+      {"torn@4096:m1", "torn@4096:m1"},        // torn takes no module
+  };
+  for (const Case& c : cases) {
+    FaultPlan plan;
+    const Status s = FaultPlan::try_parse(c.spec, plan);
+    ASSERT_FALSE(s.ok()) << c.spec;
+    EXPECT_EQ(s.code, StatusCode::kInvalidArgument) << c.spec;
+    EXPECT_NE(s.message.find(c.expect_in_message), std::string::npos)
+        << "'" << c.spec << "' produced: " << s.message;
+    EXPECT_TRUE(plan.empty()) << "failed parse left events behind: " << c.spec;
+  }
+  // One bad token poisons the whole plan — no partial acceptance.
+  FaultPlan plan;
+  const Status s = FaultPlan::try_parse("crash@1:m0;melt@2:m1", plan);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message.find("melt@2:m1"), std::string::npos) << s.message;
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(FaultPlan, TornEventsParseAndRoundTrip) {
+  const auto plan = FaultPlan::parse("torn@4096;torn@8192:flip;torn@100:cut");
+  ASSERT_EQ(plan.events.size(), 3u);
+  EXPECT_EQ(plan.events[0], (FaultEvent{100, FaultKind::kTornTail, 0, 0}));
+  EXPECT_EQ(plan.events[1], (FaultEvent{4096, FaultKind::kTornTail, 0, 0}));
+  EXPECT_EQ(plan.events[2], (FaultEvent{8192, FaultKind::kTornTail, 0, 1}));
+  EXPECT_EQ(FaultPlan::parse(plan.to_string()).events, plan.events);
+}
+
+TEST(FaultPlan, ValidateModulesNamesTheFirstBadEvent) {
+  const auto plan = FaultPlan::parse("crash@1:m3;stall@2:m7:5;torn@64");
+  EXPECT_TRUE(plan.validate_modules(8).ok());
+  const Status s = plan.validate_modules(4);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code, StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message.find("m7"), std::string::npos) << s.message;
+  // Torn events carry no module index: they pass any module count.
+  EXPECT_TRUE(FaultPlan::parse("torn@64").validate_modules(1).ok());
+}
+
 TEST(FaultPlan, ResolvePrecedence) {
   ASSERT_EQ(setenv("PIMKD_FAULTS", "crash@5:m1", 1), 0);
   // Env var is consulted when the explicit spec is empty...
@@ -129,6 +185,24 @@ TEST(FaultInjector, LossRateEndpoints) {
   EXPECT_FALSE(inj.any_loss_active());
   for (int i = 0; i < 100; ++i) EXPECT_FALSE(inj.drop_counter_word(0));
   EXPECT_EQ(inj.dropped_words(), 100u);
+}
+
+TEST(FaultInjector, TakeTornConsumesInOffsetOrder) {
+  FaultInjector inj(FaultPlan::parse("torn@100;torn@50:flip;crash@1:m0"), 7, 2);
+  EXPECT_EQ(inj.pending_torn(), 2u);
+  FaultEvent ev;
+  // An append ending at byte 40 covers neither tear.
+  EXPECT_FALSE(inj.take_torn(40, ev));
+  // Ending at 60 covers the byte-50 tear only, and consumes it.
+  ASSERT_TRUE(inj.take_torn(60, ev));
+  EXPECT_EQ(ev.round, 50u);
+  EXPECT_EQ(ev.arg, 1u);  // flip
+  EXPECT_FALSE(inj.take_torn(60, ev));
+  ASSERT_TRUE(inj.take_torn(1000, ev));
+  EXPECT_EQ(ev.round, 100u);
+  EXPECT_EQ(inj.pending_torn(), 0u);
+  // Round events are untouched by the durability hook.
+  EXPECT_EQ(inj.pending_events(), 1u);
 }
 
 // --- System-level behavior at round barriers ------------------------------------
@@ -225,6 +299,20 @@ TEST(PimSystemFaults, LoseEventArmsTheInjector) {
   { RoundGuard r(sys.metrics()); }  // round 1 clears the rate
   EXPECT_EQ(sys.faults()->loss_permille(1), 0u);
   EXPECT_FALSE(sys.faults()->drop_counter_word(1));
+}
+
+TEST(PimSystemFaults, ExplicitSpecWithBadModuleIsRejectedAtConstruction) {
+  // An explicit fault_spec naming a module the system does not have could
+  // never fire; it used to be ignored silently, which hid typos in test
+  // matrices. Now it is a construction-time error.
+  EXPECT_THROW(PimSystem<TestState>(sys_cfg(4, "crash@1:m4")),
+               std::invalid_argument);
+  EXPECT_NO_THROW(PimSystem<TestState>(sys_cfg(4, "crash@1:m3")));
+  // The env plan targets every tree in the process — different module
+  // counts included — so its out-of-range events stay inert, not fatal.
+  ASSERT_EQ(setenv("PIMKD_FAULTS", "crash@0:m63", 1), 0);
+  EXPECT_NO_THROW(PimSystem<TestState>(sys_cfg(2, "")));
+  ASSERT_EQ(unsetenv("PIMKD_FAULTS"), 0);
 }
 
 TEST(PimSystemFaults, EnvVarConfiguresInjection) {
