@@ -64,6 +64,25 @@ if [ ! -f "$wc_json" ] || ! grep -q '"real_time_ns"' "$wc_json"; then
 fi
 echo "wall-clock timings recorded ($(grep -o '"real_time_ns"' "$wc_json" | wc -l) rows)"
 
+# SIMD kernel gate: the per-kernel micro-bench rows must be present, and on
+# AVX2 hardware the directly-timed leaf-scan speedup must clear 1.5x over
+# forced-scalar (bit-identical results; the gate is wall-clock only). On a
+# host without AVX2 bench_wallclock marks the gate vacuously ok and says so.
+if ! grep -q '"name":"BM_KernelLeafScan' "$wc_json"; then
+  echo "bench_wallclock is missing the SIMD kernel micro-bench rows." >&2
+  exit 1
+fi
+if grep -q '"simd_gate_ok":0' "$wc_json"; then
+  echo "SIMD leaf-scan speedup fell below the 1.5x gate:" >&2
+  grep -o '"simd_leafscan_speedup":[0-9.eE+-]*' "$wc_json" >&2
+  exit 1
+fi
+if grep -q '"simd_leafscan_speedup"' "$wc_json"; then
+  echo "simd gate passed ($(grep -o '"simd_leafscan_speedup":[0-9.eE+-]*' "$wc_json"))"
+else
+  echo "simd gate vacuous (no AVX2 on this host; scalar kernels only)"
+fi
+
 # Serving-layer gate: bench_serve must have emitted latency rows (p50/p99 +
 # throughput) for at least 3 workload mixes.
 serve_json="$PIMKD_BENCH_JSON_DIR/bench_serve.json"

@@ -30,6 +30,16 @@ PriorityKdTree::PriorityKdTree(const Config& cfg, std::span<const Point> pts,
   } else {
     root_ = build(perm_.data(), perm_.data() + perm_.size());
   }
+  // perm_ is final after build: mirror the coordinates into the global SoA.
+  // reset() with one extra lane of slack makes every leaf slice satisfy the
+  // kernel contract (begin + round_up(count, lane) <= stride) regardless of
+  // the leaf's alignment; n is then trimmed back to the logical count.
+  const auto n = static_cast<std::uint32_t>(pts_.size());
+  soa_.reset(n + kernels::kLaneWidth, cfg_.dim);
+  soa_.n = n;
+  for (std::uint32_t i = 0; i < n; ++i)
+    soa_.set(i, pts_[perm_[i]].x.data(), cfg_.dim);
+  isa_ = kernels::active();
 }
 
 std::uint32_t PriorityKdTree::build(std::uint32_t* first, std::uint32_t* last) {
@@ -76,12 +86,20 @@ void PriorityKdTree::query_rec(std::uint32_t nid, const Point& q,
       n.box.sq_dist_to(q, cfg_.dim) >= best.sq_dist)
     return;
   if (n.is_leaf()) {
-    for (std::uint32_t i = 0; i < n.count; ++i) {
-      const std::uint32_t pi = perm_[n.begin + i];
-      if (!higher(priority_[pi], pi, q_priority, self)) continue;
-      const Coord d2 = sq_dist(pts_[pi], q, cfg_.dim);
-      if (d2 < best.sq_dist || (d2 == best.sq_dist && pi < best.id))
-        best = Neighbor{pi, d2};
+    // Batched over the leaf's [begin, begin+count) slice of the global SoA;
+    // per-lane bit-identical to sq_dist, consumption in scalar order.
+    double d2s[kernels::kScanChunk];
+    for (std::uint32_t base = 0; base < n.count; base += kernels::kScanChunk) {
+      const std::uint32_t cnt = std::min(kernels::kScanChunk, n.count - base);
+      kernels::leaf_sq_dists(isa_, soa_, n.begin + base, cnt, q.x.data(),
+                             cfg_.dim, d2s);
+      for (std::uint32_t j = 0; j < cnt; ++j) {
+        const std::uint32_t pi = perm_[n.begin + base + j];
+        if (!higher(priority_[pi], pi, q_priority, self)) continue;
+        const Coord d2 = d2s[j];
+        if (d2 < best.sq_dist || (d2 == best.sq_dist && pi < best.id))
+          best = Neighbor{pi, d2};
+      }
     }
     return;
   }

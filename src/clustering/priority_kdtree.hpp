@@ -14,6 +14,7 @@
 
 #include "kdtree/bruteforce.hpp"
 #include "util/geometry.hpp"
+#include "util/kernels.hpp"
 
 namespace pimkd {
 
@@ -59,6 +60,12 @@ class PriorityKdTree {
   std::vector<std::uint32_t> perm_;
   std::vector<Node> nodes_;
   std::uint32_t root_ = 0;
+  // One global SoA over all points in perm_ order (leaves are contiguous
+  // [begin, begin+count) slices of it). Built once after the tree; the
+  // stride carries one extra pad lane so a kernel call may start at any
+  // (unaligned) leaf begin and still read whole lanes.
+  kernels::LeafSoa soa_;
+  kernels::Isa isa_ = kernels::Isa::kScalar;
 };
 
 }  // namespace pimkd

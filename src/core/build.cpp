@@ -127,7 +127,9 @@ NodeId PimKdTree::build_subtree(std::vector<PointId> ids, NodeId parent,
   int d = 0;
   Coord val = 0;
   if (ids.size() <= cfg_.leaf_cap || !choose_split(ids, n.box, rng, d, val)) {
-    pool_.cold(nid).leaf_pts = std::move(ids);
+    NodeCold& nc = pool_.cold(nid);
+    nc.leaf_pts = std::move(ids);
+    refresh_leaf_soa(nc, all_points_, cfg_.dim);
     return nid;
   }
   const auto mid = std::partition(ids.begin(), ids.end(), [&](PointId id) {
@@ -271,7 +273,9 @@ NodeId PimKdTree::flatten_tmp(TmpNode& t, NodeId parent, std::uint32_t depth,
     sys_.metrics().add_module_work(wm, level_work);
   }
   if (t.split_dim < 0) {
-    pool_.cold(nid).leaf_pts = std::move(t.leaf_pts);
+    NodeCold& nc = pool_.cold(nid);
+    nc.leaf_pts = std::move(t.leaf_pts);
+    refresh_leaf_soa(nc, all_points_, cfg_.dim);
     return nid;
   }
   const NodeId left = flatten_tmp(*t.left, nid, depth + 1, work_module);

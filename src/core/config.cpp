@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "util/geometry.hpp"
+#include "util/kernels.hpp"
 
 namespace pimkd::core {
 
@@ -38,6 +39,10 @@ void PimKdConfig::validate() const {
     bad_field("system.num_modules", "must be >= 1");
   if (system.cache_words < 1)
     bad_field("system.cache_words", "must be >= 1");
+  if (!kernels::valid_request(simd))
+    bad_field("simd",
+              "must be one of \"\" (env/auto), \"off\", \"avx2\", \"auto\", "
+              "got \"" + simd + "\"");
 }
 
 }  // namespace pimkd::core

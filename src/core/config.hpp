@@ -53,6 +53,12 @@ struct PimKdConfig {
   // one span per batch operation. Empty => consult the PIMKD_TRACE env var;
   // tracing stays off when neither names a file.
   std::string trace_path;
+  // Host leaf-scan kernel ISA: "off" (forced scalar), "avx2" (vectorized;
+  // degrades to scalar with a logged warning if the CPU lacks AVX2), "auto"
+  // (use AVX2 when available). Empty => consult the PIMKD_SIMD env var
+  // (which defaults to auto). Results are bit-identical either way
+  // (util/kernels.hpp); only wall-clock differs.
+  std::string simd;
   pim::SystemConfig system;    // P modules, cache words M, seed
 
   // Always-on validation (not an assert): throws std::invalid_argument naming

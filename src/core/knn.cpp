@@ -41,23 +41,36 @@ void PimKdTree::knn_rec(Cursor& cur, NodeId nid, const Point& q,
     return;
   }
   if (n.is_leaf()) {
-    const std::vector<PointId>& pts = pool_.cold(nid).leaf_pts;
+    const NodeCold& nc = pool_.cold(nid);
+    const std::vector<PointId>& pts = nc.leaf_pts;
     cur.charge_work(pts.size());
-    for (const PointId id : pts) {
-      if (!alive_[id]) continue;
-      const Neighbor cand{id, sq_dist(all_points_[id], q, cfg_.dim)};
-      if (heap.size() < k) {
-        heap.push_back(cand);
-        std::push_heap(heap.begin(), heap.end(), HeapCmp{});
-      } else if (HeapCmp{}(cand, heap.front())) {
-        std::pop_heap(heap.begin(), heap.end(), HeapCmp{});
-        heap.back() = cand;
-        std::push_heap(heap.begin(), heap.end(), HeapCmp{});
+    // Batched leaf scan: distances come from the SoA kernel (bit-identical
+    // per lane to sq_dist); the heap consumption below runs in the exact
+    // scalar visit order, so results and tie-breaks are unchanged.
+    double d2[kernels::kScanChunk];
+    for (std::uint32_t base = 0; base < nc.soa.n; base += kernels::kScanChunk) {
+      const std::uint32_t cnt = std::min(kernels::kScanChunk, nc.soa.n - base);
+      kernels::leaf_sq_dists(isa_, nc.soa, base, cnt, q.x.data(), cfg_.dim,
+                             d2);
+      for (std::uint32_t j = 0; j < cnt; ++j) {
+        const PointId id = pts[base + j];
+        if (!alive_[id]) continue;
+        const Neighbor cand{id, d2[j]};
+        if (heap.size() < k) {
+          heap.push_back(cand);
+          std::push_heap(heap.begin(), heap.end(), HeapCmp{});
+        } else if (HeapCmp{}(cand, heap.front())) {
+          std::pop_heap(heap.begin(), heap.end(), HeapCmp{});
+          heap.back() = cand;
+          std::push_heap(heap.begin(), heap.end(), HeapCmp{});
+        }
       }
     }
     cur.release(mark);
     return;
   }
+  pool_.prefetch(n.left);
+  pool_.prefetch(n.right);
   const bool left_first = q[n.split_dim] < n.split_val;
   const NodeId first = left_first ? n.left : n.right;
   const NodeId second = left_first ? n.right : n.left;
@@ -129,15 +142,24 @@ void PimKdTree::dep_rec(Cursor& cur, NodeId nid, const Point& q, double q_prio,
   }
   if (n.is_leaf()) {
     cur.charge_work(nc.leaf_pts.size());
-    for (const PointId id : nc.leaf_pts) {
-      if (!alive_[id] || !higher(priorities_[id], id, q_prio, self)) continue;
-      const Coord d2 = sq_dist(all_points_[id], q, cfg_.dim);
-      if (d2 < best.sq_dist || (d2 == best.sq_dist && id < best.id))
-        best = Neighbor{id, d2};
+    double d2s[kernels::kScanChunk];
+    for (std::uint32_t base = 0; base < nc.soa.n; base += kernels::kScanChunk) {
+      const std::uint32_t cnt = std::min(kernels::kScanChunk, nc.soa.n - base);
+      kernels::leaf_sq_dists(isa_, nc.soa, base, cnt, q.x.data(), cfg_.dim,
+                             d2s);
+      for (std::uint32_t j = 0; j < cnt; ++j) {
+        const PointId id = nc.leaf_pts[base + j];
+        if (!alive_[id] || !higher(priorities_[id], id, q_prio, self)) continue;
+        const Coord d2 = d2s[j];
+        if (d2 < best.sq_dist || (d2 == best.sq_dist && id < best.id))
+          best = Neighbor{id, d2};
+      }
     }
     cur.release(mark);
     return;
   }
+  pool_.prefetch(n.left);
+  pool_.prefetch(n.right);
   const bool left_first = q[n.split_dim] < n.split_val;
   const NodeId first = left_first ? n.left : n.right;
   const NodeId second = left_first ? n.right : n.left;

@@ -19,6 +19,12 @@ PimKdTree::PimKdTree(const PimKdConfig& cfg)
       rng_(cfg.system.seed ^ 0x7ee1),
       thresholds_(group_thresholds(cfg.system.num_modules)) {
   if (trace_) sys_.metrics().set_trace_sink(trace_.get());
+  // Leaf-scan kernel ISA: an explicit config request wins; empty defers to
+  // the process-wide PIMKD_SIMD env resolution. Either way results are
+  // bit-identical to scalar (util/kernels.hpp); only wall-clock differs.
+  isa_ = cfg_.simd.empty()
+             ? kernels::active()
+             : kernels::resolve(kernels::parse_request(cfg_.simd));
 }
 
 PimKdTree::PimKdTree(const PimKdConfig& cfg, std::span<const Point> pts)
@@ -194,12 +200,24 @@ bool PimKdTree::check_node_invariants(NodeId nid, std::uint64_t& size_out) const
   if (!master_seen && !g0) PIMKD_FAIL("master copy absent");
 
   if (n.is_leaf()) {
-    const std::vector<PointId>& pts = pool_.cold(nid).leaf_pts;
+    const NodeCold& nc = pool_.cold(nid);
+    const std::vector<PointId>& pts = nc.leaf_pts;
     for (const PointId id : pts) {
       if (!alive_[id]) return false;
       if (!n.box.contains(all_points_[id], cfg_.dim)) return false;
     }
     if (n.exact_size != pts.size()) PIMKD_FAIL("leaf exact_size");
+    // SoA mirror: element-for-element (bitwise) equal to leaf_pts'
+    // coordinates, padded lanes zero-filled.
+    if (nc.soa.n != pts.size()) PIMKD_FAIL("leaf soa count desync");
+    if (nc.soa.stride <
+        (nc.soa.n + kernels::kLaneWidth - 1) / kernels::kLaneWidth *
+            kernels::kLaneWidth)
+      PIMKD_FAIL("leaf soa stride too small");
+    for (std::uint32_t i = 0; i < nc.soa.n; ++i)
+      for (int d = 0; d < cfg_.dim; ++d)
+        if (nc.soa.row(d)[i] != all_points_[pts[i]][d])
+          PIMKD_FAIL("leaf soa coordinate desync");
     size_out = pts.size();
     return true;
   }

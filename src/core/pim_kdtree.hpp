@@ -291,6 +291,9 @@ class PimKdTree {
   std::size_t height() const;
   std::size_t num_nodes() const { return pool_.size(); }
   std::span<const double> thresholds() const { return thresholds_; }
+  // The leaf-scan kernel ISA this tree dispatches to (resolved once at
+  // construction from cfg_.simd / the PIMKD_SIMD env var).
+  kernels::Isa kernel_isa() const { return isa_; }
   // Per-group structure (Figure 1 / Lemmas 3.1-3.2).
   std::vector<GroupStats> decomposition_stats() const;
   // Total words stored across modules (Theorem 3.3).
@@ -443,6 +446,8 @@ class PimKdTree {
   bool check_node_invariants(NodeId nid, std::uint64_t& size_out) const;
 
   PimKdConfig cfg_;
+  // Resolved leaf-scan kernel ISA (bit-identical results either way).
+  kernels::Isa isa_ = kernels::Isa::kScalar;
   pim::PimSystem<ModuleState> sys_;
   std::unique_ptr<pim::TraceSink> trace_;  // attached to sys_.metrics()
   NodePool pool_;

@@ -23,14 +23,26 @@ void PimKdTree::range_rec(Cursor& cur, NodeId nid, const Box& box,
     return;
   }
   if (n.is_leaf()) {
-    const std::vector<PointId>& pts = pool_.cold(nid).leaf_pts;
+    const NodeCold& nc = pool_.cold(nid);
+    const std::vector<PointId>& pts = nc.leaf_pts;
     cur.charge_work(pts.size());
-    for (const PointId id : pts)
-      if (alive_[id] && box.contains(all_points_[id], cfg_.dim))
-        out.push_back(id);
+    // Batched containment test over the SoA mirror (bit-identical to
+    // Box::contains per lane); the report loop keeps the scalar order.
+    std::uint8_t in[kernels::kScanChunk];
+    for (std::uint32_t base = 0; base < nc.soa.n; base += kernels::kScanChunk) {
+      const std::uint32_t cnt = std::min(kernels::kScanChunk, nc.soa.n - base);
+      kernels::leaf_contains(isa_, nc.soa, base, cnt, box.lo.x.data(),
+                             box.hi.x.data(), cfg_.dim, in);
+      for (std::uint32_t j = 0; j < cnt; ++j) {
+        const PointId id = pts[base + j];
+        if (alive_[id] && in[j]) out.push_back(id);
+      }
+    }
     cur.release(mark);
     return;
   }
+  pool_.prefetch(n.left);
+  pool_.prefetch(n.right);
   range_rec(cur, n.left, box, out);
   range_rec(cur, n.right, box, out);
   cur.release(mark);
@@ -77,18 +89,27 @@ void PimKdTree::radius_rec(Cursor& cur, NodeId nid, const Point& q, Coord r2,
     return;
   }
   if (n.is_leaf()) {
-    const std::vector<PointId>& pts = pool_.cold(nid).leaf_pts;
+    const NodeCold& nc = pool_.cold(nid);
+    const std::vector<PointId>& pts = nc.leaf_pts;
     cur.charge_work(pts.size());
-    for (const PointId id : pts) {
-      if (!alive_[id]) continue;
-      if (sq_dist(all_points_[id], q, cfg_.dim) <= r2) {
-        ++cnt;
-        if (out) out->push_back(id);
+    double d2[kernels::kScanChunk];
+    for (std::uint32_t base = 0; base < nc.soa.n; base += kernels::kScanChunk) {
+      const std::uint32_t c = std::min(kernels::kScanChunk, nc.soa.n - base);
+      kernels::leaf_sq_dists(isa_, nc.soa, base, c, q.x.data(), cfg_.dim, d2);
+      for (std::uint32_t j = 0; j < c; ++j) {
+        const PointId id = pts[base + j];
+        if (!alive_[id]) continue;
+        if (d2[j] <= r2) {
+          ++cnt;
+          if (out) out->push_back(id);
+        }
       }
     }
     cur.release(mark);
     return;
   }
+  pool_.prefetch(n.left);
+  pool_.prefetch(n.right);
   radius_rec(cur, n.left, q, r2, out, cnt);
   radius_rec(cur, n.right, q, r2, out, cnt);
   cur.release(mark);

@@ -260,22 +260,33 @@ void PimKdTree::host_knn_rec(pim::Metrics& led, NodeId nid, const Point& q,
                              : heap.front().sq_dist;
   if (n.box.sq_dist_to(q, cfg_.dim) * prune >= worst_in) return;
   if (n.is_leaf()) {
-    const std::vector<PointId>& pts = pool_.cold(nid).leaf_pts;
+    const NodeCold& nc = pool_.cold(nid);
+    const std::vector<PointId>& pts = nc.leaf_pts;
     led.add_cpu_work(pts.size());
-    for (const PointId id : pts) {
-      if (!alive_[id]) continue;
-      const Neighbor cand{id, sq_dist(all_points_[id], q, cfg_.dim)};
-      if (heap.size() < k) {
-        heap.push_back(cand);
-        std::push_heap(heap.begin(), heap.end(), HeapCmp{});
-      } else if (HeapCmp{}(cand, heap.front())) {
-        std::pop_heap(heap.begin(), heap.end(), HeapCmp{});
-        heap.back() = cand;
-        std::push_heap(heap.begin(), heap.end(), HeapCmp{});
+    // Same batched kernel as the in-PIM twin (knn.cpp): distances are
+    // bit-identical per lane, consumption order is the scalar order.
+    double d2[kernels::kScanChunk];
+    for (std::uint32_t base = 0; base < nc.soa.n; base += kernels::kScanChunk) {
+      const std::uint32_t c = std::min(kernels::kScanChunk, nc.soa.n - base);
+      kernels::leaf_sq_dists(isa_, nc.soa, base, c, q.x.data(), cfg_.dim, d2);
+      for (std::uint32_t j = 0; j < c; ++j) {
+        const PointId id = pts[base + j];
+        if (!alive_[id]) continue;
+        const Neighbor cand{id, d2[j]};
+        if (heap.size() < k) {
+          heap.push_back(cand);
+          std::push_heap(heap.begin(), heap.end(), HeapCmp{});
+        } else if (HeapCmp{}(cand, heap.front())) {
+          std::pop_heap(heap.begin(), heap.end(), HeapCmp{});
+          heap.back() = cand;
+          std::push_heap(heap.begin(), heap.end(), HeapCmp{});
+        }
       }
     }
     return;
   }
+  pool_.prefetch(n.left);
+  pool_.prefetch(n.right);
   const bool left_first = q[n.split_dim] < n.split_val;
   const NodeId first = left_first ? n.left : n.right;
   const NodeId second = left_first ? n.right : n.left;
@@ -298,14 +309,22 @@ void PimKdTree::host_dep_rec(pim::Metrics& led, NodeId nid, const Point& q,
     return;
   if (n.is_leaf()) {
     led.add_cpu_work(nc.leaf_pts.size());
-    for (const PointId id : nc.leaf_pts) {
-      if (!alive_[id] || !higher(priorities_[id], id, q_prio, self)) continue;
-      const Coord d2 = sq_dist(all_points_[id], q, cfg_.dim);
-      if (d2 < best.sq_dist || (d2 == best.sq_dist && id < best.id))
-        best = Neighbor{id, d2};
+    double d2s[kernels::kScanChunk];
+    for (std::uint32_t base = 0; base < nc.soa.n; base += kernels::kScanChunk) {
+      const std::uint32_t c = std::min(kernels::kScanChunk, nc.soa.n - base);
+      kernels::leaf_sq_dists(isa_, nc.soa, base, c, q.x.data(), cfg_.dim, d2s);
+      for (std::uint32_t j = 0; j < c; ++j) {
+        const PointId id = nc.leaf_pts[base + j];
+        if (!alive_[id] || !higher(priorities_[id], id, q_prio, self)) continue;
+        const Coord d2 = d2s[j];
+        if (d2 < best.sq_dist || (d2 == best.sq_dist && id < best.id))
+          best = Neighbor{id, d2};
+      }
     }
     return;
   }
+  pool_.prefetch(n.left);
+  pool_.prefetch(n.right);
   const bool left_first = q[n.split_dim] < n.split_val;
   const NodeId first = left_first ? n.left : n.right;
   const NodeId second = left_first ? n.right : n.left;
@@ -320,13 +339,23 @@ void PimKdTree::host_range_rec(pim::Metrics& led, NodeId nid, const Box& box,
   const NodeRec& n = pool_.at(nid);
   if (!box.intersects(n.box, cfg_.dim)) return;
   if (n.is_leaf()) {
-    const std::vector<PointId>& pts = pool_.cold(nid).leaf_pts;
+    const NodeCold& nc = pool_.cold(nid);
+    const std::vector<PointId>& pts = nc.leaf_pts;
     led.add_cpu_work(pts.size());
-    for (const PointId id : pts)
-      if (alive_[id] && box.contains(all_points_[id], cfg_.dim))
-        out.push_back(id);
+    std::uint8_t in[kernels::kScanChunk];
+    for (std::uint32_t base = 0; base < nc.soa.n; base += kernels::kScanChunk) {
+      const std::uint32_t c = std::min(kernels::kScanChunk, nc.soa.n - base);
+      kernels::leaf_contains(isa_, nc.soa, base, c, box.lo.x.data(),
+                             box.hi.x.data(), cfg_.dim, in);
+      for (std::uint32_t j = 0; j < c; ++j) {
+        const PointId id = pts[base + j];
+        if (alive_[id] && in[j]) out.push_back(id);
+      }
+    }
     return;
   }
+  pool_.prefetch(n.left);
+  pool_.prefetch(n.right);
   host_range_rec(led, n.left, box, out);
   host_range_rec(led, n.right, box, out);
 }
@@ -338,17 +367,26 @@ void PimKdTree::host_radius_rec(pim::Metrics& led, NodeId nid, const Point& q,
   const NodeRec& n = pool_.at(nid);
   if (!n.box.intersects_ball(q, r2, cfg_.dim)) return;
   if (n.is_leaf()) {
-    const std::vector<PointId>& pts = pool_.cold(nid).leaf_pts;
+    const NodeCold& nc = pool_.cold(nid);
+    const std::vector<PointId>& pts = nc.leaf_pts;
     led.add_cpu_work(pts.size());
-    for (const PointId id : pts) {
-      if (!alive_[id]) continue;
-      if (sq_dist(all_points_[id], q, cfg_.dim) <= r2) {
-        ++cnt;
-        if (out) out->push_back(id);
+    double d2[kernels::kScanChunk];
+    for (std::uint32_t base = 0; base < nc.soa.n; base += kernels::kScanChunk) {
+      const std::uint32_t c = std::min(kernels::kScanChunk, nc.soa.n - base);
+      kernels::leaf_sq_dists(isa_, nc.soa, base, c, q.x.data(), cfg_.dim, d2);
+      for (std::uint32_t j = 0; j < c; ++j) {
+        const PointId id = pts[base + j];
+        if (!alive_[id]) continue;
+        if (d2[j] <= r2) {
+          ++cnt;
+          if (out) out->push_back(id);
+        }
       }
     }
     return;
   }
+  pool_.prefetch(n.left);
+  pool_.prefetch(n.right);
   host_radius_rec(led, n.left, q, r2, out, cnt);
   host_radius_rec(led, n.right, q, r2, out, cnt);
 }

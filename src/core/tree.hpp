@@ -24,9 +24,11 @@
 
 #include <cassert>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "util/geometry.hpp"
+#include "util/kernels.hpp"
 
 namespace pimkd::core {
 
@@ -55,9 +57,24 @@ struct NodeRec {
 
 struct NodeCold {
   std::vector<PointId> leaf_pts;  // orchestration copy of the leaf payload
+  // Structure-of-arrays mirror of leaf_pts' coordinates (one padded row per
+  // dimension) — what the vectorized leaf-scan kernels read. Kept in sync
+  // via refresh_leaf_soa below at every leaf payload mutation; queries never
+  // rebuild it.
+  kernels::LeafSoa soa;
   double max_priority = 0;        // max point priority in subtree (DPC, §6.1)
   PointId max_priority_id = kInvalidPoint;
 };
+
+// Rebuilds the SoA mirror from leaf_pts. Must follow every mutation of
+// nc.leaf_pts (build, insert-append, erase, checkpoint restore);
+// check_invariants() verifies the two stay equal.
+inline void refresh_leaf_soa(NodeCold& nc, std::span<const Point> all_points,
+                             int dim) {
+  nc.soa.reset(static_cast<std::uint32_t>(nc.leaf_pts.size()), dim);
+  for (std::uint32_t i = 0; i < nc.soa.n; ++i)
+    nc.soa.set(i, all_points[nc.leaf_pts[i]].x.data(), dim);
+}
 
 class NodePool {
  public:
@@ -114,6 +131,20 @@ class NodePool {
 
   bool contains(NodeId id) const {
     return id < slot_of_.size() && slot_of_[id] != kNoSlot;
+  }
+
+  // Software prefetch of a node's hot record ahead of the NodeId-indexed
+  // descent (query recursions issue it for both children while the current
+  // node's pruning arithmetic runs). Harmless on dead/kNoNode ids.
+  void prefetch(NodeId id) const {
+#if defined(__GNUC__) || defined(__clang__)
+    if (id < slot_of_.size()) {
+      const std::uint32_t slot = slot_of_[id];
+      if (slot != kNoSlot) __builtin_prefetch(&hot_[slot], 0, 3);
+    }
+#else
+    (void)id;
+#endif
   }
   std::size_t size() const { return live_; }
 

@@ -185,7 +185,10 @@ std::vector<PimKdTree::RouteStop> PimKdTree::route_batch(
       return;
     }
 
-    // Partition the queries by the splitting hyperplane.
+    // Partition the queries by the splitting hyperplane (prefetch the
+    // children while the partition's comparisons run).
+    pool_.prefetch(rec.left);
+    pool_.prefetch(rec.right);
     std::vector<std::uint32_t> lqs;
     std::vector<std::uint32_t> rqs;
     lqs.reserve(qs.size());
@@ -445,8 +448,10 @@ std::vector<PointId> PimKdTree::insert(std::span<const Point> pts) {
     if (imbalanced) {
       touched = rebuild_subtree(node, std::move(batch_ids), /*drop_dead=*/true);
     } else {
-      std::vector<PointId>& leaf_pts = pool_.cold(node).leaf_pts;
+      NodeCold& nc = pool_.cold(node);
+      std::vector<PointId>& leaf_pts = nc.leaf_pts;
       leaf_pts.insert(leaf_pts.end(), batch_ids.begin(), batch_ids.end());
+      refresh_leaf_soa(nc, all_points_, cfg_.dim);
       pool_.at(node).exact_size = leaf_pts.size();
       store_.refresh_leaf_payload(
           node, batch_ids.size() * point_words(cfg_.dim));
@@ -502,7 +507,8 @@ void PimKdTree::erase(std::span<const PointId> ids) {
     if (imbalanced) {
       touched = rebuild_subtree(node, {}, /*drop_dead=*/true);
     } else {
-      std::vector<PointId>& leaf_pts = pool_.cold(node).leaf_pts;
+      NodeCold& nc = pool_.cold(node);
+      std::vector<PointId>& leaf_pts = nc.leaf_pts;
       std::unordered_set<PointId> victim_set;
       for (const std::uint32_t qi : qis) victim_set.insert(victims[qi]);
       const std::size_t before = leaf_pts.size();
@@ -510,6 +516,7 @@ void PimKdTree::erase(std::span<const PointId> ids) {
                     [&](PointId id) { return victim_set.count(id) != 0; });
       assert(before - leaf_pts.size() == qis.size());
       (void)before;
+      refresh_leaf_soa(nc, all_points_, cfg_.dim);
       pool_.at(node).exact_size = leaf_pts.size();
       store_.refresh_leaf_payload(node, qis.size() * point_words(cfg_.dim));
       touched = node;

@@ -253,6 +253,9 @@ Status Checkpoint::read_nodes(ByteReader& r, core::PimKdTree& t,
       if (!r.u32(p)) return corrupt("nodes record truncated (leaf points)");
     if (!r.f64(c.max_priority) || !r.u32(c.max_priority_id))
       return corrupt("nodes record truncated");
+    // The points record precedes nodes in the checkpoint layout, so
+    // all_points_ is already rehydrated and the SoA mirror can be rebuilt.
+    core::refresh_leaf_soa(c, t.all_points_, dim);
   }
   if (r.remaining() != 0) return corrupt("nodes record has trailing bytes");
   if (next_node_id <= prev) return corrupt("next node id <= last restored id");

@@ -16,6 +16,8 @@
 #include <span>
 #include <vector>
 
+#include "util/kernels.hpp"
+
 namespace pimkd {
 
 inline constexpr int kMaxDim = 16;
@@ -40,13 +42,10 @@ struct Point {
 };
 
 // Squared Euclidean distance restricted to the first `dim` coordinates.
+// Delegates to the single point-point definition in util/kernels.hpp — the
+// same code the vectorized leaf-scan kernels run per lane.
 inline Coord sq_dist(const Point& a, const Point& b, int dim) {
-  Coord s = 0;
-  for (int d = 0; d < dim; ++d) {
-    const Coord diff = a[d] - b[d];
-    s += diff * diff;
-  }
-  return s;
+  return kernels::sq_dist_coords(a.x.data(), b.x.data(), dim);
 }
 
 inline Coord euclid_dist(const Point& a, const Point& b, int dim) {
@@ -91,9 +90,8 @@ struct Box {
   }
 
   bool contains(const Point& p, int dim) const {
-    for (int d = 0; d < dim; ++d)
-      if (p[d] < lo[d] || p[d] > hi[d]) return false;
-    return true;
+    return kernels::box_contains_stride(p.x.data(), 1, lo.x.data(),
+                                        hi.x.data(), dim);
   }
 
   bool contains(const Box& o, int dim) const {
@@ -109,15 +107,11 @@ struct Box {
   }
 
   // Squared distance from p to the closest point of the box (0 if inside).
+  // Single branch-free definition in util/kernels.hpp; identical values to
+  // the classic branchy clamp for every validated (non-NaN) input.
   Coord sq_dist_to(const Point& p, int dim) const {
-    Coord s = 0;
-    for (int d = 0; d < dim; ++d) {
-      Coord diff = 0;
-      if (p[d] < lo[d]) diff = lo[d] - p[d];
-      else if (p[d] > hi[d]) diff = p[d] - hi[d];
-      s += diff * diff;
-    }
-    return s;
+    return kernels::box_sq_dist_coords(lo.x.data(), hi.x.data(), p.x.data(),
+                                       dim);
   }
 
   // Does a ball (center c, squared radius r2) intersect this box?

@@ -1,0 +1,152 @@
+// Kernel dispatch and the scalar fallback lanes (DESIGN.md §11).
+#include "util/kernels.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+
+namespace pimkd::kernels {
+
+namespace detail {
+// Implemented in kernels_avx2.cpp (the only -mavx2 translation unit). When
+// the toolchain cannot target AVX2 these are still defined, but
+// compiled_with_avx2() reports false and resolve() never selects them.
+bool compiled_with_avx2();
+void leaf_sq_dists_avx2(const double* data, std::uint32_t stride,
+                        std::uint32_t base, std::uint32_t count,
+                        const double* q, int dim, double* out);
+void leaf_contains_avx2(const double* data, std::uint32_t stride,
+                        std::uint32_t base, std::uint32_t count,
+                        const double* lo, const double* hi, int dim,
+                        std::uint8_t* out);
+}  // namespace detail
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return "scalar";
+    case Isa::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+Request parse_request(const std::string& s) {
+  if (s.empty() || s == "auto") return Request::kAuto;
+  if (s == "off") return Request::kOff;
+  if (s == "avx2") return Request::kAvx2;
+  throw std::invalid_argument("PIMKD_SIMD / PimKdConfig::simd must be one of "
+                              "\"off\", \"avx2\", \"auto\" (got \"" + s +
+                              "\")");
+}
+
+bool valid_request(const std::string& s) {
+  return s.empty() || s == "auto" || s == "off" || s == "avx2";
+}
+
+bool cpu_supports_avx2() {
+  if (!detail::compiled_with_avx2()) return false;
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+namespace {
+const char* request_name(Request r) {
+  switch (r) {
+    case Request::kOff: return "off";
+    case Request::kAvx2: return "avx2";
+    case Request::kAuto: return "auto";
+  }
+  return "?";
+}
+
+// Log each distinct (request, outcome) pair once per process: tests build
+// thousands of trees and must not flood stderr, but the dispatch decision
+// has to be auditable.
+void log_resolution(Request r, Isa isa) {
+  static std::mutex mu;
+  static bool seen[3][2] = {};
+  std::lock_guard<std::mutex> lock(mu);
+  bool& s = seen[static_cast<int>(r)][static_cast<int>(isa)];
+  if (s) return;
+  s = true;
+  std::fprintf(stderr, "[pimkd] SIMD dispatch: %s (requested %s, cpu %s avx2)\n",
+               isa_name(isa), request_name(r),
+               cpu_supports_avx2() ? "supports" : "lacks");
+}
+}  // namespace
+
+Isa resolve(Request r) {
+  Isa isa = Isa::kScalar;
+  if (r != Request::kOff && cpu_supports_avx2()) isa = Isa::kAvx2;
+  log_resolution(r, isa);
+  return isa;
+}
+
+namespace {
+std::atomic<int> g_active{-1};  // -1 = unresolved
+
+Isa resolve_from_env() {
+  const char* env = std::getenv("PIMKD_SIMD");
+  Request r = Request::kAuto;
+  if (env != nullptr) {
+    try {
+      r = parse_request(env);
+    } catch (const std::invalid_argument&) {
+      std::fprintf(stderr,
+                   "[pimkd] ignoring invalid PIMKD_SIMD=\"%s\" (want "
+                   "off|avx2|auto); using auto\n",
+                   env);
+      r = Request::kAuto;
+    }
+  }
+  return resolve(r);
+}
+}  // namespace
+
+Isa active() {
+  int v = g_active.load(std::memory_order_acquire);
+  if (v < 0) {
+    const Isa isa = resolve_from_env();
+    int expected = -1;
+    if (g_active.compare_exchange_strong(expected, static_cast<int>(isa),
+                                         std::memory_order_acq_rel))
+      return isa;
+    v = g_active.load(std::memory_order_acquire);
+  }
+  return static_cast<Isa>(v);
+}
+
+void force_active(Isa isa) {
+  g_active.store(static_cast<int>(isa), std::memory_order_release);
+}
+
+void leaf_sq_dists(Isa isa, const double* data, std::uint32_t stride,
+                   std::uint32_t base, std::uint32_t count, const double* q,
+                   int dim, double* out) {
+  if (count == 0) return;
+  if (isa == Isa::kAvx2) {
+    detail::leaf_sq_dists_avx2(data, stride, base, count, q, dim, out);
+    return;
+  }
+  // Scalar lanes: the single point-point definition over the strided rows.
+  for (std::uint32_t i = 0; i < count; ++i)
+    out[i] = sq_dist_stride(data + base + i, stride, q, dim);
+}
+
+void leaf_contains(Isa isa, const double* data, std::uint32_t stride,
+                   std::uint32_t base, std::uint32_t count, const double* lo,
+                   const double* hi, int dim, std::uint8_t* out) {
+  if (count == 0) return;
+  if (isa == Isa::kAvx2) {
+    detail::leaf_contains_avx2(data, stride, base, count, lo, hi, dim, out);
+    return;
+  }
+  for (std::uint32_t i = 0; i < count; ++i)
+    out[i] = box_contains_stride(data + base + i, stride, lo, hi, dim) ? 1 : 0;
+}
+
+}  // namespace pimkd::kernels

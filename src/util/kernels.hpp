@@ -1,0 +1,173 @@
+// Host query kernels: the single scalar distance definitions, the
+// structure-of-arrays leaf layout, and the runtime-dispatched vectorized
+// batch kernels behind every leaf scan (DESIGN.md §11).
+//
+// Determinism contract: every batched kernel is *bit-identical* to the
+// scalar single-definitions below for each lane. The SIMD implementations
+// vectorize ACROSS points (one point per lane) and keep the per-lane
+// operation order exactly the scalar order (ascending dimension, plain
+// IEEE mul + add, never FMA), so results, ledgers, traces and checkpoint
+// hashes cannot depend on the dispatch decision. The scalar fallback calls
+// the very same single-definitions, so there is exactly one point-point
+// distance, one point-box distance and one point-in-box predicate in the
+// codebase (geometry.hpp's sq_dist / Box::sq_dist_to / Box::contains all
+// delegate here).
+//
+// Dispatch: resolved once per process from the PIMKD_SIMD env var
+// (off|avx2|auto; empty = auto) and __builtin_cpu_supports("avx2"),
+// overridable per-tree via PimKdConfig::simd and per-call via the explicit
+// Isa argument. The decision is logged to stderr once per distinct
+// resolution. The AVX2 implementations live in kernels_avx2.cpp, the only
+// translation unit compiled with -mavx2 — the rest of the binary stays
+// portable to the baseline ISA and the AVX2 path is never entered unless
+// the CPU reports support.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pimkd::kernels {
+
+// SIMD lane width the layouts are padded for (AVX2: 4 doubles).
+inline constexpr std::uint32_t kLaneWidth = 4;
+// Leaf scans hand the batched kernels at most this many points per call
+// (a multiple of kLaneWidth, so chunk bases stay lane-aligned).
+inline constexpr std::uint32_t kScanChunk = 64;
+
+// --- The single scalar definitions -------------------------------------------
+// Strided so the same code is the per-lane definition for both the
+// array-of-structs Point layout (stride 1) and the SoA layout (stride =
+// padded leaf size). Everything that compares, prunes or reports a
+// distance anywhere in the library bottoms out in these three functions.
+
+inline double sq_dist_stride(const double* a, std::size_t a_stride,
+                             const double* b, int dim) {
+  double s = 0;
+  for (int d = 0; d < dim; ++d) {
+    const double diff = a[static_cast<std::size_t>(d) * a_stride] - b[d];
+    s += diff * diff;
+  }
+  return s;
+}
+
+inline double sq_dist_coords(const double* a, const double* b, int dim) {
+  return sq_dist_stride(a, 1, b, dim);
+}
+
+// Branch-free point-to-box squared distance: per dimension the overshoot is
+// max(lo-p, p-hi, 0), which equals the classic branchy clamp for every
+// non-NaN input (validated at API boundaries), including infinite box
+// bounds (Box::whole) and inverted empty boxes (Box::empty).
+inline double box_sq_dist_coords(const double* lo, const double* hi,
+                                 const double* p, int dim) {
+  double s = 0;
+  for (int d = 0; d < dim; ++d) {
+    const double diff = std::max({lo[d] - p[d], p[d] - hi[d], 0.0});
+    s += diff * diff;
+  }
+  return s;
+}
+
+inline bool box_contains_stride(const double* p, std::size_t p_stride,
+                                const double* lo, const double* hi, int dim) {
+  for (int d = 0; d < dim; ++d) {
+    const double v = p[static_cast<std::size_t>(d) * p_stride];
+    if (v < lo[d] || v > hi[d]) return false;
+  }
+  return true;
+}
+
+// --- Dispatch ----------------------------------------------------------------
+
+enum class Isa : std::uint8_t { kScalar = 0, kAvx2 = 1 };
+enum class Request : std::uint8_t { kOff = 0, kAvx2 = 1, kAuto = 2 };
+
+const char* isa_name(Isa isa);
+
+// Parses "off" | "avx2" | "auto" ("" = auto). Throws std::invalid_argument
+// for anything else (PimKdConfig::validate routes this as its field error).
+Request parse_request(const std::string& s);
+bool valid_request(const std::string& s);
+
+// True when this binary carries AVX2 kernels AND the CPU reports AVX2.
+bool cpu_supports_avx2();
+
+// Maps a request to the ISA that will actually run: kAvx2 only when
+// supported, otherwise scalar (an explicit "avx2" on unsupported hardware
+// degrades to scalar with a logged warning instead of failing — results are
+// identical by construction, only the wall-clock differs). Each distinct
+// (request, outcome) pair is logged to stderr once per process.
+Isa resolve(Request r);
+
+// The process-wide default: resolve() of the PIMKD_SIMD env var, computed
+// once on first use. force_active() overrides it (tests and benches).
+Isa active();
+void force_active(Isa isa);
+
+// --- Structure-of-arrays leaf layout -----------------------------------------
+// One coordinate row per dimension, each padded to a kLaneWidth multiple and
+// zero-filled, so batched kernels may always read whole lanes. Mirrors a
+// leaf's points in leaf_pts order; rebuilt by refresh_leaf_soa (tree.hpp)
+// after every leaf payload mutation.
+struct LeafSoa {
+  std::vector<double> data;  // dim rows of `stride` doubles each
+  std::uint32_t n = 0;       // logical point count == leaf_pts.size()
+  std::uint32_t stride = 0;  // n rounded up to a kLaneWidth multiple
+
+  void clear() {
+    data.clear();
+    n = 0;
+    stride = 0;
+  }
+  void reset(std::uint32_t count, int dim) {
+    n = count;
+    stride = (count + kLaneWidth - 1) / kLaneWidth * kLaneWidth;
+    data.assign(static_cast<std::size_t>(stride) * static_cast<std::size_t>(dim),
+                0.0);
+  }
+  double* row(int d) {
+    return data.data() + static_cast<std::size_t>(d) * stride;
+  }
+  const double* row(int d) const {
+    return data.data() + static_cast<std::size_t>(d) * stride;
+  }
+  void set(std::uint32_t i, const double* coords, int dim) {
+    for (int d = 0; d < dim; ++d) row(d)[i] = coords[d];
+  }
+};
+
+// --- Batched kernels ----------------------------------------------------------
+// Layout contract (all three): `data` holds `dim` rows of `stride` doubles;
+// lanes [base, base+count) are read, and the implementation may touch (but
+// never use) lanes up to the next kLaneWidth multiple past base+count — the
+// caller guarantees base + round_up(count, kLaneWidth) <= stride, which
+// LeafSoa's padding and kScanChunk-aligned bases provide. `out` must have
+// room for round_up(count, kLaneWidth) entries.
+
+// out[i] = sq_dist(point base+i, q), bit-identical to sq_dist_coords.
+void leaf_sq_dists(Isa isa, const double* data, std::uint32_t stride,
+                   std::uint32_t base, std::uint32_t count, const double* q,
+                   int dim, double* out);
+
+// out[i] = 1 iff point base+i is inside [lo, hi] on every dimension,
+// bit-identical to box_contains_stride.
+void leaf_contains(Isa isa, const double* data, std::uint32_t stride,
+                   std::uint32_t base, std::uint32_t count, const double* lo,
+                   const double* hi, int dim, std::uint8_t* out);
+
+inline void leaf_sq_dists(Isa isa, const LeafSoa& soa, std::uint32_t base,
+                          std::uint32_t count, const double* q, int dim,
+                          double* out) {
+  leaf_sq_dists(isa, soa.data.data(), soa.stride, base, count, q, dim, out);
+}
+inline void leaf_contains(Isa isa, const LeafSoa& soa, std::uint32_t base,
+                          std::uint32_t count, const double* lo,
+                          const double* hi, int dim, std::uint8_t* out) {
+  leaf_contains(isa, soa.data.data(), soa.stride, base, count, lo, hi, dim,
+                out);
+}
+
+}  // namespace pimkd::kernels

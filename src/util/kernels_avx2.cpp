@@ -1,0 +1,85 @@
+// AVX2 kernel lanes — the only translation unit compiled with -mavx2 (see
+// src/CMakeLists.txt), so the rest of the binary stays portable and these
+// bodies are only ever entered after __builtin_cpu_supports("avx2").
+//
+// Determinism: one point per lane; the dimension loop is OUTSIDE the lane,
+// so each lane performs exactly the scalar op sequence — diff = p[d] - q[d],
+// acc += diff * diff in ascending d — with plain IEEE _mm256_mul_pd /
+// _mm256_add_pd (never FMA; the file is additionally built with
+// -ffp-contract=off so the compiler cannot contract). A lane's result is
+// therefore bit-identical to kernels::sq_dist_stride on every input,
+// including infinities from Box::whole/empty pruning boxes.
+#include "util/kernels.hpp"
+
+#if defined(PIMKD_KERNELS_AVX2)
+#include <immintrin.h>
+#endif
+
+namespace pimkd::kernels::detail {
+
+bool compiled_with_avx2() {
+#if defined(PIMKD_KERNELS_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+#if defined(PIMKD_KERNELS_AVX2)
+
+void leaf_sq_dists_avx2(const double* data, std::uint32_t stride,
+                        std::uint32_t base, std::uint32_t count,
+                        const double* q, int dim, double* out) {
+  for (std::uint32_t i = 0; i < count; i += kLaneWidth) {
+    __m256d acc = _mm256_setzero_pd();
+    for (int d = 0; d < dim; ++d) {
+      const double* row = data + static_cast<std::size_t>(d) * stride + base + i;
+      const __m256d p = _mm256_loadu_pd(row);
+      const __m256d diff = _mm256_sub_pd(p, _mm256_set1_pd(q[d]));
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(diff, diff));
+    }
+    _mm256_storeu_pd(out + i, acc);
+  }
+}
+
+void leaf_contains_avx2(const double* data, std::uint32_t stride,
+                        std::uint32_t base, std::uint32_t count,
+                        const double* lo, const double* hi, int dim,
+                        std::uint8_t* out) {
+  for (std::uint32_t i = 0; i < count; i += kLaneWidth) {
+    // All-true mask; each dimension ANDs in (p >= lo) && (p <= hi). Ordered
+    // quiet compares match the scalar predicate for every non-NaN input.
+    __m256d mask = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+    for (int d = 0; d < dim; ++d) {
+      const double* row = data + static_cast<std::size_t>(d) * stride + base + i;
+      const __m256d p = _mm256_loadu_pd(row);
+      const __m256d ge = _mm256_cmp_pd(p, _mm256_set1_pd(lo[d]), _CMP_GE_OQ);
+      const __m256d le = _mm256_cmp_pd(p, _mm256_set1_pd(hi[d]), _CMP_LE_OQ);
+      mask = _mm256_and_pd(mask, _mm256_and_pd(ge, le));
+    }
+    const int bits = _mm256_movemask_pd(mask);
+    for (std::uint32_t j = 0; j < kLaneWidth; ++j)
+      out[i + j] = static_cast<std::uint8_t>((bits >> j) & 1);
+  }
+}
+
+#else  // !PIMKD_KERNELS_AVX2 — unreachable stubs (resolve() never picks kAvx2)
+
+void leaf_sq_dists_avx2(const double* data, std::uint32_t stride,
+                        std::uint32_t base, std::uint32_t count,
+                        const double* q, int dim, double* out) {
+  for (std::uint32_t i = 0; i < count; ++i)
+    out[i] = sq_dist_stride(data + base + i, stride, q, dim);
+}
+
+void leaf_contains_avx2(const double* data, std::uint32_t stride,
+                        std::uint32_t base, std::uint32_t count,
+                        const double* lo, const double* hi, int dim,
+                        std::uint8_t* out) {
+  for (std::uint32_t i = 0; i < count; ++i)
+    out[i] = box_contains_stride(data + base + i, stride, lo, hi, dim) ? 1 : 0;
+}
+
+#endif
+
+}  // namespace pimkd::kernels::detail

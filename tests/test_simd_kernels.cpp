@@ -1,0 +1,480 @@
+// SIMD kernel equivalence (util/kernels.hpp, DESIGN.md §11).
+//
+// The library's contract is that the dispatch decision is *unobservable*
+// except in wall-clock: forced-scalar and forced-AVX2 runs produce
+// bit-identical query results, identical cost-ledger snapshots, byte-equal
+// JSONL traces, and equal checkpoint hashes. This suite checks that at three
+// levels:
+//   1. kernel level — leaf_sq_dists / leaf_contains scalar vs AVX2, bitwise,
+//      sweeping dim 1..16 and leaf sizes around the lane-width boundaries,
+//      with duplicates, exact ties, and unaligned base offsets;
+//   2. tree level — the same seeded workload under cfg.simd="off" vs "avx2":
+//      knn/range/radius/1-NN results, ledger, and Checkpoint::hash equal;
+//   3. process level — this binary re-executes itself under
+//      PIMKD_SIMD ∈ {off, avx2} × PIMKD_THREADS ∈ {1, 4, 8} and requires all
+//      six outputs and traces byte-identical (custom main, like
+//      test_determinism).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/pim_kdtree.hpp"
+#include "durability/checkpoint.hpp"
+#include "util/generators.hpp"
+#include "util/kernels.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace pimkd;
+using namespace pimkd::core;
+namespace kn = pimkd::kernels;
+
+bool have_avx2() { return kn::cpu_supports_avx2(); }
+
+// Leaf sizes around the lane-width boundaries: 0, 1, w-1, w, w+1, 2w, and a
+// couple of kScanChunk-straddling sizes.
+const std::uint32_t kCounts[] = {0,  1,  kn::kLaneWidth - 1,
+                                 kn::kLaneWidth, kn::kLaneWidth + 1,
+                                 2 * kn::kLaneWidth, 17,
+                                 kn::kScanChunk - 1, kn::kScanChunk,
+                                 kn::kScanChunk + 5};
+
+// A leaf payload with duplicates and exact single-coordinate ties baked in.
+kn::LeafSoa make_soa(std::uint32_t count, int dim, std::uint64_t seed,
+                     std::vector<Point>* pts_out = nullptr) {
+  Rng rng(seed);
+  std::vector<Point> pts(count);
+  for (std::uint32_t i = 0; i < count; ++i)
+    for (int d = 0; d < dim; ++d)
+      pts[i][d] = rng.next_double(-1.0, 1.0);
+  // Duplicates: every 5th point repeats its predecessor exactly.
+  for (std::uint32_t i = 1; i < count; ++i)
+    if (i % 5 == 0) pts[i] = pts[i - 1];
+  // Exact per-coordinate ties without full duplication.
+  for (std::uint32_t i = 2; i < count; ++i)
+    if (i % 7 == 0) pts[i][0] = pts[i - 2][0];
+  kn::LeafSoa soa;
+  soa.reset(count, dim);
+  for (std::uint32_t i = 0; i < count; ++i) soa.set(i, pts[i].x.data(), dim);
+  if (pts_out) *pts_out = std::move(pts);
+  return soa;
+}
+
+TEST(SimdKernels, LeafSqDistsBitIdentical) {
+  if (!have_avx2()) GTEST_SKIP() << "CPU/toolchain lacks AVX2";
+  for (int dim = 1; dim <= kMaxDim; ++dim) {
+    for (const std::uint32_t count : kCounts) {
+      std::vector<Point> pts;
+      const kn::LeafSoa soa =
+          make_soa(count, dim, 77 * dim + count, &pts);
+      Rng rng(13 * dim + count);
+      Point q;
+      for (int d = 0; d < dim; ++d) q[d] = rng.next_double(-1.0, 1.0);
+      const std::uint32_t padded =
+          (count + kn::kLaneWidth - 1) / kn::kLaneWidth * kn::kLaneWidth;
+      std::vector<double> a(padded + 1, -1), b(padded + 1, -1);
+      // Query at a random position, then at an exact data point (distance 0
+      // must come out exactly 0 on both paths).
+      for (int pass = 0; pass < 2; ++pass) {
+        if (pass == 1) {
+          if (count == 0) break;
+          q = pts[count / 2];
+        }
+        kn::leaf_sq_dists(kn::Isa::kScalar, soa, 0, count, q.x.data(), dim,
+                          a.data());
+        kn::leaf_sq_dists(kn::Isa::kAvx2, soa, 0, count, q.x.data(), dim,
+                          b.data());
+        ASSERT_EQ(0, std::memcmp(a.data(), b.data(), count * sizeof(double)))
+            << "dim=" << dim << " count=" << count << " pass=" << pass;
+        if (pass == 1)
+          EXPECT_EQ(a[count / 2], 0.0) << "self-distance must be exactly 0";
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, LeafContainsBitIdentical) {
+  if (!have_avx2()) GTEST_SKIP() << "CPU/toolchain lacks AVX2";
+  for (int dim = 1; dim <= kMaxDim; ++dim) {
+    for (const std::uint32_t count : kCounts) {
+      std::vector<Point> pts;
+      const kn::LeafSoa soa =
+          make_soa(count, dim, 910 * dim + count, &pts);
+      Rng rng(3 * dim + count);
+      const std::uint32_t padded =
+          (count + kn::kLaneWidth - 1) / kn::kLaneWidth * kn::kLaneWidth;
+      // Boxes: random; degenerate (lo == hi == an actual point, so the
+      // boundary-inclusive compare matters); whole; empty (inverted bounds).
+      std::vector<Box> boxes;
+      Box rb;
+      for (int d = 0; d < dim; ++d) {
+        const double x = rng.next_double(-1.0, 1.0);
+        const double y = rng.next_double(-1.0, 1.0);
+        rb.lo[d] = std::min(x, y);
+        rb.hi[d] = std::max(x, y);
+      }
+      boxes.push_back(rb);
+      if (count > 0) {
+        Box degenerate;
+        degenerate.lo = degenerate.hi = pts[count / 2];
+        boxes.push_back(degenerate);
+      }
+      boxes.push_back(Box::whole(dim));
+      boxes.push_back(Box::empty(dim));
+      for (const Box& box : boxes) {
+        std::vector<std::uint8_t> a(padded + 1, 0xcc), b(padded + 1, 0xcc);
+        kn::leaf_contains(kn::Isa::kScalar, soa, 0, count, box.lo.x.data(),
+                          box.hi.x.data(), dim, a.data());
+        kn::leaf_contains(kn::Isa::kAvx2, soa, 0, count, box.lo.x.data(),
+                          box.hi.x.data(), dim, b.data());
+        ASSERT_EQ(0, std::memcmp(a.data(), b.data(), count))
+            << "dim=" << dim << " count=" << count;
+        // Cross-check against the scalar single-definition on the AoS side.
+        for (std::uint32_t i = 0; i < count; ++i)
+          ASSERT_EQ(a[i] != 0, box.contains(pts[i], dim));
+      }
+    }
+  }
+}
+
+// The PriorityKdTree reads arbitrary [begin, begin+count) slices of one
+// global SoA — lane bases are NOT aligned there. The kernels must agree on
+// every offset.
+TEST(SimdKernels, UnalignedBaseSlices) {
+  if (!have_avx2()) GTEST_SKIP() << "CPU/toolchain lacks AVX2";
+  const int dim = 5;
+  const std::uint32_t n = 64;
+  kn::LeafSoa soa = make_soa(n + kn::kLaneWidth, dim, 42);
+  soa.n = n;  // extra pad lane, PriorityKdTree-style
+  Rng rng(7);
+  Point q;
+  for (int d = 0; d < dim; ++d) q[d] = rng.next_double(-1.0, 1.0);
+  for (std::uint32_t base = 0; base < 8; ++base) {
+    for (const std::uint32_t count : {1u, 3u, 4u, 5u, 9u, 32u}) {
+      double a[64], b[64];
+      kn::leaf_sq_dists(kn::Isa::kScalar, soa, base, count, q.x.data(), dim,
+                        a);
+      kn::leaf_sq_dists(kn::Isa::kAvx2, soa, base, count, q.x.data(), dim, b);
+      ASSERT_EQ(0, std::memcmp(a, b, count * sizeof(double)))
+          << "base=" << base << " count=" << count;
+    }
+  }
+}
+
+// The branch-free point-box distance is value-identical to the classic
+// branchy clamp for every non-NaN input, including the ±inf bounds of
+// Box::whole and the inverted bounds of Box::empty.
+TEST(SimdKernels, BoxDistMatchesBranchyReference) {
+  auto branchy = [](const Box& b, const Point& p, int dim) {
+    double s = 0;
+    for (int d = 0; d < dim; ++d) {
+      double v = p[d];
+      if (v < b.lo[d]) v = b.lo[d];
+      if (v > b.hi[d]) v = b.hi[d];
+      const double diff = p[d] - v;
+      s += diff * diff;
+    }
+    return s;
+  };
+  Rng rng(99);
+  for (int dim = 1; dim <= kMaxDim; ++dim) {
+    for (int it = 0; it < 200; ++it) {
+      Box b;
+      Point p;
+      for (int d = 0; d < dim; ++d) {
+        const double x = rng.next_double(-2.0, 2.0);
+        const double y = rng.next_double(-2.0, 2.0);
+        b.lo[d] = std::min(x, y);
+        b.hi[d] = std::max(x, y);
+        p[d] = rng.next_double(-3.0, 3.0);
+      }
+      if (it % 4 == 0) p[0] = b.lo[0];  // exactly on a face
+      ASSERT_EQ(b.sq_dist_to(p, dim), branchy(b, p, dim));
+    }
+    Point p;
+    for (int d = 0; d < dim; ++d) p[d] = rng.next_double(-1.0, 1.0);
+    EXPECT_EQ(Box::whole(dim).sq_dist_to(p, dim), 0.0);
+    EXPECT_EQ(Box::empty(dim).sq_dist_to(p, dim),
+              std::numeric_limits<double>::infinity());
+  }
+}
+
+TEST(SimdConfig, InvalidRequestsRejected) {
+  EXPECT_THROW(kn::parse_request("avx512"), std::invalid_argument);
+  EXPECT_THROW(kn::parse_request("ON"), std::invalid_argument);
+  EXPECT_FALSE(kn::valid_request("scalar"));
+  EXPECT_TRUE(kn::valid_request(""));
+  EXPECT_TRUE(kn::valid_request("off"));
+  EXPECT_TRUE(kn::valid_request("avx2"));
+  EXPECT_TRUE(kn::valid_request("auto"));
+  PimKdConfig cfg;
+  cfg.simd = "sse4";
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.simd = "off";
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+// "avx2" on unsupported hardware degrades to scalar (logged), never fails.
+TEST(SimdConfig, ResolveDegradesGracefully) {
+  const kn::Isa got = kn::resolve(kn::Request::kAvx2);
+  if (have_avx2())
+    EXPECT_EQ(got, kn::Isa::kAvx2);
+  else
+    EXPECT_EQ(got, kn::Isa::kScalar);
+  EXPECT_EQ(kn::resolve(kn::Request::kOff), kn::Isa::kScalar);
+}
+
+// --- Tree-level equivalence ---------------------------------------------------
+
+struct WorkloadResult {
+  std::vector<std::vector<Neighbor>> knn;
+  std::vector<std::vector<PointId>> range;
+  std::vector<std::vector<PointId>> radius;
+  std::vector<std::size_t> radius_count;
+  std::vector<Neighbor> dep;
+  pim::Snapshot snap;
+  std::uint64_t ckpt_hash = 0;
+};
+
+WorkloadResult run_workload(const std::string& simd, int dim,
+                            std::size_t leaf_cap) {
+  PimKdConfig cfg;
+  cfg.dim = dim;
+  cfg.leaf_cap = leaf_cap;
+  cfg.simd = simd;
+  cfg.system.num_modules = 16;
+  cfg.system.cache_words = 1 << 22;
+  cfg.system.seed = 4242;
+
+  const auto pts = gen_uniform({.n = 3000, .dim = dim, .seed = 5});
+  PimKdTree tree(cfg, std::span<const Point>(pts.data(), 2500));
+  (void)tree.insert(std::span<const Point>(pts.data() + 2500, 500));
+  std::vector<PointId> dead;
+  for (PointId i = 0; i < 900; i += 4) dead.push_back(i);
+  tree.erase(dead);
+
+  std::vector<Point> qs(pts.begin(), pts.begin() + 128);
+  std::vector<Box> boxes;
+  for (std::size_t i = 0; i < 64; ++i) {
+    Box b;
+    for (int d = 0; d < dim; ++d) {
+      b.lo[d] = qs[i][d] - 0.08;
+      b.hi[d] = qs[i][d] + 0.08;
+    }
+    boxes.push_back(b);
+  }
+  std::vector<double> prio(tree.next_point_id());
+  for (std::size_t i = 0; i < prio.size(); ++i)
+    prio[i] = static_cast<double>((i * 2654435761ull) % 4093);
+  tree.set_priorities(prio);
+  std::vector<double> qprio(qs.size());
+  std::vector<PointId> self(qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    qprio[i] = prio[i];
+    self[i] = static_cast<PointId>(i);
+  }
+
+  WorkloadResult r;
+  r.knn = tree.knn(qs, 6);
+  r.range = tree.range(boxes);
+  r.radius = tree.radius(qs, 0.07);
+  r.radius_count = tree.radius_count(qs, 0.05);
+  r.dep = tree.dependent_points(qs, qprio, self);
+  r.snap = tree.metrics().snapshot();
+  r.ckpt_hash = durability::Checkpoint::hash(tree);
+  EXPECT_TRUE(tree.check_invariants());
+  return r;
+}
+
+void expect_equal(const WorkloadResult& a, const WorkloadResult& b) {
+  ASSERT_EQ(a.knn.size(), b.knn.size());
+  for (std::size_t i = 0; i < a.knn.size(); ++i) {
+    ASSERT_EQ(a.knn[i].size(), b.knn[i].size()) << i;
+    for (std::size_t j = 0; j < a.knn[i].size(); ++j) {
+      EXPECT_EQ(a.knn[i][j].id, b.knn[i][j].id);
+      // Bitwise, not approximate: the whole point of the kernel contract.
+      EXPECT_EQ(0, std::memcmp(&a.knn[i][j].sq_dist, &b.knn[i][j].sq_dist,
+                               sizeof(double)));
+    }
+  }
+  EXPECT_EQ(a.range, b.range);
+  EXPECT_EQ(a.radius, b.radius);
+  EXPECT_EQ(a.radius_count, b.radius_count);
+  ASSERT_EQ(a.dep.size(), b.dep.size());
+  for (std::size_t i = 0; i < a.dep.size(); ++i) {
+    EXPECT_EQ(a.dep[i].id, b.dep[i].id);
+    EXPECT_EQ(0, std::memcmp(&a.dep[i].sq_dist, &b.dep[i].sq_dist,
+                             sizeof(double)));
+  }
+  EXPECT_EQ(a.snap.cpu_work, b.snap.cpu_work);
+  EXPECT_EQ(a.snap.pim_work, b.snap.pim_work);
+  EXPECT_EQ(a.snap.communication, b.snap.communication);
+  EXPECT_EQ(a.snap.rounds, b.snap.rounds);
+  EXPECT_EQ(a.ckpt_hash, b.ckpt_hash);
+}
+
+TEST(SimdEquivalence, ForcedScalarVsForcedAvx2) {
+  if (!have_avx2()) GTEST_SKIP() << "CPU/toolchain lacks AVX2";
+  // leaf_cap around the lane width: w-1, w, w+1, 2w, and the default.
+  for (const std::size_t leaf_cap :
+       {kn::kLaneWidth - 1, kn::kLaneWidth, kn::kLaneWidth + 1,
+        2 * kn::kLaneWidth, std::uint32_t{16}}) {
+    for (const int dim : {1, 2, 3, 7, 16}) {
+      const WorkloadResult off = run_workload("off", dim, leaf_cap);
+      const WorkloadResult avx = run_workload("avx2", dim, leaf_cap);
+      expect_equal(off, avx);
+    }
+  }
+}
+
+// --- Process-level matrix: PIMKD_SIMD × PIMKD_THREADS -------------------------
+
+std::string self_exe() {
+  char buf[4096];
+  const ssize_t n = readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n <= 0) return {};
+  buf[n] = '\0';
+  return std::string(buf);
+}
+
+std::string run_child(const std::string& exe, const std::string& simd,
+                      int threads, const std::string& trace_path) {
+  const std::string cmd = "PIMKD_SIMD=" + simd +
+                          " PIMKD_THREADS=" + std::to_string(threads) + " '" +
+                          exe + "' --simd-child '" + trace_path + "'";
+  std::FILE* p = popen(cmd.c_str(), "r");
+  if (!p) return {};
+  std::string out;
+  char buf[512];
+  while (std::fgets(buf, sizeof buf, p)) out += buf;
+  const int rc = pclose(p);
+  EXPECT_EQ(rc, 0) << "child failed: " << cmd;
+  return out;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(SimdEquivalence, SubprocessMatrixByteIdentical) {
+  if (!have_avx2()) GTEST_SKIP() << "CPU/toolchain lacks AVX2";
+  const std::string exe = self_exe();
+  ASSERT_FALSE(exe.empty());
+  const std::string dir = ::testing::TempDir();
+  std::string ref_out;
+  std::string ref_trace;
+  for (const char* simd : {"off", "avx2"}) {
+    for (const int threads : {1, 4, 8}) {
+      const std::string trace = dir + "pimkd_simd_" + simd + "_t" +
+                                std::to_string(threads) + ".jsonl";
+      const std::string out = run_child(exe, simd, threads, trace);
+      ASSERT_FALSE(out.empty());
+      const std::string tr = slurp(trace);
+      ASSERT_FALSE(tr.empty());
+      if (ref_out.empty()) {
+        ref_out = out;
+        ref_trace = tr;
+      } else {
+        EXPECT_EQ(out, ref_out)
+            << "output diverged at simd=" << simd << " threads=" << threads;
+        EXPECT_EQ(tr, ref_trace)
+            << "trace diverged at simd=" << simd << " threads=" << threads;
+      }
+      std::remove(trace.c_str());
+    }
+  }
+}
+
+// Child workload: build + insert + erase + the full read mix; prints result
+// hashes, the ledger aggregates, and the checkpoint hash. Everything printed
+// must be identical across the whole PIMKD_SIMD × PIMKD_THREADS matrix.
+int simd_child(const char* trace_path) {
+  PimKdConfig cfg;
+  cfg.dim = 3;
+  cfg.leaf_cap = 8;
+  cfg.system.num_modules = 32;
+  cfg.system.cache_words = 1 << 22;
+  cfg.system.seed = 1234;
+  cfg.trace_path = trace_path;
+
+  const auto pts = gen_uniform({.n = 8000, .dim = 3, .seed = 21});
+  PimKdTree tree(cfg, std::span<const Point>(pts.data(), 7000));
+  (void)tree.insert(std::span<const Point>(pts.data() + 7000, 1000));
+  std::vector<PointId> dead;
+  for (PointId i = 0; i < 2400; i += 3) dead.push_back(i);
+  tree.erase(dead);
+
+  std::vector<Point> qs(pts.begin(), pts.begin() + 192);
+  std::uint64_t qh = 0;
+  auto fold_bits = [&qh](double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    qh = qh * 1000003u + bits;
+  };
+  for (const auto& v : tree.knn(qs, 8))
+    for (const auto& nb : v) {
+      qh = qh * 1000003u + nb.id;
+      fold_bits(nb.sq_dist);
+    }
+  std::vector<Box> boxes;
+  for (std::size_t i = 0; i < 96; ++i) {
+    Box b;
+    for (int d = 0; d < 3; ++d) {
+      b.lo[d] = qs[i][d] - 0.06;
+      b.hi[d] = qs[i][d] + 0.06;
+    }
+    boxes.push_back(b);
+  }
+  for (const auto& v : tree.range(boxes))
+    for (const PointId id : v) qh = qh * 1000003u + id;
+  for (const auto& v : tree.radius(qs, 0.08))
+    for (const PointId id : v) qh = qh * 1000003u + id;
+  for (const auto c : tree.radius_count(qs, 0.05)) qh = qh * 31 + c;
+  std::vector<double> prio(tree.next_point_id());
+  for (std::size_t i = 0; i < prio.size(); ++i)
+    prio[i] = static_cast<double>((i * 2654435761ull) % 99991);
+  tree.set_priorities(prio);
+  std::vector<double> qprio(qs.size());
+  std::vector<PointId> self(qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    qprio[i] = prio[i];
+    self[i] = static_cast<PointId>(i);
+  }
+  for (const auto& nb : tree.dependent_points(qs, qprio, self)) {
+    qh = qh * 1000003u + nb.id;
+    if (nb.id != kInvalidPoint) fold_bits(nb.sq_dist);
+  }
+
+  const auto s = tree.metrics().snapshot();
+  std::printf("qh=%llu cpu=%llu pim_work=%llu comm=%llu rounds=%llu "
+              "ckpt=%llu inv=%d\n",
+              (unsigned long long)qh, (unsigned long long)s.cpu_work,
+              (unsigned long long)s.pim_work,
+              (unsigned long long)s.communication,
+              (unsigned long long)s.rounds,
+              (unsigned long long)durability::Checkpoint::hash(tree),
+              tree.check_invariants() ? 1 : 0);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "--simd-child")
+    return simd_child(argc >= 3 ? argv[2] : "");
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
