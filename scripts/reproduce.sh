@@ -109,6 +109,27 @@ if grep -q '"pipeline_gate_ok":false' "$serve_json"; then
 fi
 echo "pipelined serve gate passed ($(grep -o '"pipeline_speedup":[0-9.eE+-]*' "$serve_json" | head -1))"
 
+# Sharded-router gate: the K=1 vs K=4 read-heavy legs must have run through
+# router::Frontend, and on >= 4 hardware cores K=4 must sustain >= 1.05x the
+# K=1 throughput (DESIGN.md §12). On fewer cores the shard pumps time-share
+# the host, the gate passes vacuously, and bench_serve prints the caveat —
+# no scale-out speedup is claimed there.
+if ! grep -q '"mix":"router_k4"' "$serve_json" || \
+   ! grep -q '"router_speedup"' "$serve_json"; then
+  echo "bench_serve is missing the sharded router legs." >&2
+  exit 1
+fi
+if grep -q '"router_gate_ok":false' "$serve_json"; then
+  echo "K=4 router throughput fell below the 1.05x scale-out gate:" >&2
+  grep -o '"router_speedup":[0-9.eE+-]*' "$serve_json" >&2
+  exit 1
+fi
+if grep -q '"router_gate_vacuous":true' "$serve_json"; then
+  echo "router gate vacuous (fewer than 4 hardware cores; measured $(grep -o '"router_speedup":[0-9.eE+-]*' "$serve_json"))"
+else
+  echo "router scale-out gate passed ($(grep -o '"router_speedup":[0-9.eE+-]*' "$serve_json"))"
+fi
+
 # Adaptive-replication gate: bench_fig2_caching's mix sweep must show the
 # adaptive controller landing within 1.15x of the best static mode on every
 # mix (>= 3 mixes), re-replication cost included.

@@ -36,7 +36,11 @@ void PimKdTree::knn_rec(Cursor& cur, NodeId nid, const Point& q,
   const Coord worst_in = heap.size() < k
                              ? std::numeric_limits<Coord>::infinity()
                              : heap.front().sq_dist;
-  if (n.box.sq_dist_to(q, cfg_.dim) * prune >= worst_in) {
+  // Strict prune: a box at distance exactly worst_in may still hold a point
+  // that wins the (sq_dist, id) tie-break at the k-th place, so boundary
+  // ties stay brute-force-exact (the router's cross-shard merge relies on
+  // every shard answering in that total order).
+  if (n.box.sq_dist_to(q, cfg_.dim) * prune > worst_in) {
     cur.release(mark);
     return;
   }
@@ -77,7 +81,7 @@ void PimKdTree::knn_rec(Cursor& cur, NodeId nid, const Point& q,
   knn_rec(cur, first, q, heap, k, prune);
   const Coord worst = heap.size() < k ? std::numeric_limits<Coord>::infinity()
                                       : heap.front().sq_dist;
-  if (pool_.at(second).box.sq_dist_to(q, cfg_.dim) * prune < worst)
+  if (pool_.at(second).box.sq_dist_to(q, cfg_.dim) * prune <= worst)
     knn_rec(cur, second, q, heap, k, prune);
   cur.release(mark);
 }

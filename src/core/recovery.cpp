@@ -258,7 +258,9 @@ void PimKdTree::host_knn_rec(pim::Metrics& led, NodeId nid, const Point& q,
   const Coord worst_in = heap.size() < k
                              ? std::numeric_limits<Coord>::infinity()
                              : heap.front().sq_dist;
-  if (n.box.sq_dist_to(q, cfg_.dim) * prune >= worst_in) return;
+  // Strict prune on the tie boundary — must mirror knn_rec exactly so the
+  // degraded host path returns byte-identical results (see knn.cpp).
+  if (n.box.sq_dist_to(q, cfg_.dim) * prune > worst_in) return;
   if (n.is_leaf()) {
     const NodeCold& nc = pool_.cold(nid);
     const std::vector<PointId>& pts = nc.leaf_pts;
@@ -293,7 +295,7 @@ void PimKdTree::host_knn_rec(pim::Metrics& led, NodeId nid, const Point& q,
   host_knn_rec(led, first, q, heap, k, prune);
   const Coord worst = heap.size() < k ? std::numeric_limits<Coord>::infinity()
                                       : heap.front().sq_dist;
-  if (pool_.at(second).box.sq_dist_to(q, cfg_.dim) * prune < worst)
+  if (pool_.at(second).box.sq_dist_to(q, cfg_.dim) * prune <= worst)
     host_knn_rec(led, second, q, heap, k, prune);
 }
 

@@ -1,0 +1,261 @@
+#include "router/partition.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace pimkd::router {
+
+namespace {
+
+[[noreturn]] void bad_field(const char* field, const std::string& why) {
+  throw std::invalid_argument(std::string("RouterConfig::") + field + " " + why);
+}
+
+// --- serialize helpers (little-endian on every platform we build for) -------
+template <class T>
+void put(std::vector<std::uint8_t>& out, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::size_t at = out.size();
+  out.resize(at + sizeof(T));
+  std::memcpy(out.data() + at, &v, sizeof(T));
+}
+
+template <class T>
+bool get(std::span<const std::uint8_t> in, std::size_t& at, T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (in.size() - at < sizeof(T)) return false;
+  std::memcpy(&v, in.data() + at, sizeof(T));
+  at += sizeof(T);
+  return true;
+}
+
+constexpr std::uint32_t kMagic = 0x504b5254;  // "PKRT"
+constexpr std::uint32_t kVersion = 1;
+
+}  // namespace
+
+std::int32_t SpacePartition::build_rec(std::span<const Point> sample, int dim,
+                                       std::vector<std::uint32_t>& order,
+                                       std::size_t lo, std::size_t hi,
+                                       std::size_t cells, const Box& region) {
+  const std::int32_t node = static_cast<std::int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  if (cells == 1) {
+    const std::int32_t shard = static_cast<std::int32_t>(cells_.size());
+    nodes_[static_cast<std::size_t>(node)].shard = shard;
+    cells_.push_back(region);
+    leaf_node_.push_back(node);
+    return node;
+  }
+  const std::size_t n = hi - lo;
+  if (n < cells)
+    bad_field("shards",
+              "cannot be honored: the partition sample is too degenerate to "
+              "seed every cell (coordinate ties collapse a sub-sample below "
+              "its cell count)");
+  // Split dimension: widest extent of the sub-sample's bounding box.
+  Box bb = Box::empty(dim);
+  for (std::size_t i = lo; i < hi; ++i) bb.extend(sample[order[i]], dim);
+  const int d = bb.widest_dim(dim);
+  if (!(bb.hi[d] > bb.lo[d]))
+    bad_field("shards",
+              "cannot be honored: degenerate partition sample (all sampled "
+              "points in a cell are identical, no split plane exists)");
+  // ceil/floor cell balance; the sample splits proportionally so every cell
+  // ends up with roughly n/K seed points.
+  const std::size_t cl = (cells + 1) / 2;
+  std::sort(order.begin() + static_cast<std::ptrdiff_t>(lo),
+            order.begin() + static_cast<std::ptrdiff_t>(hi),
+            [&](std::uint32_t a, std::uint32_t b) {
+              const Coord ca = sample[a][d], cb = sample[b][d];
+              if (ca != cb) return ca < cb;
+              return a < b;
+            });
+  std::size_t pos = lo + (n * cl) / cells;
+  pos = std::min(std::max(pos, lo + 1), hi - 1);
+  // The split value must exceed the minimum coordinate (rule: < value goes
+  // left) or the left cell would be empty; the positive extent guarantees a
+  // larger coordinate exists.
+  const Coord mn = sample[order[lo]][d];
+  while (pos < hi && !(sample[order[pos]][d] > mn)) ++pos;
+  const Coord value = sample[order[pos]][d];
+  // Back up over the tie run so [lo, pos) is exactly {coord < value}.
+  while (pos > lo && sample[order[pos - 1]][d] == value) --pos;
+
+  Box left_region = region;
+  left_region.hi[d] = value;
+  Box right_region = region;
+  right_region.lo[d] = value;
+  const std::int32_t l =
+      build_rec(sample, dim, order, lo, pos, cl, left_region);
+  const std::int32_t r =
+      build_rec(sample, dim, order, pos, hi, cells - cl, right_region);
+  Node& me = nodes_[static_cast<std::size_t>(node)];
+  me.split_dim = d;
+  me.split = value;
+  me.left = l;
+  me.right = r;
+  return node;
+}
+
+SpacePartition SpacePartition::build(std::span<const Point> sample, int dim,
+                                     std::size_t shards) {
+  if (shards == 0) bad_field("shards", "must be >= 1 (got 0)");
+  if (dim < 1 || dim > kMaxDim)
+    bad_field("tree.dim", "out of range for the partition");
+  if (sample.size() < shards)
+    bad_field("shards", "exceeds the point count (" +
+                            std::to_string(shards) + " shards, " +
+                            std::to_string(sample.size()) +
+                            " partition sample points; every cell needs at "
+                            "least one seed point)");
+  SpacePartition p;
+  p.dim_ = dim;
+  std::vector<std::uint32_t> order(sample.size());
+  for (std::size_t i = 0; i < order.size(); ++i)
+    order[i] = static_cast<std::uint32_t>(i);
+  p.build_rec(sample, dim, order, 0, sample.size(), shards, Box::whole(dim));
+  return p;
+}
+
+std::size_t SpacePartition::shard_of(const Point& p) const {
+  std::int32_t at = 0;
+  while (nodes_[static_cast<std::size_t>(at)].split_dim >= 0) {
+    const Node& n = nodes_[static_cast<std::size_t>(at)];
+    at = p[n.split_dim] < n.split ? n.left : n.right;
+  }
+  return static_cast<std::size_t>(nodes_[static_cast<std::size_t>(at)].shard);
+}
+
+std::size_t SpacePartition::split_cell(std::size_t s, int split_dim,
+                                       Coord value) {
+  if (s >= shards())
+    throw std::invalid_argument("SpacePartition::split_cell: shard id " +
+                                std::to_string(s) + " out of range");
+  if (split_dim < 0 || split_dim >= dim_)
+    throw std::invalid_argument(
+        "SpacePartition::split_cell: split dimension out of range");
+  const Box& cell = cells_[s];
+  if (!(cell.lo[split_dim] < value && value <= cell.hi[split_dim]))
+    throw std::invalid_argument(
+        "SpacePartition::split_cell: split plane does not cut the cell");
+
+  const std::int32_t leaf = leaf_node_[s];
+  const std::int32_t new_shard = static_cast<std::int32_t>(cells_.size());
+  const std::int32_t l = static_cast<std::int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_.back().shard = static_cast<std::int32_t>(s);
+  const std::int32_t r = static_cast<std::int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_.back().shard = new_shard;
+
+  Node& me = nodes_[static_cast<std::size_t>(leaf)];
+  me.shard = -1;
+  me.split_dim = split_dim;
+  me.split = value;
+  me.left = l;
+  me.right = r;
+
+  Box right_cell = cells_[s];
+  right_cell.lo[split_dim] = value;
+  cells_[s].hi[split_dim] = value;
+  cells_.push_back(right_cell);
+  leaf_node_[s] = l;
+  leaf_node_.push_back(r);
+  ++epoch_;
+  return static_cast<std::size_t>(new_shard);
+}
+
+std::vector<std::uint8_t> SpacePartition::serialize() const {
+  std::vector<std::uint8_t> out;
+  put(out, kMagic);
+  put(out, kVersion);
+  put(out, epoch_);
+  put(out, static_cast<std::uint32_t>(dim_));
+  put(out, static_cast<std::uint32_t>(cells_.size()));
+  put(out, static_cast<std::uint32_t>(nodes_.size()));
+  for (const Node& n : nodes_) {
+    put(out, n.split_dim);
+    put(out, n.split);
+    put(out, n.left);
+    put(out, n.right);
+    put(out, n.shard);
+  }
+  for (const Box& c : cells_) {
+    for (int d = 0; d < dim_; ++d) put(out, c.lo[d]);
+    for (int d = 0; d < dim_; ++d) put(out, c.hi[d]);
+  }
+  for (std::int32_t l : leaf_node_) put(out, l);
+  return out;
+}
+
+Status SpacePartition::deserialize(std::span<const std::uint8_t> bytes,
+                                   SpacePartition& out) {
+  const auto bad = [](const char* why) {
+    return Status::Error(StatusCode::kInvalidArgument,
+                         std::string("SpacePartition::deserialize: ") + why);
+  };
+  std::size_t at = 0;
+  std::uint32_t magic = 0, version = 0, dim = 0, shards = 0, nodes = 0;
+  std::uint64_t epoch = 0;
+  if (!get(bytes, at, magic) || magic != kMagic) return bad("bad magic");
+  if (!get(bytes, at, version) || version != kVersion)
+    return bad("unsupported version");
+  if (!get(bytes, at, epoch) || !get(bytes, at, dim) ||
+      !get(bytes, at, shards) || !get(bytes, at, nodes))
+    return bad("truncated header");
+  if (dim < 1 || dim > static_cast<std::uint32_t>(kMaxDim))
+    return bad("dimension out of range");
+  if (shards == 0 || nodes != 2 * shards - 1)
+    return bad("node/cell count mismatch");
+
+  SpacePartition p;
+  p.dim_ = static_cast<int>(dim);
+  p.epoch_ = epoch;
+  p.nodes_.resize(nodes);
+  for (Node& n : p.nodes_) {
+    if (!get(bytes, at, n.split_dim) || !get(bytes, at, n.split) ||
+        !get(bytes, at, n.left) || !get(bytes, at, n.right) ||
+        !get(bytes, at, n.shard))
+      return bad("truncated node table");
+    const bool leaf = n.split_dim < 0;
+    if (leaf) {
+      if (n.shard < 0 || static_cast<std::uint32_t>(n.shard) >= shards)
+        return bad("leaf shard id out of range");
+    } else {
+      if (n.split_dim >= static_cast<std::int32_t>(dim) ||
+          n.left < 0 || n.right < 0 ||
+          static_cast<std::uint32_t>(n.left) >= nodes ||
+          static_cast<std::uint32_t>(n.right) >= nodes)
+        return bad("internal node child out of range");
+    }
+  }
+  p.cells_.resize(shards);
+  for (Box& c : p.cells_) {
+    for (int d = 0; d < p.dim_; ++d)
+      if (!get(bytes, at, c.lo[d])) return bad("truncated cell table");
+    for (int d = 0; d < p.dim_; ++d)
+      if (!get(bytes, at, c.hi[d])) return bad("truncated cell table");
+  }
+  p.leaf_node_.resize(shards);
+  for (std::int32_t& l : p.leaf_node_) {
+    if (!get(bytes, at, l)) return bad("truncated leaf index");
+    if (l < 0 || static_cast<std::uint32_t>(l) >= nodes ||
+        p.nodes_[static_cast<std::size_t>(l)].split_dim >= 0)
+      return bad("leaf index does not name a leaf node");
+  }
+  if (at != bytes.size()) return bad("trailing bytes");
+  // Structural cross-check: every shard's leaf must agree on its id.
+  for (std::size_t s = 0; s < shards; ++s)
+    if (p.nodes_[static_cast<std::size_t>(p.leaf_node_[s])].shard !=
+        static_cast<std::int32_t>(s))
+      return Status::Error(StatusCode::kCorruptState,
+                           "SpacePartition::deserialize: leaf/shard tables "
+                           "disagree");
+  out = std::move(p);
+  return Status::Ok();
+}
+
+}  // namespace pimkd::router

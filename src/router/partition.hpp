@@ -1,0 +1,105 @@
+// Top-level space partition for the router tier (DESIGN.md §12).
+//
+// A SpacePartition is a tiny kd-split tree over the whole space whose K
+// leaves are the shard cells: every point routes to exactly one shard
+// (descend with `x[dim] < split` going left, ties right), and every box or
+// ball intersects a computable subset of cells, which is what the router's
+// scatter/gather pruning runs on. It is built once from a deterministic
+// sample of the initial point set — recursive median splits along the widest
+// sample dimension, cell counts balanced ceil/floor — and then evolves only
+// through split_cell() (shard splits), never rebuilds, so shard ids are
+// stable for the lifetime of the router.
+//
+// The partition is epoch-versioned: epoch() is bumped by every split_cell(),
+// and the router stamps it into its own mutation epoch so a response can
+// never silently mix routing decisions from two partition generations. It is
+// also serializable (a versioned little-endian byte image) so a control
+// plane can persist or ship the routing table.
+//
+// Cells are stored as CLOSED boxes whose outer edges are +-infinity
+// (Box::whole refined by the split planes). A point on a split plane routes
+// right, but the closed left cell still contains the plane — cell pruning is
+// therefore conservative (it may include a shard that holds no matching
+// point), never lossy, which is the direction correctness needs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pim/status.hpp"
+#include "util/geometry.hpp"
+
+namespace pimkd::router {
+
+class SpacePartition {
+ public:
+  // Invalid until build()/deserialize() succeeds (shards() == 0).
+  SpacePartition() = default;
+
+  // Builds K cells over `sample` by recursive median kd-splits. Deterministic:
+  // the split dimension is the widest dimension of the sub-sample's bounding
+  // box and the split value is chosen from the (coordinate, sample-index)
+  // sorted order, so the result depends only on the sample sequence. Throws
+  // std::invalid_argument naming the offending RouterConfig field when K == 0,
+  // K exceeds the sample size, or the sample is too degenerate to yield K
+  // non-empty cells (e.g. all points identical).
+  static SpacePartition build(std::span<const Point> sample, int dim,
+                              std::size_t shards);
+
+  std::size_t shards() const { return cells_.size(); }
+  int dim() const { return dim_; }
+  // Bumped by every split_cell(); 0 for a freshly built partition.
+  std::uint64_t epoch() const { return epoch_; }
+
+  // The shard owning p (descend: left if p[dim] < split, right otherwise).
+  std::size_t shard_of(const Point& p) const;
+
+  // Closed region box of shard s (outer edges +-infinity).
+  const Box& cell(std::size_t s) const { return cells_[s]; }
+
+  // Conservative pruning predicates for scatter/gather.
+  bool cell_intersects(std::size_t s, const Box& b) const {
+    return cells_[s].intersects(b, dim_);
+  }
+  // Squared distance from p to shard s's cell (0 when inside) — the kNN
+  // candidate-ball test is cell_sq_dist(s, q) <= r2 (<= so boundary ties at
+  // exactly the k-th distance are still fanned out to).
+  Coord cell_sq_dist(std::size_t s, const Point& p) const {
+    return cells_[s].sq_dist_to(p, dim_);
+  }
+
+  // Splits shard s's cell at (split_dim, value): s keeps the left half-space
+  // (x[split_dim] < value), a new shard (id == previous shards()) takes the
+  // right. Bumps epoch(). Throws std::invalid_argument when the plane does
+  // not cut the cell.
+  std::size_t split_cell(std::size_t s, int split_dim, Coord value);
+
+  // Versioned little-endian byte image of the full routing state (nodes,
+  // cells, epoch). deserialize() validates structure and returns
+  // kInvalidArgument / kCorruptState on a malformed image.
+  std::vector<std::uint8_t> serialize() const;
+  static Status deserialize(std::span<const std::uint8_t> bytes,
+                            SpacePartition& out);
+
+ private:
+  struct Node {
+    std::int32_t split_dim = -1;  // -1 => leaf
+    Coord split = 0;
+    std::int32_t left = -1;   // internal: child node indices
+    std::int32_t right = -1;
+    std::int32_t shard = -1;  // leaf: shard id
+  };
+
+  std::int32_t build_rec(std::span<const Point> sample, int dim,
+                         std::vector<std::uint32_t>& order, std::size_t lo,
+                         std::size_t hi, std::size_t cells, const Box& region);
+
+  std::vector<Node> nodes_;               // nodes_[0] is the root
+  std::vector<Box> cells_;                // shard id -> closed region box
+  std::vector<std::int32_t> leaf_node_;   // shard id -> leaf node index
+  int dim_ = 0;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace pimkd::router

@@ -70,6 +70,29 @@ std::string BatchLog::to_string() const {
   return std::string(buf);
 }
 
+void ServeStats::merge(const ServeStats& o) {
+  submitted += o.submitted;
+  completed += o.completed;
+  rejected += o.rejected;
+  batches += o.batches;
+  epochs += o.epochs;
+  reads += o.reads;
+  updates += o.updates;
+  mode_switches += o.mode_switches;
+  dispatch_size += o.dispatch_size;
+  dispatch_deadline += o.dispatch_deadline;
+  dispatch_flush += o.dispatch_flush;
+  ticks_rejected += o.ticks_rejected;
+  clock_regressions += o.clock_regressions;
+  read_straddles += o.read_straddles;
+  pipeline_stalls += o.pipeline_stalls;
+  wal_frames += o.wal_frames;
+  wal_failures += o.wal_failures;
+  checkpoints += o.checkpoints;
+  queue_latency.merge(o.queue_latency);
+  service_latency.merge(o.service_latency);
+}
+
 BatchScheduler::BatchScheduler(core::PimKdTree& tree, SchedulerConfig cfg)
     : tree_(tree), cfg_(std::move(cfg)) {
   if (cfg_.batch_size == 0) cfg_.batch_size = 1;

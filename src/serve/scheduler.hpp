@@ -173,6 +173,22 @@ struct ServeStats {
   std::uint64_t checkpoints = 0;        // cadence checkpoints taken
   util::LatencyHistogram queue_latency;    // submit -> dispatch, ticks
   util::LatencyHistogram service_latency;  // submit -> completion, ticks
+
+  // Folds another scheduler instance's stats into this one — the aggregation
+  // a multi-instance deployment (router::Frontend) reports. Merge rules:
+  //   * event counters (submitted..checkpoints) SUM — each field counts
+  //     events that happened on exactly one instance, so the sum is the
+  //     fleet-wide event count. That includes the per-instance fields that
+  //     are NOT interchangeable across instances: `epochs` sums each
+  //     instance's own update-boundary crossings (it is not a shared epoch
+  //     number — the router's epoch is reported separately), `wal_frames`
+  //     sums across per-shard WALs (each shard has its own log generation),
+  //     `mode_switches` sums per-instance controller decisions, and
+  //     `ticks_rejected` sums per-instance consumer-clock violations;
+  //   * latency histograms merge bucket-wise (util::LatencyHistogram::merge),
+  //     so fleet percentiles come from the pooled sample, never from
+  //     averaging per-instance percentiles.
+  void merge(const ServeStats& o);
 };
 
 class BatchScheduler {
