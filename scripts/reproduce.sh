@@ -130,6 +130,29 @@ else
   echo "router scale-out gate passed ($(grep -o '"router_speedup":[0-9.eE+-]*' "$serve_json"))"
 fi
 
+# Migration gate: the zipf(0.99) read-heavy legs must have run with and
+# without the MigrationPlanner (DESIGN.md §13), the migrated run's per-module
+# comm imbalance must stay <= 2x mean and its modeled comm_time within 1.5x
+# the no-migration baseline (both deterministic ledger checks). The wall p99
+# leg only gates on >= 4 hardware cores; on fewer it is vacuous and
+# bench_serve prints the caveat — no latency win is claimed there.
+if ! grep -q '"mix":"migration_gate"' "$serve_json" || \
+   ! grep -q '"mix":"read_heavy_mig_on"' "$serve_json"; then
+  echo "bench_serve is missing the migration gate legs." >&2
+  exit 1
+fi
+if grep -q '"migration_gate_ok":false' "$serve_json"; then
+  echo "migration gate failed (imbalance/overhead/p99):" >&2
+  grep -o '"comm_imbalance_on":[0-9.eE+-]*' "$serve_json" >&2
+  grep -o '"comm_time_o[nf]*":[0-9]*' "$serve_json" >&2
+  exit 1
+fi
+if grep -q '"migration_gate_vacuous":true' "$serve_json"; then
+  echo "migration gate passed on the modeled ledger; p99 leg vacuous (fewer than 4 hardware cores; imbalance $(grep -o '"comm_imbalance_on":[0-9.eE+-]*' "$serve_json"))"
+else
+  echo "migration gate passed ($(grep -o '"comm_imbalance_on":[0-9.eE+-]*' "$serve_json"))"
+fi
+
 # Adaptive-replication gate: bench_fig2_caching's mix sweep must show the
 # adaptive controller landing within 1.15x of the best static mode on every
 # mix (>= 3 mixes), re-replication cost included.

@@ -759,6 +759,7 @@ void PimKdTree::destroy_subtree_mirror(NodeId subtree) {
     destroy_subtree_mirror(rec.left);
     destroy_subtree_mirror(rec.right);
   }
+  store_.drop_remap(subtree);  // dead NodeIds never come back; prune the pin
   pool_.destroy(subtree);
 }
 

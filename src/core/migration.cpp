@@ -1,0 +1,247 @@
+// Live subtree migration: PimKdTree::migrate_component (the apply step) and
+// MigrationPlanner (the epoch-boundary controller). Design in migration.hpp.
+#include "core/migration.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "pim/trace.hpp"
+
+namespace pimkd::core {
+
+// ---------------------------------------------------------------------------
+// PimKdTree::migrate_component — demolish / re-pin / re-materialize.
+//
+// Every physical copy of a component's nodes is intra-component: masters live
+// on master_of(member), pair caches pair an in-component ancestor with an
+// in-component descendant (both endpoints placed by master_of of members),
+// and Group-0 P-way replication is rejected below. So demolishing the
+// component's copies, re-pinning the members' masters through the DistStore
+// remap table and re-running the ordinary materialization path is a
+// *complete* move: no other component's copies reference the old placement,
+// and the storage ledger ends byte-equal to a fresh build that had hashed
+// these members to `to_module` in the first place.
+// ---------------------------------------------------------------------------
+PimKdTree::MigrationReport PimKdTree::migrate_component(NodeId comp_root,
+                                                        std::size_t to_module) {
+  MigrationReport rep;
+  rep.comp_root = comp_root;
+  rep.to_module = to_module;
+  if (to_module >= sys_.P())
+    throw PimError(StatusCode::kInvalidArgument,
+                   "migrate_component: target module out of range");
+  if (!pool_.contains(comp_root))
+    throw PimError(StatusCode::kInvalidArgument,
+                   "migrate_component: no such node");
+  const NodeRec& rec = pool_.at(comp_root);
+  if (rec.comp_root != comp_root)
+    throw PimError(StatusCode::kInvalidArgument,
+                   "migrate_component: not a component root");
+  if (!rec.comp_finished)
+    throw PimError(StatusCode::kFailedPrecondition,
+                   "migrate_component: component is unfinished (delayed "
+                   "construction holds masters only)");
+  if (rec.group == 0 && cfg_.replicate_group0 && cfg_.cached_groups != 0)
+    throw PimError(StatusCode::kFailedPrecondition,
+                   "migrate_component: Group-0 component is P-way replicated "
+                   "(placement-independent)");
+  if (cfg_.delayed_construction && rec.group == 1)
+    throw PimError(StatusCode::kFailedPrecondition,
+                   "migrate_component: Group-1 components under delayed "
+                   "construction may be re-deferred by materialization");
+  if (!sys_.module_alive(to_module))
+    throw PimError(StatusCode::kFailedPrecondition,
+                   "migrate_component: target module is dead");
+
+  rep.from_module = store_.master_of(comp_root);
+  if (rep.from_module == to_module) return rep;  // free no-op
+
+  const WriteGate gate(*this);  // wait out in-flight pinned read phases
+  const std::vector<NodeId> members = component_members(comp_root);
+  pim::TraceScope span(sys_.metrics(), "migration", members.size());
+  pim::RoundGuard round(sys_.metrics());
+  const std::uint64_t comm0 = sys_.metrics().snapshot().communication;
+  ++mutation_epoch_;  // reads must not straddle the move
+
+  demolish_component(comp_root);
+  for (const NodeId m : members) store_.set_remap(m, to_module);
+  materialize_component(comp_root);
+
+  rep.nodes_moved = members.size();
+  for (const NodeId m : members) rep.copies_moved += store_.copy_count(m);
+  rep.words = sys_.metrics().snapshot().communication - comm0;
+  op_stats_.words_migration += rep.words;
+  return rep;
+}
+
+Status PimKdTree::try_migrate_component(NodeId comp_root, std::size_t to_module,
+                                        MigrationReport& out) {
+  try {
+    out = migrate_component(comp_root, to_module);
+  } catch (const PimError& ex) {
+    return ex.status();
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// MigrationPlanner
+// ---------------------------------------------------------------------------
+void MigrationConfig::validate() const {
+  if (migration_num < 1)
+    throw std::invalid_argument(
+        "MigrationConfig.migration_num: must be >= 1");
+  if (!(overload_ratio >= 1.0))
+    throw std::invalid_argument(
+        "MigrationConfig.overload_ratio: must be >= 1");
+}
+
+Status try_validate_migration_config(const MigrationConfig& cfg) {
+  try {
+    cfg.validate();
+  } catch (const std::invalid_argument& ex) {
+    return Status::Error(StatusCode::kInvalidArgument, ex.what());
+  }
+  return Status::Ok();
+}
+
+MigrationPlanner::MigrationPlanner(PimKdTree& tree, MigrationConfig cfg)
+    : tree_(tree),
+      cfg_(cfg),
+      report_at_last_plan_(tree.metrics().load_report()) {
+  cfg_.validate();
+}
+
+bool MigrationPlanner::migratable(const NodeRec& rec) const {
+  if (!rec.comp_finished) return false;
+  const PimKdConfig& c = tree_.config();
+  if (rec.group == 0 && c.replicate_group0 && c.cached_groups != 0)
+    return false;  // P-way replicated: placement-independent
+  if (c.delayed_construction && rec.group == 1)
+    return false;  // materialization may re-defer it
+  return true;
+}
+
+void MigrationPlanner::snapshot_heat() {
+  const DistStore& store = tree_.store();
+  const std::size_t n = store.heat_capacity();
+  heat_at_last_plan_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) heat_at_last_plan_[i] = store.heat(i);
+}
+
+std::vector<MigrationPlanner::Move> MigrationPlanner::plan_moves(
+    const MigrationConfig& cfg, std::span<const std::uint64_t> comm_delta,
+    std::span<const char> module_alive, std::vector<Candidate> candidates) {
+  std::vector<Move> moves;
+  const std::size_t P = comm_delta.size();
+  if (P == 0 || candidates.empty()) return moves;
+
+  const auto alive = [&](std::size_t m) {
+    return m >= module_alive.size() || module_alive[m] != 0;
+  };
+  std::uint64_t sum = 0;
+  std::size_t alive_n = 0;
+  for (std::size_t m = 0; m < P; ++m) {
+    if (!alive(m)) continue;
+    sum += comm_delta[m];
+    ++alive_n;
+  }
+  if (alive_n < 2) return moves;  // nowhere to shed to
+  const double mean = static_cast<double>(sum) / static_cast<double>(alive_n);
+  if (mean <= 0.0) return moves;
+
+  // Hottest components first; comp_root breaks ties so the ranking is a
+  // total order regardless of input order.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.heat != b.heat) return a.heat > b.heat;
+              return a.comp_root < b.comp_root;
+            });
+
+  // Greedy projection: each accepted move shifts the component's inbound hop
+  // words (heat x the words Cursor charges the receiving module per hop)
+  // from home to target, and later picks see the projected loads.
+  std::vector<std::uint64_t> load(comm_delta.begin(), comm_delta.end());
+  for (const Candidate& c : candidates) {
+    if (moves.size() >= cfg.migration_num) break;
+    if (c.comp_root == kNoNode || c.home >= P || !alive(c.home)) continue;
+    if (!(static_cast<double>(load[c.home]) > cfg.overload_ratio * mean))
+      continue;  // home not (projected) overloaded
+    std::size_t best = P;
+    for (std::size_t m = 0; m < P; ++m) {
+      if (!alive(m)) continue;
+      if (best == P || load[m] < load[best]) best = m;  // ties: lowest index
+    }
+    if (best == P || best == c.home) continue;
+    const std::uint64_t shift = c.heat * (kHopWords - kHopWords / 2);
+    if (load[best] + shift >= load[c.home]) continue;  // must strictly help
+    moves.push_back(Move{c.comp_root, c.home, best, c.heat});
+    load[c.home] -= std::min(load[c.home], shift);
+    load[best] += shift;
+  }
+  return moves;
+}
+
+EpochController::Outcome MigrationPlanner::on_epoch_boundary(
+    std::uint64_t reads, std::uint64_t writes) {
+  ++epochs_;
+  ops_seen_ += reads + writes;
+  // Control point (no queries in flight): make sure every NodeId allocated so
+  // far has a heat slot before this epoch's hops would be dropped.
+  tree_.enable_heat_tracking();
+
+  Outcome out;
+  Decision d;
+  d.epoch = epochs_;
+  const bool warm = ops_seen_ >= cfg_.min_ops;
+  const bool spaced =
+      migrations_ == 0 || epochs_ - last_move_epoch_ >= cfg_.min_epoch_gap;
+  if (!warm || !spaced) {
+    last_ = std::move(d);
+    return out;
+  }
+
+  // Observe: ledger comm deltas + per-component heat deltas since the last
+  // planning round (both thread-invariant sums).
+  const pim::LoadReport delta =
+      tree_.metrics().load_report().delta_since(report_at_last_plan_);
+  const NodePool& pool = tree_.pool();
+  const DistStore& store = tree_.store();
+  std::vector<Candidate> cands;
+  pool.for_each([&](const NodeRec& rec) {
+    if (rec.comp_root != rec.id || !migratable(rec)) return;
+    const std::uint64_t now = store.heat(rec.id);
+    const std::uint64_t base = rec.id < heat_at_last_plan_.size()
+                                   ? heat_at_last_plan_[rec.id]
+                                   : 0;
+    const std::uint64_t h = now >= base ? now - base : now;
+    if (h < cfg_.min_heat) return;
+    cands.push_back(Candidate{rec.id, store.master_of(rec.id), h});
+  });
+  d.candidates = cands.size();
+
+  // Decide (pure) + apply (traced, epoch-bumping).
+  const std::vector<Move> moves =
+      plan_moves(cfg_, delta.comm, tree_.system().alive_bitmap(),
+                 std::move(cands));
+  for (const Move& mv : moves) {
+    const auto rep = tree_.migrate_component(mv.comp_root, mv.to);
+    d.words += rep.words;
+    d.moves.push_back(mv);
+    ++migrations_;
+  }
+  if (!d.moves.empty()) last_move_epoch_ = epochs_;
+  // The planning window closes whether or not anything moved: re-baseline so
+  // next round's deltas (including any shipping traffic just charged) start
+  // fresh.
+  report_at_last_plan_ = tree_.metrics().load_report();
+  snapshot_heat();
+
+  out.changed = !d.moves.empty();
+  out.words = d.words;
+  words_shipped_ += d.words;
+  last_ = std::move(d);
+  return out;
+}
+
+}  // namespace pimkd::core

@@ -1,0 +1,128 @@
+// Skew-resistant live subtree migration (DESIGN.md §13).
+//
+// The PIM cost model charges per-round communication time as the *max* words
+// to/from any single module, so one hot module sets every epoch's cost. The
+// serving layer can generate Zipf-skewed streams, and hash placement pins a
+// hot component's master to one module forever. MigrationPlanner closes the
+// loop, in the shape bp-forest's host loop pioneered (plan a bounded
+// `migration_num` of moves per batch, charge the shipping, repeat):
+//
+//   observe — per-module communication deltas from the sharded ledger
+//             (pim::LoadReport; sums of commutative adds, thread-invariant)
+//             plus per-component read heat (DistStore::note_hop: every
+//             off-component hop lands on the component entry point, so the
+//             hop count per component root is exactly the traffic its master
+//             module absorbs),
+//   decide  — plan_moves(): a pure function of those totals — overloaded
+//             modules (comm delta > overload_ratio x mean) shed their
+//             hottest components to the least-loaded alive modules, at most
+//             migration_num per epoch,
+//   apply   — PimKdTree::migrate_component(): demolish the component's
+//             copies, pin every member's master to the target via the
+//             DistStore remap table, re-materialize masters + pair caches
+//             there — storage ledger byte-equal to a fresh build at the new
+//             placement — inside a "migration" trace span, bumping
+//             mutation_epoch so epoch-versioned reads never straddle a move.
+//
+// All decisions are pure functions of thread-invariant ledger totals (the
+// same discipline as AdaptiveReplicationController), so migration-enabled
+// runs stay byte-deterministic across PIMKD_THREADS.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "core/pim_kdtree.hpp"
+#include "pim/metrics.hpp"
+
+namespace pimkd::core {
+
+struct MigrationConfig {
+  // Maximum component moves per epoch (bp-forest's migration_num knob).
+  std::size_t migration_num = 4;
+  // A module is overloaded when its comm delta exceeds this multiple of the
+  // mean alive-module comm delta. Must be >= 1.
+  double overload_ratio = 1.2;
+  // Minimum epochs between two planning rounds that actually moved data.
+  std::uint64_t min_epoch_gap = 2;
+  // Do not plan before this many operations have been observed.
+  std::uint64_t min_ops = 64;
+  // Ignore components whose read-heat delta since the last plan is below
+  // this (too cold to be worth shipping).
+  std::uint64_t min_heat = 8;
+
+  // Throwing entry point <=> try_ Status twin (DESIGN.md §13 convention).
+  void validate() const;
+};
+Status try_validate_migration_config(const MigrationConfig& cfg);
+
+class MigrationPlanner : public EpochController {
+ public:
+  explicit MigrationPlanner(PimKdTree& tree, MigrationConfig cfg = {});
+
+  // A migratable component observed at planning time.
+  struct Candidate {
+    NodeId comp_root = kNoNode;
+    std::size_t home = 0;       // master_of(comp_root) now
+    std::uint64_t heat = 0;     // read-heat delta since the last plan
+  };
+  struct Move {
+    NodeId comp_root = kNoNode;
+    std::size_t from = 0;
+    std::size_t to = 0;
+    std::uint64_t heat = 0;
+  };
+
+  // The pure planning step (unit-testable with a hand-built skewed ledger):
+  // given per-module comm deltas, the alive bitmap and the candidate list,
+  // pick up to migration_num (component -> coldest module) moves off
+  // overloaded modules. Deterministic: candidates are ranked (heat desc,
+  // comp_root asc); ties among target modules resolve to the lowest index.
+  static std::vector<Move> plan_moves(const MigrationConfig& cfg,
+                                      std::span<const std::uint64_t> comm_delta,
+                                      std::span<const char> module_alive,
+                                      std::vector<Candidate> candidates);
+
+  // One record per on_epoch_boundary() call (introspection).
+  struct Decision {
+    std::uint64_t epoch = 0;
+    std::uint64_t candidates = 0;  // migratable comps with heat >= min_heat
+    std::vector<Move> moves;       // executed this epoch
+    std::uint64_t words = 0;       // shipping communication charged
+  };
+
+  // EpochController surface: observe the ledger + heat, plan, and execute
+  // the moves through PimKdTree::migrate_component.
+  const char* name() const override { return "migration"; }
+  Outcome on_epoch_boundary(std::uint64_t reads, std::uint64_t writes) override;
+
+  const Decision& last_decision() const { return last_; }
+  std::uint64_t epochs() const { return epochs_; }
+  std::uint64_t migrations() const { return migrations_; }
+  std::uint64_t words_shipped() const { return words_shipped_; }
+  const MigrationConfig& config() const { return cfg_; }
+
+ private:
+  // Components the apply step accepts: finished roots, not Group-0 P-way
+  // replicated, not delayed-construction Group 1.
+  bool migratable(const NodeRec& rec) const;
+  void snapshot_heat();
+
+  PimKdTree& tree_;
+  MigrationConfig cfg_;
+
+  std::uint64_t ops_seen_ = 0;
+  std::uint64_t epochs_ = 0;
+  std::uint64_t last_move_epoch_ = 0;
+  std::uint64_t migrations_ = 0;
+  std::uint64_t words_shipped_ = 0;
+  // Baselines from the last *plan* (not every epoch): load and heat deltas
+  // accumulate until a planning round fires, so slow-burning skew is visible.
+  pim::LoadReport report_at_last_plan_;
+  std::vector<std::uint64_t> heat_at_last_plan_;  // indexed by NodeId
+  Decision last_;
+};
+
+}  // namespace pimkd::core

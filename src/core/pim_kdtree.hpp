@@ -207,6 +207,33 @@ class PimKdTree {
   // scheduler switches only at epoch boundaries).
   ReplicationReport set_caching_mode(CachingMode mode);
 
+  // --- Live subtree migration (core/migration.cpp) ----------------------------
+  struct MigrationReport {
+    NodeId comp_root = kNoNode;
+    std::size_t from_module = 0;  // master_of(comp_root) before the move
+    std::size_t to_module = 0;
+    std::size_t nodes_moved = 0;     // component members re-placed
+    std::uint64_t copies_moved = 0;  // physical copies shipped at the target
+    std::uint64_t words = 0;         // shipping communication charged
+  };
+  // Moves one finished component's master placement to `to_module` *online*:
+  // demolishes the component's copies, pins every member's master to the
+  // target via the DistStore remap table, and re-materializes masters and
+  // pair caches there — so the distributed state (and the storage ledger) is
+  // exactly what a fresh build with that placement would produce. Charges the
+  // shipping words inside a "migration" trace span and bumps mutation_epoch
+  // so epoch-versioned reads never straddle the move. Throws PimError
+  // (kInvalidArgument / kFailedPrecondition) for non-roots, unfinished or
+  // Group-0-replicated components, out-of-range or dead targets.
+  MigrationReport migrate_component(NodeId comp_root, std::size_t to_module);
+  // Status twin (DESIGN.md §13 convention).
+  Status try_migrate_component(NodeId comp_root, std::size_t to_module,
+                               MigrationReport& out);
+  // Grows the read-heat array (DistStore::note_hop) to cover every NodeId
+  // allocated so far. Control point: call between batches, never while
+  // queries are in flight; the migration planner does this each epoch.
+  void enable_heat_tracking() { store_.enable_heat(pool_.next_id()); }
+
   // --- Fault handling & recovery (ISSUE: fault-injection subsystem) ----------
   // The underlying simulated system (fault surface: crash/revive, health(),
   // alive bitmap, the FaultInjector when a plan is configured).
@@ -281,6 +308,7 @@ class PimKdTree {
     std::uint64_t words_route = 0;
     std::uint64_t words_payload = 0;
     std::uint64_t words_replication = 0;  // online caching-mode switches
+    std::uint64_t words_migration = 0;    // live subtree migrations
   };
   const OpStats& op_stats() const { return op_stats_; }
   void reset_op_stats() { op_stats_ = OpStats{}; }

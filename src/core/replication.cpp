@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "pim/trace.hpp"
 #include "util/stats.hpp"
@@ -94,11 +95,34 @@ PimKdTree::ReplicationReport PimKdTree::set_caching_mode(CachingMode mode) {
 // ---------------------------------------------------------------------------
 // AdaptiveReplicationController
 // ---------------------------------------------------------------------------
+void validate_replication_config(const ReplicationConfig& cfg) {
+  if (!(cfg.ewma > 0.0 && cfg.ewma <= 1.0))
+    throw std::invalid_argument(
+        "ReplicationConfig.ewma: must be in (0, 1]");
+  if (!(cfg.hysteresis >= 1.0))
+    throw std::invalid_argument(
+        "ReplicationConfig.hysteresis: must be >= 1");
+  if (!(cfg.skew_weight >= 0.0))
+    throw std::invalid_argument(
+        "ReplicationConfig.skew_weight: must be >= 0");
+}
+
+Status try_validate_replication_config(const ReplicationConfig& cfg) {
+  try {
+    validate_replication_config(cfg);
+  } catch (const std::invalid_argument& ex) {
+    return Status::Error(StatusCode::kInvalidArgument, ex.what());
+  }
+  return Status::Ok();
+}
+
 AdaptiveReplicationController::AdaptiveReplicationController(
     PimKdTree& tree, ReplicationConfig cfg)
     : tree_(tree),
       cfg_(cfg),
-      comm_at_last_epoch_(tree.metrics().lifetime_module_comm()) {}
+      report_at_last_epoch_(tree.metrics().load_report()) {
+  validate_replication_config(cfg_);
+}
 
 double AdaptiveReplicationController::pairs_per_node() const {
   const NodePool& pool = tree_.pool();
@@ -186,21 +210,20 @@ AdaptiveReplicationController::on_epoch(std::uint64_t reads,
   }
   d.read_fraction = read_frac_ < 0.0 ? 0.0 : read_frac_;
 
-  // Comm skew (max/mean) of the per-module words moved since the last epoch.
-  std::vector<std::uint64_t> comm = tree_.metrics().lifetime_module_comm();
+  // Comm skew (max/mean) of the per-module words moved since the last epoch,
+  // through the shared LoadReport vocabulary (pim/metrics.hpp).
+  pim::LoadReport report = tree_.metrics().load_report();
+  const pim::LoadReport delta = report.delta_since(report_at_last_epoch_);
   std::uint64_t mx = 0, sum = 0;
-  for (std::size_t m = 0; m < comm.size(); ++m) {
-    const std::uint64_t prev =
-        m < comm_at_last_epoch_.size() ? comm_at_last_epoch_[m] : 0;
-    const std::uint64_t delta = comm[m] >= prev ? comm[m] - prev : 0;
-    mx = std::max(mx, delta);
-    sum += delta;
+  for (const std::uint64_t c : delta.comm) {
+    mx = std::max(mx, c);
+    sum += c;
   }
   d.comm_skew = sum > 0 ? static_cast<double>(mx) *
-                              static_cast<double>(comm.size()) /
+                              static_cast<double>(delta.comm.size()) /
                               static_cast<double>(sum)
                         : 1.0;
-  comm_at_last_epoch_ = std::move(comm);
+  report_at_last_epoch_ = std::move(report);
 
   d.predicted = predict(d.read_fraction, d.comm_skew);
   const auto cur = static_cast<std::size_t>(tree_.config().caching);

@@ -38,7 +38,9 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/controller.hpp"
 #include "core/pim_kdtree.hpp"
+#include "pim/metrics.hpp"
 
 namespace pimkd::core {
 
@@ -80,7 +82,12 @@ struct ReplicationConfig {
   double bu_write = 16.0;
 };
 
-class AdaptiveReplicationController {
+// Throwing entry point ⇔ try_ Status twin (DESIGN.md §13): validate() names
+// the offending field; try_validate() is the no-throw form.
+void validate_replication_config(const ReplicationConfig& cfg);
+Status try_validate_replication_config(const ReplicationConfig& cfg);
+
+class AdaptiveReplicationController : public EpochController {
  public:
   explicit AdaptiveReplicationController(PimKdTree& tree,
                                          ReplicationConfig cfg = {});
@@ -100,6 +107,14 @@ class AdaptiveReplicationController {
   // reads the ledger for skew, updates the mix EWMA, evaluates the prior and
   // applies at most one hysteresis-gated mode switch. Returns the decision.
   Decision on_epoch(std::uint64_t reads, std::uint64_t writes);
+
+  // EpochController surface (core/controller.hpp): the scheduler-facing view
+  // of on_epoch.
+  const char* name() const override { return "replication"; }
+  Outcome on_epoch_boundary(std::uint64_t reads, std::uint64_t writes) override {
+    const Decision d = on_epoch(reads, writes);
+    return Outcome{d.switched, d.switch_words};
+  }
 
   CachingMode mode() const { return tree_.config().caching; }
   const Decision& last_decision() const { return last_; }
@@ -123,7 +138,7 @@ class AdaptiveReplicationController {
   std::uint64_t epochs_ = 0;
   std::uint64_t last_switch_epoch_ = 0;
   std::uint64_t switches_ = 0;
-  std::vector<std::uint64_t> comm_at_last_epoch_;  // lifetime per-module comm
+  pim::LoadReport report_at_last_epoch_;  // lifetime sample, last epoch
   Decision last_;
 
   // h̄ cache: recomputed when the pool size drifts >12.5% from the size it

@@ -12,7 +12,10 @@ namespace pimkd::durability {
 namespace {
 
 constexpr char kMagic[8] = {'P', 'K', 'D', 'C', 'K', 'P', 'T', '1'};
-constexpr std::uint32_t kVersion = 1;
+// v2: the storage record gained the migration remap section (placement
+// overrides). v1 files are rejected rather than silently restored to hash
+// placement.
+constexpr std::uint32_t kVersion = 2;
 
 // Record tags (fixed file order: meta, host, nodes, storage, end).
 constexpr std::uint32_t kTagMeta = 1;
@@ -151,6 +154,18 @@ void Checkpoint::write_storage(const core::PimKdTree& t, ByteWriter& w) {
   }
   w.u64(n_stale);
   w.raw(stale.bytes().data(), stale.size());
+  // Migration placement overrides (v2): id -> pinned master module, ascending
+  // by id. Without these a restored tree would re-derive hash placement and
+  // disagree with the registry intent serialized above.
+  std::vector<core::NodeId> remapped;
+  remapped.reserve(t.store_.remap_.size());
+  for (const auto& [id, mod] : t.store_.remap_) remapped.push_back(id);
+  std::sort(remapped.begin(), remapped.end());
+  w.u64(remapped.size());
+  for (const core::NodeId id : remapped) {
+    w.u64(id);
+    w.u32(t.store_.remap_.at(id));
+  }
 }
 
 Status Checkpoint::read_meta(ByteReader& r, core::PimKdConfig& cfg, Checkpoint::Info& info) {
@@ -334,6 +349,23 @@ Status Checkpoint::read_storage(ByteReader& r, core::PimKdTree& t) {
     if (it == t.sys_.module(m).nodes.end())
       return corrupt("storage record: stale counter for absent copy");
     it->second.counter = counter;
+  }
+
+  std::uint64_t n_remap = 0;
+  if (!r.u64(n_remap)) return corrupt("storage record truncated (remap)");
+  core::NodeId prev_remap = 0;
+  for (std::uint64_t i = 0; i < n_remap; ++i) {
+    core::NodeId id = 0;
+    std::uint32_t m = 0;
+    if (!r.u64(id) || !r.u32(m))
+      return corrupt("storage record truncated (remap)");
+    if (i > 0 && id <= prev_remap)
+      return corrupt("storage record: remap ids not ascending");
+    prev_remap = id;
+    if (!t.pool_.contains(id))
+      return corrupt("storage record: remap entry for unknown node");
+    if (m >= P) return corrupt("storage record: remap module out of range");
+    t.store_.remap_[id] = m;
   }
   if (r.remaining() != 0) return corrupt("storage record has trailing bytes");
   return Status::Ok();

@@ -27,6 +27,20 @@ inline void bump(std::atomic<std::uint64_t>& cell, std::uint64_t v,
 }
 }  // namespace
 
+LoadReport LoadReport::delta_since(const LoadReport& prev) const {
+  const auto sat = [](std::uint64_t a, std::uint64_t b) {
+    return a >= b ? a - b : a;  // reset between samples: report the new total
+  };
+  LoadReport d;
+  d.work.resize(work.size());
+  d.comm.resize(comm.size());
+  for (std::size_t m = 0; m < work.size(); ++m)
+    d.work[m] = sat(work[m], m < prev.work.size() ? prev.work[m] : 0);
+  for (std::size_t m = 0; m < comm.size(); ++m)
+    d.comm[m] = sat(comm[m], m < prev.comm.size() ? prev.comm[m] : 0);
+  return d;
+}
+
 std::string Snapshot::to_string() const {
   std::ostringstream os;
   os << "cpu_work=" << cpu_work << " pim_work=" << pim_work

@@ -70,6 +70,23 @@ struct Snapshot {
   std::string to_string() const;
 };
 
+// Per-module load sample: the public vocabulary every epoch-boundary
+// controller (replication, migration, router auto-reshard) and bench speaks,
+// instead of each reading raw ledger counters. Values are lifetime totals —
+// sums of commutative adds, so thread-count invariant; controllers that want
+// per-epoch activity keep the previous report and call delta_since().
+struct LoadReport {
+  std::vector<std::uint64_t> work;  // per-module lifetime PIM work
+  std::vector<std::uint64_t> comm;  // per-module lifetime off-chip words
+
+  LoadSummary work_summary() const { return summarize_load(work); }
+  LoadSummary comm_summary() const { return summarize_load(comm); }
+
+  // Activity since `prev` (saturating, so a reset_module_loads() between the
+  // two samples degrades to "everything is new" instead of wrapping).
+  LoadReport delta_since(const LoadReport& prev) const;
+};
+
 class Metrics {
  public:
   Metrics(std::size_t num_modules, std::size_t cache_words);
@@ -118,6 +135,12 @@ class Metrics {
   }
   LoadSummary comm_balance() const {
     return summarize_load(lifetime_module_comm());
+  }
+
+  // One-call load sample for epoch-boundary controllers (the LoadReport
+  // vocabulary above). Folds in-flight shards like the lifetime accessors.
+  LoadReport load_report() const {
+    return LoadReport{lifetime_module_work(), lifetime_module_comm()};
   }
 
   // Zeroes ONLY the per-module lifetime work/comm vectors that feed

@@ -50,11 +50,22 @@ void validate_request(const serve::Request& r, int dim) {
 
 }  // namespace
 
+void AutoReshardConfig::validate() const {
+  if (max_shards < 1)
+    throw std::invalid_argument("AutoReshardConfig.max_shards: must be >= 1");
+  if (!(overload_ratio >= 1.0))
+    throw std::invalid_argument(
+        "AutoReshardConfig.overload_ratio: must be >= 1");
+}
+
 Frontend::Frontend(Router& router, FrontendConfig cfg)
     : router_(router), cfg_(std::move(cfg)) {
+  cfg_.auto_reshard.validate();
   scheds_.reserve(router_.shards());
   for (std::size_t s = 0; s < router_.shards(); ++s)
     scheds_.push_back(make_sched(s));
+  if (cfg_.auto_reshard.enabled)
+    reshard_ = std::make_unique<AutoReshardPolicy>(*this, cfg_.auto_reshard);
 }
 
 Frontend::~Frontend() { stop(); }
@@ -132,13 +143,19 @@ std::size_t Frontend::pump_locked(std::uint64_t now, bool flush_all) {
     if (take == 0) break;
     std::vector<serve::Request> batch;
     batch.reserve(take);
+    std::size_t reads = 0;
     for (std::size_t i = 0; i < take; ++i) {
       batch.push_back(std::move(pending_.front()));
       pending_.pop_front();
       if (!oldest_.empty() && oldest_.front() == batch.back().submit_tick)
         oldest_.pop_front();
+      if (!core::is_update(batch.back().kind)) ++reads;
     }
     total += execute_epoch(std::move(batch), now);
+    // Epoch boundary: every request of this epoch has resolved, nothing is
+    // in flight — the same point where manual split_shard() is legal, so the
+    // auto-reshard controller may split here.
+    if (reshard_) (void)reshard_->on_epoch_boundary(reads, take - reads);
   }
   return total;
 }
@@ -455,6 +472,10 @@ std::vector<serve::BatchLog> Frontend::shard_batch_log(std::size_t s) const {
 
 Router::ReshardReport Frontend::split_shard(std::size_t s) {
   std::lock_guard<std::mutex> lk(mu_);
+  return split_shard_locked(s);
+}
+
+Router::ReshardReport Frontend::split_shard_locked(std::size_t s) {
   // Every earlier epoch has fully resolved (pump executes epochs to
   // completion), so no in-flight request can observe the boundary move;
   // requests still queued are routed with the new partition at admission.
@@ -462,6 +483,77 @@ Router::ReshardReport Frontend::split_shard(std::size_t s) {
   scheds_.push_back(make_sched(rep.target));
   ++stats_.resharded;
   return rep;
+}
+
+// ---------------------------------------------------------------------------
+// AutoReshardPolicy
+// ---------------------------------------------------------------------------
+AutoReshardPolicy::AutoReshardPolicy(Frontend& fe, AutoReshardConfig cfg)
+    : fe_(fe), cfg_(cfg) {
+  cfg_.validate();
+  snapshot_baseline();
+}
+
+void AutoReshardPolicy::snapshot_baseline() {
+  const std::size_t K = fe_.scheds_.size();
+  shard_baseline_.resize(K);
+  for (std::size_t s = 0; s < K; ++s)
+    shard_baseline_[s] = fe_.router_.shard_tree(s).metrics().load_report();
+}
+
+core::EpochController::Outcome AutoReshardPolicy::on_epoch_boundary(
+    std::uint64_t reads, std::uint64_t writes) {
+  Outcome out;
+  ++epochs_;
+  ops_seen_ += reads + writes;
+  const std::size_t K = fe_.scheds_.size();
+  if (K >= cfg_.max_shards) return out;
+  if (ops_seen_ < cfg_.min_ops) return out;
+  if (splits_ != 0 && epochs_ - last_split_epoch_ < cfg_.min_epoch_gap)
+    return out;
+
+  // Observe: per-shard comm deltas since the last planning round. For a
+  // single shard the cross-shard comparison is vacuous, so the within-shard
+  // per-module imbalance (one hot module sets the epoch cost) is the signal.
+  shard_baseline_.resize(K);  // manual split_shard() may have grown the fleet
+  std::vector<std::uint64_t> comm(K, 0);
+  std::uint64_t sum = 0;
+  double single_shard_imbalance = 0.0;
+  for (std::size_t s = 0; s < K; ++s) {
+    const pim::LoadReport delta = fe_.router_.shard_tree(s)
+                                      .metrics()
+                                      .load_report()
+                                      .delta_since(shard_baseline_[s]);
+    for (const std::uint64_t c : delta.comm) comm[s] += c;
+    sum += comm[s];
+    if (K == 1) single_shard_imbalance = delta.comm_summary().imbalance;
+  }
+
+  // Decide: hottest shard, ties to the lowest index.
+  std::size_t hot = 0;
+  for (std::size_t s = 1; s < K; ++s)
+    if (comm[s] > comm[hot]) hot = s;
+  const double mean = static_cast<double>(sum) / static_cast<double>(K);
+  const bool overloaded =
+      K == 1 ? single_shard_imbalance > cfg_.overload_ratio
+             : sum > 0 &&
+                   static_cast<double>(comm[hot]) > cfg_.overload_ratio * mean;
+
+  // Apply. An unsplittable shard (< 2 live points, or all coincident) is a
+  // skip, not an error — the stream may make it splittable later.
+  if (overloaded) {
+    try {
+      const Router::ReshardReport rep = fe_.split_shard_locked(hot);
+      out.changed = true;
+      out.words = rep.moved_words;
+      ++splits_;
+      last_split_epoch_ = epochs_;
+    } catch (const PimError&) {
+    }
+  }
+  // The planning window closes whether or not anything split.
+  snapshot_baseline();
+  return out;
 }
 
 }  // namespace pimkd::router

@@ -44,12 +44,40 @@
 #include <mutex>
 #include <vector>
 
+#include "core/controller.hpp"
 #include "durability/manager.hpp"
 #include "parallel/mpsc_queue.hpp"
+#include "pim/metrics.hpp"
 #include "router/router.hpp"
 #include "serve/scheduler.hpp"
 
 namespace pimkd::router {
+
+class AutoReshardPolicy;
+
+// Automatic shard splitting behind the shared epoch-boundary controller
+// interface (core/controller.hpp, DESIGN.md §13): after each router epoch the
+// policy samples per-shard communication from the shard trees' ledgers and —
+// warm-up and spacing gates permitting — splits the hottest shard when its
+// comm delta exceeds overload_ratio x the cross-shard mean (for a single
+// shard, when its within-shard per-module imbalance exceeds the ratio).
+// Decisions are pure functions of thread-invariant ledger totals, so
+// auto-resharded runs stay byte-deterministic across PIMKD_THREADS.
+struct AutoReshardConfig {
+  bool enabled = false;
+  // Never grow past this many shards.
+  std::size_t max_shards = 8;
+  // Router epochs between two splits (amortizes the rebuild cost).
+  std::uint64_t min_epoch_gap = 4;
+  // Do not decide before this many operations have been observed.
+  std::uint64_t min_ops = 512;
+  // Overload threshold (see class comment). Must be >= 1.
+  double overload_ratio = 1.5;
+
+  // Throwing entry point ⇔ the frontend constructor's validation
+  // (DESIGN.md §13 convention): names the offending field.
+  void validate() const;
+};
 
 struct FrontendConfig {
   // Router-level admission policy: kFixedSize or kDeadline (the §5 tradeoff
@@ -67,6 +95,8 @@ struct FrontendConfig {
   // vectors / null entries leave that shard's WAL off. Non-owning; each
   // manager must outlive the frontend and must not be shared across shards.
   std::vector<durability::Manager*> durability;
+  // Automatic load-driven shard splitting (see AutoReshardConfig).
+  AutoReshardConfig auto_reshard{};
 };
 
 // Router-level serving summary. `shards` is the ServeStats::merge() fold of
@@ -123,8 +153,17 @@ class Frontend {
   // mutex; every earlier epoch has fully resolved before the split applies.
   Router::ReshardReport split_shard(std::size_t s);
 
+  // Introspection for the auto-reshard controller (nullptr when
+  // cfg.auto_reshard.enabled is false). Read between pumps.
+  const AutoReshardPolicy* reshard_policy() const { return reshard_.get(); }
+
  private:
+  friend class AutoReshardPolicy;  // split_shard_locked + shard access
+
   std::unique_ptr<serve::BatchScheduler> make_sched(std::size_t s);
+  // split_shard's body, callable where mu_ is already held (the auto-reshard
+  // controller runs inside pump_locked, between fully-resolved epochs).
+  Router::ReshardReport split_shard_locked(std::size_t s);
   std::size_t pump_locked(std::uint64_t now, bool flush_all);
   std::size_t due_batch(std::uint64_t now, bool flush_all) const;
   std::size_t execute_epoch(std::vector<serve::Request> batch,
@@ -146,6 +185,34 @@ class Frontend {
   std::deque<std::uint64_t> oldest_;  // monotone min-deque of submit ticks
   std::uint64_t last_pump_tick_ = 0;
   FrontendStats stats_;
+  std::unique_ptr<AutoReshardPolicy> reshard_;
+};
+
+// See the comment at the forward declaration above. Consulted by
+// Frontend::pump_locked after each executed router epoch, with the consumer
+// mutex held and no request in flight — the same boundary where manual
+// split_shard() is legal.
+class AutoReshardPolicy : public core::EpochController {
+ public:
+  AutoReshardPolicy(Frontend& fe, AutoReshardConfig cfg);
+
+  const char* name() const override { return "reshard"; }
+  Outcome on_epoch_boundary(std::uint64_t reads, std::uint64_t writes) override;
+
+  std::uint64_t epochs() const { return epochs_; }
+  std::uint64_t splits() const { return splits_; }
+  const AutoReshardConfig& config() const { return cfg_; }
+
+ private:
+  void snapshot_baseline();
+
+  Frontend& fe_;
+  AutoReshardConfig cfg_;
+  std::uint64_t ops_seen_ = 0;
+  std::uint64_t epochs_ = 0;
+  std::uint64_t last_split_epoch_ = 0;
+  std::uint64_t splits_ = 0;
+  std::vector<pim::LoadReport> shard_baseline_;  // per shard, last plan
 };
 
 }  // namespace pimkd::router

@@ -62,12 +62,25 @@ void validate_request(const Request& r, int dim) {
 std::string BatchLog::to_string() const {
   char buf[128];
   std::snprintf(buf, sizeof buf,
-                "e=%llu t=%llu r=%c i=%u d=%u k=%u g=%u a=%u c=%u m=%u",
+                "e=%llu t=%llu r=%c i=%u d=%u k=%u g=%u a=%u c=%u m=%u mg=%u",
                 static_cast<unsigned long long>(epoch),
                 static_cast<unsigned long long>(tick), reason, inserts, erases,
                 knns, ranges, radii, radius_counts,
-                mode_switch ? 1u : 0u);
+                mode_switch ? 1u : 0u, migration ? 1u : 0u);
   return std::string(buf);
+}
+
+void SchedulerConfig::validate() const {
+  if (batch_size == 0)
+    throw std::invalid_argument("SchedulerConfig.batch_size: must be >= 1");
+  if (max_batch == 0)
+    throw std::invalid_argument("SchedulerConfig.max_batch: must be >= 1");
+  if (pipeline && pipeline_depth == 0)
+    throw std::invalid_argument(
+        "SchedulerConfig.pipeline_depth: must be >= 1 when pipelining");
+  if (controllers.replication || policy == Policy::kAdaptive)
+    core::validate_replication_config(controllers.replication_cfg);
+  if (controllers.migration) controllers.migration_cfg.validate();
 }
 
 void ServeStats::merge(const ServeStats& o) {
@@ -79,6 +92,7 @@ void ServeStats::merge(const ServeStats& o) {
   reads += o.reads;
   updates += o.updates;
   mode_switches += o.mode_switches;
+  migrations += o.migrations;
   dispatch_size += o.dispatch_size;
   dispatch_deadline += o.dispatch_deadline;
   dispatch_flush += o.dispatch_flush;
@@ -97,15 +111,37 @@ BatchScheduler::BatchScheduler(core::PimKdTree& tree, SchedulerConfig cfg)
     : tree_(tree), cfg_(std::move(cfg)) {
   if (cfg_.batch_size == 0) cfg_.batch_size = 1;
   if (cfg_.max_batch == 0) cfg_.max_batch = 1;
+  if (cfg_.pipeline_depth == 0) cfg_.pipeline_depth = 1;
   cfg_.batch_size = std::min(cfg_.batch_size, cfg_.max_batch);
   if (cfg_.policy == Policy::kAdaptive)
+    cfg_.controllers.replication = true;  // compatibility alias
+  cfg_.validate();
+  if (cfg_.controllers.replication)
     controller_ = std::make_unique<core::AdaptiveReplicationController>(
-        tree_, cfg_.replication);
+        tree_, cfg_.controllers.replication_cfg);
+  if (cfg_.controllers.migration)
+    migration_ = std::make_unique<core::MigrationPlanner>(
+        tree_, cfg_.controllers.migration_cfg);
+  // Run order: replication decides *what* is replicated before migration
+  // decides *where* masters live.
+  if (controller_) controllers_.push_back(controller_.get());
+  if (migration_) controllers_.push_back(migration_.get());
   if (cfg_.pipeline) {
-    if (cfg_.pipeline_depth == 0) cfg_.pipeline_depth = 1;
     exec_stage_ = std::make_unique<parallel::StageQueue>("serve-exec");
     resolve_stage_ = std::make_unique<parallel::StageQueue>("serve-resolve");
   }
+}
+
+Status BatchScheduler::try_create(core::PimKdTree& tree, SchedulerConfig cfg,
+                                  std::unique_ptr<BatchScheduler>& out) {
+  try {
+    out = std::make_unique<BatchScheduler>(tree, std::move(cfg));
+  } catch (const std::invalid_argument& ex) {
+    return Status::Error(StatusCode::kInvalidArgument, ex.what());
+  } catch (const PimError& ex) {
+    return ex.status();
+  }
+  return Status::Ok();
 }
 
 BatchScheduler::~BatchScheduler() {
@@ -460,26 +496,30 @@ void BatchScheduler::run_reads(std::vector<Request>& batch,
 void BatchScheduler::apply_task(EpochTask& t) {
   run_updates(t);
   bool mode_switched = false;
-  if (controller_) {
-    // Epoch boundary: updates are applied, the next batch's reads have not
-    // started — the only point where re-replication cannot invalidate an
-    // in-flight snapshot (under pipelining EXEC runs epochs back-to-back, so
-    // this still sits between epoch e's writes and epoch e+1's reads).
-    // Feeding batch op counts (not wall time) keeps the controller a pure
-    // function of the request stream, so virtual-tick runs stay
-    // deterministic at any PIMKD_THREADS.
-    const auto decision =
-        controller_->on_epoch(t.reads.size(), t.updates.size());
-    if (decision.switched) {
-      // The tree's query-visible version moved (set_caching_mode bumped
-      // mutation_epoch); advance the serve epoch so the invariant "one serve
-      // epoch = one tree version" holds for the next batch's reads.
-      std::lock_guard<std::mutex> sl(state_mu_);
-      ++epoch_;
-      ++stats_.epochs;
+  // Epoch boundary: updates are applied, the next batch's reads have not
+  // started — the only point where re-replication or a component move cannot
+  // invalidate an in-flight snapshot (under pipelining EXEC runs epochs
+  // back-to-back, so this still sits between epoch e's writes and epoch
+  // e+1's reads). Feeding batch op counts (not wall time) keeps every
+  // controller a pure function of the request stream, so virtual-tick runs
+  // stay deterministic at any PIMKD_THREADS.
+  for (core::EpochController* c : controllers_) {
+    const auto outcome =
+        c->on_epoch_boundary(t.reads.size(), t.updates.size());
+    if (!outcome.changed) continue;
+    // The tree's query-visible version moved (the apply step bumped
+    // mutation_epoch); advance the serve epoch so the invariant "one serve
+    // epoch = one tree version" holds for the next batch's reads.
+    std::lock_guard<std::mutex> sl(state_mu_);
+    ++epoch_;
+    ++stats_.epochs;
+    if (c == static_cast<core::EpochController*>(controller_.get())) {
       ++stats_.mode_switches;
       t.log.mode_switch = true;
       mode_switched = true;
+    } else {
+      stats_.migrations += migration_->last_decision().moves.size();
+      t.log.migration = true;
     }
   }
   if (cfg_.durability && !wal_failed_.load(std::memory_order_acquire))

@@ -67,6 +67,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/migration.hpp"
 #include "core/pim_kdtree.hpp"
 #include "core/replication.hpp"
 #include "durability/manager.hpp"
@@ -82,8 +83,8 @@ enum class Policy : std::uint8_t {
   kFixedSize,  // dispatch exactly batch_size requests when available
   kDeadline,   // dispatch all pending when the oldest has waited deadline_ticks
   kTradeoff,   // dispatch at the §5-derived target size (deadline fallback)
-  kAdaptive,   // kTradeoff admission + an AdaptiveReplicationController that
-               // may switch the tree's CachingMode at epoch boundaries
+  kAdaptive,   // compatibility alias: kTradeoff admission with
+               // controllers.replication forced on (see ControllersConfig)
 };
 
 inline const char* policy_name(Policy p) {
@@ -95,6 +96,25 @@ inline const char* policy_name(Policy p) {
   }
   return "?";
 }
+
+// The epoch-boundary controllers (core/controller.hpp) this scheduler runs
+// after each epoch's updates are applied, in declaration order: replication
+// first (it may change what the tree replicates), then migration (it re-places
+// what exists). Each controller follows the same observe -> decide -> apply
+// contract — decisions are pure functions of the op stream and the
+// thread-invariant ledger, the apply step runs inside its own trace span and
+// bumps the tree's mutation_epoch — so enabling any subset keeps serve runs
+// byte-deterministic across PIMKD_THREADS (DESIGN.md §13).
+struct ControllersConfig {
+  // Adaptive replication: may switch the tree's CachingMode at epoch
+  // boundaries (core/replication.hpp).
+  bool replication = false;
+  core::ReplicationConfig replication_cfg{};
+  // Skew-resistant subtree migration: may move hot components off overloaded
+  // modules at epoch boundaries (core/migration.hpp).
+  bool migration = false;
+  core::MigrationConfig migration_cfg{};
+};
 
 struct SchedulerConfig {
   Policy policy = Policy::kFixedSize;
@@ -126,8 +146,9 @@ struct SchedulerConfig {
   // Max epochs formed but not yet finalized before FORM blocks (bounds the
   // futures + batches held in flight; stalls counted in pipeline_stalls).
   std::size_t pipeline_depth = 4;
-  // kAdaptive only: tuning of the replication controller (core/replication.hpp).
-  core::ReplicationConfig replication{};
+  // Epoch-boundary controllers (any Policy; kAdaptive forces
+  // controllers.replication on for source compatibility).
+  ControllersConfig controllers{};
   // Crash consistency (src/durability/, DESIGN.md §10). When set, every
   // applied write batch is appended to the write-ahead log — and synced per
   // the manager's policy — on the EXEC stage *before* the batch's futures
@@ -139,6 +160,14 @@ struct SchedulerConfig {
   // manager must outlive the scheduler and is not shared with another
   // scheduler.
   durability::Manager* durability = nullptr;
+
+  // Throwing entry point ⇔ BatchScheduler::try_create Status twin
+  // (DESIGN.md §13): names the offending field, delegates to the enabled
+  // controllers' own validators. Note the constructor clamps the legacy
+  // zero-valued size fields (batch_size, max_batch, pipeline_depth) to 1
+  // *before* validating, so passing 0 there stays accepted for source
+  // compatibility; calling validate() directly is strict.
+  void validate() const;
 };
 
 // One formed batch: its epoch, dispatch tick, trigger, and op mix.
@@ -146,7 +175,8 @@ struct BatchLog {
   std::uint64_t epoch = 0;
   std::uint64_t tick = 0;
   char reason = '?';  // 's'ize target, 'd'eadline, 'f'lush
-  bool mode_switch = false;  // kAdaptive switched CachingMode after this batch
+  bool mode_switch = false;  // replication controller switched CachingMode
+  bool migration = false;    // migration controller moved component(s)
   std::uint32_t inserts = 0, erases = 0, knns = 0, ranges = 0, radii = 0,
                 radius_counts = 0;
   std::uint32_t size() const {
@@ -162,7 +192,8 @@ struct ServeStats {
   std::uint64_t batches = 0;
   std::uint64_t epochs = 0;  // update boundaries crossed
   std::uint64_t reads = 0, updates = 0;
-  std::uint64_t mode_switches = 0;  // kAdaptive caching-mode changes
+  std::uint64_t mode_switches = 0;  // replication-controller mode changes
+  std::uint64_t migrations = 0;     // components moved by the migration controller
   std::uint64_t dispatch_size = 0, dispatch_deadline = 0, dispatch_flush = 0;
   std::uint64_t ticks_rejected = 0;     // non-monotonic pump/flush ticks refused
   std::uint64_t clock_regressions = 0;  // completion clock read behind dispatch
@@ -195,6 +226,11 @@ class BatchScheduler {
  public:
   BatchScheduler(core::PimKdTree& tree, SchedulerConfig cfg);
   ~BatchScheduler();  // stop(): drains and resolves everything pending
+
+  // Status twin of the constructor (DESIGN.md §13): config validation errors
+  // come back as kInvalidArgument instead of an exception.
+  static Status try_create(core::PimKdTree& tree, SchedulerConfig cfg,
+                           std::unique_ptr<BatchScheduler>& out);
 
   BatchScheduler(const BatchScheduler&) = delete;
   BatchScheduler& operator=(const BatchScheduler&) = delete;
@@ -234,11 +270,15 @@ class BatchScheduler {
   std::size_t target_batch_size() const;
   ServeStats stats() const;
   std::vector<BatchLog> batch_log() const;
-  // kAdaptive only (nullptr otherwise). The controller is consulted at epoch
-  // boundaries on the EXEC stage; reading it between pumps is safe in serial
-  // mode, and after flush()/stop() in pipelined mode.
+  // Controller introspection (nullptr when the controller is not enabled).
+  // Controllers are consulted at epoch boundaries on the EXEC stage; reading
+  // them between pumps is safe in serial mode, and after flush()/stop() in
+  // pipelined mode.
   const core::AdaptiveReplicationController* replication_controller() const {
     return controller_.get();
+  }
+  const core::MigrationPlanner* migration_planner() const {
+    return migration_.get();
   }
 
   // The §5 target: per-query search communication is Θ(G + log^(G) P) words
@@ -330,6 +370,9 @@ class BatchScheduler {
   ServeStats stats_;
   std::vector<BatchLog> log_;
   std::unique_ptr<core::AdaptiveReplicationController> controller_;
+  std::unique_ptr<core::MigrationPlanner> migration_;
+  // The enabled controllers in run order (non-owning views of the two above).
+  std::vector<core::EpochController*> controllers_;
 
   // Pipeline stages + in-flight accounting (pipe_mu_ is a leaf lock).
   std::unique_ptr<parallel::StageQueue> exec_stage_;
